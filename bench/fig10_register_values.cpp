@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Fig. 10: distributions of the register values written immediately
+ * before dynamic executions of each benchmark's top H2P heavy hitter
+ * (lower 32 bits, 18 tracked registers). Paper findings: (1) the
+ * distributions differ drastically across branches — helpers should
+ * be branch-specific; (2) they show complex but recognizable
+ * structure — ML models can extract it.
+ */
+
+#include "analysis/heavy_hitters.hpp"
+#include "analysis/regvalues.hpp"
+
+#include "common.hpp"
+
+using namespace bpnsp;
+using namespace bpnsp::bench;
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("Fig. 10: register values before H2P "
+                      "executions.");
+    opts.addInt("instructions", 2000000,
+                "trace length per workload (pre-scale)");
+    const double scale = parseScale(opts, argc, argv);
+    const uint64_t instructions = static_cast<uint64_t>(
+        static_cast<double>(opts.getInt("instructions")) * scale);
+
+    banner("Register-value distributions preceding the top H2P",
+           "Fig. 10");
+
+    TextTable table("Per-register value-distribution summary for each "
+                    "benchmark's top heavy hitter");
+    table.setHeader({"benchmark", "H2P ip", "samples",
+                     "reg (most structured)", "distinct values",
+                     "top-4 value concentration",
+                     "mean distinct over 18 regs"});
+
+    for (const Workload &w : specSuite()) {
+        const Program program = w.build(0);
+        auto bp = makePredictor("tage-sc-l-8KB");
+        PredictorSim sim(*bp);
+        runTrace(program, {&sim}, instructions);
+        const H2pCriteria criteria =
+            H2pCriteria{}.scaledTo(instructions);
+        std::unordered_set<uint64_t> h2ps;
+        for (const auto &[ip, c] : sim.perBranch()) {
+            if (criteria.matches(c))
+                h2ps.insert(ip);
+        }
+        const auto ranked = rankHeavyHitters(sim.perBranch(), h2ps,
+                                             sim.condMispreds());
+        if (ranked.empty())
+            continue;
+        const uint64_t target = ranked.front().ip;
+
+        RegValueProfiler prof(target);
+        runTrace(program, {&prof}, instructions);
+
+        // Pick the register with the most concentrated (structured)
+        // nontrivial distribution.
+        unsigned best_reg = 0;
+        double best_conc = -1.0;
+        double distinct_sum = 0.0;
+        for (unsigned r = 0; r < kNumRegs; ++r) {
+            distinct_sum +=
+                static_cast<double>(prof.distinctValues(r));
+            if (prof.distinctValues(r) < 2)
+                continue;
+            const double conc = prof.concentration(r, 4);
+            if (conc > best_conc) {
+                best_conc = conc;
+                best_reg = r;
+            }
+        }
+        char ip_str[32];
+        std::snprintf(ip_str, sizeof(ip_str), "0x%llx",
+                      static_cast<unsigned long long>(target));
+        table.beginRow();
+        table.cell(w.name);
+        table.cell(std::string(ip_str));
+        table.cell(prof.samples());
+        table.cell(std::string("r") + std::to_string(best_reg));
+        table.cell(static_cast<uint64_t>(
+            prof.distinctValues(best_reg)));
+        table.cell(best_conc < 0 ? 0.0 : best_conc, 3);
+        table.cell(distinct_sum / kNumRegs, 1);
+        std::fprintf(stderr, "  %s done\n", w.name.c_str());
+    }
+    emit(table, opts.getFlag("csv"));
+    std::printf("Paper: distributions differ drastically across "
+                "branches and carry recognizable structure (log-scale "
+                "value scatter per register).\n");
+    return 0;
+}

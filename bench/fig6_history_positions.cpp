@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fig. 6: distribution of global-history positions at which
+ * dependency branches of a heavy-hitter H2P appear. Paper finding:
+ * the same dependency branch shows up at many different positions
+ * with highly non-uniform likelihood — exact-position pattern
+ * matching must fight enormous stochastic variation.
+ */
+
+#include <algorithm>
+
+#include "analysis/depgraph.hpp"
+#include "analysis/heavy_hitters.hpp"
+
+#include "common.hpp"
+
+using namespace bpnsp;
+using namespace bpnsp::bench;
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("Fig. 6: dependency-branch history positions.");
+    opts.addString("workload", "mcf_like", "benchmark to analyze");
+    opts.addInt("instructions", 2000000,
+                "trace length (pre-scale)");
+    opts.addInt("window", 5000, "dataflow lookback");
+    opts.addInt("sample", 8, "analyze every n-th H2P execution");
+    opts.addInt("top-deps", 8, "dependency branches to detail");
+    const double scale = parseScale(opts, argc, argv);
+    const uint64_t instructions = static_cast<uint64_t>(
+        static_cast<double>(opts.getInt("instructions")) * scale);
+
+    banner("History-position distributions of dependency branches",
+           "Fig. 6");
+
+    const Workload w = findWorkload(opts.getString("workload"));
+    const Program program = w.build(0);
+
+    auto bp = makePredictor("tage-sc-l-8KB");
+    PredictorSim sim(*bp);
+    runTrace(program, {&sim}, instructions);
+    const H2pCriteria criteria = H2pCriteria{}.scaledTo(instructions);
+    std::unordered_set<uint64_t> h2ps;
+    for (const auto &[ip, c] : sim.perBranch()) {
+        if (criteria.matches(c))
+            h2ps.insert(ip);
+    }
+    const auto ranked =
+        rankHeavyHitters(sim.perBranch(), h2ps, sim.condMispreds());
+    if (ranked.empty()) {
+        std::printf("no H2P found in %s at this scale\n",
+                    w.name.c_str());
+        return 0;
+    }
+    const uint64_t target = ranked.front().ip;
+    std::printf("workload %s, heavy hitter 0x%llx (%llu execs, %llu "
+                "mispredicts)\n\n",
+                w.name.c_str(),
+                static_cast<unsigned long long>(target),
+                static_cast<unsigned long long>(ranked.front().execs),
+                static_cast<unsigned long long>(
+                    ranked.front().mispreds));
+
+    DependencyAnalyzer analyzer(
+        target, static_cast<unsigned>(opts.getInt("window")),
+        static_cast<unsigned>(opts.getInt("sample")));
+    runTrace(program, {&analyzer}, instructions);
+
+    // Order dependency branches by total occurrences.
+    std::vector<const DepBranchStats *> deps;
+    for (const auto &[ip, d] : analyzer.dependencyBranches())
+        deps.push_back(&d);
+    std::sort(deps.begin(), deps.end(),
+              [](const DepBranchStats *a, const DepBranchStats *b) {
+                  return a->occurrences > b->occurrences;
+              });
+
+    TextTable table("Per-dependency-branch history-position spread");
+    table.setHeader({"dep branch ip", "occurrences",
+                     "distinct positions", "min pos", "mode pos",
+                     "max pos"});
+    const size_t limit = std::min<size_t>(
+        deps.size(), static_cast<size_t>(opts.getInt("top-deps")));
+    for (size_t i = 0; i < limit; ++i) {
+        const DepBranchStats &d = *deps[i];
+        uint32_t min_pos = ~0u;
+        uint32_t max_pos = 0;
+        uint32_t mode_pos = 0;
+        uint64_t mode_count = 0;
+        for (const auto &[pos, count] : d.positionCounts) {
+            min_pos = std::min(min_pos, pos);
+            max_pos = std::max(max_pos, pos);
+            if (count > mode_count) {
+                mode_count = count;
+                mode_pos = pos;
+            }
+        }
+        char ip_str[32];
+        std::snprintf(ip_str, sizeof(ip_str), "0x%llx",
+                      static_cast<unsigned long long>(d.ip));
+        table.beginRow();
+        table.cell(std::string(ip_str));
+        table.cell(d.occurrences);
+        table.cell(static_cast<uint64_t>(d.positionCounts.size()));
+        table.cell(static_cast<uint64_t>(min_pos));
+        table.cell(static_cast<uint64_t>(mode_pos));
+        table.cell(static_cast<uint64_t>(max_pos));
+    }
+    emit(table, opts.getFlag("csv"));
+    std::printf("Paper: each dependency branch appears at many "
+                "positions with non-uniform likelihood; variation "
+                "grows with history length.\n");
+    return 0;
+}

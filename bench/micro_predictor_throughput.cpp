@@ -1,0 +1,112 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: predict+update throughput of each
+ * predictor on a realistic branch stream, and the core-model and
+ * interpreter throughput. Not a paper figure — engineering numbers
+ * for users sizing their own experiments.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bp/factory.hpp"
+#include "bp/sim.hpp"
+#include "core/runner.hpp"
+#include "pipeline/core.hpp"
+#include "trace/sink.hpp"
+#include "vm/interpreter.hpp"
+#include "workloads/suite.hpp"
+
+using namespace bpnsp;
+
+namespace {
+
+/** A captured branch stream shared by the predictor benchmarks. */
+const std::vector<TraceRecord> &
+branchStream()
+{
+    static const std::vector<TraceRecord> stream = [] {
+        VectorSink sink;
+        Interpreter interp(findWorkload("leela_like").build(0));
+        interp.setRestartOnHalt(true);
+        interp.run(sink, 200000);
+        std::vector<TraceRecord> branches;
+        for (const auto &r : sink.get()) {
+            if (r.isCondBranch())
+                branches.push_back(r);
+        }
+        return branches;
+    }();
+    return stream;
+}
+
+void
+predictorThroughput(benchmark::State &state, const std::string &name)
+{
+    const auto &stream = branchStream();
+    auto bp = makePredictor(name);
+    size_t i = 0;
+    for (auto _ : state) {
+        const TraceRecord &r = stream[i];
+        const bool pred = bp->predict(r.ip, r.taken);
+        bp->update(r.ip, r.taken, pred, r.target);
+        benchmark::DoNotOptimize(pred);
+        if (++i == stream.size())
+            i = 0;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+#define BPNSP_PREDICTOR_BENCH(tag, name)                              \
+    static void BM_##tag(benchmark::State &state)                     \
+    {                                                                 \
+        predictorThroughput(state, name);                             \
+    }                                                                 \
+    BENCHMARK(BM_##tag)
+
+BPNSP_PREDICTOR_BENCH(Bimodal, "bimodal");
+BPNSP_PREDICTOR_BENCH(Gshare, "gshare");
+BPNSP_PREDICTOR_BENCH(Local, "local");
+BPNSP_PREDICTOR_BENCH(Perceptron, "perceptron");
+BPNSP_PREDICTOR_BENCH(Ppm, "ppm");
+BPNSP_PREDICTOR_BENCH(TageScl8KB, "tage-sc-l-8KB");
+BPNSP_PREDICTOR_BENCH(TageScl64KB, "tage-sc-l-64KB");
+BPNSP_PREDICTOR_BENCH(TageScl1024KB, "tage-sc-l-1024KB");
+
+static void
+BM_Interpreter(benchmark::State &state)
+{
+    Interpreter interp(findWorkload("xz_like").build(0));
+    interp.setRestartOnHalt(true);
+    CountingSink sink;
+    for (auto _ : state)
+        interp.run(sink, 1000);
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_Interpreter);
+
+static void
+BM_CoreModel(benchmark::State &state)
+{
+    auto bp = makePredictor("tage-sc-l-8KB");
+    PredictorSim sim(*bp, false);
+    CoreModel core(CoreConfig::skylake(), sim);
+    VectorSink sink;
+    Interpreter interp(findWorkload("xz_like").build(0));
+    interp.setRestartOnHalt(true);
+    interp.run(sink, 100000);
+    size_t i = 0;
+    for (auto _ : state) {
+        sim.onRecord(sink.get()[i]);
+        core.onRecord(sink.get()[i]);
+        if (++i == sink.get().size())
+            i = 0;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoreModel);
+
+BENCHMARK_MAIN();

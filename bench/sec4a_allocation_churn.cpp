@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Sec. IV-A allocation-churn statistics: how TAGE table entries are
+ * allocated to H2P vs non-H2P branches. Paper findings: median 4
+ * allocations / 4 unique entries per non-H2P branch; median 13,093
+ * allocations over only 3,990 unique entries per H2P (entries are
+ * scrapped and re-acquired); each H2P averages 3.6% of all
+ * allocations vs <0.01% for non-H2Ps.
+ */
+
+#include "analysis/alloc_stats.hpp"
+#include "bp/tagescl.hpp"
+
+#include "common.hpp"
+
+using namespace bpnsp;
+using namespace bpnsp::bench;
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("Sec. IV-A: TAGE allocation churn.");
+    opts.addInt("instructions", 3000000,
+                "trace length per workload (pre-scale)");
+    const double scale = parseScale(opts, argc, argv);
+    const uint64_t instructions = static_cast<uint64_t>(
+        static_cast<double>(opts.getInt("instructions")) * scale);
+
+    banner("TAGE-SC-L 64KB table allocation churn, H2P vs non-H2P",
+           "Sec. IV-A");
+
+    TextTable table("Allocation statistics per branch class");
+    table.setHeader({"workload", "class", "branches",
+                     "median allocations", "median unique entries",
+                     "avg share of all allocations"});
+
+    for (const char *name :
+         {"mcf_like", "leela_like", "xz_like", "omnetpp_like"}) {
+        const Workload w = findWorkload(name);
+        TageSclPredictor bp(TageSclConfig::preset(64));
+        AllocationStatsCollector alloc;
+        bp.tage().setAllocationListener(&alloc);
+        PredictorSim sim(bp);
+        runTrace(w.build(0), {&sim}, instructions);
+
+        const H2pCriteria criteria =
+            H2pCriteria{}.scaledTo(instructions);
+        std::unordered_set<uint64_t> h2ps;
+        std::unordered_set<uint64_t> others;
+        for (const auto &[ip, c] : sim.perBranch()) {
+            if (criteria.matches(c))
+                h2ps.insert(ip);
+            else
+                others.insert(ip);
+        }
+        for (const auto &[label, ips] :
+             {std::pair<std::string, std::unordered_set<uint64_t> *>{
+                  "H2P", &h2ps},
+              {"non-H2P", &others}}) {
+            const auto medians = alloc.groupMedians(*ips);
+            table.beginRow();
+            table.cell(w.name);
+            table.cell(label);
+            table.cell(static_cast<uint64_t>(ips->size()));
+            table.cell(medians.medianAllocations);
+            table.cell(medians.medianUniqueEntries);
+            table.percentCell(medians.avgAllocationShare, 3);
+        }
+        std::fprintf(stderr, "  %s done\n", name);
+    }
+    emit(table, opts.getFlag("csv"));
+    std::printf("Paper (full traces): non-H2P median 4 allocations / 4 "
+                "unique entries; H2P median 13,093 / 3,990; per-branch "
+                "allocation share <0.01%% vs 3.6%%.\n");
+    return 0;
+}

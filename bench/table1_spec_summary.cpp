@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Table I: per-benchmark summary of the SPEC-like dataset — SimPoint
+ * phase counts, static branch populations, TAGE-SC-L 8KB accuracy
+ * (with and without H2Ps), H2P counts and their overlap across
+ * application inputs, dynamic executions per H2P, and the fraction of
+ * mispredictions caused by H2Ps.
+ */
+
+#include "common.hpp"
+#include "util/stats.hpp"
+
+using namespace bpnsp;
+using namespace bpnsp::bench;
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("Table I: SPEC-like branch/H2P summary.");
+    opts.addInt("slice", 1000000, "slice length (pre-scale)");
+    opts.addInt("slices", 6, "slices per input trace");
+    const double scale = parseScale(opts, argc, argv);
+    const uint64_t slice = static_cast<uint64_t>(
+        static_cast<double>(opts.getInt("slice")) * scale);
+    const uint64_t num_slices =
+        static_cast<uint64_t>(opts.getInt("slices"));
+
+    banner("SPEC-like dataset summary", "Table I");
+    std::printf("slice = %llu instructions, %llu slices per input; "
+                "H2P criteria scaled accordingly\n\n",
+                static_cast<unsigned long long>(slice),
+                static_cast<unsigned long long>(num_slices));
+
+    TextTable table("Table I analogue (TAGE-SC-L 8KB)");
+    table.setHeader({"benchmark", "avg phases", "static br (program)",
+                     "median static/slice", "acc", "acc excl H2P",
+                     "#inputs", "H2P total", "H2P 3+ inputs",
+                     "H2P avg/input", "avg dyn execs per H2P",
+                     "% mispred from H2Ps"});
+
+    CharacterizationConfig cfg;
+    cfg.sliceLength = slice;
+    cfg.numSlices = num_slices;
+
+    for (const Workload &w : specSuite()) {
+        std::vector<std::unordered_set<uint64_t>> h2p_sets;
+        OnlineStats phases;
+        OnlineStats acc;
+        OnlineStats acc_excl;
+        OnlineStats h2p_per_slice;
+        OnlineStats execs_per_h2p;
+        OnlineStats mispred_frac;
+        uint64_t program_static = 0;
+        uint64_t median_static = 0;
+
+        for (size_t input = 0; input < w.inputs.size(); ++input) {
+            const CharacterizationResult r =
+                characterize(w, input, cfg);
+            h2p_sets.push_back(r.h2p.allH2ps);
+            phases.add(r.phases.numPhases);
+            acc.add(r.stats->accuracy());
+            acc_excl.add(r.h2p.accuracyExclH2p);
+            h2p_per_slice.add(r.h2p.avgPerSlice);
+            if (r.h2p.avgDynExecsPerH2p > 0)
+                execs_per_h2p.add(r.h2p.avgDynExecsPerH2p);
+            mispred_frac.add(r.h2p.avgMispredFraction);
+            program_static = r.staticBranchesInProgram;
+            median_static = r.medianStaticPerSlice();
+        }
+        const H2pOverlap overlap = overlapH2ps(h2p_sets);
+
+        table.beginRow();
+        table.cell(w.name);
+        table.cell(phases.mean(), 1);
+        table.cell(program_static);
+        table.cell(median_static);
+        table.cell(acc.mean(), 3);
+        table.cell(acc_excl.mean(), 3);
+        table.cell(static_cast<uint64_t>(w.inputs.size()));
+        table.cell(static_cast<uint64_t>(overlap.totalUnique));
+        table.cell(static_cast<uint64_t>(overlap.inThreePlus));
+        table.cell(overlap.avgPerInput, 1);
+        table.cell(execs_per_h2p.mean(), 0);
+        table.percentCell(mispred_frac.mean());
+        std::fprintf(stderr, "  %s done\n", w.name.c_str());
+    }
+    emit(table, opts.getFlag("csv"));
+    std::printf("Paper (30M slices, 10B traces): mean 9.5 phases, "
+                "accuracy 0.952 (0.984 excl. H2Ps), 29 H2Ps in 3+ "
+                "inputs, 55.3%% of mispredictions from ~10 H2Ps per "
+                "slice.\n");
+    return 0;
+}

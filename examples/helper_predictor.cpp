@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Helper-predictor walkthrough (paper Sec. V): screen a workload's
+ * H2Ps, collect history datasets over several application inputs,
+ * train 2-bit CNN helpers offline, deploy them beside TAGE-SC-L, and
+ * evaluate on a held-out input.
+ *
+ * Usage: helper_predictor [--workload=leela_like] [--cnn]
+ */
+
+#include <cstdio>
+
+#include "ml/trainer.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "workloads/suite.hpp"
+
+using namespace bpnsp;
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("Offline-train helpers, evaluate on a held-out "
+                      "input.");
+    opts.addString("workload", "leela_like", "workload name");
+    opts.addInt("instructions", 400000, "per-input trace length");
+    opts.addInt("helpers", 4, "H2P branches to cover");
+    opts.addFlag("cnn", "use CNN helpers (default: perceptron)");
+    opts.parse(argc, argv);
+
+    const Workload w = findWorkload(opts.getString("workload"));
+    if (w.inputs.size() < 4)
+        fatal("workload needs at least 4 inputs for the 3+1 split");
+
+    HelperExperimentConfig cfg;
+    cfg.screenInstructions =
+        static_cast<uint64_t>(opts.getInt("instructions"));
+    cfg.trainInstructions = cfg.screenInstructions;
+    cfg.testInstructions = cfg.screenInstructions;
+    cfg.maxHelpers = static_cast<unsigned>(opts.getInt("helpers"));
+    cfg.useCnn = opts.getFlag("cnn");
+    cfg.historyLength = 48;
+    cfg.maxSamplesPerInput = 4000;
+
+    std::printf("training %s helpers for %s on inputs {0,1,2}, "
+                "testing on input 3...\n",
+                cfg.useCnn ? "2-bit CNN" : "2-bit perceptron",
+                w.name.c_str());
+    const HelperExperimentResult r =
+        runHelperExperiment(w, {0, 1, 2}, 3, cfg);
+
+    TextTable table("Held-out-input evaluation");
+    table.setHeader({"H2P ip", "train samples", "test execs",
+                     "tage-sc-l-8KB acc", "helper acc"});
+    for (const auto &br : r.branches) {
+        char ip_str[32];
+        std::snprintf(ip_str, sizeof(ip_str), "0x%llx",
+                      static_cast<unsigned long long>(br.ip));
+        table.beginRow();
+        table.cell(std::string(ip_str));
+        table.cell(br.trainSamples);
+        table.cell(br.testExecs);
+        table.cell(br.baselineAccuracy, 3);
+        table.cell(br.helperAccuracy, 3);
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("overall accuracy: baseline %.4f, with helpers "
+                "%.4f\n",
+                r.baselineOverallAccuracy, r.overlayOverallAccuracy);
+    return 0;
+}

@@ -1,0 +1,60 @@
+#include "analysis/alloc_stats.hpp"
+
+#include "util/stats.hpp"
+
+namespace bpnsp {
+
+void
+AllocationStatsCollector::onAllocation(uint64_t ip, unsigned table,
+                                       uint64_t entry_id,
+                                       uint64_t evicted_ip)
+{
+    (void)table;
+    (void)evicted_ip;
+    PerBranch &pb = perBranch[ip];
+    ++pb.allocations;
+    ++total;
+    if (!pb.entries.insert(entry_id).second)
+        ++reacquired;
+}
+
+std::unordered_map<uint64_t, BranchAllocStats>
+AllocationStatsCollector::summarize() const
+{
+    std::unordered_map<uint64_t, BranchAllocStats> out;
+    out.reserve(perBranch.size());
+    for (const auto &[ip, pb] : perBranch) {
+        out[ip] = BranchAllocStats{pb.allocations, pb.entries.size()};
+    }
+    return out;
+}
+
+AllocationStatsCollector::GroupMedians
+AllocationStatsCollector::groupMedians(
+    const std::unordered_set<uint64_t> &ips) const
+{
+    GroupMedians out;
+    std::vector<uint64_t> allocs;
+    std::vector<uint64_t> uniques;
+    double share_sum = 0.0;
+    for (uint64_t ip : ips) {
+        const auto it = perBranch.find(ip);
+        const uint64_t a = it != perBranch.end() ? it->second.allocations
+                                                 : 0;
+        const uint64_t u =
+            it != perBranch.end() ? it->second.entries.size() : 0;
+        allocs.push_back(a);
+        uniques.push_back(u);
+        if (total > 0) {
+            share_sum += static_cast<double>(a) /
+                         static_cast<double>(total);
+        }
+    }
+    out.medianAllocations = medianU64(allocs);
+    out.medianUniqueEntries = medianU64(uniques);
+    out.avgAllocationShare =
+        ips.empty() ? 0.0 : share_sum / static_cast<double>(ips.size());
+    return out;
+}
+
+} // namespace bpnsp

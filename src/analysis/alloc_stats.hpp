@@ -1,0 +1,73 @@
+/**
+ * @file
+ * TAGE allocation-churn statistics (paper Sec. IV-A): per-branch
+ * counts of tagged-entry allocations and of *unique* entries ever
+ * allocated. H2P branches show allocation counts far above their
+ * unique-entry counts (entries are scrapped and re-acquired over and
+ * over), demonstrating wasted BPU storage.
+ */
+
+#ifndef BPNSP_ANALYSIS_ALLOC_STATS_HPP
+#define BPNSP_ANALYSIS_ALLOC_STATS_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bp/tage.hpp"
+
+namespace bpnsp {
+
+/** Aggregated allocation behavior of one branch. */
+struct BranchAllocStats
+{
+    uint64_t allocations = 0;      ///< total allocation events
+    uint64_t uniqueEntries = 0;    ///< distinct entries ever held
+};
+
+/** Collects allocation events from an instrumented TagePredictor. */
+class AllocationStatsCollector : public TageAllocationListener
+{
+  public:
+    void onAllocation(uint64_t ip, unsigned table, uint64_t entry_id,
+                      uint64_t evicted_ip) override;
+
+    /** Per-branch summary (allocations + unique entry counts). */
+    std::unordered_map<uint64_t, BranchAllocStats> summarize() const;
+
+    /** Total allocation events observed. */
+    uint64_t totalAllocations() const { return total; }
+
+    /**
+     * Allocation events that re-acquired an entry the same branch had
+     * held before (the churn signature).
+     */
+    uint64_t reacquisitions() const { return reacquired; }
+
+    /** Median allocations / unique entries over a set of branch IPs. */
+    struct GroupMedians
+    {
+        uint64_t medianAllocations = 0;
+        uint64_t medianUniqueEntries = 0;
+        double avgAllocationShare = 0.0;   ///< mean per-branch fraction
+    };
+
+    GroupMedians
+    groupMedians(const std::unordered_set<uint64_t> &ips) const;
+
+  private:
+    struct PerBranch
+    {
+        uint64_t allocations = 0;
+        std::unordered_set<uint64_t> entries;
+    };
+
+    std::unordered_map<uint64_t, PerBranch> perBranch;
+    uint64_t total = 0;
+    uint64_t reacquired = 0;
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_ANALYSIS_ALLOC_STATS_HPP

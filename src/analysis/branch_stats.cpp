@@ -1,0 +1,68 @@
+#include "analysis/branch_stats.hpp"
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+SlicedBranchStats::SlicedBranchStats(BranchPredictor &predictor,
+                                     uint64_t slice_length)
+    : bp(predictor), sliceLen(slice_length)
+{
+    BPNSP_ASSERT(slice_length >= 1);
+}
+
+void
+SlicedBranchStats::onRecord(const TraceRecord &rec)
+{
+    BPNSP_ASSERT(!ended, "record after onEnd()");
+    ++instrCount;
+    ++current.instructions;
+
+    if (rec.isCondBranch()) {
+        const bool pred = bp.predict(rec.ip, rec.taken);
+        const bool mispred = (pred != rec.taken);
+        bp.update(rec.ip, rec.taken, pred, rec.target);
+
+        ++current.condExecs;
+        ++execsTotal;
+        BranchCounters &slice_ctr = current.branches[rec.ip];
+        BranchCounters &total_ctr = totalMap[rec.ip];
+        ++slice_ctr.execs;
+        ++total_ctr.execs;
+        if (rec.taken) {
+            ++slice_ctr.taken;
+            ++total_ctr.taken;
+        }
+        if (mispred) {
+            ++current.condMispreds;
+            ++mispredsTotal;
+            ++slice_ctr.mispreds;
+            ++total_ctr.mispreds;
+        }
+    } else if (isControl(rec.cls)) {
+        bp.trackOther(rec.ip, rec.cls, rec.target);
+    }
+
+    if (current.instructions == sliceLen)
+        closeSlice();
+}
+
+void
+SlicedBranchStats::closeSlice()
+{
+    done.push_back(std::move(current));
+    current = SliceStats{};
+    current.index = done.size();
+}
+
+void
+SlicedBranchStats::onEnd()
+{
+    if (ended)
+        return;
+    ended = true;
+    if (current.instructions > 0)
+        closeSlice();
+}
+
+} // namespace bpnsp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-slice, per-branch statistics under a driven predictor.
+ *
+ * Reproduces the paper's core methodology (Sec. III): run a predictor
+ * over a workload trace, cut the trace into fixed slices (paper: 30M
+ * instructions), and collect execution/misprediction counters for every
+ * static branch in every slice.
+ */
+
+#ifndef BPNSP_ANALYSIS_BRANCH_STATS_HPP
+#define BPNSP_ANALYSIS_BRANCH_STATS_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bp/sim.hpp"
+#include "trace/sink.hpp"
+
+namespace bpnsp {
+
+/** Statistics of one trace slice. */
+struct SliceStats
+{
+    uint64_t index = 0;          ///< slice number
+    uint64_t instructions = 0;   ///< retired instructions
+    uint64_t condExecs = 0;      ///< conditional branch executions
+    uint64_t condMispreds = 0;   ///< mispredictions
+    std::unordered_map<uint64_t, BranchCounters> branches;
+
+    /** Overall accuracy in this slice. */
+    double
+    accuracy() const
+    {
+        if (condExecs == 0)
+            return 1.0;
+        return 1.0 - static_cast<double>(condMispreds) /
+                         static_cast<double>(condExecs);
+    }
+};
+
+/**
+ * Drives a predictor over the stream and aggregates per-slice and
+ * whole-trace branch statistics.
+ */
+class SlicedBranchStats : public TraceSink
+{
+  public:
+    /**
+     * @param predictor predictor to drive (not owned)
+     * @param slice_length instructions per slice
+     */
+    SlicedBranchStats(BranchPredictor &predictor, uint64_t slice_length);
+
+    void onRecord(const TraceRecord &rec) override;
+    void onEnd() override;
+
+    /** Completed (and final partial) slices; valid after onEnd(). */
+    const std::vector<SliceStats> &slices() const { return done; }
+
+    /** Whole-trace per-branch totals. */
+    const std::unordered_map<uint64_t, BranchCounters> &
+    totals() const
+    {
+        return totalMap;
+    }
+
+    /** Whole-trace aggregate counters. */
+    uint64_t instructions() const { return instrCount; }
+    uint64_t condExecs() const { return execsTotal; }
+    uint64_t condMispreds() const { return mispredsTotal; }
+
+    /** Whole-trace accuracy. */
+    double
+    accuracy() const
+    {
+        if (execsTotal == 0)
+            return 1.0;
+        return 1.0 - static_cast<double>(mispredsTotal) /
+                         static_cast<double>(execsTotal);
+    }
+
+    /** Number of distinct static conditional branch IPs seen. */
+    size_t staticBranchCount() const { return totalMap.size(); }
+
+    uint64_t sliceLength() const { return sliceLen; }
+
+  private:
+    BranchPredictor &bp;
+    uint64_t sliceLen;
+    std::vector<SliceStats> done;
+    SliceStats current;
+    std::unordered_map<uint64_t, BranchCounters> totalMap;
+    uint64_t instrCount = 0;
+    uint64_t execsTotal = 0;
+    uint64_t mispredsTotal = 0;
+    bool ended = false;
+
+    void closeSlice();
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_ANALYSIS_BRANCH_STATS_HPP

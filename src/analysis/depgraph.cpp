@@ -1,0 +1,124 @@
+#include "analysis/depgraph.hpp"
+
+#include <unordered_set>
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+DependencyAnalyzer::DependencyAnalyzer(uint64_t target_ip,
+                                       unsigned window_instrs,
+                                       unsigned sample_every)
+    : target(target_ip), window(window_instrs),
+      sampleEvery(sample_every == 0 ? 1 : sample_every),
+      ring(window_instrs)
+{
+    BPNSP_ASSERT(window_instrs >= 16);
+}
+
+void
+DependencyAnalyzer::onRecord(const TraceRecord &rec)
+{
+    const uint32_t slot = static_cast<uint32_t>(instrIndex % window);
+
+    // Evict the slot's previous occupant from the producer index.
+    Entry &e = ring[slot];
+    if (e.valid && e.dstId != 0) {
+        const auto it = producerSlot.find(e.dstId);
+        if (it != producerSlot.end() && it->second == slot)
+            producerSlot.erase(it);
+    }
+
+    // Build the new entry: collect the value ids this record read.
+    e = Entry{};
+    e.ip = rec.ip;
+    e.isCondBranch = rec.isCondBranch();
+    e.branchOrdinal = branchOrdinal;
+    e.valid = true;
+    for (unsigned s = 0; s < rec.numSrc; ++s)
+        e.srcIds[e.numSrc++] = regIds[rec.src[s]];
+    if (rec.cls == InstrClass::Load) {
+        // The loaded value's identity flows through memory.
+        const auto it = memIds.find(rec.memAddr >> 3);
+        e.srcIds[e.numSrc++] = it != memIds.end() ? it->second : 0;
+    }
+
+    // Effects: register writes mint a fresh value id; stores propagate
+    // the stored value's id into the memory word.
+    if (rec.hasDst) {
+        e.dstId = nextId++;
+        regIds[rec.dst] = e.dstId;
+        producerSlot[e.dstId] = slot;
+    } else if (rec.cls == InstrClass::Store && rec.numSrc >= 1) {
+        memIds[rec.memAddr >> 3] = regIds[rec.src[0]];
+    }
+
+    if (e.isCondBranch) {
+        if (rec.ip == target) {
+            ++targetExecs;
+            if (targetExecs % sampleEvery == 0) {
+                ++analyzed;
+                analyze(e);
+            }
+        }
+        ++branchOrdinal;
+    }
+    ++instrIndex;
+}
+
+void
+DependencyAnalyzer::analyze(const Entry &h2p_entry)
+{
+    // Backward dataflow slice from the H2P's condition operands.
+    std::unordered_set<uint64_t> slice_ids;
+    std::vector<uint64_t> frontier;
+    for (unsigned s = 0; s < h2p_entry.numSrc; ++s) {
+        if (h2p_entry.srcIds[s] != 0 &&
+            slice_ids.insert(h2p_entry.srcIds[s]).second) {
+            frontier.push_back(h2p_entry.srcIds[s]);
+        }
+    }
+    while (!frontier.empty()) {
+        const uint64_t id = frontier.back();
+        frontier.pop_back();
+        const auto it = producerSlot.find(id);
+        if (it == producerSlot.end())
+            continue;   // produced before the window
+        const Entry &producer = ring[it->second];
+        for (unsigned s = 0; s < producer.numSrc; ++s) {
+            const uint64_t src = producer.srcIds[s];
+            if (src != 0 && slice_ids.insert(src).second)
+                frontier.push_back(src);
+        }
+    }
+    if (slice_ids.empty())
+        return;
+
+    // Any earlier conditional branch in the window that read a value
+    // in the slice is a dependency branch; its history position is the
+    // number of conditional branches between it and the H2P.
+    for (const Entry &entry : ring) {
+        if (!entry.valid || !entry.isCondBranch)
+            continue;
+        if (entry.branchOrdinal >= h2p_entry.branchOrdinal)
+            continue;   // not strictly older (includes the H2P itself)
+        bool reads_slice = false;
+        for (unsigned s = 0; s < entry.numSrc && !reads_slice; ++s)
+            reads_slice = entry.srcIds[s] != 0 &&
+                          slice_ids.count(entry.srcIds[s]) != 0;
+        if (!reads_slice)
+            continue;
+        const uint32_t pos = static_cast<uint32_t>(
+            h2p_entry.branchOrdinal - entry.branchOrdinal);
+        DepBranchStats &d = deps[entry.ip];
+        d.ip = entry.ip;
+        ++d.occurrences;
+        ++d.positionCounts[pos];
+        if (pos < minPos)
+            minPos = pos;
+        if (pos > maxPos)
+            maxPos = pos;
+    }
+}
+
+} // namespace bpnsp

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Operand dependency-graph analysis (paper Sec. IV-A, Table III,
+ * Fig. 6).
+ *
+ * For each dynamic execution of a target H2P branch, the analyzer
+ * computes the backward dataflow slice of the branch condition over
+ * the prior 5,000 instructions, following chains of reads/writes
+ * through registers *and* memory. Any earlier conditional branch that
+ * read a value inside that slice is a *dependency branch* — it is
+ * predictive of the H2P at ground truth. The analyzer accumulates, per
+ * dependency branch, the distribution of global-history positions at
+ * which it appeared — the paper's key evidence that predictive signal
+ * exists in history but wanders across positions.
+ */
+
+#ifndef BPNSP_ANALYSIS_DEPGRAPH_HPP
+#define BPNSP_ANALYSIS_DEPGRAPH_HPP
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "vm/isa.hpp"
+
+namespace bpnsp {
+
+/** Accumulated statistics for one dependency branch. */
+struct DepBranchStats
+{
+    uint64_t ip = 0;
+    uint64_t occurrences = 0;   ///< (execution, position) observations
+    /** History position (in conditional branches) -> count. */
+    std::map<uint32_t, uint64_t> positionCounts;
+};
+
+/** Streaming dependency-branch analyzer for one target branch. */
+class DependencyAnalyzer : public TraceSink
+{
+  public:
+    /**
+     * @param target_ip the H2P branch to analyze
+     * @param window_instrs dataflow lookback (paper: 5,000)
+     * @param sample_every analyze every n-th target execution
+     */
+    explicit DependencyAnalyzer(uint64_t target_ip,
+                                unsigned window_instrs = 5000,
+                                unsigned sample_every = 1);
+
+    void onRecord(const TraceRecord &rec) override;
+
+    /** Dependency branches discovered so far, keyed by IP. */
+    const std::unordered_map<uint64_t, DepBranchStats> &
+    dependencyBranches() const
+    {
+        return deps;
+    }
+
+    /** Smallest history position observed over all dep branches. */
+    uint32_t minPosition() const { return minPos; }
+
+    /** Largest history position observed. */
+    uint32_t maxPosition() const { return maxPos; }
+
+    /** Target executions actually analyzed (after sampling). */
+    uint64_t analyzedExecutions() const { return analyzed; }
+
+    /** Total target executions seen. */
+    uint64_t targetExecutions() const { return targetExecs; }
+
+  private:
+    /** One instruction in the lookback window. */
+    struct Entry
+    {
+        uint64_t ip = 0;
+        uint64_t srcIds[4] = {0, 0, 0, 0};   ///< value ids read
+        uint64_t dstId = 0;                  ///< value id produced
+        uint64_t branchOrdinal = 0;  ///< cond branches retired before it
+        uint8_t numSrc = 0;
+        bool isCondBranch = false;
+        bool valid = false;
+    };
+
+    uint64_t target;
+    unsigned window;
+    unsigned sampleEvery;
+
+    uint64_t nextId = 1;
+    uint64_t regIds[kNumRegs] = {};
+    std::unordered_map<uint64_t, uint64_t> memIds;   ///< word -> id
+    std::vector<Entry> ring;
+    std::unordered_map<uint64_t, uint32_t> producerSlot;  ///< id -> slot
+    uint64_t instrIndex = 0;
+    uint64_t branchOrdinal = 0;
+
+    std::unordered_map<uint64_t, DepBranchStats> deps;
+    uint32_t minPos = ~0u;
+    uint32_t maxPos = 0;
+    uint64_t analyzed = 0;
+    uint64_t targetExecs = 0;
+
+    void analyze(const Entry &h2p_entry);
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_ANALYSIS_DEPGRAPH_HPP

@@ -1,0 +1,75 @@
+#include "analysis/distributions.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace bpnsp {
+
+BranchDistributions::BranchDistributions()
+    // Bin edges follow the paper's Fig. 3 axes.
+    : mispredictions(
+          {0.0, 1.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0}),
+      executions({0.0, 100.0, 1000.0, 10000.0, 100000.0, 1000000.0}),
+      accuracy({0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99,
+                1.0})
+{
+}
+
+BranchDistributions
+computeBranchDistributions(
+    const std::unordered_map<uint64_t, BranchCounters> &totals)
+{
+    BranchDistributions out;
+    for (const auto &[ip, c] : totals) {
+        out.mispredictions.add(static_cast<double>(c.mispreds));
+        out.executions.add(static_cast<double>(c.execs));
+        out.accuracy.add(c.accuracy());
+    }
+    return out;
+}
+
+std::vector<AccuracyPoint>
+accuracyScatter(const std::unordered_map<uint64_t, BranchCounters> &totals)
+{
+    std::vector<AccuracyPoint> points;
+    points.reserve(totals.size());
+    for (const auto &[ip, c] : totals)
+        points.push_back(AccuracyPoint{ip, c.execs, c.accuracy()});
+    std::sort(points.begin(), points.end(),
+              [](const AccuracyPoint &a, const AccuracyPoint &b) {
+                  if (a.execs != b.execs)
+                      return a.execs < b.execs;
+                  return a.ip < b.ip;
+              });
+    return points;
+}
+
+std::vector<AccuracySpreadBin>
+accuracySpread(const std::unordered_map<uint64_t, BranchCounters> &totals,
+               uint64_t bin_width, uint64_t max_execs)
+{
+    const size_t num_bins =
+        static_cast<size_t>((max_execs + bin_width - 1) / bin_width);
+    std::vector<OnlineStats> stats(num_bins);
+    for (const auto &[ip, c] : totals) {
+        if (c.execs >= max_execs)
+            continue;
+        stats[c.execs / bin_width].add(c.accuracy());
+    }
+
+    std::vector<AccuracySpreadBin> bins;
+    bins.reserve(num_bins);
+    for (size_t i = 0; i < num_bins; ++i) {
+        AccuracySpreadBin bin;
+        bin.execsLo = i * bin_width;
+        bin.execsHi = (i + 1) * bin_width;
+        bin.branchCount = stats[i].count();
+        bin.meanAccuracy = stats[i].mean();
+        bin.stddevAccuracy = stats[i].stddev();
+        bins.push_back(bin);
+    }
+    return bins;
+}
+
+} // namespace bpnsp

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Static-branch population distributions for the LCF study:
+ * Fig. 3 (mispredictions / executions / accuracy histograms with the
+ * paper's bin edges) and Fig. 4 (accuracy spread vs execution count,
+ * with binned standard deviation).
+ */
+
+#ifndef BPNSP_ANALYSIS_DISTRIBUTIONS_HPP
+#define BPNSP_ANALYSIS_DISTRIBUTIONS_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "bp/sim.hpp"
+#include "util/histogram.hpp"
+
+namespace bpnsp {
+
+/** The three Fig. 3 histograms over a branch population. */
+struct BranchDistributions
+{
+    Histogram mispredictions;   ///< dynamic mispredictions per branch
+    Histogram executions;       ///< dynamic executions per branch
+    Histogram accuracy;         ///< prediction accuracy per branch
+
+    BranchDistributions();
+};
+
+/** Populate the Fig. 3 histograms from per-branch totals. */
+BranchDistributions computeBranchDistributions(
+    const std::unordered_map<uint64_t, BranchCounters> &totals);
+
+/** One (executions, accuracy) point of Fig. 4a. */
+struct AccuracyPoint
+{
+    uint64_t ip = 0;
+    uint64_t execs = 0;
+    double accuracy = 1.0;
+};
+
+/** All per-branch points, sorted by execution count. */
+std::vector<AccuracyPoint> accuracyScatter(
+    const std::unordered_map<uint64_t, BranchCounters> &totals);
+
+/** One bin of Fig. 4b. */
+struct AccuracySpreadBin
+{
+    uint64_t execsLo = 0;       ///< inclusive
+    uint64_t execsHi = 0;       ///< exclusive
+    uint64_t branchCount = 0;
+    double meanAccuracy = 0.0;
+    double stddevAccuracy = 0.0;
+};
+
+/**
+ * Standard deviation of accuracy for branches binned by execution
+ * count (paper bin width: 100 executions).
+ */
+std::vector<AccuracySpreadBin> accuracySpread(
+    const std::unordered_map<uint64_t, BranchCounters> &totals,
+    uint64_t bin_width = 100, uint64_t max_execs = 15000);
+
+} // namespace bpnsp
+
+#endif // BPNSP_ANALYSIS_DISTRIBUTIONS_HPP

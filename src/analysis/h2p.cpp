@@ -1,0 +1,115 @@
+#include "analysis/h2p.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+H2pCriteria
+H2pCriteria::scaledTo(uint64_t slice_length) const
+{
+    BPNSP_ASSERT(slice_length >= 1);
+    H2pCriteria scaled = *this;
+    const double factor = static_cast<double>(slice_length) /
+                          static_cast<double>(referenceSlice);
+    scaled.minExecs = std::max<uint64_t>(
+        1, static_cast<uint64_t>(static_cast<double>(minExecs) * factor));
+    scaled.minMispreds = std::max<uint64_t>(
+        1,
+        static_cast<uint64_t>(static_cast<double>(minMispreds) * factor));
+    scaled.referenceSlice = slice_length;
+    return scaled;
+}
+
+std::unordered_set<uint64_t>
+screenH2ps(const SliceStats &slice, const H2pCriteria &criteria)
+{
+    std::unordered_set<uint64_t> h2ps;
+    for (const auto &[ip, counters] : slice.branches) {
+        if (criteria.matches(counters))
+            h2ps.insert(ip);
+    }
+    return h2ps;
+}
+
+H2pSummary
+summarizeH2ps(const SlicedBranchStats &stats, const H2pCriteria &criteria)
+{
+    H2pSummary out;
+    const auto &slices = stats.slices();
+    if (slices.empty())
+        return out;
+
+    double count_sum = 0.0;
+    double fraction_sum = 0.0;
+    double execs_sum = 0.0;
+    uint64_t execs_slices = 0;
+    for (const auto &slice : slices) {
+        const auto h2ps = screenH2ps(slice, criteria);
+        count_sum += static_cast<double>(h2ps.size());
+        out.allH2ps.insert(h2ps.begin(), h2ps.end());
+
+        uint64_t h2p_mispreds = 0;
+        uint64_t h2p_execs = 0;
+        for (uint64_t ip : h2ps) {
+            const auto &c = slice.branches.at(ip);
+            h2p_mispreds += c.mispreds;
+            h2p_execs += c.execs;
+        }
+        if (slice.condMispreds > 0) {
+            fraction_sum += static_cast<double>(h2p_mispreds) /
+                            static_cast<double>(slice.condMispreds);
+        }
+        if (!h2ps.empty()) {
+            execs_sum += static_cast<double>(h2p_execs) /
+                         static_cast<double>(h2ps.size());
+            ++execs_slices;
+        }
+    }
+    const double n = static_cast<double>(slices.size());
+    out.avgPerSlice = count_sum / n;
+    out.avgMispredFraction = fraction_sum / n;
+    out.avgDynExecsPerH2p =
+        execs_slices ? execs_sum / static_cast<double>(execs_slices) : 0.0;
+
+    // Accuracy excluding H2Ps, over the whole trace.
+    uint64_t execs = 0;
+    uint64_t mispreds = 0;
+    for (const auto &[ip, c] : stats.totals()) {
+        if (out.allH2ps.count(ip) != 0)
+            continue;
+        execs += c.execs;
+        mispreds += c.mispreds;
+    }
+    out.accuracyExclH2p =
+        execs ? 1.0 - static_cast<double>(mispreds) /
+                          static_cast<double>(execs)
+              : 1.0;
+    return out;
+}
+
+H2pOverlap
+overlapH2ps(const std::vector<std::unordered_set<uint64_t>> &per_input_sets)
+{
+    H2pOverlap out;
+    std::unordered_map<uint64_t, unsigned> appearance;
+    double size_sum = 0.0;
+    for (const auto &set : per_input_sets) {
+        size_sum += static_cast<double>(set.size());
+        for (uint64_t ip : set)
+            ++appearance[ip];
+    }
+    out.totalUnique = appearance.size();
+    for (const auto &[ip, count] : appearance) {
+        if (count >= 3)
+            ++out.inThreePlus;
+    }
+    out.avgPerInput = per_input_sets.empty()
+                          ? 0.0
+                          : size_sum / static_cast<double>(
+                                           per_input_sets.size());
+    return out;
+}
+
+} // namespace bpnsp

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Hard-to-predict (H2P) branch screening — the paper's Sec. III-A
+ * criteria: within a 30M-instruction slice, a branch is H2P if it
+ * (1) has < 99% prediction accuracy under TAGE-SC-L 8KB,
+ * (2) executes at least 15,000 times, and
+ * (3) generates at least 1,000 mispredictions.
+ *
+ * Because this repository runs at configurable slice lengths, the
+ * execution/misprediction thresholds scale proportionally with the
+ * slice length while the accuracy threshold stays fixed.
+ */
+
+#ifndef BPNSP_ANALYSIS_H2P_HPP
+#define BPNSP_ANALYSIS_H2P_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/branch_stats.hpp"
+
+namespace bpnsp {
+
+/** The screening thresholds. */
+struct H2pCriteria
+{
+    double accuracyBelow = 0.99;  ///< criterion (1)
+    uint64_t minExecs = 15000;    ///< criterion (2), at paper scale
+    uint64_t minMispreds = 1000;  ///< criterion (3), at paper scale
+    uint64_t referenceSlice = 30000000;   ///< paper slice length
+
+    /** Criteria with counts scaled to a different slice length. */
+    H2pCriteria scaledTo(uint64_t slice_length) const;
+
+    /** Apply to one branch's counters. */
+    bool
+    matches(const BranchCounters &c) const
+    {
+        return c.execs >= minExecs && c.mispreds >= minMispreds &&
+               c.accuracy() < accuracyBelow;
+    }
+};
+
+/** H2P IPs of one slice. */
+std::unordered_set<uint64_t> screenH2ps(const SliceStats &slice,
+                                        const H2pCriteria &criteria);
+
+/** Per-workload-input H2P summary over all slices. */
+struct H2pSummary
+{
+    /** Union of H2P IPs over all slices. */
+    std::unordered_set<uint64_t> allH2ps;
+    /** Average H2P count per slice. */
+    double avgPerSlice = 0.0;
+    /** Average fraction of slice mispredictions caused by H2Ps. */
+    double avgMispredFraction = 0.0;
+    /** Average dynamic executions per H2P per slice. */
+    double avgDynExecsPerH2p = 0.0;
+    /** Trace-wide accuracy excluding H2P branches. */
+    double accuracyExclH2p = 1.0;
+};
+
+/** Summarize H2P behavior over the slices of one trace. */
+H2pSummary summarizeH2ps(const SlicedBranchStats &stats,
+                         const H2pCriteria &criteria);
+
+/**
+ * Cross-input overlap (Table I): given each input's H2P set, count
+ * the union size and how many IPs appear in at least `min_inputs`
+ * inputs.
+ */
+struct H2pOverlap
+{
+    size_t totalUnique = 0;    ///< union over inputs
+    size_t inThreePlus = 0;    ///< IPs appearing in >= 3 inputs
+    double avgPerInput = 0.0;  ///< mean per-input set size
+};
+
+H2pOverlap overlapH2ps(
+    const std::vector<std::unordered_set<uint64_t>> &per_input_sets);
+
+} // namespace bpnsp
+
+#endif // BPNSP_ANALYSIS_H2P_HPP

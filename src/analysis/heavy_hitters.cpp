@@ -1,0 +1,52 @@
+#include "analysis/heavy_hitters.hpp"
+
+#include <algorithm>
+
+namespace bpnsp {
+
+std::vector<HeavyHitter>
+rankHeavyHitters(
+    const std::unordered_map<uint64_t, BranchCounters> &totals,
+    const std::unordered_set<uint64_t> &h2p_ips,
+    uint64_t total_mispreds)
+{
+    std::vector<HeavyHitter> ranked;
+    ranked.reserve(h2p_ips.size());
+    for (uint64_t ip : h2p_ips) {
+        const auto it = totals.find(ip);
+        if (it == totals.end())
+            continue;
+        HeavyHitter hh;
+        hh.ip = ip;
+        hh.execs = it->second.execs;
+        hh.mispreds = it->second.mispreds;
+        ranked.push_back(hh);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const HeavyHitter &a, const HeavyHitter &b) {
+                  if (a.execs != b.execs)
+                      return a.execs > b.execs;
+                  return a.ip < b.ip;
+              });
+
+    uint64_t running = 0;
+    for (auto &hh : ranked) {
+        running += hh.mispreds;
+        hh.cumulativeMispredFraction =
+            total_mispreds ? static_cast<double>(running) /
+                                 static_cast<double>(total_mispreds)
+                           : 0.0;
+    }
+    return ranked;
+}
+
+double
+topNMispredFraction(const std::vector<HeavyHitter> &ranked, size_t n)
+{
+    if (n == 0 || ranked.empty())
+        return 0.0;
+    const size_t idx = std::min(n, ranked.size()) - 1;
+    return ranked[idx].cumulativeMispredFraction;
+}
+
+} // namespace bpnsp

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Heavy-hitter analysis (paper Fig. 2): rank a trace's H2P branches by
+ * total dynamic executions and compute the cumulative fraction of all
+ * mispredictions attributable to the top-n of them.
+ */
+
+#ifndef BPNSP_ANALYSIS_HEAVY_HITTERS_HPP
+#define BPNSP_ANALYSIS_HEAVY_HITTERS_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bp/sim.hpp"
+
+namespace bpnsp {
+
+/** One ranked heavy hitter. */
+struct HeavyHitter
+{
+    uint64_t ip = 0;
+    uint64_t execs = 0;
+    uint64_t mispreds = 0;
+    double cumulativeMispredFraction = 0.0;
+};
+
+/**
+ * Rank the given H2P IPs by dynamic executions (descending) and
+ * annotate each with the cumulative fraction of `total_mispreds`.
+ */
+std::vector<HeavyHitter> rankHeavyHitters(
+    const std::unordered_map<uint64_t, BranchCounters> &totals,
+    const std::unordered_set<uint64_t> &h2p_ips,
+    uint64_t total_mispreds);
+
+/**
+ * Convenience: cumulative misprediction fraction of the top-n heavy
+ * hitters (0 when n == 0 or there are none).
+ */
+double topNMispredFraction(const std::vector<HeavyHitter> &ranked,
+                           size_t n);
+
+} // namespace bpnsp
+
+#endif // BPNSP_ANALYSIS_HEAVY_HITTERS_HPP

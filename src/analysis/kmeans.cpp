@@ -1,0 +1,164 @@
+#include "analysis/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+namespace {
+
+double
+sqDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double sum = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        sum += d * d;
+    }
+    return sum;
+}
+
+} // namespace
+
+KMeansResult
+kmeans(const std::vector<std::vector<double>> &points, unsigned k,
+       Rng &rng, unsigned max_iters)
+{
+    KMeansResult result;
+    if (points.empty())
+        return result;
+    k = std::min<unsigned>(k, static_cast<unsigned>(points.size()));
+    BPNSP_ASSERT(k >= 1);
+    const size_t dim = points.front().size();
+    for (const auto &p : points)
+        BPNSP_ASSERT(p.size() == dim, "inconsistent point dimensions");
+
+    // k-means++ seeding.
+    std::vector<std::vector<double>> centroids;
+    centroids.reserve(k);
+    centroids.push_back(points[rng.below(points.size())]);
+    std::vector<double> min_d2(points.size(),
+                               std::numeric_limits<double>::max());
+    while (centroids.size() < k) {
+        double total = 0.0;
+        for (size_t i = 0; i < points.size(); ++i) {
+            min_d2[i] = std::min(min_d2[i],
+                                 sqDistance(points[i], centroids.back()));
+            total += min_d2[i];
+        }
+        if (total <= 0.0) {
+            // All points coincide with chosen centroids; duplicate one.
+            centroids.push_back(points[rng.below(points.size())]);
+            continue;
+        }
+        double pick = rng.uniform() * total;
+        size_t chosen = points.size() - 1;
+        for (size_t i = 0; i < points.size(); ++i) {
+            pick -= min_d2[i];
+            if (pick <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push_back(points[chosen]);
+    }
+
+    std::vector<unsigned> labels(points.size(), 0);
+    for (unsigned iter = 0; iter < max_iters; ++iter) {
+        bool changed = false;
+        // Assignment step.
+        for (size_t i = 0; i < points.size(); ++i) {
+            unsigned best = 0;
+            double best_d2 = std::numeric_limits<double>::max();
+            for (unsigned c = 0; c < centroids.size(); ++c) {
+                const double d2 = sqDistance(points[i], centroids[c]);
+                if (d2 < best_d2) {
+                    best_d2 = d2;
+                    best = c;
+                }
+            }
+            if (labels[i] != best) {
+                labels[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        std::vector<std::vector<double>> sums(
+            centroids.size(), std::vector<double>(dim, 0.0));
+        std::vector<uint64_t> counts(centroids.size(), 0);
+        for (size_t i = 0; i < points.size(); ++i) {
+            for (size_t d = 0; d < dim; ++d)
+                sums[labels[i]][d] += points[i][d];
+            ++counts[labels[i]];
+        }
+        for (unsigned c = 0; c < centroids.size(); ++c) {
+            if (counts[c] == 0)
+                continue;   // keep the stale centroid for empty clusters
+            for (size_t d = 0; d < dim; ++d)
+                centroids[c][d] =
+                    sums[c][d] / static_cast<double>(counts[c]);
+        }
+        if (!changed)
+            break;
+    }
+
+    result.k = static_cast<unsigned>(centroids.size());
+    result.labels = std::move(labels);
+    result.centroids = std::move(centroids);
+    result.inertia = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+        result.inertia +=
+            sqDistance(points[i], result.centroids[result.labels[i]]);
+    }
+    return result;
+}
+
+double
+bicScore(const std::vector<std::vector<double>> &points,
+         const KMeansResult &clustering)
+{
+    const double n = static_cast<double>(points.size());
+    if (n == 0.0)
+        return 0.0;
+    const double dim = static_cast<double>(points.front().size());
+    const double k = static_cast<double>(clustering.k);
+    // Gaussian log-likelihood with shared spherical variance.
+    const double variance =
+        std::max(clustering.inertia / std::max(1.0, n - k), 1e-12);
+    const double log_likelihood =
+        -0.5 * n * dim * std::log(2.0 * M_PI * variance) -
+        0.5 * (n - k);
+    const double params = k * (dim + 1.0);
+    return log_likelihood - 0.5 * params * std::log(n);
+}
+
+KMeansResult
+pickBestClustering(const std::vector<std::vector<double>> &points,
+                   unsigned max_k, Rng &rng, double threshold)
+{
+    BPNSP_ASSERT(max_k >= 1);
+    std::vector<KMeansResult> runs;
+    std::vector<double> scores;
+    double best = -std::numeric_limits<double>::max();
+    const unsigned limit = std::min<unsigned>(
+        max_k, points.empty() ? 1 : static_cast<unsigned>(points.size()));
+    for (unsigned k = 1; k <= limit; ++k) {
+        runs.push_back(kmeans(points, k, rng));
+        scores.push_back(bicScore(points, runs.back()));
+        best = std::max(best, scores.back());
+    }
+    // SimPoint rule: smallest k achieving >= threshold of the best BIC.
+    // BIC may be negative; compare on the normalized gap to the worst.
+    double worst = *std::min_element(scores.begin(), scores.end());
+    const double span = best - worst;
+    for (size_t i = 0; i < runs.size(); ++i) {
+        if (span <= 0.0 ||
+            (scores[i] - worst) >= threshold * span)
+            return runs[i];
+    }
+    return runs.back();
+}
+
+} // namespace bpnsp

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * k-means clustering with BIC-based model selection, as used by the
+ * SimPoint methodology (Sherwood et al.) to label program phases.
+ */
+
+#ifndef BPNSP_ANALYSIS_KMEANS_HPP
+#define BPNSP_ANALYSIS_KMEANS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace bpnsp {
+
+/** Result of one k-means run. */
+struct KMeansResult
+{
+    unsigned k = 0;
+    std::vector<unsigned> labels;               ///< per-point cluster
+    std::vector<std::vector<double>> centroids;
+    double inertia = 0.0;   ///< sum of squared distances to centroids
+};
+
+/**
+ * Lloyd's algorithm with k-means++ seeding.
+ *
+ * @param points row-major points (all the same dimension)
+ * @param k number of clusters (clamped to points.size())
+ * @param rng seeding randomness
+ * @param max_iters iteration cap
+ */
+KMeansResult kmeans(const std::vector<std::vector<double>> &points,
+                    unsigned k, Rng &rng, unsigned max_iters = 50);
+
+/**
+ * Bayesian information criterion score of a clustering (higher is
+ * better), following the SimPoint formulation.
+ */
+double bicScore(const std::vector<std::vector<double>> &points,
+                const KMeansResult &clustering);
+
+/**
+ * Choose k in [1, max_k] as the smallest k whose BIC reaches at least
+ * `threshold` of the best observed BIC (SimPoint's 90% rule).
+ */
+KMeansResult pickBestClustering(
+    const std::vector<std::vector<double>> &points, unsigned max_k,
+    Rng &rng, double threshold = 0.9);
+
+} // namespace bpnsp
+
+#endif // BPNSP_ANALYSIS_KMEANS_HPP

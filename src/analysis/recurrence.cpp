@@ -1,0 +1,56 @@
+#include "analysis/recurrence.hpp"
+
+#include "util/stats.hpp"
+
+namespace bpnsp {
+
+RecurrenceCollector::RecurrenceCollector(unsigned max_samples_per_branch)
+    : maxSamples(max_samples_per_branch)
+{
+}
+
+void
+RecurrenceCollector::onRecord(const TraceRecord &rec)
+{
+    ++instrIndex;
+    if (!rec.isCondBranch())
+        return;
+    BranchState &st = perBranch[rec.ip];
+    if (st.execs > 0) {
+        const uint64_t interval = instrIndex - st.lastSeen;
+        // Reservoir sampling keeps a uniform sample of intervals.
+        if (st.samples.size() < maxSamples) {
+            st.samples.push_back(interval);
+        } else {
+            const uint64_t j = rng.below(st.intervalCount + 1);
+            if (j < maxSamples)
+                st.samples[j] = interval;
+        }
+        ++st.intervalCount;
+    }
+    st.lastSeen = instrIndex;
+    ++st.execs;
+}
+
+std::unordered_map<uint64_t, uint64_t>
+RecurrenceCollector::medians() const
+{
+    std::unordered_map<uint64_t, uint64_t> out;
+    out.reserve(perBranch.size());
+    for (const auto &[ip, st] : perBranch)
+        out[ip] = st.samples.empty() ? 0 : medianU64(st.samples);
+    return out;
+}
+
+Histogram
+RecurrenceCollector::medianHistogram() const
+{
+    // Fig. 9 bin edges: 0-1, 1-100, 100-1K, ..., 16M-32M.
+    Histogram hist({0.0, 1.0, 100.0, 1e3, 1e4, 1e5, 1e6, 2e6, 4e6, 8e6,
+                    16e6, 32e6});
+    for (const auto &[ip, median_interval] : medians())
+        hist.add(static_cast<double>(median_interval));
+    return hist;
+}
+
+} // namespace bpnsp

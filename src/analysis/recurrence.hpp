@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Branch recurrence-interval analysis (paper Fig. 9): the recurrence
+ * interval of a static branch is the number of instructions between
+ * two consecutive dynamic executions of it. The distribution of the
+ * per-branch *median* interval reveals phase-like behavior at long
+ * timescales that on-chip predictors cannot retain.
+ */
+
+#ifndef BPNSP_ANALYSIS_RECURRENCE_HPP
+#define BPNSP_ANALYSIS_RECURRENCE_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "util/histogram.hpp"
+#include "util/rng.hpp"
+
+namespace bpnsp {
+
+/** Collects recurrence intervals per static conditional branch. */
+class RecurrenceCollector : public TraceSink
+{
+  public:
+    /**
+     * @param max_samples_per_branch reservoir size bounding memory;
+     *        the median over the reservoir approximates the true one
+     */
+    explicit RecurrenceCollector(unsigned max_samples_per_branch = 256);
+
+    void onRecord(const TraceRecord &rec) override;
+
+    /** Median recurrence interval per branch IP (singletons -> 0). */
+    std::unordered_map<uint64_t, uint64_t> medians() const;
+
+    /**
+     * The Fig. 9 histogram: fraction of static branch IPs per
+     * median-recurrence-interval bin.
+     */
+    Histogram medianHistogram() const;
+
+    /** Number of static branches observed. */
+    size_t staticBranches() const { return perBranch.size(); }
+
+  private:
+    struct BranchState
+    {
+        uint64_t lastSeen = 0;       ///< instruction index of last exec
+        uint64_t execs = 0;
+        uint64_t intervalCount = 0;  ///< intervals observed so far
+        std::vector<uint64_t> samples;   ///< reservoir
+    };
+
+    unsigned maxSamples;
+    uint64_t instrIndex = 0;
+    std::unordered_map<uint64_t, BranchState> perBranch;
+    Rng rng{0xecce};
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_ANALYSIS_RECURRENCE_HPP

@@ -1,0 +1,68 @@
+#include "analysis/regvalues.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+RegValueProfiler::RegValueProfiler(uint64_t target_ip)
+    : target(target_ip), counts(kNumRegs)
+{
+}
+
+void
+RegValueProfiler::onRecord(const TraceRecord &rec)
+{
+    // Sample *before* applying this record's own write: the paper
+    // records values written immediately preceding the branch.
+    if (rec.ip == target && rec.isCondBranch()) {
+        ++sampleCount;
+        for (unsigned r = 0; r < kNumRegs; ++r)
+            ++counts[r][lastWrite[r]];
+    }
+    if (rec.hasDst)
+        lastWrite[rec.dst] = rec.writtenValue;
+}
+
+size_t
+RegValueProfiler::distinctValues(unsigned reg) const
+{
+    BPNSP_ASSERT(reg < kNumRegs);
+    return counts[reg].size();
+}
+
+std::pair<uint32_t, uint64_t>
+RegValueProfiler::topValue(unsigned reg) const
+{
+    BPNSP_ASSERT(reg < kNumRegs);
+    uint32_t best_value = 0;
+    uint64_t best_count = 0;
+    for (const auto &[value, count] : counts[reg]) {
+        if (count > best_count) {
+            best_count = count;
+            best_value = value;
+        }
+    }
+    return {best_value, best_count};
+}
+
+double
+RegValueProfiler::concentration(unsigned reg, size_t top_n) const
+{
+    BPNSP_ASSERT(reg < kNumRegs);
+    if (sampleCount == 0)
+        return 0.0;
+    std::vector<uint64_t> freq;
+    freq.reserve(counts[reg].size());
+    for (const auto &[value, count] : counts[reg])
+        freq.push_back(count);
+    std::sort(freq.rbegin(), freq.rend());
+    uint64_t covered = 0;
+    for (size_t i = 0; i < std::min(top_n, freq.size()); ++i)
+        covered += freq[i];
+    return static_cast<double>(covered) /
+           static_cast<double>(sampleCount);
+}
+
+} // namespace bpnsp

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Register-value profiling before H2P executions (paper Fig. 10):
+ * record the lower 32 bits of the most recent write to each of the 18
+ * architectural registers at every dynamic execution of a target
+ * branch. The resulting per-register value distributions expose
+ * structure that data-aware (e.g. ML) helper predictors can exploit.
+ */
+
+#ifndef BPNSP_ANALYSIS_REGVALUES_HPP
+#define BPNSP_ANALYSIS_REGVALUES_HPP
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "vm/isa.hpp"
+
+namespace bpnsp {
+
+/** Tracks last register writes and samples them at a target branch. */
+class RegValueProfiler : public TraceSink
+{
+  public:
+    /** @param target_ip the branch to profile */
+    explicit RegValueProfiler(uint64_t target_ip);
+
+    void onRecord(const TraceRecord &rec) override;
+
+    /** Distinct (value -> occurrence count) map for one register. */
+    const std::map<uint32_t, uint64_t> &
+    valueCounts(unsigned reg) const
+    {
+        return counts.at(reg);
+    }
+
+    /** Number of target executions sampled. */
+    uint64_t samples() const { return sampleCount; }
+
+    /** Distinct values observed in a register. */
+    size_t distinctValues(unsigned reg) const;
+
+    /** The most frequent value of a register and its count. */
+    std::pair<uint32_t, uint64_t> topValue(unsigned reg) const;
+
+    /**
+     * Concentration of a register's distribution: fraction of samples
+     * covered by its top_n most frequent values.
+     */
+    double concentration(unsigned reg, size_t top_n = 4) const;
+
+    uint64_t targetIp() const { return target; }
+
+  private:
+    uint64_t target;
+    uint32_t lastWrite[kNumRegs] = {};
+    std::vector<std::map<uint32_t, uint64_t>> counts;
+    uint64_t sampleCount = 0;
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_ANALYSIS_REGVALUES_HPP

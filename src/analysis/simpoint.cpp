@@ -1,0 +1,86 @@
+#include "analysis/simpoint.hpp"
+
+#include "analysis/kmeans.hpp"
+#include "util/bitops.hpp"
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+BbvCollector::BbvCollector(uint64_t slice_length, unsigned projected_dim)
+    : sliceLen(slice_length), dim(projected_dim)
+{
+    BPNSP_ASSERT(slice_length >= 1);
+    BPNSP_ASSERT(projected_dim >= 2 && projected_dim <= 128);
+}
+
+void
+BbvCollector::onRecord(const TraceRecord &rec)
+{
+    BPNSP_ASSERT(!ended, "record after onEnd()");
+    // Conditional branches delimit basic blocks; their IPs weighted by
+    // execution count approximate the classic BBV.
+    if (rec.isCondBranch())
+        ++current[rec.ip];
+    if (++inSlice == sliceLen)
+        closeSlice();
+}
+
+void
+BbvCollector::closeSlice()
+{
+    // Deterministic random projection: dimension j of the vector gets
+    // +/-1 contributions decided by a hash of (ip, j).
+    std::vector<double> v(dim, 0.0);
+    double total = 0.0;
+    for (const auto &[ip, count] : current) {
+        for (unsigned j = 0; j < dim; ++j) {
+            const bool sign = mix64(ip * 131 + j) & 1;
+            v[j] += (sign ? 1.0 : -1.0) * static_cast<double>(count);
+        }
+        total += static_cast<double>(count);
+    }
+    if (total > 0.0) {
+        for (auto &x : v)
+            x /= total;
+    }
+    projected.push_back(std::move(v));
+    current.clear();
+    inSlice = 0;
+}
+
+void
+BbvCollector::onEnd()
+{
+    if (ended)
+        return;
+    ended = true;
+    if (inSlice > 0)
+        closeSlice();
+}
+
+SimpointResult
+clusterPhases(const std::vector<std::vector<double>> &vectors,
+              unsigned max_phases, uint64_t seed)
+{
+    SimpointResult out;
+    if (vectors.empty())
+        return out;
+    Rng rng(seed);
+    const KMeansResult clustering =
+        pickBestClustering(vectors, max_phases, rng);
+
+    // Report only non-empty clusters as phases.
+    std::vector<uint64_t> counts(clustering.k, 0);
+    for (unsigned label : clustering.labels)
+        ++counts[label];
+    unsigned phases = 0;
+    for (uint64_t c : counts)
+        if (c > 0)
+            ++phases;
+
+    out.numPhases = phases;
+    out.phaseOf = clustering.labels;
+    return out;
+}
+
+} // namespace bpnsp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * SimPoint-style phase analysis (Sherwood et al., ASPLOS 2002):
+ * per-slice basic-block vectors (approximated by branch-IP execution
+ * frequency vectors), randomly projected to a low dimension,
+ * normalized, and clustered with BIC-selected k-means. The cluster
+ * count is the paper's "# phases" (Table I, avg 9.5).
+ */
+
+#ifndef BPNSP_ANALYSIS_SIMPOINT_HPP
+#define BPNSP_ANALYSIS_SIMPOINT_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "util/rng.hpp"
+
+namespace bpnsp {
+
+/** Collects per-slice execution-frequency vectors from a trace. */
+class BbvCollector : public TraceSink
+{
+  public:
+    /**
+     * @param slice_length instructions per vector
+     * @param projected_dim random-projection target dimension
+     */
+    explicit BbvCollector(uint64_t slice_length,
+                          unsigned projected_dim = 16);
+
+    void onRecord(const TraceRecord &rec) override;
+    void onEnd() override;
+
+    /**
+     * The projected, L1-normalized per-slice vectors. Valid after
+     * onEnd().
+     */
+    const std::vector<std::vector<double>> &vectors() const
+    {
+        return projected;
+    }
+
+    uint64_t sliceCount() const { return projected.size(); }
+
+  private:
+    uint64_t sliceLen;
+    unsigned dim;
+    uint64_t inSlice = 0;
+    std::unordered_map<uint64_t, uint64_t> current;   ///< ip -> count
+    std::vector<std::vector<double>> projected;
+    bool ended = false;
+
+    void closeSlice();
+};
+
+/** Result of phase clustering. */
+struct SimpointResult
+{
+    unsigned numPhases = 0;
+    std::vector<unsigned> phaseOf;   ///< per-slice phase label
+};
+
+/** Cluster the collected vectors into phases. */
+SimpointResult clusterPhases(
+    const std::vector<std::vector<double>> &vectors,
+    unsigned max_phases = 30, uint64_t seed = 0x51a9);
+
+} // namespace bpnsp
+
+#endif // BPNSP_ANALYSIS_SIMPOINT_HPP

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Helper-predictor deployment (Sec. V of the paper).
+ *
+ * A HelperModel is an offline-trained, inference-only model specialized
+ * to one (or a few) H2P branches. HelperOverlayPredictor deploys such
+ * models alongside a baseline predictor, exactly as the paper proposes:
+ * TAGE-SC-L stays in place for the vast majority of branches, and
+ * helpers cover the designated H2P IPs.
+ */
+
+#ifndef BPNSP_BP_HELPER_HPP
+#define BPNSP_BP_HELPER_HPP
+
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "bp/predictor.hpp"
+#include "util/folded_history.hpp"
+
+namespace bpnsp {
+
+/** An offline-trained, online-inference direction model. */
+class HelperModel
+{
+  public:
+    virtual ~HelperModel() = default;
+
+    /**
+     * Predict the direction of the branch at ip given the current
+     * global history (bit 0 = most recent outcome).
+     */
+    virtual bool infer(uint64_t ip,
+                       const HistoryRegister &ghist) const = 0;
+
+    /** Model parameter storage in bits. */
+    virtual uint64_t storageBits() const = 0;
+};
+
+/** Baseline predictor + per-IP helper overlay. */
+class HelperOverlayPredictor : public BranchPredictor
+{
+  public:
+    /**
+     * @param base_bp the baseline predictor (owned)
+     * @param history_capacity global history bits kept for helpers
+     */
+    HelperOverlayPredictor(std::unique_ptr<BranchPredictor> base_bp,
+                           unsigned history_capacity = 512)
+        : base(std::move(base_bp)), ghist(history_capacity)
+    {}
+
+    /** Attach a helper for one branch IP (model not owned). */
+    void
+    addHelper(uint64_t ip, const HelperModel *model)
+    {
+        helpers[ip] = model;
+    }
+
+    std::string
+    name() const override
+    {
+        return base->name() + "+helpers";
+    }
+
+    bool
+    predict(uint64_t ip, bool oracle_taken) override
+    {
+        basePred = base->predict(ip, oracle_taken);
+        const auto it = helpers.find(ip);
+        if (it != helpers.end())
+            return it->second->infer(ip, ghist);
+        return basePred;
+    }
+
+    void
+    update(uint64_t ip, bool taken, bool, uint64_t target) override
+    {
+        // The baseline keeps training on every branch, as it would in
+        // a real deployment where helpers are bolted on.
+        base->update(ip, taken, basePred, target);
+        ghist.push(taken);
+    }
+
+    void
+    trackOther(uint64_t ip, InstrClass cls, uint64_t target) override
+    {
+        base->trackOther(ip, cls, target);
+    }
+
+    uint64_t
+    storageBits() const override
+    {
+        uint64_t total = base->storageBits();
+        for (const auto &[ip, model] : helpers)
+            total += model->storageBits();
+        return total;
+    }
+
+    size_t helperCount() const { return helpers.size(); }
+
+  private:
+    std::unique_ptr<BranchPredictor> base;
+    HistoryRegister ghist;
+    std::unordered_map<uint64_t, const HelperModel *> helpers;
+    bool basePred = false;
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_BP_HELPER_HPP

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Oracle predictors for limit studies.
+ *
+ * PerfectPredictor implements the "Perfect BP" upper bound of Figs. 1,
+ * 5, and 7. PerfectOnSetPredictor implements the selective oracles:
+ * "Perfect H2Ps" (Figs. 1 and 5) and "Perfect >1000 / >100 dynamic
+ * executions" (Fig. 8) — branches in a designated IP set are predicted
+ * perfectly, while everything else falls through to an inner predictor.
+ */
+
+#ifndef BPNSP_BP_ORACLE_HPP
+#define BPNSP_BP_ORACLE_HPP
+
+#include <memory>
+#include <unordered_set>
+#include <utility>
+
+#include "bp/predictor.hpp"
+
+namespace bpnsp {
+
+/** Always predicts the resolved direction. */
+class PerfectPredictor : public BranchPredictor
+{
+  public:
+    std::string name() const override { return "perfect"; }
+
+    bool
+    predict(uint64_t, bool oracle_taken) override
+    {
+        return oracle_taken;
+    }
+
+    void update(uint64_t, bool, bool, uint64_t) override {}
+    uint64_t storageBits() const override { return 0; }
+};
+
+/**
+ * Perfect prediction for a designated IP set; an inner predictor
+ * handles everything else (and still trains on every branch, exactly
+ * as a real BPU would while an external helper covers the set).
+ */
+class PerfectOnSetPredictor : public BranchPredictor
+{
+  public:
+    PerfectOnSetPredictor(std::unique_ptr<BranchPredictor> inner_bp,
+                          std::unordered_set<uint64_t> perfect_ips,
+                          std::string set_label = "set")
+        : inner(std::move(inner_bp)), ips(std::move(perfect_ips)),
+          label(std::move(set_label))
+    {}
+
+    std::string
+    name() const override
+    {
+        return inner->name() + "+perfect-" + label;
+    }
+
+    bool
+    predict(uint64_t ip, bool oracle_taken) override
+    {
+        innerPred = inner->predict(ip, oracle_taken);
+        if (ips.count(ip) != 0)
+            return oracle_taken;
+        return innerPred;
+    }
+
+    void
+    update(uint64_t ip, bool taken, bool, uint64_t target) override
+    {
+        inner->update(ip, taken, innerPred, target);
+    }
+
+    void
+    trackOther(uint64_t ip, InstrClass cls, uint64_t target) override
+    {
+        inner->trackOther(ip, cls, target);
+    }
+
+    uint64_t storageBits() const override { return inner->storageBits(); }
+
+    /** Number of IPs covered by the oracle. */
+    size_t setSize() const { return ips.size(); }
+
+  private:
+    std::unique_ptr<BranchPredictor> inner;
+    std::unordered_set<uint64_t> ips;
+    std::string label;
+    bool innerPred = false;
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_BP_ORACLE_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The branch predictor interface.
+ *
+ * Deployment assumptions follow CBP2016 (Sec. II of the paper): the BPU
+ * sees the instruction pointer, the instruction type, the branch target,
+ * and — at update time — the resolved direction of conditionals. Storage
+ * is accounted in bits via storageBits(); no latency limit is imposed.
+ */
+
+#ifndef BPNSP_BP_PREDICTOR_HPP
+#define BPNSP_BP_PREDICTOR_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "trace/record.hpp"
+
+namespace bpnsp {
+
+/** Abstract conditional-branch direction predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Human-readable identifier, e.g. "tage-sc-l-8KB". */
+    virtual std::string name() const = 0;
+
+    /**
+     * Predict the direction of the conditional branch at ip.
+     *
+     * @param ip branch instruction pointer
+     * @param oracle_taken the resolved direction, supplied by the
+     *        trace-driven simulator. ONLY oracle predictors (perfect
+     *        branch prediction limit studies) may read it; honest
+     *        predictors must ignore it.
+     */
+    virtual bool predict(uint64_t ip, bool oracle_taken) = 0;
+
+    /**
+     * Train with the resolved outcome of the branch last predicted.
+     * Called exactly once after each predict(), in program order.
+     *
+     * @param ip branch instruction pointer
+     * @param taken resolved direction
+     * @param predicted what this predictor returned from predict()
+     * @param target taken-path target IP
+     */
+    virtual void update(uint64_t ip, bool taken, bool predicted,
+                        uint64_t target) = 0;
+
+    /**
+     * Observe a non-conditional control transfer (jump/call/return) so
+     * that implementations may fold it into path history. Default: no-op.
+     */
+    virtual void
+    trackOther(uint64_t ip, InstrClass cls, uint64_t target)
+    {
+        (void)ip;
+        (void)cls;
+        (void)target;
+    }
+
+    /** Estimated model storage, in bits. */
+    virtual uint64_t storageBits() const = 0;
+
+    /** Storage in kilobytes (for reporting). */
+    double
+    storageKB() const
+    {
+        return static_cast<double>(storageBits()) / 8192.0;
+    }
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_BP_PREDICTOR_HPP

@@ -1,0 +1,51 @@
+#include "bp/sim.hpp"
+
+namespace bpnsp {
+
+PredictorSim::PredictorSim(BranchPredictor &predictor,
+                           bool collect_per_branch)
+    : bp(predictor), collectPerBranch(collect_per_branch)
+{
+}
+
+void
+PredictorSim::onRecord(const TraceRecord &rec)
+{
+    ++instrCount;
+    lastCond = false;
+    lastMispred = false;
+
+    if (rec.isCondBranch()) {
+        lastCond = true;
+        const bool pred = bp.predict(rec.ip, rec.taken);
+        lastPred = pred;
+        lastMispred = (pred != rec.taken);
+        bp.update(rec.ip, rec.taken, pred, rec.target);
+
+        ++totals.execs;
+        if (rec.taken)
+            ++totals.taken;
+        if (lastMispred)
+            ++totals.mispreds;
+        if (collectPerBranch) {
+            BranchCounters &c = branchMap[rec.ip];
+            ++c.execs;
+            if (rec.taken)
+                ++c.taken;
+            if (lastMispred)
+                ++c.mispreds;
+        }
+    } else if (isControl(rec.cls)) {
+        bp.trackOther(rec.ip, rec.cls, rec.target);
+    }
+}
+
+void
+PredictorSim::resetCounters()
+{
+    instrCount = 0;
+    totals = BranchCounters{};
+    branchMap.clear();
+}
+
+} // namespace bpnsp

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Trace-driven predictor simulation.
+ *
+ * PredictorSim drives one BranchPredictor from a retired-instruction
+ * stream (the CBP-style evaluation loop: predict at fetch order, update
+ * at retire) and accumulates global and per-branch accuracy counters.
+ * Downstream sinks registered later in the same fanout may query the
+ * outcome of the most recent record, which is how the pipeline model
+ * consumes misprediction events without re-running the predictor.
+ */
+
+#ifndef BPNSP_BP_SIM_HPP
+#define BPNSP_BP_SIM_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "bp/predictor.hpp"
+#include "trace/sink.hpp"
+
+namespace bpnsp {
+
+/** Per-static-branch execution counters. */
+struct BranchCounters
+{
+    uint64_t execs = 0;     ///< dynamic executions
+    uint64_t mispreds = 0;  ///< mispredictions
+    uint64_t taken = 0;     ///< taken outcomes
+
+    /** Prediction accuracy (1.0 when never executed). */
+    double
+    accuracy() const
+    {
+        if (execs == 0)
+            return 1.0;
+        return 1.0 -
+               static_cast<double>(mispreds) / static_cast<double>(execs);
+    }
+};
+
+/** Drives a predictor from a trace and collects statistics. */
+class PredictorSim : public TraceSink
+{
+  public:
+    /**
+     * @param predictor the predictor to drive (not owned)
+     * @param collect_per_branch maintain the per-IP counter map
+     */
+    explicit PredictorSim(BranchPredictor &predictor,
+                          bool collect_per_branch = true);
+
+    void onRecord(const TraceRecord &rec) override;
+
+    /** @name Aggregate counters */
+    /// @{
+    uint64_t instructions() const { return instrCount; }
+    uint64_t condExecs() const { return totals.execs; }
+    uint64_t condMispreds() const { return totals.mispreds; }
+
+    /** Overall conditional-branch prediction accuracy. */
+    double accuracy() const { return totals.accuracy(); }
+
+    /** Mispredictions per kilo-instruction. */
+    double
+    mpki() const
+    {
+        if (instrCount == 0)
+            return 0.0;
+        return 1000.0 * static_cast<double>(totals.mispreds) /
+               static_cast<double>(instrCount);
+    }
+    /// @}
+
+    /** Per-static-branch counters (empty if collection disabled). */
+    const std::unordered_map<uint64_t, BranchCounters> &
+    perBranch() const
+    {
+        return branchMap;
+    }
+
+    /** Reset all counters (predictor state is retained). */
+    void resetCounters();
+
+    /** @name Most-recent-record outcome, for downstream fanout sinks */
+    /// @{
+    bool lastWasCondBranch() const { return lastCond; }
+    bool lastMispredicted() const { return lastMispred; }
+    bool lastPrediction() const { return lastPred; }
+    /// @}
+
+    BranchPredictor &predictor() { return bp; }
+
+  private:
+    BranchPredictor &bp;
+    bool collectPerBranch;
+    uint64_t instrCount = 0;
+    BranchCounters totals;
+    std::unordered_map<uint64_t, BranchCounters> branchMap;
+    bool lastCond = false;
+    bool lastMispred = false;
+    bool lastPred = false;
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_BP_SIM_HPP

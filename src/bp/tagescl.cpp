@@ -1,0 +1,80 @@
+#include "bp/tagescl.hpp"
+
+namespace bpnsp {
+
+TageSclConfig
+TageSclConfig::preset(unsigned kilobytes)
+{
+    TageSclConfig cfg;
+    cfg.tage = TageConfig::preset(kilobytes);
+    if (kilobytes >= 64) {
+        cfg.sc.log2Entries = 10;
+        cfg.loopLog2Entries = 8;
+    }
+    return cfg;
+}
+
+TageSclPredictor::TageSclPredictor(const TageSclConfig &config)
+    : cfg(config), tageComp(config.tage),
+      loopComp(config.loopLog2Entries), scComp(config.sc)
+{
+}
+
+std::string
+TageSclPredictor::name() const
+{
+    return "tage-sc-l-" + cfg.tage.label;
+}
+
+bool
+TageSclPredictor::predict(uint64_t ip, bool oracle_taken)
+{
+    bool pred = tageComp.predict(ip, oracle_taken);
+    uint32_t conf = tageComp.lastConfidence();
+
+    if (cfg.enableLoop) {
+        const auto loop = loopComp.lookup(ip);
+        if (loop.valid) {
+            pred = loop.taken;
+            conf = 3;   // a confident loop prediction is strong
+        }
+    }
+
+    scActive = cfg.enableSc;
+    if (scActive)
+        pred = scComp.predict(ip, pred, conf);
+    return pred;
+}
+
+void
+TageSclPredictor::update(uint64_t ip, bool taken, bool predicted,
+                         uint64_t target)
+{
+    // Components observe the same in-order update stream. TAGE's
+    // `predicted` argument is its own last output by contract.
+    tageComp.update(ip, taken, predicted, target);
+    if (cfg.enableLoop)
+        loopComp.update(ip, taken);
+    if (scActive)
+        scComp.update(ip, taken, target);
+}
+
+void
+TageSclPredictor::trackOther(uint64_t ip, InstrClass cls,
+                             uint64_t target)
+{
+    tageComp.trackOther(ip, cls, target);
+}
+
+uint64_t
+TageSclPredictor::storageBits() const
+{
+    uint64_t total = tageComp.storageBits();
+    if (cfg.enableLoop)
+        total += loopComp.storageBits();
+    if (cfg.enableSc)
+        total += scComp.storageBits();
+    return total;
+}
+
+} // namespace bpnsp

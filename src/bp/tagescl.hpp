@@ -1,0 +1,67 @@
+/**
+ * @file
+ * TAGE-SC-L: the CBP2016-winning ensemble (Seznec, "TAGE-SC-L Branch
+ * Predictors Again") and the paper's reference state-of-the-art
+ * predictor. TAGE provides the primary prediction, the loop predictor
+ * overrides for counted loops, and the statistical corrector arbitrates.
+ */
+
+#ifndef BPNSP_BP_TAGESCL_HPP
+#define BPNSP_BP_TAGESCL_HPP
+
+#include <memory>
+
+#include "bp/loop.hpp"
+#include "bp/predictor.hpp"
+#include "bp/sc.hpp"
+#include "bp/tage.hpp"
+
+namespace bpnsp {
+
+/** Configuration of the full ensemble. */
+struct TageSclConfig
+{
+    TageConfig tage = TageConfig::preset(8);
+    ScConfig sc;
+    unsigned loopLog2Entries = 6;
+    bool enableLoop = true;
+    bool enableSc = true;
+
+    /**
+     * Presets matching the paper: 8 and 64 KB are the configurations
+     * measured throughout; 128-1024 KB extend table capacity for the
+     * Fig. 7 limit study.
+     */
+    static TageSclConfig preset(unsigned kilobytes);
+};
+
+/** The TAGE-SC-L ensemble predictor. */
+class TageSclPredictor : public BranchPredictor
+{
+  public:
+    explicit TageSclPredictor(
+        const TageSclConfig &config = TageSclConfig{});
+
+    std::string name() const override;
+    bool predict(uint64_t ip, bool) override;
+    void update(uint64_t ip, bool taken, bool predicted,
+                uint64_t target) override;
+    void trackOther(uint64_t ip, InstrClass cls,
+                    uint64_t target) override;
+    uint64_t storageBits() const override;
+
+    /** The TAGE component (for instrumentation). */
+    TagePredictor &tage() { return tageComp; }
+    const TagePredictor &tage() const { return tageComp; }
+
+  private:
+    TageSclConfig cfg;
+    TagePredictor tageComp;
+    LoopPredictor loopComp;
+    StatisticalCorrector scComp;
+    bool scActive = false;
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_BP_TAGESCL_HPP

@@ -1,0 +1,107 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+
+#include "bp/factory.hpp"
+#include "util/logging.hpp"
+#include "vm/interpreter.hpp"
+
+namespace bpnsp {
+
+uint64_t
+runTrace(const Program &program, const std::vector<TraceSink *> &sinks,
+         uint64_t instructions)
+{
+    FanoutSink fanout;
+    for (TraceSink *sink : sinks)
+        fanout.add(sink);
+    Interpreter interp(program);
+    interp.setRestartOnHalt(true);
+    const uint64_t executed = interp.run(fanout, instructions);
+    fanout.onEnd();
+    return executed;
+}
+
+uint64_t
+CharacterizationResult::medianStaticPerSlice() const
+{
+    std::vector<uint64_t> counts;
+    for (const auto &slice : stats->slices())
+        counts.push_back(slice.branches.size());
+    std::sort(counts.begin(), counts.end());
+    return counts.empty() ? 0 : counts[counts.size() / 2];
+}
+
+CharacterizationResult
+characterize(const Workload &workload, size_t input_idx,
+             const CharacterizationConfig &config)
+{
+    CharacterizationResult result;
+    result.workloadName = workload.name;
+    result.inputLabel = workload.inputs.at(input_idx).label;
+    result.predictor = makePredictor(config.predictor);
+
+    const Program program = workload.build(input_idx);
+    result.staticBranchesInProgram = program.staticCondBranches();
+    result.stats = std::make_unique<SlicedBranchStats>(
+        *result.predictor, config.sliceLength);
+
+    BbvCollector bbv(config.sliceLength);
+    std::vector<TraceSink *> sinks{result.stats.get()};
+    if (config.collectPhases)
+        sinks.push_back(&bbv);
+
+    runTrace(program, sinks,
+             config.sliceLength * config.numSlices);
+
+    result.criteria = H2pCriteria{}.scaledTo(config.sliceLength);
+    result.h2p = summarizeH2ps(*result.stats, result.criteria);
+    if (config.collectPhases)
+        result.phases = clusterPhases(bbv.vectors());
+    return result;
+}
+
+IpcStudyResult
+runIpcStudy(
+    const Program &program,
+    std::vector<std::pair<std::string,
+                          std::unique_ptr<BranchPredictor>>> predictors,
+    const std::vector<unsigned> &scales, uint64_t instructions)
+{
+    BPNSP_ASSERT(!predictors.empty() && !scales.empty());
+
+    IpcStudyResult result;
+    result.scales = scales;
+
+    // One PredictorSim per predictor; each feeds CoreModels for every
+    // scale. All consume the same single trace pass.
+    std::vector<std::unique_ptr<PredictorSim>> sims;
+    std::vector<std::vector<std::unique_ptr<CoreModel>>> cores;
+    std::vector<TraceSink *> sinks;
+    const CoreConfig base = CoreConfig::skylake();
+    for (auto &[name, bp] : predictors) {
+        sims.push_back(std::make_unique<PredictorSim>(
+            *bp, /*collect_per_branch=*/false));
+        sinks.push_back(sims.back().get());
+        cores.emplace_back();
+        for (unsigned scale : scales) {
+            cores.back().push_back(std::make_unique<CoreModel>(
+                base.scaled(scale), *sims.back()));
+            sinks.push_back(cores.back().back().get());
+        }
+    }
+
+    runTrace(program, sinks, instructions);
+
+    for (size_t p = 0; p < predictors.size(); ++p) {
+        IpcColumn col;
+        col.name = predictors[p].first;
+        col.accuracy = sims[p]->accuracy();
+        for (size_t s = 0; s < scales.size(); ++s)
+            col.perScale.push_back(cores[p][s]->counters());
+        result.columns.push_back(std::move(col));
+    }
+    return result;
+}
+
+} // namespace bpnsp

@@ -1,0 +1,35 @@
+#include "ml/dataset.hpp"
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+DatasetCollector::DatasetCollector(uint64_t target_ip,
+                                   unsigned history_length,
+                                   uint64_t max_samples)
+    : target(target_ip), histLen(history_length),
+      maxSamples(max_samples), ghist(history_length + 1)
+{
+    BPNSP_ASSERT(history_length >= 1);
+    data.ip = target_ip;
+    data.historyLength = history_length;
+}
+
+void
+DatasetCollector::onRecord(const TraceRecord &rec)
+{
+    if (!rec.isCondBranch())
+        return;
+    if (rec.ip == target &&
+        (maxSamples == 0 || data.samples.size() < maxSamples)) {
+        HistorySample sample;
+        sample.bits.resize(histLen);
+        for (unsigned i = 0; i < histLen; ++i)
+            sample.bits[i] = ghist.at(i) ? 1 : 0;
+        sample.taken = rec.taken;
+        data.samples.push_back(std::move(sample));
+    }
+    ghist.push(rec.taken);
+}
+
+} // namespace bpnsp

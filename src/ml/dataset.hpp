@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Offline training data collection (paper Sec. V-B).
+ *
+ * For a target (H2P) branch, the collector captures the global branch
+ * history preceding each dynamic execution together with the resolved
+ * direction — the "richer training data" the paper proposes gathering
+ * from multiple long traces over multiple application inputs.
+ */
+
+#ifndef BPNSP_ML_DATASET_HPP
+#define BPNSP_ML_DATASET_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/sink.hpp"
+#include "util/folded_history.hpp"
+
+namespace bpnsp {
+
+/** One training sample: history bits (most recent first) + label. */
+struct HistorySample
+{
+    std::vector<uint8_t> bits;   ///< 0/1, index 0 = most recent
+    bool taken = false;
+};
+
+/** A labelled dataset for one branch. */
+struct BranchDataset
+{
+    uint64_t ip = 0;
+    unsigned historyLength = 0;
+    std::vector<HistorySample> samples;
+
+    /** Fraction of taken labels. */
+    double
+    takenFraction() const
+    {
+        if (samples.empty())
+            return 0.0;
+        uint64_t taken = 0;
+        for (const auto &s : samples)
+            taken += s.taken;
+        return static_cast<double>(taken) /
+               static_cast<double>(samples.size());
+    }
+};
+
+/** Streams a trace and harvests samples for one target branch. */
+class DatasetCollector : public TraceSink
+{
+  public:
+    /**
+     * @param target_ip branch to collect for
+     * @param history_length history bits per sample
+     * @param max_samples collection cap (0 = unlimited)
+     */
+    DatasetCollector(uint64_t target_ip, unsigned history_length,
+                     uint64_t max_samples = 0);
+
+    void onRecord(const TraceRecord &rec) override;
+
+    /** The dataset collected so far (appendable across traces). */
+    const BranchDataset &dataset() const { return data; }
+    BranchDataset &mutableDataset() { return data; }
+
+    /** Reset the history (call between different traces/inputs). */
+    void resetHistory() { ghist.reset(); }
+
+  private:
+    uint64_t target;
+    unsigned histLen;
+    uint64_t maxSamples;
+    HistoryRegister ghist;
+    BranchDataset data;
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_ML_DATASET_HPP

@@ -1,0 +1,317 @@
+#include "ml/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+namespace {
+
+/** Map a history bit to a +/-1 input. */
+inline double
+bitInput(uint8_t bit)
+{
+    return bit ? 1.0 : -1.0;
+}
+
+/** Quantize a float weight to a signed `bits`-bit level of `scale`. */
+int8_t
+quantizeWeight(double w, double scale, unsigned bits)
+{
+    const int lo = -(1 << (bits - 1));
+    const int hi = (1 << (bits - 1)) - 1;
+    if (scale <= 0.0)
+        return 0;
+    const int q = static_cast<int>(std::lround(w / scale));
+    return static_cast<int8_t>(std::clamp(q, lo, hi));
+}
+
+/** Largest |w| over a weight vector. */
+double
+maxAbs(const std::vector<double> &w)
+{
+    double m = 0.0;
+    for (double v : w)
+        m = std::max(m, std::fabs(v));
+    return m;
+}
+
+} // namespace
+
+// ------------------------------------------------------ PerceptronModel
+
+PerceptronModel::PerceptronModel(unsigned history_length)
+    : histLen(history_length), weights(history_length, 0),
+      floatWeights(history_length, 0.0)
+{
+    BPNSP_ASSERT(history_length >= 1);
+}
+
+void
+PerceptronModel::train(const BranchDataset &data,
+                       const TrainConfig &config)
+{
+    BPNSP_ASSERT(data.historyLength >= histLen,
+                 "dataset history too short");
+    quantBits = config.weightBits;
+    Rng rng(config.shuffleSeed);
+
+    std::vector<size_t> order(data.samples.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    for (unsigned epoch = 0; epoch < config.epochs; ++epoch) {
+        // Fisher-Yates reshuffle per epoch.
+        for (size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.below(i)]);
+        for (size_t idx : order) {
+            const HistorySample &s = data.samples[idx];
+            double sum = floatBias;
+            for (unsigned p = 0; p < histLen; ++p)
+                sum += floatWeights[p] * bitInput(s.bits[p]);
+            const bool pred = sum >= 0.0;
+            // Perceptron rule with margin.
+            if (pred != s.taken || std::fabs(sum) < 1.0) {
+                const double dir = s.taken ? 1.0 : -1.0;
+                for (unsigned p = 0; p < histLen; ++p) {
+                    floatWeights[p] += config.learningRate * dir *
+                                       bitInput(s.bits[p]);
+                }
+                floatBias += config.learningRate * dir;
+            }
+        }
+    }
+    quantize();
+}
+
+void
+PerceptronModel::quantize()
+{
+    const double scale =
+        maxAbs(floatWeights) /
+        static_cast<double>((1 << (quantBits - 1)) - 1 + 1e-9);
+    for (unsigned p = 0; p < histLen; ++p)
+        weights[p] = quantizeWeight(floatWeights[p],
+                                    std::max(scale, 1e-9), quantBits);
+    bias = static_cast<int32_t>(
+        std::lround(floatBias / std::max(scale, 1e-9)));
+}
+
+int32_t
+PerceptronModel::sumBits(const std::vector<uint8_t> &bits) const
+{
+    int32_t sum = bias;
+    for (unsigned p = 0; p < histLen; ++p)
+        sum += weights[p] * (bits[p] ? 1 : -1);
+    return sum;
+}
+
+bool
+PerceptronModel::inferBits(const std::vector<uint8_t> &bits) const
+{
+    return sumBits(bits) >= 0;
+}
+
+bool
+PerceptronModel::infer(uint64_t, const HistoryRegister &ghist) const
+{
+    int32_t sum = bias;
+    for (unsigned p = 0; p < histLen; ++p)
+        sum += weights[p] * (ghist.at(p) ? 1 : -1);
+    return sum >= 0;
+}
+
+double
+PerceptronModel::evaluate(const BranchDataset &data) const
+{
+    if (data.samples.empty())
+        return 0.0;
+    uint64_t correct = 0;
+    for (const auto &s : data.samples)
+        correct += (inferBits(s.bits) == s.taken);
+    return static_cast<double>(correct) /
+           static_cast<double>(data.samples.size());
+}
+
+uint64_t
+PerceptronModel::storageBits() const
+{
+    return static_cast<uint64_t>(histLen) * quantBits + 16;
+}
+
+// ------------------------------------------------------------ CnnModel
+
+CnnModel::CnnModel(unsigned history_length, unsigned num_filters,
+                   unsigned filter_width)
+    : histLen(history_length), numFilters(num_filters),
+      filterWidth(filter_width),
+      convW(static_cast<size_t>(num_filters) * filter_width, 0.0),
+      convB(num_filters, 0.0), fcW(num_filters, 0.0),
+      qConvW(static_cast<size_t>(num_filters) * filter_width, 0),
+      qFcW(num_filters, 0)
+{
+    BPNSP_ASSERT(history_length >= filter_width);
+    BPNSP_ASSERT(num_filters >= 1 && filter_width >= 2);
+    // Small deterministic initialization breaks filter symmetry.
+    Rng rng(0xc44);
+    for (auto &w : convW)
+        w = (rng.uniform() - 0.5) * 0.2;
+    for (auto &w : fcW)
+        w = (rng.uniform() - 0.5) * 0.2;
+}
+
+double
+CnnModel::forwardFloat(const std::vector<uint8_t> &bits,
+                       std::vector<double> *pooled) const
+{
+    const unsigned positions = histLen - filterWidth + 1;
+    double out = fcB;
+    for (unsigned f = 0; f < numFilters; ++f) {
+        double pool = 0.0;
+        for (unsigned pos = 0; pos < positions; ++pos) {
+            double act = convB[f];
+            for (unsigned t = 0; t < filterWidth; ++t) {
+                act += convW[f * filterWidth + t] *
+                       bitInput(bits[pos + t]);
+            }
+            if (act > 0.0)
+                pool += act;   // ReLU + sum pooling
+        }
+        pool /= static_cast<double>(positions);
+        if (pooled != nullptr)
+            (*pooled)[f] = pool;
+        out += fcW[f] * pool;
+    }
+    return out;
+}
+
+void
+CnnModel::train(const BranchDataset &data, const TrainConfig &config)
+{
+    BPNSP_ASSERT(data.historyLength >= histLen,
+                 "dataset history too short");
+    quantBits = config.weightBits;
+    Rng rng(config.shuffleSeed);
+    const unsigned positions = histLen - filterWidth + 1;
+
+    std::vector<size_t> order(data.samples.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    std::vector<double> pooled(numFilters, 0.0);
+    for (unsigned epoch = 0; epoch < config.epochs; ++epoch) {
+        for (size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[rng.below(i)]);
+        for (size_t idx : order) {
+            const HistorySample &s = data.samples[idx];
+            const double logit = forwardFloat(s.bits, &pooled);
+            const double prob = 1.0 / (1.0 + std::exp(-logit));
+            const double err =
+                prob - (s.taken ? 1.0 : 0.0);   // dLoss/dLogit
+            const double lr = config.learningRate;
+
+            // Readout gradients.
+            for (unsigned f = 0; f < numFilters; ++f)
+                fcW[f] -= lr * err * pooled[f];
+            fcB -= lr * err;
+
+            // Convolution gradients (through ReLU + mean pooling).
+            for (unsigned f = 0; f < numFilters; ++f) {
+                const double up =
+                    err * fcW[f] / static_cast<double>(positions);
+                for (unsigned pos = 0; pos < positions; ++pos) {
+                    double act = convB[f];
+                    for (unsigned t = 0; t < filterWidth; ++t) {
+                        act += convW[f * filterWidth + t] *
+                               bitInput(s.bits[pos + t]);
+                    }
+                    if (act <= 0.0)
+                        continue;   // ReLU gate
+                    for (unsigned t = 0; t < filterWidth; ++t) {
+                        convW[f * filterWidth + t] -=
+                            lr * up * bitInput(s.bits[pos + t]);
+                    }
+                    convB[f] -= lr * up;
+                }
+            }
+        }
+    }
+    quantize();
+}
+
+void
+CnnModel::quantize()
+{
+    const int levels = (1 << (quantBits - 1)) - 1;
+    const double conv_scale =
+        std::max(maxAbs(convW) / std::max(levels, 1), 1e-9);
+    for (size_t i = 0; i < convW.size(); ++i)
+        qConvW[i] = quantizeWeight(convW[i], conv_scale, quantBits);
+    const double fc_scale =
+        std::max(maxAbs(fcW) / std::max(levels, 1), 1e-9);
+    for (size_t i = 0; i < fcW.size(); ++i)
+        qFcW[i] = quantizeWeight(fcW[i], fc_scale, quantBits);
+    // Fold the biases into integer units of the product scale.
+    qFcB = static_cast<int32_t>(
+        std::lround(fcB / (conv_scale * fc_scale)));
+}
+
+int64_t
+CnnModel::forwardQuant(const std::vector<uint8_t> &bits) const
+{
+    const unsigned positions = histLen - filterWidth + 1;
+    int64_t out = qFcB;
+    for (unsigned f = 0; f < numFilters; ++f) {
+        int64_t pool = 0;
+        for (unsigned pos = 0; pos < positions; ++pos) {
+            int64_t act = 0;
+            for (unsigned t = 0; t < filterWidth; ++t) {
+                act += qConvW[f * filterWidth + t] *
+                       (bits[pos + t] ? 1 : -1);
+            }
+            if (act > 0)
+                pool += act;
+        }
+        out += static_cast<int64_t>(qFcW[f]) * pool;
+    }
+    return out;
+}
+
+bool
+CnnModel::inferBits(const std::vector<uint8_t> &bits) const
+{
+    return forwardQuant(bits) >= 0;
+}
+
+bool
+CnnModel::infer(uint64_t, const HistoryRegister &ghist) const
+{
+    std::vector<uint8_t> bits(histLen);
+    for (unsigned p = 0; p < histLen; ++p)
+        bits[p] = ghist.at(p) ? 1 : 0;
+    return inferBits(bits);
+}
+
+double
+CnnModel::evaluate(const BranchDataset &data) const
+{
+    if (data.samples.empty())
+        return 0.0;
+    uint64_t correct = 0;
+    for (const auto &s : data.samples)
+        correct += (inferBits(s.bits) == s.taken);
+    return static_cast<double>(correct) /
+           static_cast<double>(data.samples.size());
+}
+
+uint64_t
+CnnModel::storageBits() const
+{
+    return (static_cast<uint64_t>(numFilters) * filterWidth +
+            numFilters) *
+               quantBits +
+           32;
+}
+
+} // namespace bpnsp

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Offline-trained helper models (paper Sec. V-C).
+ *
+ * Two model families, both trained offline on BranchDataset samples
+ * and deployed for online inference with low-precision (2-bit)
+ * weights, matching the paper's CNN helper predictors built on
+ * binarized-network techniques:
+ *
+ *  - PerceptronModel: positional weights over the global history.
+ *  - CnnModel: a small 1D convolutional network (filters over history
+ *    windows, ReLU, sum pooling, linear readout) that captures
+ *    position-invariant patterns — exactly the property needed when
+ *    dependency branches wander across history positions (Fig. 6).
+ */
+
+#ifndef BPNSP_ML_MODELS_HPP
+#define BPNSP_ML_MODELS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "bp/helper.hpp"
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace bpnsp {
+
+/** Training hyperparameters shared by the models. */
+struct TrainConfig
+{
+    unsigned epochs = 20;
+    double learningRate = 0.05;
+    uint64_t shuffleSeed = 0x5ade;
+    /** Quantization levels per weight (2-bit => 4 levels). */
+    unsigned weightBits = 2;
+};
+
+/** Offline-trained perceptron with quantized positional weights. */
+class PerceptronModel : public HelperModel
+{
+  public:
+    explicit PerceptronModel(unsigned history_length);
+
+    /** Train on the dataset, then quantize to 2-bit weights. */
+    void train(const BranchDataset &data,
+               const TrainConfig &config = TrainConfig{});
+
+    bool infer(uint64_t ip, const HistoryRegister &ghist) const override;
+    uint64_t storageBits() const override;
+
+    /** Inference on raw sample bits (for offline evaluation). */
+    bool inferBits(const std::vector<uint8_t> &bits) const;
+
+    /** Accuracy on a dataset (offline evaluation). */
+    double evaluate(const BranchDataset &data) const;
+
+  private:
+    unsigned histLen;
+    std::vector<int8_t> weights;   ///< quantized, one per position
+    int32_t bias = 0;
+    unsigned quantBits = 2;
+
+    std::vector<double> floatWeights;
+    double floatBias = 0.0;
+
+    int32_t sumBits(const std::vector<uint8_t> &bits) const;
+    void quantize();
+};
+
+/** Offline-trained 1D CNN with quantized weights. */
+class CnnModel : public HelperModel
+{
+  public:
+    /**
+     * @param history_length input history bits
+     * @param num_filters convolution filters
+     * @param filter_width filter receptive field
+     */
+    CnnModel(unsigned history_length, unsigned num_filters = 8,
+             unsigned filter_width = 8);
+
+    /** Train (SGD on logistic loss), then quantize to 2-bit weights. */
+    void train(const BranchDataset &data,
+               const TrainConfig &config = TrainConfig{});
+
+    bool infer(uint64_t ip, const HistoryRegister &ghist) const override;
+    uint64_t storageBits() const override;
+
+    bool inferBits(const std::vector<uint8_t> &bits) const;
+    double evaluate(const BranchDataset &data) const;
+
+  private:
+    unsigned histLen;
+    unsigned numFilters;
+    unsigned filterWidth;
+    unsigned quantBits = 2;
+
+    // Float parameters (training) and quantized ones (inference).
+    std::vector<double> convW;   ///< [filter][tap]
+    std::vector<double> convB;   ///< [filter]
+    std::vector<double> fcW;     ///< [filter]
+    double fcB = 0.0;
+    std::vector<int8_t> qConvW;
+    std::vector<int8_t> qFcW;
+    int32_t qFcB = 0;
+
+    double forwardFloat(const std::vector<uint8_t> &bits,
+                        std::vector<double> *pooled) const;
+    int64_t forwardQuant(const std::vector<uint8_t> &bits) const;
+    void quantize();
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_ML_MODELS_HPP

@@ -1,0 +1,122 @@
+#include "ml/trainer.hpp"
+
+#include <algorithm>
+
+#include "analysis/h2p.hpp"
+#include "bp/factory.hpp"
+#include "bp/sim.hpp"
+#include "core/runner.hpp"
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+HelperExperimentResult
+runHelperExperiment(const Workload &workload,
+                    const std::vector<size_t> &train_inputs,
+                    size_t test_input,
+                    const HelperExperimentConfig &config)
+{
+    BPNSP_ASSERT(!train_inputs.empty());
+    HelperExperimentResult result;
+
+    // ---- 1. Screen H2Ps on the first training input. ----
+    std::vector<uint64_t> targets;
+    {
+        auto bp = makePredictor(config.baseline);
+        PredictorSim sim(*bp);
+        runTrace(workload.build(train_inputs.front()), {&sim},
+                 config.screenInstructions);
+        const H2pCriteria criteria =
+            H2pCriteria{}.scaledTo(config.screenInstructions);
+        std::vector<std::pair<uint64_t, uint64_t>> ranked;  // (misp, ip)
+        for (const auto &[ip, c] : sim.perBranch()) {
+            if (criteria.matches(c))
+                ranked.emplace_back(c.mispreds, ip);
+        }
+        std::sort(ranked.rbegin(), ranked.rend());
+        for (size_t i = 0;
+             i < std::min<size_t>(config.maxHelpers, ranked.size());
+             ++i) {
+            targets.push_back(ranked[i].second);
+        }
+    }
+    if (targets.empty())
+        return result;
+
+    // ---- 2. Collect datasets over all training inputs. ----
+    // The per-collector cap bounds training cost; inputs are visited
+    // in order, each contributing up to maxSamplesPerInput samples.
+    std::vector<std::unique_ptr<DatasetCollector>> collectors;
+    for (uint64_t ip : targets) {
+        collectors.push_back(std::make_unique<DatasetCollector>(
+            ip, config.historyLength,
+            config.maxSamplesPerInput *
+                static_cast<uint64_t>(train_inputs.size())));
+    }
+    for (size_t input : train_inputs) {
+        std::vector<TraceSink *> sinks;
+        for (auto &c : collectors) {
+            c->resetHistory();
+            sinks.push_back(c.get());
+        }
+        runTrace(workload.build(input), sinks,
+                 config.trainInstructions);
+    }
+
+    // ---- 3. Train one model per target branch. ----
+    for (auto &collector : collectors) {
+        std::unique_ptr<HelperModel> model;
+        const BranchDataset &data = collector->dataset();
+        if (data.samples.size() < 64) {
+            // Too few samples to train anything useful; a static
+            // majority model is the honest fallback.
+            auto p = std::make_unique<PerceptronModel>(
+                config.historyLength);
+            p->train(data, config.train);
+            model = std::move(p);
+        } else if (config.useCnn) {
+            auto cnn = std::make_unique<CnnModel>(config.historyLength);
+            cnn->train(data, config.train);
+            model = std::move(cnn);
+        } else {
+            auto p = std::make_unique<PerceptronModel>(
+                config.historyLength);
+            p->train(data, config.train);
+            model = std::move(p);
+        }
+        result.models.push_back(std::move(model));
+    }
+
+    // ---- 4. Evaluate on the held-out input: baseline vs overlay. ----
+    auto baseline_bp = makePredictor(config.baseline);
+    PredictorSim baseline_sim(*baseline_bp);
+
+    HelperOverlayPredictor overlay(makePredictor(config.baseline),
+                                   config.historyLength + 1);
+    for (size_t i = 0; i < targets.size(); ++i)
+        overlay.addHelper(targets[i], result.models[i].get());
+    PredictorSim overlay_sim(overlay);
+
+    runTrace(workload.build(test_input), {&baseline_sim, &overlay_sim},
+             config.testInstructions);
+
+    result.baselineOverallAccuracy = baseline_sim.accuracy();
+    result.overlayOverallAccuracy = overlay_sim.accuracy();
+    for (size_t i = 0; i < targets.size(); ++i) {
+        HelperBranchResult br;
+        br.ip = targets[i];
+        br.trainSamples = collectors[i]->dataset().samples.size();
+        const auto base_it = baseline_sim.perBranch().find(targets[i]);
+        const auto over_it = overlay_sim.perBranch().find(targets[i]);
+        if (base_it != baseline_sim.perBranch().end()) {
+            br.testExecs = base_it->second.execs;
+            br.baselineAccuracy = base_it->second.accuracy();
+        }
+        if (over_it != overlay_sim.perBranch().end())
+            br.helperAccuracy = over_it->second.accuracy();
+        result.branches.push_back(br);
+    }
+    return result;
+}
+
+} // namespace bpnsp

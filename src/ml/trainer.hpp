@@ -1,0 +1,70 @@
+/**
+ * @file
+ * End-to-end helper-predictor experiment (paper Sec. V): screen H2Ps
+ * on training inputs, collect history datasets over those inputs,
+ * train branch-specialized low-precision models offline, deploy them
+ * alongside a TAGE-SC-L baseline, and evaluate on a *held-out* input —
+ * the paper's offline-training/online-inference deployment scenario.
+ */
+
+#ifndef BPNSP_ML_TRAINER_HPP
+#define BPNSP_ML_TRAINER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/models.hpp"
+#include "workloads/workload.hpp"
+
+namespace bpnsp {
+
+/** Experiment knobs. */
+struct HelperExperimentConfig
+{
+    std::string baseline = "tage-sc-l-8KB";
+    unsigned historyLength = 64;       ///< model input history
+    uint64_t screenInstructions = 2000000;
+    uint64_t trainInstructions = 2000000;   ///< per training input
+    uint64_t testInstructions = 2000000;
+    unsigned maxHelpers = 6;           ///< H2Ps to cover
+    uint64_t maxSamplesPerInput = 20000;
+    bool useCnn = true;                ///< CNN vs perceptron helpers
+    TrainConfig train;
+};
+
+/** Per-covered-branch outcome on the held-out input. */
+struct HelperBranchResult
+{
+    uint64_t ip = 0;
+    uint64_t trainSamples = 0;
+    uint64_t testExecs = 0;
+    double baselineAccuracy = 0.0;   ///< TAGE-SC-L on the test input
+    double helperAccuracy = 0.0;     ///< overlay on the test input
+};
+
+/** Whole-experiment outcome. */
+struct HelperExperimentResult
+{
+    std::vector<HelperBranchResult> branches;
+    double baselineOverallAccuracy = 0.0;
+    double overlayOverallAccuracy = 0.0;
+    /** Models kept alive for the caller (e.g. further inspection). */
+    std::vector<std::unique_ptr<HelperModel>> models;
+};
+
+/**
+ * Run the full experiment.
+ *
+ * @param workload the benchmark
+ * @param train_inputs input indices used for screening + training
+ * @param test_input held-out input index for evaluation
+ */
+HelperExperimentResult runHelperExperiment(
+    const Workload &workload, const std::vector<size_t> &train_inputs,
+    size_t test_input, const HelperExperimentConfig &config);
+
+} // namespace bpnsp
+
+#endif // BPNSP_ML_TRAINER_HPP

@@ -1,0 +1,113 @@
+#include "pipeline/cache.hpp"
+
+#include "util/bitops.hpp"
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+Cache::Cache(std::string cache_name, uint64_t size_bytes,
+             unsigned associativity, unsigned line_bytes,
+             unsigned hit_latency, Cache *next_level,
+             unsigned memory_latency)
+    : cacheName(std::move(cache_name)), assoc(associativity),
+      lineShift(log2Floor(line_bytes)),
+      numSets(size_bytes / line_bytes / associativity),
+      latency(hit_latency), next(next_level), memLatency(memory_latency)
+{
+    BPNSP_ASSERT(isPowerOfTwo(line_bytes), "line size must be 2^n");
+    BPNSP_ASSERT(numSets >= 1, "cache too small: ", cacheName);
+    BPNSP_ASSERT(isPowerOfTwo(numSets), "sets must be 2^n: ", cacheName);
+    BPNSP_ASSERT(next != nullptr || memLatency > 0,
+                 "last level needs a memory latency: ", cacheName);
+    ways.assign(numSets * assoc, Way{});
+}
+
+uint64_t
+Cache::setOf(uint64_t addr) const
+{
+    return (addr >> lineShift) & (numSets - 1);
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return addr >> lineShift;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    const uint64_t set = setOf(addr);
+    const uint64_t tag = tagOf(addr);
+    for (unsigned w = 0; w < assoc; ++w) {
+        const Way &way = ways[set * assoc + w];
+        if (way.valid && way.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+unsigned
+Cache::access(uint64_t addr)
+{
+    const uint64_t set = setOf(addr);
+    const uint64_t tag = tagOf(addr);
+    ++useClock;
+
+    for (unsigned w = 0; w < assoc; ++w) {
+        Way &way = ways[set * assoc + w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = useClock;
+            ++hitCount;
+            return latency;
+        }
+    }
+
+    ++missCount;
+    // LRU victim selection: any invalid way first, else the oldest.
+    Way *victim = &ways[set * assoc];
+    for (unsigned w = 0; w < assoc; ++w) {
+        Way &way = ways[set * assoc + w];
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+    const unsigned below =
+        next != nullptr ? next->access(addr) : memLatency;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock;
+    return latency + below;
+}
+
+void
+Cache::reset()
+{
+    for (auto &way : ways)
+        way = Way{};
+    useClock = 0;
+    hitCount = 0;
+    missCount = 0;
+}
+
+CacheHierarchy::CacheHierarchy()
+    : llc("llc", 2 * 1024 * 1024, 16, 64, 30, nullptr, 160),
+      l2("l2", 256 * 1024, 8, 64, 10, &llc),
+      l1i("l1i", 32 * 1024, 8, 64, 0, &l2),
+      l1d("l1d", 32 * 1024, 8, 64, 4, &l2)
+{
+}
+
+void
+CacheHierarchy::reset()
+{
+    llc.reset();
+    l2.reset();
+    l1i.reset();
+    l1d.reset();
+}
+
+} // namespace bpnsp

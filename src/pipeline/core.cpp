@@ -1,0 +1,118 @@
+#include "pipeline/core.hpp"
+
+#include <algorithm>
+
+namespace bpnsp {
+
+CoreModel::CoreModel(const CoreConfig &config,
+                     const PredictorSim &bp_outcomes)
+    : cfg(config), bp(bp_outcomes), fetchSlots(config.fetchWidth),
+      issueSlots(config.issueWidth), retireSlots(config.retireWidth),
+      robRing(config.robSize, 0), schedRing(config.schedSize, 0),
+      lqRing(config.lqSize, 0), sqRing(config.sqSize, 0)
+{
+}
+
+unsigned
+CoreModel::execLatency(const TraceRecord &rec)
+{
+    switch (rec.cls) {
+      case InstrClass::Mul:
+        return cfg.mulLatency;
+      case InstrClass::Div:
+        return cfg.divLatency;
+      case InstrClass::Load:
+        return hierarchy.l1d.access(rec.memAddr);
+      case InstrClass::Store:
+        return cfg.storeLatency;
+      default:
+        return cfg.aluLatency;
+    }
+}
+
+void
+CoreModel::onRecord(const TraceRecord &rec)
+{
+    // ---- Front end ----
+    // The fetch of this instruction cannot begin before the front end
+    // recovered from the last misprediction, and cannot dispatch while
+    // the ROB slot it needs is still occupied.
+    uint64_t fetch_bound =
+        std::max(fetchResume, robRing[index % cfg.robSize]);
+
+    // I-cache: pay the miss latency when crossing into a new line that
+    // misses; sequential fetches within a line are free.
+    const uint64_t line = rec.ip >> 6;
+    unsigned icache_extra = 0;
+    if (line != lastFetchLine) {
+        const unsigned lat = hierarchy.l1i.access(rec.ip);
+        icache_extra = lat;   // L1I hit latency is folded into depth
+        lastFetchLine = line;
+    }
+    const uint64_t fetch_cycle =
+        fetchSlots.alloc(fetch_bound) + icache_extra;
+
+    // ---- Dispatch / schedule ----
+    const uint64_t dispatch_ready = fetch_cycle + cfg.frontendDepth;
+    uint64_t issue_bound =
+        std::max(dispatch_ready, schedRing[index % cfg.schedSize]);
+
+    // Load/store queue occupancy.
+    if (rec.cls == InstrClass::Load) {
+        issue_bound =
+            std::max(issue_bound, lqRing[loadIndex % cfg.lqSize]);
+    } else if (rec.cls == InstrClass::Store) {
+        issue_bound =
+            std::max(issue_bound, sqRing[storeIndex % cfg.sqSize]);
+    }
+
+    // Register dependencies.
+    for (unsigned s = 0; s < rec.numSrc; ++s)
+        issue_bound = std::max(issue_bound, regReady[rec.src[s]]);
+
+    // Issue is out of order: the window floor rides the in-order
+    // fetch stream (nothing can issue before it was fetched).
+    issueSlots.advanceFloor(fetch_cycle);
+    const uint64_t issue_cycle = issueSlots.alloc(issue_bound);
+    schedRing[index % cfg.schedSize] = issue_cycle;
+
+    // ---- Execute ----
+    const uint64_t complete_cycle = issue_cycle + execLatency(rec);
+    if (rec.hasDst)
+        regReady[rec.dst] = complete_cycle;
+
+    // ---- Retire (in order) ----
+    const uint64_t retire_cycle =
+        retireSlots.alloc(std::max(complete_cycle, lastRetire));
+    lastRetire = retire_cycle;
+    robRing[index % cfg.robSize] = retire_cycle;
+    if (rec.cls == InstrClass::Load)
+        lqRing[loadIndex++ % cfg.lqSize] = retire_cycle;
+    else if (rec.cls == InstrClass::Store)
+        sqRing[storeIndex++ % cfg.sqSize] = retire_cycle;
+
+    // ---- Branch handling ----
+    // Any taken control transfer ends the fetch group: the front end
+    // redirects at most once per cycle, which is what ultimately
+    // bounds IPC on branchy code even under perfect prediction.
+    if (isControl(rec.cls) && rec.taken)
+        fetchSlots.closeCycle(fetch_cycle);
+
+    if (rec.isCondBranch()) {
+        ++stats.condBranches;
+        if (bp.lastMispredicted()) {
+            ++stats.mispredicts;
+            // Wrong-path fetch is squashed when the branch resolves;
+            // the front end restarts after the redirect penalty.
+            fetchResume = std::max(
+                fetchResume, complete_cycle + cfg.redirectPenalty);
+            lastFetchLine = ~0ull;   // refetch pays the I-cache again
+        }
+    }
+
+    ++index;
+    ++stats.instructions;
+    stats.cycles = std::max(stats.cycles, retire_cycle);
+}
+
+} // namespace bpnsp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Out-of-order core configuration with the capacity-scaling knob used
+ * throughout the paper (Figs. 1, 5, 7, 8): "fetch, decode, execution,
+ * load/store buffer, ROB, scheduler, and retire resources" multiply by
+ * the scaling factor; pipeline *depths* (front-end length, redirect
+ * penalty) do not.
+ */
+
+#ifndef BPNSP_PIPELINE_CORE_CONFIG_HPP
+#define BPNSP_PIPELINE_CORE_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace bpnsp {
+
+/** Structural parameters of the scoreboard core model. */
+struct CoreConfig
+{
+    std::string label = "skylake";
+
+    // Capacities (scaled by the pipeline scaling factor).
+    unsigned fetchWidth = 6;    ///< instructions fetched per cycle
+    unsigned issueWidth = 8;    ///< scheduler issue slots per cycle
+    unsigned retireWidth = 4;   ///< in-order retire slots per cycle
+    unsigned robSize = 224;     ///< reorder buffer entries
+    unsigned schedSize = 97;    ///< scheduler (RS) entries
+    unsigned lqSize = 72;       ///< load queue entries
+    unsigned sqSize = 56;       ///< store queue entries
+
+    // Depths (NOT scaled).
+    unsigned frontendDepth = 5;     ///< fetch-to-dispatch cycles
+    unsigned redirectPenalty = 10;  ///< extra cycles after a flush
+
+    // Execution latencies (cycles); load latency comes from the caches.
+    unsigned aluLatency = 1;
+    unsigned mulLatency = 3;
+    unsigned divLatency = 9;
+    unsigned storeLatency = 1;
+
+    /** Skylake-like baseline (the paper's 1x configuration). */
+    static CoreConfig
+    skylake()
+    {
+        return CoreConfig{};
+    }
+
+    /** This configuration with capacities multiplied by factor. */
+    CoreConfig
+    scaled(unsigned factor) const
+    {
+        CoreConfig out = *this;
+        out.label = label + "-" + std::to_string(factor) + "x";
+        out.fetchWidth *= factor;
+        out.issueWidth *= factor;
+        out.retireWidth *= factor;
+        out.robSize *= factor;
+        out.schedSize *= factor;
+        out.lqSize *= factor;
+        out.sqSize *= factor;
+        return out;
+    }
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_PIPELINE_CORE_CONFIG_HPP

@@ -1,0 +1,168 @@
+#include "trace/file.hpp"
+
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+namespace {
+
+constexpr char kMagic[8] = {'B', 'P', 'N', 'S', 'P', 'T', 'R', 'C'};
+constexpr uint32_t kVersion = 1;
+
+/** Packed on-disk record; kept independent of the in-memory layout. */
+struct DiskRecord
+{
+    uint64_t ip;
+    uint64_t memAddr;
+    uint64_t target;
+    uint64_t fallthrough;
+    uint32_t writtenValue;
+    uint8_t cls;
+    uint8_t numSrc;
+    uint8_t src[3];
+    uint8_t dst;
+    uint8_t flags;   // bit0: hasDst, bit1: taken
+    uint8_t pad;
+};
+
+static_assert(sizeof(DiskRecord) == 48, "unexpected disk record size");
+
+struct Header
+{
+    char magic[8];
+    uint32_t version;
+    uint32_t recordSize;
+    uint64_t count;
+};
+
+static_assert(sizeof(Header) == 24, "unexpected header size");
+
+DiskRecord
+pack(const TraceRecord &rec)
+{
+    DiskRecord d{};
+    d.ip = rec.ip;
+    d.memAddr = rec.memAddr;
+    d.target = rec.target;
+    d.fallthrough = rec.fallthrough;
+    d.writtenValue = rec.writtenValue;
+    d.cls = static_cast<uint8_t>(rec.cls);
+    d.numSrc = rec.numSrc;
+    std::memcpy(d.src, rec.src, sizeof(d.src));
+    d.dst = rec.dst;
+    d.flags = (rec.hasDst ? 1 : 0) | (rec.taken ? 2 : 0);
+    return d;
+}
+
+TraceRecord
+unpack(const DiskRecord &d)
+{
+    TraceRecord rec;
+    rec.ip = d.ip;
+    rec.memAddr = d.memAddr;
+    rec.target = d.target;
+    rec.fallthrough = d.fallthrough;
+    rec.writtenValue = d.writtenValue;
+    rec.cls = static_cast<InstrClass>(d.cls);
+    rec.numSrc = d.numSrc;
+    std::memcpy(rec.src, d.src, sizeof(rec.src));
+    rec.dst = d.dst;
+    rec.hasDst = (d.flags & 1) != 0;
+    rec.taken = (d.flags & 2) != 0;
+    return rec;
+}
+
+} // namespace
+
+TraceFileWriter::TraceFileWriter(const std::string &path)
+    : file(std::fopen(path.c_str(), "wb")), filePath(path)
+{
+    if (file == nullptr)
+        fatal("cannot open trace file for writing: ", path);
+    Header hdr{};
+    std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+    hdr.version = kVersion;
+    hdr.recordSize = sizeof(DiskRecord);
+    hdr.count = 0;   // fixed up in onEnd()
+    if (std::fwrite(&hdr, sizeof(hdr), 1, file) != 1)
+        fatal("cannot write trace header: ", path);
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    close();
+}
+
+void
+TraceFileWriter::onRecord(const TraceRecord &rec)
+{
+    BPNSP_ASSERT(!closed, "write after onEnd()");
+    const DiskRecord d = pack(rec);
+    if (std::fwrite(&d, sizeof(d), 1, file) != 1)
+        fatal("short write to trace file: ", filePath);
+    ++written;
+}
+
+void
+TraceFileWriter::onEnd()
+{
+    close();
+}
+
+void
+TraceFileWriter::close()
+{
+    if (closed || file == nullptr)
+        return;
+    // Patch the record count into the header.
+    if (std::fseek(file, offsetof(Header, count), SEEK_SET) != 0)
+        fatal("cannot seek in trace file: ", filePath);
+    if (std::fwrite(&written, sizeof(written), 1, file) != 1)
+        fatal("cannot finalize trace header: ", filePath);
+    std::fclose(file);
+    file = nullptr;
+    closed = true;
+}
+
+TraceFileReader::TraceFileReader(const std::string &path)
+    : file(std::fopen(path.c_str(), "rb"))
+{
+    if (file == nullptr)
+        fatal("cannot open trace file for reading: ", path);
+    Header hdr{};
+    if (std::fread(&hdr, sizeof(hdr), 1, file) != 1)
+        fatal("cannot read trace header: ", path);
+    if (std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("bad trace magic in: ", path);
+    if (hdr.version != kVersion)
+        fatal("unsupported trace version ", hdr.version, " in: ", path);
+    if (hdr.recordSize != sizeof(DiskRecord))
+        fatal("record size mismatch in: ", path);
+    total = hdr.count;
+}
+
+TraceFileReader::~TraceFileReader()
+{
+    if (file != nullptr)
+        std::fclose(file);
+}
+
+uint64_t
+TraceFileReader::replay(TraceSink &sink, uint64_t limit)
+{
+    const uint64_t want = (limit == 0 || limit > total) ? total : limit;
+    DiskRecord d{};
+    uint64_t delivered = 0;
+    while (delivered < want) {
+        if (std::fread(&d, sizeof(d), 1, file) != 1)
+            fatal("truncated trace file (", delivered, " of ", want,
+                  " records)");
+        sink.onRecord(unpack(d));
+        ++delivered;
+    }
+    sink.onEnd();
+    return delivered;
+}
+
+} // namespace bpnsp

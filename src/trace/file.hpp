@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Binary trace file format (ChampSim-style save/replay).
+ *
+ * Layout: a fixed header (magic, version, record count) followed by
+ * packed little-endian records. The on-disk record is a compact version
+ * of TraceRecord.
+ */
+
+#ifndef BPNSP_TRACE_FILE_HPP
+#define BPNSP_TRACE_FILE_HPP
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "trace/sink.hpp"
+
+namespace bpnsp {
+
+/** A sink that appends every record to a binary trace file. */
+class TraceFileWriter : public TraceSink
+{
+  public:
+    /** Open (truncate) the file; fatal() on failure. */
+    explicit TraceFileWriter(const std::string &path);
+    ~TraceFileWriter() override;
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    void onRecord(const TraceRecord &rec) override;
+
+    /** Finalize the header (record count) and close. */
+    void onEnd() override;
+
+    /** Records written so far. */
+    uint64_t count() const { return written; }
+
+  private:
+    std::FILE *file;
+    std::string filePath;
+    uint64_t written = 0;
+    bool closed = false;
+
+    void close();
+};
+
+/** Streams a binary trace file into a sink. */
+class TraceFileReader
+{
+  public:
+    /** Open and validate the header; fatal() on failure. */
+    explicit TraceFileReader(const std::string &path);
+    ~TraceFileReader();
+
+    TraceFileReader(const TraceFileReader &) = delete;
+    TraceFileReader &operator=(const TraceFileReader &) = delete;
+
+    /** Record count declared in the header. */
+    uint64_t count() const { return total; }
+
+    /**
+     * Stream up to `limit` records (0 = all) into the sink, then call
+     * onEnd(). Returns the number of records delivered.
+     */
+    uint64_t replay(TraceSink &sink, uint64_t limit = 0);
+
+  private:
+    std::FILE *file;
+    uint64_t total = 0;
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_TRACE_FILE_HPP

@@ -1,0 +1,33 @@
+#include "trace/record.hpp"
+
+namespace bpnsp {
+
+const char *
+instrClassName(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::Alu:
+        return "alu";
+      case InstrClass::Mul:
+        return "mul";
+      case InstrClass::Div:
+        return "div";
+      case InstrClass::Load:
+        return "load";
+      case InstrClass::Store:
+        return "store";
+      case InstrClass::CondBranch:
+        return "cond_branch";
+      case InstrClass::Jump:
+        return "jump";
+      case InstrClass::Call:
+        return "call";
+      case InstrClass::Ret:
+        return "ret";
+      case InstrClass::Halt:
+        return "halt";
+    }
+    return "unknown";
+}
+
+} // namespace bpnsp

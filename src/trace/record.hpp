@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The retired-instruction trace record.
+ *
+ * This is the single data modality every analysis in the paper consumes:
+ * instruction pointer, instruction class, source/destination registers,
+ * the written register value (lower 32 bits, as in the paper's Fig. 10),
+ * memory address, and branch direction/target. It deliberately matches
+ * the information CBP2016/ChampSim-style BPU simulation assumes.
+ */
+
+#ifndef BPNSP_TRACE_RECORD_HPP
+#define BPNSP_TRACE_RECORD_HPP
+
+#include <cstdint>
+
+namespace bpnsp {
+
+/** Coarse instruction classes with distinct timing/analysis behavior. */
+enum class InstrClass : uint8_t {
+    Alu,          ///< single-cycle integer op
+    Mul,          ///< multi-cycle multiply
+    Div,          ///< long-latency divide
+    Load,         ///< memory read
+    Store,        ///< memory write
+    CondBranch,   ///< conditional direct branch
+    Jump,         ///< unconditional direct jump
+    Call,         ///< direct call
+    Ret,          ///< return
+    Halt          ///< program end marker
+};
+
+/** Printable name of an instruction class. */
+const char *instrClassName(InstrClass cls);
+
+/** True for any control-flow-transfer class. */
+inline bool
+isControl(InstrClass cls)
+{
+    switch (cls) {
+      case InstrClass::CondBranch:
+      case InstrClass::Jump:
+      case InstrClass::Call:
+      case InstrClass::Ret:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** One retired instruction, as observed by the BPU and analyses. */
+struct TraceRecord
+{
+    uint64_t ip = 0;           ///< instruction pointer
+    uint64_t memAddr = 0;      ///< effective address (loads/stores)
+    uint64_t target = 0;       ///< control-transfer destination IP
+    uint64_t fallthrough = 0;  ///< IP of the next sequential instruction
+    uint32_t writtenValue = 0; ///< low 32 bits of the register write
+    InstrClass cls = InstrClass::Alu;
+    uint8_t numSrc = 0;        ///< number of valid entries in src[]
+    uint8_t src[3] = {0, 0, 0};
+    bool hasDst = false;       ///< true when dst is a register write
+    uint8_t dst = 0;
+    bool taken = false;        ///< direction (CondBranch); true for
+                               ///< unconditional transfers
+
+    /** True for conditional branches only. */
+    bool isCondBranch() const { return cls == InstrClass::CondBranch; }
+
+    /** IP the front end should fetch next given the outcome. */
+    uint64_t
+    nextIp() const
+    {
+        if (isControl(cls) && taken)
+            return target;
+        return fallthrough;
+    }
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_TRACE_RECORD_HPP

@@ -1,0 +1,51 @@
+#include "trace/slicer.hpp"
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+Slicer::Slicer(uint64_t slice_length, SliceListener &listener)
+    : sliceLen(slice_length), out(listener)
+{
+    BPNSP_ASSERT(slice_length >= 1, "slice length must be positive");
+}
+
+void
+Slicer::onRecord(const TraceRecord &rec)
+{
+    BPNSP_ASSERT(!ended, "record after onEnd()");
+    if (!open) {
+        out.beginSlice(index);
+        open = true;
+        inSlice = 0;
+    }
+    out.onSliceRecord(rec);
+    ++inSlice;
+    if (inSlice == sliceLen) {
+        out.endSlice(index, inSlice);
+        open = false;
+        ++index;
+    }
+}
+
+void
+Slicer::onEnd()
+{
+    if (ended)
+        return;
+    ended = true;
+    if (open) {
+        out.endSlice(index, inSlice);
+        open = false;
+        ++index;
+    }
+    out.onTraceEnd();
+}
+
+uint64_t
+Slicer::sliceCount() const
+{
+    return index + (open ? 1 : 0);
+}
+
+} // namespace bpnsp

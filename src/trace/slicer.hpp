@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fixed-length trace slicing.
+ *
+ * The paper's methodology post-processes every 10B-instruction workload
+ * trace into 30M-instruction slices (the SimPoint granularity) and
+ * computes branch statistics per slice. The Slicer reproduces that
+ * windowing for any slice length.
+ */
+
+#ifndef BPNSP_TRACE_SLICER_HPP
+#define BPNSP_TRACE_SLICER_HPP
+
+#include <cstdint>
+
+#include "trace/sink.hpp"
+
+namespace bpnsp {
+
+/** Receives slice-delimited trace events. */
+class SliceListener
+{
+  public:
+    virtual ~SliceListener() = default;
+
+    /** A new slice with the given index begins. */
+    virtual void beginSlice(uint64_t index) { (void)index; }
+
+    /** One retired instruction inside the current slice. */
+    virtual void onSliceRecord(const TraceRecord &rec) = 0;
+
+    /**
+     * The slice ended.
+     * @param index slice index
+     * @param length instructions in the slice (== sliceLength except
+     *        possibly for the final, partial slice)
+     */
+    virtual void endSlice(uint64_t index, uint64_t length)
+    {
+        (void)index;
+        (void)length;
+    }
+
+    /** The whole stream ended (after the final endSlice). */
+    virtual void onTraceEnd() {}
+};
+
+/** Cuts a record stream into fixed-length slices. */
+class Slicer : public TraceSink
+{
+  public:
+    Slicer(uint64_t slice_length, SliceListener &listener);
+
+    void onRecord(const TraceRecord &rec) override;
+    void onEnd() override;
+
+    /** Slices fully or partially emitted so far. */
+    uint64_t sliceCount() const;
+
+    uint64_t sliceLength() const { return sliceLen; }
+
+  private:
+    uint64_t sliceLen;
+    SliceListener &out;
+    uint64_t index = 0;
+    uint64_t inSlice = 0;
+    bool open = false;
+    bool ended = false;
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_TRACE_SLICER_HPP

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bit manipulation and hashing helpers shared by predictors and caches.
+ */
+
+#ifndef BPNSP_UTIL_BITOPS_HPP
+#define BPNSP_UTIL_BITOPS_HPP
+
+#include <cstdint>
+
+namespace bpnsp {
+
+/** Extract bits [lo, lo+len) of value. */
+inline uint64_t
+bits(uint64_t value, unsigned lo, unsigned len)
+{
+    return (value >> lo) & ((len >= 64) ? ~0ull : ((1ull << len) - 1));
+}
+
+/** True iff x is a power of two (and nonzero). */
+inline bool
+isPowerOfTwo(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Ceil of log2; log2Ceil(1) == 0. */
+inline unsigned
+log2Ceil(uint64_t x)
+{
+    unsigned n = 0;
+    uint64_t v = 1;
+    while (v < x) {
+        v <<= 1;
+        ++n;
+    }
+    return n;
+}
+
+/** Floor of log2; log2Floor(1) == 0. Undefined for 0. */
+inline unsigned
+log2Floor(uint64_t x)
+{
+    unsigned n = 0;
+    while (x >>= 1)
+        ++n;
+    return n;
+}
+
+/** Finalizer from MurmurHash3; a strong 64-bit mixer. */
+inline uint64_t
+mix64(uint64_t k)
+{
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdull;
+    k ^= k >> 33;
+    k *= 0xc4ceb9fe1a85ec53ull;
+    k ^= k >> 33;
+    return k;
+}
+
+/** Combine two hashes (boost-style). */
+inline uint64_t
+hashCombine(uint64_t a, uint64_t b)
+{
+    return a ^ (mix64(b) + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+}
+
+/** XOR-fold a 64-bit value down to width bits. */
+inline uint64_t
+foldTo(uint64_t value, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return value;
+    uint64_t folded = 0;
+    while (value != 0) {
+        folded ^= value & ((1ull << width) - 1);
+        value >>= width;
+    }
+    return folded;
+}
+
+} // namespace bpnsp
+
+#endif // BPNSP_UTIL_BITOPS_HPP

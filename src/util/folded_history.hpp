@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Folded (compressed) history registers, as used by TAGE-family
+ * predictors to hash very long global histories into table indices and
+ * tags incrementally, one branch at a time.
+ */
+
+#ifndef BPNSP_UTIL_FOLDED_HISTORY_HPP
+#define BPNSP_UTIL_FOLDED_HISTORY_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+/**
+ * A large shift register of branch outcomes (the raw global history).
+ *
+ * Stores up to capacity bits; bit 0 is the most recent outcome.
+ */
+class HistoryRegister
+{
+  public:
+    explicit HistoryRegister(unsigned capacity = 4096)
+        : cap(capacity), bitvec((capacity + 63) / 64, 0)
+    {
+        BPNSP_ASSERT(capacity >= 1);
+    }
+
+    /** Shift in a new outcome as the most recent bit. */
+    void
+    push(bool taken)
+    {
+        // Shift the whole vector left by one bit, inserting at bit 0.
+        bool carry = taken;
+        for (auto &word : bitvec) {
+            bool next_carry = (word >> 63) & 1;
+            word = (word << 1) | (carry ? 1u : 0u);
+            carry = next_carry;
+        }
+    }
+
+    /** Outcome of the branch `pos` steps in the past (0 = most recent). */
+    bool
+    at(unsigned pos) const
+    {
+        BPNSP_ASSERT(pos < cap);
+        return (bitvec[pos / 64] >> (pos % 64)) & 1;
+    }
+
+    /** The `n` most recent outcomes packed into the low bits (n <= 64). */
+    uint64_t
+    low(unsigned n) const
+    {
+        BPNSP_ASSERT(n <= 64);
+        uint64_t v = bitvec[0];
+        if (n < 64)
+            v &= (1ull << n) - 1;
+        return v;
+    }
+
+    unsigned capacity() const { return cap; }
+
+    /** Clear all history. */
+    void
+    reset()
+    {
+        for (auto &word : bitvec)
+            word = 0;
+    }
+
+  private:
+    unsigned cap;
+    std::vector<uint64_t> bitvec;
+};
+
+/**
+ * Incrementally-maintained XOR fold of the most recent historyLength
+ * bits of a HistoryRegister down to targetWidth bits.
+ *
+ * Equivalent to foldTo(low historyLength bits, targetWidth) but updated
+ * in O(1) per branch: new bits rotate in at the bottom, expired bits
+ * rotate out at position historyLength % targetWidth.
+ */
+class FoldedHistory
+{
+  public:
+    FoldedHistory(unsigned history_length, unsigned target_width)
+        : histLen(history_length), width(target_width), folded(0)
+    {
+        BPNSP_ASSERT(width >= 1 && width < 32);
+        outPoint = histLen % width;
+    }
+
+    /**
+     * Update after the global history consumed a new outcome.
+     *
+     * @param new_bit the outcome just shifted into the history
+     * @param expired_bit the outcome that just moved past histLen
+     */
+    void
+    update(bool new_bit, bool expired_bit)
+    {
+        folded = (folded << 1) | (new_bit ? 1u : 0u);
+        folded ^= (expired_bit ? 1u : 0u) << outPoint;
+        folded ^= folded >> width;
+        folded &= (1u << width) - 1;
+    }
+
+    /** Current folded value (targetWidth bits). */
+    uint32_t value() const { return folded; }
+
+    unsigned historyLength() const { return histLen; }
+    unsigned targetWidth() const { return width; }
+
+    /** Clear to zero (matches a cleared history register). */
+    void reset() { folded = 0; }
+
+  private:
+    unsigned histLen;
+    unsigned width;
+    unsigned outPoint;
+    uint32_t folded;
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_UTIL_FOLDED_HISTORY_HPP

@@ -1,0 +1,109 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+Histogram::Histogram(std::vector<double> edges)
+    : binEdges(std::move(edges))
+{
+    BPNSP_ASSERT(binEdges.size() >= 2, "need at least one bin");
+    for (size_t i = 1; i < binEdges.size(); ++i)
+        BPNSP_ASSERT(binEdges[i] > binEdges[i - 1], "edges must increase");
+    counts.assign(binEdges.size() - 1, 0);
+}
+
+Histogram
+Histogram::linear(double lo, double hi, double step)
+{
+    BPNSP_ASSERT(step > 0 && hi > lo);
+    std::vector<double> edges;
+    for (double e = lo; e < hi + step / 2; e += step)
+        edges.push_back(e);
+    return Histogram(std::move(edges));
+}
+
+void
+Histogram::add(double value)
+{
+    add(value, 1);
+}
+
+void
+Histogram::add(double value, uint64_t weight)
+{
+    if (value < binEdges.front()) {
+        underflow += weight;
+        return;
+    }
+    if (value > binEdges.back()) {
+        overflow += weight;
+        return;
+    }
+    // upper_bound returns the first edge strictly greater than value;
+    // the bin index is one less than that edge's position.
+    auto it = std::upper_bound(binEdges.begin(), binEdges.end(), value);
+    size_t idx = static_cast<size_t>(it - binEdges.begin());
+    if (idx == binEdges.size())   // value == last edge: closed last bin
+        idx = binEdges.size() - 1;
+    counts[idx - 1] += weight;
+    inRange += weight;
+}
+
+double
+Histogram::fraction(size_t i) const
+{
+    if (inRange == 0)
+        return 0.0;
+    return static_cast<double>(counts.at(i)) / static_cast<double>(inRange);
+}
+
+std::string
+compactNumber(double v)
+{
+    char buf[32];
+    const double a = std::fabs(v);
+    if (a >= 1e6 && std::fmod(v, 1e6) == 0) {
+        std::snprintf(buf, sizeof(buf), "%gM", v / 1e6);
+    } else if (a >= 1e3 && std::fmod(v, 1e3) == 0) {
+        std::snprintf(buf, sizeof(buf), "%gK", v / 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%g", v);
+    }
+    return buf;
+}
+
+std::string
+Histogram::binLabel(size_t i) const
+{
+    return compactNumber(binLo(i)) + "-" + compactNumber(binHi(i));
+}
+
+std::string
+Histogram::render(unsigned bar_width) const
+{
+    uint64_t peak = 0;
+    for (uint64_t c : counts)
+        peak = std::max(peak, c);
+    std::ostringstream oss;
+    for (size_t i = 0; i < counts.size(); ++i) {
+        const unsigned len = peak
+            ? static_cast<unsigned>(static_cast<double>(counts[i]) /
+                                    static_cast<double>(peak) * bar_width)
+            : 0;
+        char line[64];
+        std::snprintf(line, sizeof(line), "%14s |", binLabel(i).c_str());
+        oss << line << std::string(len, '#')
+            << " " << counts[i]
+            << " (" << static_cast<int>(fraction(i) * 1000) / 10.0 << "%)"
+            << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace bpnsp

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Histograms with arbitrary bin edges, used to regenerate the paper's
+ * distribution figures (Fig. 3, Fig. 9) whose bins are hand-chosen.
+ */
+
+#ifndef BPNSP_UTIL_HISTOGRAM_HPP
+#define BPNSP_UTIL_HISTOGRAM_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bpnsp {
+
+/**
+ * A histogram over double-valued observations with explicit bin edges.
+ *
+ * Edges e0 < e1 < ... < eN define N bins [e_i, e_{i+1}); the final bin
+ * is closed on the right so that a value equal to the last edge counts.
+ * Values outside [e0, eN] are tallied separately as underflow/overflow.
+ */
+class Histogram
+{
+  public:
+    /** Construct from explicit, strictly increasing edges. */
+    explicit Histogram(std::vector<double> edges);
+
+    /** Edges at a fixed step: [lo, lo+step, ..., hi]. */
+    static Histogram linear(double lo, double hi, double step);
+
+    /** Add one observation. */
+    void add(double value);
+
+    /** Add an observation with an integer weight. */
+    void add(double value, uint64_t weight);
+
+    /** Number of bins. */
+    size_t numBins() const { return counts.size(); }
+
+    /** Count in bin i. */
+    uint64_t count(size_t i) const { return counts.at(i); }
+
+    /** Total in-range observations. */
+    uint64_t total() const { return inRange; }
+
+    /** Fraction of in-range observations in bin i (0 when empty). */
+    double fraction(size_t i) const;
+
+    /** Inclusive lower edge of bin i. */
+    double binLo(size_t i) const { return binEdges.at(i); }
+
+    /** Exclusive upper edge of bin i. */
+    double binHi(size_t i) const { return binEdges.at(i + 1); }
+
+    uint64_t underflowCount() const { return underflow; }
+    uint64_t overflowCount() const { return overflow; }
+
+    /** Human-readable label for bin i, e.g. "100-1K". */
+    std::string binLabel(size_t i) const;
+
+    /** Render as an ASCII bar chart (one line per bin). */
+    std::string render(unsigned bar_width = 40) const;
+
+  private:
+    std::vector<double> binEdges;
+    std::vector<uint64_t> counts;
+    uint64_t inRange = 0;
+    uint64_t underflow = 0;
+    uint64_t overflow = 0;
+};
+
+/** Format a count compactly, e.g. 1500 -> "1.5K", 2000000 -> "2M". */
+std::string compactNumber(double v);
+
+} // namespace bpnsp
+
+#endif // BPNSP_UTIL_HISTOGRAM_HPP

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behavior in the repository (workload synthesis, data
+ * tables, clustering initialization) flows through Rng so that every
+ * experiment is reproducible from a single seed. The generator is
+ * xoshiro256**, which is fast, high quality, and trivially seedable.
+ */
+
+#ifndef BPNSP_UTIL_RNG_HPP
+#define BPNSP_UTIL_RNG_HPP
+
+#include <cstdint>
+
+namespace bpnsp {
+
+/** xoshiro256** PRNG with splitmix64 seeding. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 expansion of the seed into the four state words.
+        uint64_t z = seed;
+        for (auto &word : state) {
+            z += 0x9e3779b97f4a7c15ull;
+            uint64_t s = z;
+            s = (s ^ (s >> 30)) * 0xbf58476d1ce4e5b9ull;
+            s = (s ^ (s >> 27)) * 0x94d049bb133111ebull;
+            word = s ^ (s >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Rejection-free Lemire reduction is overkill here; modulo bias
+        // is negligible for the bounds we use (all << 2^64).
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(below(
+            static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Fork an independent, deterministic child stream. */
+    Rng
+    fork()
+    {
+        return Rng(next() ^ 0xd1b54a32d192ed03ull);
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state[4];
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_UTIL_RNG_HPP

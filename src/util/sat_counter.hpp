@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Saturating counters, the basic hysteresis element of branch predictors.
+ */
+
+#ifndef BPNSP_UTIL_SAT_COUNTER_HPP
+#define BPNSP_UTIL_SAT_COUNTER_HPP
+
+#include <cstdint>
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+/**
+ * Unsigned saturating counter of a configurable bit width.
+ *
+ * Counts in [0, 2^bits - 1]. The "taken" decision threshold is the
+ * midpoint, i.e. the top half of the range predicts taken.
+ */
+class SatCounter
+{
+  public:
+    /** Construct with the given width, initialized to initial. */
+    explicit SatCounter(unsigned bits = 2, uint32_t initial = 0)
+        : maxVal((1u << bits) - 1), value(initial)
+    {
+        BPNSP_ASSERT(bits >= 1 && bits <= 31);
+        BPNSP_ASSERT(initial <= maxVal);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value < maxVal)
+            ++value;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value > 0)
+            --value;
+    }
+
+    /** Move toward taken (true) or not-taken (false). */
+    void
+    update(bool taken)
+    {
+        taken ? increment() : decrement();
+    }
+
+    /** Current raw value. */
+    uint32_t read() const { return value; }
+
+    /** Prediction: true when in the upper half of the range. */
+    bool taken() const { return value > maxVal / 2; }
+
+    /** True at either saturation rail (strong prediction). */
+    bool saturated() const { return value == 0 || value == maxVal; }
+
+    /** Maximum representable value. */
+    uint32_t max() const { return maxVal; }
+
+    /** Set the raw value (clamped). */
+    void
+    set(uint32_t v)
+    {
+        value = v > maxVal ? maxVal : v;
+    }
+
+  private:
+    uint32_t maxVal;
+    uint32_t value;
+};
+
+/**
+ * Signed saturating counter in [-2^(bits-1), 2^(bits-1) - 1].
+ *
+ * This is the form used by TAGE table entries and statistical-corrector
+ * weights: the sign carries the direction, the magnitude the confidence.
+ */
+class SignedSatCounter
+{
+  public:
+    explicit SignedSatCounter(unsigned bits = 3, int32_t initial = 0)
+        : minVal(-(1 << (bits - 1))), maxVal((1 << (bits - 1)) - 1),
+          value(initial)
+    {
+        BPNSP_ASSERT(bits >= 1 && bits <= 31);
+        BPNSP_ASSERT(initial >= minVal && initial <= maxVal);
+    }
+
+    /** Move toward taken (true) or not-taken (false), saturating. */
+    void
+    update(bool taken)
+    {
+        if (taken) {
+            if (value < maxVal)
+                ++value;
+        } else {
+            if (value > minVal)
+                --value;
+        }
+    }
+
+    /** Current raw value. */
+    int32_t read() const { return value; }
+
+    /** Prediction: taken iff nonnegative. */
+    bool taken() const { return value >= 0; }
+
+    /** True when the counter is weak (one of the two middle values). */
+    bool weak() const { return value == 0 || value == -1; }
+
+    /** True at either saturation rail. */
+    bool saturated() const { return value == minVal || value == maxVal; }
+
+    /** Absolute confidence magnitude, mapping weak values to 0. */
+    uint32_t
+    confidence() const
+    {
+        return value >= 0 ? static_cast<uint32_t>(value)
+                          : static_cast<uint32_t>(-value - 1);
+    }
+
+    int32_t min() const { return minVal; }
+    int32_t max() const { return maxVal; }
+
+    /** Set the raw value (clamped to the legal range). */
+    void
+    set(int32_t v)
+    {
+        value = v < minVal ? minVal : (v > maxVal ? maxVal : v);
+    }
+
+  private:
+    int32_t minVal;
+    int32_t maxVal;
+    int32_t value;
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_UTIL_SAT_COUNTER_HPP

@@ -1,0 +1,121 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+void
+OnlineStats::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    total += x;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+double
+OnlineStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n);
+}
+
+double
+OnlineStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+OnlineStats::merge(const OnlineStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double delta = other.mu - mu;
+    const uint64_t combined = n + other.n;
+    const double na = static_cast<double>(n);
+    const double nb = static_cast<double>(other.n);
+    mu = (na * mu + nb * other.mu) / (na + nb);
+    m2 = m2 + other.m2 + delta * delta * na * nb / (na + nb);
+    lo = std::min(lo, other.lo);
+    hi = std::max(hi, other.hi);
+    total += other.total;
+    n = combined;
+}
+
+double
+median(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const size_t n = values.size();
+    if (n % 2 == 1)
+        return values[n / 2];
+    return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+uint64_t
+medianU64(std::vector<uint64_t> values)
+{
+    if (values.empty())
+        return 0;
+    std::sort(values.begin(), values.end());
+    return values[values.size() / 2];
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        BPNSP_ASSERT(v > 0.0, "geomean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    BPNSP_ASSERT(p >= 0.0 && p <= 100.0);
+    std::sort(values.begin(), values.end());
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const size_t below = static_cast<size_t>(rank);
+    const double frac = rank - static_cast<double>(below);
+    if (below + 1 >= values.size())
+        return values.back();
+    return values[below] * (1.0 - frac) + values[below + 1] * frac;
+}
+
+} // namespace bpnsp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Small statistics helpers: online mean/variance, medians, geometric
+ * means. Used throughout the analysis pipeline.
+ */
+
+#ifndef BPNSP_UTIL_STATS_HPP
+#define BPNSP_UTIL_STATS_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace bpnsp {
+
+/** Welford online accumulator for mean and variance. */
+class OnlineStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    uint64_t count() const { return n; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Population variance (0 when fewer than 2 observations). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation (0 when empty). */
+    double min() const { return n ? lo : 0.0; }
+
+    /** Largest observation (0 when empty). */
+    double max() const { return n ? hi : 0.0; }
+
+    /** Sum of observations. */
+    double sum() const { return total; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const OnlineStats &other);
+
+  private:
+    uint64_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+/** Median of a vector (copies and sorts; 0 when empty). */
+double median(std::vector<double> values);
+
+/** Median of unsigned integers (0 when empty). */
+uint64_t medianU64(std::vector<uint64_t> values);
+
+/** Geometric mean of strictly positive values (0 when empty). */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean (0 when empty). */
+double mean(const std::vector<double> &values);
+
+/** p-th percentile (0 <= p <= 100) by linear interpolation. */
+double percentile(std::vector<double> values, double p);
+
+} // namespace bpnsp
+
+#endif // BPNSP_UTIL_STATS_HPP

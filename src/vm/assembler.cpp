@@ -1,0 +1,164 @@
+#include "vm/assembler.hpp"
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+Assembler::Assembler(std::string program_name)
+    : name(std::move(program_name))
+{
+}
+
+Label
+Assembler::newLabel()
+{
+    labelTargets.push_back(-1);
+    return Label{static_cast<int32_t>(labelTargets.size() - 1)};
+}
+
+void
+Assembler::bind(Label label)
+{
+    BPNSP_ASSERT(label.valid(), "binding an invalid label");
+    BPNSP_ASSERT(labelTargets.at(label.id) == -1,
+                 "label bound twice in ", name);
+    labelTargets[label.id] = static_cast<int64_t>(codeOut.size());
+}
+
+Label
+Assembler::here()
+{
+    Label label = newLabel();
+    bind(label);
+    return label;
+}
+
+void
+Assembler::checkReg(unsigned r) const
+{
+    BPNSP_ASSERT(r < kNumRegs, "register out of range in ", name);
+}
+
+void
+Assembler::emit(Opcode op, unsigned rd, unsigned ra, unsigned rb,
+                int64_t imm)
+{
+    BPNSP_ASSERT(!finished, "emit after finish() in ", name);
+    checkReg(rd);
+    checkReg(ra);
+    checkReg(rb);
+    codeOut.push_back(Instr{op, static_cast<uint8_t>(rd),
+                            static_cast<uint8_t>(ra),
+                            static_cast<uint8_t>(rb), imm});
+}
+
+void
+Assembler::emitBranch(Opcode op, unsigned ra, unsigned rb, Label target)
+{
+    BPNSP_ASSERT(target.valid(), "branch to invalid label in ", name);
+    fixups.emplace_back(codeOut.size(), target.id);
+    emit(op, 0, ra, rb, 0);
+}
+
+void Assembler::add(unsigned rd, unsigned ra, unsigned rb)
+{ emit(Opcode::Add, rd, ra, rb, 0); }
+void Assembler::sub(unsigned rd, unsigned ra, unsigned rb)
+{ emit(Opcode::Sub, rd, ra, rb, 0); }
+void Assembler::mul(unsigned rd, unsigned ra, unsigned rb)
+{ emit(Opcode::Mul, rd, ra, rb, 0); }
+void Assembler::div(unsigned rd, unsigned ra, unsigned rb)
+{ emit(Opcode::Div, rd, ra, rb, 0); }
+void Assembler::rem(unsigned rd, unsigned ra, unsigned rb)
+{ emit(Opcode::Rem, rd, ra, rb, 0); }
+void Assembler::and_(unsigned rd, unsigned ra, unsigned rb)
+{ emit(Opcode::And, rd, ra, rb, 0); }
+void Assembler::or_(unsigned rd, unsigned ra, unsigned rb)
+{ emit(Opcode::Or, rd, ra, rb, 0); }
+void Assembler::xor_(unsigned rd, unsigned ra, unsigned rb)
+{ emit(Opcode::Xor, rd, ra, rb, 0); }
+void Assembler::hash(unsigned rd, unsigned ra, unsigned rb)
+{ emit(Opcode::Hash, rd, ra, rb, 0); }
+
+void Assembler::addi(unsigned rd, unsigned ra, int64_t imm)
+{ emit(Opcode::AddI, rd, ra, 0, imm); }
+void Assembler::muli(unsigned rd, unsigned ra, int64_t imm)
+{ emit(Opcode::MulI, rd, ra, 0, imm); }
+void Assembler::andi(unsigned rd, unsigned ra, int64_t imm)
+{ emit(Opcode::AndI, rd, ra, 0, imm); }
+void Assembler::xori(unsigned rd, unsigned ra, int64_t imm)
+{ emit(Opcode::XorI, rd, ra, 0, imm); }
+
+void
+Assembler::shli(unsigned rd, unsigned ra, int64_t imm)
+{
+    BPNSP_ASSERT(imm >= 0 && imm < 64, "bad shift amount in ", name);
+    emit(Opcode::ShlI, rd, ra, 0, imm);
+}
+
+void
+Assembler::shri(unsigned rd, unsigned ra, int64_t imm)
+{
+    BPNSP_ASSERT(imm >= 0 && imm < 64, "bad shift amount in ", name);
+    emit(Opcode::ShrI, rd, ra, 0, imm);
+}
+
+void Assembler::li(unsigned rd, int64_t imm)
+{ emit(Opcode::LoadImm, rd, 0, 0, imm); }
+void Assembler::mov(unsigned rd, unsigned ra)
+{ emit(Opcode::Move, rd, ra, 0, 0); }
+
+void Assembler::load(unsigned rd, unsigned ra, int64_t imm)
+{ emit(Opcode::Load, rd, ra, 0, imm); }
+void Assembler::store(unsigned ra, unsigned rb, int64_t imm)
+{ emit(Opcode::Store, 0, ra, rb, imm); }
+
+void Assembler::beq(unsigned ra, unsigned rb, Label target)
+{ emitBranch(Opcode::Beq, ra, rb, target); }
+void Assembler::bne(unsigned ra, unsigned rb, Label target)
+{ emitBranch(Opcode::Bne, ra, rb, target); }
+void Assembler::blt(unsigned ra, unsigned rb, Label target)
+{ emitBranch(Opcode::Blt, ra, rb, target); }
+void Assembler::bge(unsigned ra, unsigned rb, Label target)
+{ emitBranch(Opcode::Bge, ra, rb, target); }
+
+void Assembler::jmp(Label target)
+{ emitBranch(Opcode::Jump, 0, 0, target); }
+void Assembler::call(Label target)
+{ emitBranch(Opcode::Call, 0, 0, target); }
+
+void Assembler::ret() { emit(Opcode::Ret, 0, 0, 0, 0); }
+void Assembler::halt() { emit(Opcode::Halt, 0, 0, 0, 0); }
+
+void
+Assembler::data(uint64_t addr, uint64_t value)
+{
+    dataOut.emplace_back(addr, value);
+}
+
+Program
+Assembler::finish(Label entry)
+{
+    BPNSP_ASSERT(!finished, "finish() called twice in ", name);
+    finished = true;
+    for (const auto &[instr_idx, label_id] : fixups) {
+        const int64_t target = labelTargets.at(label_id);
+        if (target < 0)
+            fatal("unbound label ", label_id, " in program ", name);
+        codeOut[instr_idx].imm = target;
+    }
+    Program prog;
+    prog.name = name;
+    prog.code = std::move(codeOut);
+    prog.dataInit = std::move(dataOut);
+    if (entry.valid()) {
+        const int64_t target = labelTargets.at(entry.id);
+        if (target < 0)
+            fatal("unbound entry label in program ", name);
+        prog.entry = static_cast<uint64_t>(target);
+    }
+    if (prog.code.empty())
+        fatal("empty program: ", name);
+    return prog;
+}
+
+} // namespace bpnsp

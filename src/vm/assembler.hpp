@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Programmatic assembler for the micro-ISA.
+ *
+ * The workload suite builds its programs through this API: labels may be
+ * referenced before being bound (forward branches), and finish() resolves
+ * all fixups and validates the result.
+ */
+
+#ifndef BPNSP_VM_ASSEMBLER_HPP
+#define BPNSP_VM_ASSEMBLER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/program.hpp"
+
+namespace bpnsp {
+
+/** Opaque label handle returned by Assembler::newLabel(). */
+struct Label
+{
+    int32_t id = -1;
+    bool valid() const { return id >= 0; }
+};
+
+/** Builder of Program objects with label fixup. */
+class Assembler
+{
+  public:
+    explicit Assembler(std::string program_name = "program");
+
+    /** Create a fresh, unbound label. */
+    Label newLabel();
+
+    /** Bind a label to the next emitted instruction. */
+    void bind(Label label);
+
+    /** Create a label already bound to the next instruction. */
+    Label here();
+
+    // ---- ALU register-register ----
+    void add(unsigned rd, unsigned ra, unsigned rb);
+    void sub(unsigned rd, unsigned ra, unsigned rb);
+    void mul(unsigned rd, unsigned ra, unsigned rb);
+    /** rd = rb ? ra / rb : 0 (division by zero yields 0). */
+    void div(unsigned rd, unsigned ra, unsigned rb);
+    /** rd = rb ? ra % rb : 0. */
+    void rem(unsigned rd, unsigned ra, unsigned rb);
+    void and_(unsigned rd, unsigned ra, unsigned rb);
+    void or_(unsigned rd, unsigned ra, unsigned rb);
+    void xor_(unsigned rd, unsigned ra, unsigned rb);
+    /** rd = mix64(ra ^ rb): models data-dependent values. */
+    void hash(unsigned rd, unsigned ra, unsigned rb);
+
+    // ---- ALU register-immediate ----
+    void addi(unsigned rd, unsigned ra, int64_t imm);
+    void muli(unsigned rd, unsigned ra, int64_t imm);
+    void andi(unsigned rd, unsigned ra, int64_t imm);
+    void xori(unsigned rd, unsigned ra, int64_t imm);
+    void shli(unsigned rd, unsigned ra, int64_t imm);
+    void shri(unsigned rd, unsigned ra, int64_t imm);
+
+    // ---- moves ----
+    void li(unsigned rd, int64_t imm);
+    void mov(unsigned rd, unsigned ra);
+
+    // ---- memory ----
+    /** rd = mem[ra + imm]. */
+    void load(unsigned rd, unsigned ra, int64_t imm = 0);
+    /** mem[rb + imm] = ra. */
+    void store(unsigned ra, unsigned rb, int64_t imm = 0);
+
+    // ---- control flow ----
+    void beq(unsigned ra, unsigned rb, Label target);
+    void bne(unsigned ra, unsigned rb, Label target);
+    /** Signed comparison. */
+    void blt(unsigned ra, unsigned rb, Label target);
+    void bge(unsigned ra, unsigned rb, Label target);
+    void jmp(Label target);
+    void call(Label target);
+    void ret();
+    void halt();
+
+    /** Seed a 64-bit word of initial data memory. */
+    void data(uint64_t addr, uint64_t value);
+
+    /** Index the next instruction will occupy. */
+    uint64_t nextIndex() const { return codeOut.size(); }
+
+    /**
+     * Resolve fixups and produce the program. fatal() if any referenced
+     * label is unbound. The entry point defaults to instruction 0.
+     */
+    Program finish(Label entry = Label{});
+
+  private:
+    std::string name;
+    std::vector<Instr> codeOut;
+    std::vector<int64_t> labelTargets;   // -1 while unbound
+    std::vector<std::pair<uint64_t, int32_t>> fixups; // (instr, label id)
+    std::vector<std::pair<uint64_t, uint64_t>> dataOut;
+    bool finished = false;
+
+    void emit(Opcode op, unsigned rd, unsigned ra, unsigned rb,
+              int64_t imm);
+    void emitBranch(Opcode op, unsigned ra, unsigned rb, Label target);
+    void checkReg(unsigned r) const;
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_VM_ASSEMBLER_HPP

@@ -1,0 +1,40 @@
+#include "vm/isa.hpp"
+
+namespace bpnsp {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Hash: return "hash";
+      case Opcode::AddI: return "addi";
+      case Opcode::MulI: return "muli";
+      case Opcode::AndI: return "andi";
+      case Opcode::XorI: return "xori";
+      case Opcode::ShlI: return "shli";
+      case Opcode::ShrI: return "shri";
+      case Opcode::LoadImm: return "li";
+      case Opcode::Move: return "mov";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jump: return "jmp";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Halt: return "halt";
+    }
+    return "unknown";
+}
+
+} // namespace bpnsp

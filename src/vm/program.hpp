@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A fully-assembled micro-ISA program: code, entry point, and initial
+ * data-memory image.
+ */
+
+#ifndef BPNSP_VM_PROGRAM_HPP
+#define BPNSP_VM_PROGRAM_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "vm/isa.hpp"
+
+namespace bpnsp {
+
+/** An executable program for the Interpreter. */
+struct Program
+{
+    std::string name;                ///< human-readable identifier
+    std::vector<Instr> code;         ///< instruction memory
+    uint64_t entry = 0;              ///< start instruction index
+    uint64_t codeBase = kCodeBase;   ///< IP of instruction index 0
+
+    /** Initial data memory: (byte address, 64-bit value) pairs. */
+    std::vector<std::pair<uint64_t, uint64_t>> dataInit;
+
+    /** IP of the instruction at the given index. */
+    uint64_t
+    ipOf(uint64_t index) const
+    {
+        return codeBase + index * kInstrBytes;
+    }
+
+    /** Instruction index of an IP inside this program. */
+    uint64_t
+    indexOf(uint64_t ip) const
+    {
+        return (ip - codeBase) / kInstrBytes;
+    }
+
+    /** Number of static instructions. */
+    uint64_t size() const { return code.size(); }
+
+    /** Count of static conditional branch instructions. */
+    uint64_t
+    staticCondBranches() const
+    {
+        uint64_t n = 0;
+        for (const auto &instr : code)
+            if (isCondBranch(instr.op))
+                ++n;
+        return n;
+    }
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_VM_PROGRAM_HPP

@@ -1,0 +1,208 @@
+#include "workloads/builder.hpp"
+
+#include "util/bitops.hpp"
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+ProgramBuilder::ProgramBuilder(std::string program_name,
+                               uint64_t data_seed)
+    : asm_(std::move(program_name)), dataRng(data_seed)
+{
+    // Instruction 0 jumps to the real entry point, which the program
+    // scaffold binds later; code emitted before it (function bodies)
+    // is only reachable via call.
+    entryLbl = asm_.newLabel();
+    asm_.jmp(entryLbl);
+    // Allocate the config words up front so that function bodies
+    // emitted before prologue() can reference their addresses.
+    seedAddr = configWord(dataRng.next() | 1);
+    spAddr = configWord(kStackBase);
+}
+
+void
+ProgramBuilder::prologue()
+{
+    BPNSP_ASSERT(!prologueDone, "prologue emitted twice");
+    prologueDone = true;
+    asm_.li(Zero, 0);
+    asm_.li(Hundred, 100);
+    asm_.li(Iter, 0);
+    asm_.li(T0, static_cast<int64_t>(seedAddr));
+    asm_.load(Prng, T0, 0);
+}
+
+void
+ProgramBuilder::prngNext()
+{
+    // r1 = mix64(r1 ^ 0): a full-period-ish mixing step.
+    asm_.hash(Prng, Prng, Zero);
+}
+
+void
+ProgramBuilder::chance(unsigned pct, Label taken)
+{
+    BPNSP_ASSERT(pct <= 100);
+    prngNext();
+    asm_.rem(T0, Prng, Hundred);
+    asm_.li(T1, static_cast<int64_t>(pct));
+    asm_.blt(T0, T1, taken);
+}
+
+void
+ProgramBuilder::chanceVar(uint64_t threshold_addr, Label taken)
+{
+    prngNext();
+    asm_.rem(T0, Prng, Hundred);
+    asm_.li(T2, static_cast<int64_t>(threshold_addr));
+    asm_.load(T1, T2, 0);
+    asm_.blt(T0, T1, taken);
+}
+
+uint64_t
+ProgramBuilder::table(
+    unsigned log2_words,
+    const std::function<uint64_t(Rng &, uint64_t)> &gen)
+{
+    const uint64_t words = 1ull << log2_words;
+    const uint64_t base = dataCursor;
+    for (uint64_t i = 0; i < words; ++i)
+        asm_.data(base + i * 8, gen(dataRng, i));
+    dataCursor = base + words * 8;
+    // Keep tables page-separated so address streams look realistic.
+    dataCursor = (dataCursor + 4095) & ~4095ull;
+    return base;
+}
+
+uint64_t
+ProgramBuilder::configWord(uint64_t value)
+{
+    const uint64_t addr = dataCursor;
+    asm_.data(addr, value);
+    dataCursor += 8;
+    return addr;
+}
+
+void
+ProgramBuilder::loadTableEntry(unsigned rd, uint64_t base,
+                               unsigned log2_words, unsigned idx_reg)
+{
+    asm_.andi(T0, idx_reg, static_cast<int64_t>((1ull << log2_words) - 1));
+    asm_.shli(T0, T0, 3);
+    asm_.li(T1, static_cast<int64_t>(base));
+    asm_.add(T0, T0, T1);
+    asm_.load(rd, T0, 0);
+}
+
+void
+ProgramBuilder::periodicGate(unsigned gate_reg, unsigned log2_period,
+                             Label skip)
+{
+    BPNSP_ASSERT(log2_period >= 1 && log2_period < 20);
+    asm_.andi(T0, gate_reg, static_cast<int64_t>(
+                                (1ull << log2_period) - 1));
+    asm_.bne(T0, Zero, skip);
+}
+
+ProgramBuilder::LoopCtx
+ProgramBuilder::loopBegin(unsigned counter_reg, int64_t count)
+{
+    BPNSP_ASSERT(count >= 1, "loop count must be positive");
+    asm_.li(counter_reg, count);
+    return LoopCtx{asm_.here(), counter_reg};
+}
+
+ProgramBuilder::LoopCtx
+ProgramBuilder::loopBeginDynamic(unsigned counter_reg)
+{
+    return LoopCtx{asm_.here(), counter_reg};
+}
+
+void
+ProgramBuilder::loopEnd(const LoopCtx &loop)
+{
+    asm_.addi(loop.counter, loop.counter, -1);
+    asm_.bne(loop.counter, Zero, loop.head);
+}
+
+void
+ProgramBuilder::push(unsigned reg)
+{
+    asm_.li(T0, static_cast<int64_t>(spAddr));
+    asm_.load(T1, T0, 0);
+    asm_.store(reg, T1, 0);
+    asm_.addi(T1, T1, 8);
+    asm_.store(T1, T0, 0);
+}
+
+void
+ProgramBuilder::pop(unsigned reg)
+{
+    asm_.li(T0, static_cast<int64_t>(spAddr));
+    asm_.load(T1, T0, 0);
+    asm_.addi(T1, T1, -8);
+    asm_.load(reg, T1, 0);
+    asm_.store(T1, T0, 0);
+}
+
+Program
+ProgramBuilder::finish()
+{
+    return asm_.finish();
+}
+
+void
+emitPhaseProgram(
+    ProgramBuilder &b,
+    const std::vector<std::function<void(ProgramBuilder &)>> &kernels,
+    unsigned log2_segment_iters)
+{
+    BPNSP_ASSERT(!kernels.empty());
+    Assembler &a = b.text();
+
+    const Label entry = b.entryLabel();
+    std::vector<Label> kernel_labels;
+    kernel_labels.reserve(kernels.size());
+    for (size_t k = 0; k < kernels.size(); ++k)
+        kernel_labels.push_back(a.newLabel());
+
+    // Kernel functions.
+    for (size_t k = 0; k < kernels.size(); ++k) {
+        a.bind(kernel_labels[k]);
+        kernels[k](b);
+        a.ret();
+    }
+
+    // Outer phase loop.
+    a.bind(entry);
+    b.prologue();
+    const Label loop_head = a.here();
+
+    // phase = (iter >> log2_segment_iters) % numKernels
+    a.shri(5, ProgramBuilder::Iter, log2_segment_iters);
+    const bool pow2 = isPowerOfTwo(kernels.size());
+    if (pow2) {
+        a.andi(5, 5, static_cast<int64_t>(kernels.size() - 1));
+    } else {
+        a.li(6, static_cast<int64_t>(kernels.size()));
+        a.rem(5, 5, 6);
+    }
+
+    // Dispatch chain: one compare-and-branch per kernel. These
+    // branches flip only at segment boundaries, so they are easy for
+    // any history predictor — phase structure, not noise.
+    const Label continue_label = a.newLabel();
+    for (size_t k = 0; k < kernels.size(); ++k) {
+        const Label skip = a.newLabel();
+        a.li(6, static_cast<int64_t>(k));
+        a.bne(5, 6, skip);
+        a.call(kernel_labels[k]);
+        a.jmp(continue_label);
+        a.bind(skip);
+    }
+    a.bind(continue_label);
+    a.addi(ProgramBuilder::Iter, ProgramBuilder::Iter, 1);
+    a.jmp(loop_head);
+}
+
+} // namespace bpnsp

@@ -1,0 +1,155 @@
+#include "workloads/dispatch.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+namespace {
+
+/** Recursive helper for emitDispatchTree over funcs[lo, hi). */
+void
+emitTreeRange(Assembler &a, unsigned idx_reg,
+              const std::vector<Label> &funcs, size_t lo, size_t hi,
+              Label done)
+{
+    if (hi - lo == 1) {
+        a.call(funcs[lo]);
+        a.jmp(done);
+        return;
+    }
+    const size_t mid = lo + (hi - lo) / 2;
+    const Label right = a.newLabel();
+    a.li(ProgramBuilder::T1, static_cast<int64_t>(mid));
+    a.bge(idx_reg, ProgramBuilder::T1, right);
+    emitTreeRange(a, idx_reg, funcs, lo, mid, done);
+    a.bind(right);
+    emitTreeRange(a, idx_reg, funcs, mid, hi, done);
+}
+
+} // namespace
+
+void
+emitDispatchTree(Assembler &a, unsigned idx_reg,
+                 const std::vector<Label> &funcs, Label done)
+{
+    BPNSP_ASSERT(!funcs.empty());
+    BPNSP_ASSERT(idx_reg != ProgramBuilder::T1,
+                 "index register clobbered by the tree");
+    emitTreeRange(a, idx_reg, funcs, 0, funcs.size(), done);
+}
+
+std::vector<Label>
+emitFuncLibrary(ProgramBuilder &b, const FuncLibraryParams &params)
+{
+    Assembler &a = b.text();
+    Rng structure(params.structSeed);   // input-invariant code shape
+    std::vector<Label> funcs;
+    funcs.reserve(params.numFuncs);
+
+    for (unsigned f = 0; f < params.numFuncs; ++f) {
+        // Per-function private data (contents are input-specific:
+        // generated through the builder's data RNG).
+        const uint64_t data_base = b.table(
+            params.log2FuncData,
+            [](Rng &r, uint64_t) { return r.below(100); });
+
+        funcs.push_back(a.newLabel());
+        a.bind(funcs.back());
+
+        const unsigned branches = static_cast<unsigned>(
+            structure.range(params.minBranches, params.maxBranches));
+
+        // Walk the function's data, testing each value against a
+        // threshold fixed in the code. r7 holds a rotating cursor.
+        a.addi(7, ProgramBuilder::Iter, static_cast<int64_t>(f));
+        for (unsigned br = 0; br < branches; ++br) {
+            const unsigned threshold =
+                params.biasChoices[structure.below(
+                    params.biasChoices.size())];
+            const Label skip = a.newLabel();
+            b.loadTableEntry(8, data_base, params.log2FuncData, 7);
+            a.li(9, static_cast<int64_t>(threshold));
+            a.bge(8, 9, skip);
+            // Taken path: a little work that feeds later branches.
+            a.add(10, 10, 8);
+            a.xori(7, 7, 0x2b);
+            a.bind(skip);
+            a.addi(7, 7, 1);
+        }
+
+        // Optionally a small data-bounded loop.
+        if (structure.below(100) < params.loopChancePct) {
+            b.loadTableEntry(11, data_base, params.log2FuncData, 7);
+            a.andi(11, 11, 7);
+            a.addi(11, 11, 1);   // trip count 1..8
+            const auto loop = b.loopBeginDynamic(11);
+            a.add(10, 10, 11);
+            b.loopEnd(loop);
+        }
+        a.ret();
+    }
+    return funcs;
+}
+
+uint64_t
+makeZipfCallSequence(ProgramBuilder &b, unsigned log2_len,
+                     unsigned num_funcs, double exponent,
+                     unsigned min_run, unsigned max_run)
+{
+    BPNSP_ASSERT(num_funcs >= 1);
+    BPNSP_ASSERT(min_run >= 1 && max_run >= min_run);
+    // Build the Zipf CDF once, then sample with the builder's data RNG
+    // (so the call mix is input-specific while the code is shared).
+    std::vector<double> cdf(num_funcs);
+    double total = 0.0;
+    for (unsigned r = 0; r < num_funcs; ++r) {
+        total += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+        cdf[r] = total;
+    }
+    for (auto &c : cdf)
+        c /= total;
+
+    // Random rank->function permutation, fixed per input, so that hot
+    // functions are scattered across the address space.
+    std::vector<unsigned> perm(num_funcs);
+    for (unsigned f = 0; f < num_funcs; ++f)
+        perm[f] = f;
+    for (unsigned f = num_funcs - 1; f > 0; --f) {
+        const unsigned j =
+            static_cast<unsigned>(b.rng().below(f + 1));
+        std::swap(perm[f], perm[j]);
+    }
+
+    uint64_t current = 0;
+    unsigned left = 0;
+    return b.table(log2_len, [&](Rng &r, uint64_t) {
+        if (left == 0) {
+            const double u = r.uniform();
+            // Binary search the CDF.
+            size_t lo = 0;
+            size_t hi = cdf.size() - 1;
+            while (lo < hi) {
+                const size_t mid = (lo + hi) / 2;
+                if (cdf[mid] < u)
+                    lo = mid + 1;
+                else
+                    hi = mid;
+            }
+            current = perm[lo];
+            // Bimodal run lengths: half the runs are single calls
+            // (keeping recurrence intervals long for rare branches),
+            // half are bursts (giving dispatch code its locality).
+            if (max_run > min_run && r.chance(0.5)) {
+                left = 1;
+            } else {
+                left = min_run + static_cast<unsigned>(
+                                     r.below(max_run - min_run + 1));
+            }
+        }
+        --left;
+        return current;
+    });
+}
+
+} // namespace bpnsp

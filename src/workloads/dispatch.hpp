@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared emitters for multi-function code footprints: binary dispatch
+ * trees and libraries of generated functions. Used both by the LCF
+ * applications (their defining feature) and by the SPEC-like suite's
+ * cold-code tails.
+ */
+
+#ifndef BPNSP_WORKLOADS_DISPATCH_HPP
+#define BPNSP_WORKLOADS_DISPATCH_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "workloads/builder.hpp"
+
+namespace bpnsp {
+
+/**
+ * Emit a binary-search dispatch tree over function labels.
+ *
+ * At runtime, the function index is expected in idx_reg; the matching
+ * function is called and control continues at `done`. The tree's
+ * compare branches are themselves static conditional branches whose
+ * predictability tracks the call distribution — a realistic model of
+ * dispatch code in large applications.
+ *
+ * Clobbers r3 (T1).
+ */
+void emitDispatchTree(Assembler &a, unsigned idx_reg,
+                      const std::vector<Label> &funcs, Label done);
+
+/** Parameters of a generated function library. */
+struct FuncLibraryParams
+{
+    unsigned numFuncs = 256;
+    unsigned minBranches = 3;     ///< conditional branches per function
+    unsigned maxBranches = 10;
+    unsigned log2FuncData = 3;    ///< words of private data per function
+    /**
+     * Threshold choices (percent) for the functions' data-driven
+     * branches; drawn per branch by the structural RNG. Mid-range
+     * values yield poorly-predictable branches, extremes yield easy
+     * ones — this sets the library's accuracy spread (paper Fig. 3).
+     */
+    std::vector<unsigned> biasChoices = {2, 5, 10, 30, 50, 70, 90, 95};
+    /** Probability (percent) that a function contains a mini loop. */
+    unsigned loopChancePct = 30;
+    uint64_t structSeed = 0x5eed;  ///< fixed per benchmark, NOT per input
+};
+
+/**
+ * Emit a library of generated functions and return their entry labels.
+ *
+ * Function bodies read from per-function data tables (input-specific
+ * contents) and branch on the values against code-constant thresholds,
+ * so each static branch has a stable input-dependent bias. Emit this
+ * *before* the program entry (bodies are only reachable by call).
+ */
+std::vector<Label> emitFuncLibrary(ProgramBuilder &b,
+                                   const FuncLibraryParams &params);
+
+/**
+ * Fill a call-sequence table with Zipf-distributed function indices.
+ * Consecutive entries repeat each sampled function for a run of
+ * [min_run, max_run] calls, modelling the temporal locality of real
+ * call streams (which makes dispatch code learnable while leaving the
+ * static branch population rare).
+ * @return the table base address.
+ */
+uint64_t makeZipfCallSequence(ProgramBuilder &b, unsigned log2_len,
+                              unsigned num_funcs, double exponent,
+                              unsigned min_run = 1,
+                              unsigned max_run = 1);
+
+} // namespace bpnsp
+
+#endif // BPNSP_WORKLOADS_DISPATCH_HPP

@@ -1,0 +1,188 @@
+#include "workloads/lcf_suite.hpp"
+
+#include "util/bitops.hpp"
+#include "workloads/builder.hpp"
+#include "workloads/dispatch.hpp"
+
+namespace bpnsp {
+
+using B = ProgramBuilder;
+
+Program
+buildLcfApp(const LcfAppParams &params, uint64_t seed)
+{
+    ProgramBuilder b(params.name, seed);
+    Assembler &a = b.text();
+
+    FuncLibraryParams lib;
+    lib.numFuncs = params.numFuncs;
+    lib.minBranches = params.minBranches;
+    lib.maxBranches = params.maxBranches;
+    lib.biasChoices = params.biasChoices;
+    lib.structSeed = params.structSeed;
+    const std::vector<Label> funcs = emitFuncLibrary(b, lib);
+
+    const uint64_t call_seq = makeZipfCallSequence(
+        b, params.log2CallSeq, params.numFuncs, params.zipfExponent,
+        params.minCallRun, params.maxCallRun);
+
+    // Main dispatcher loop.
+    a.bind(b.entryLabel());
+    b.prologue();
+    const Label loop_head = a.here();
+
+    // idx = callSeq[iter & mask]
+    b.loadTableEntry(7, call_seq, params.log2CallSeq, B::Iter);
+    const Label done = a.newLabel();
+    emitDispatchTree(a, 7, funcs, done);
+    a.bind(done);
+
+    // Hot H2P sites: rate-limited by a predictable periodic gate so
+    // they meet the H2P screening criteria without dominating overall
+    // accuracy, while the library's branches stay rare.
+    const Label hot_skip = a.newLabel();
+    if (params.hotGateLog2 > 0)
+        b.periodicGate(B::Iter, params.hotGateLog2, hot_skip);
+    for (unsigned pct_taken : params.hotH2pPcts) {
+        const Label skip = a.newLabel();
+        b.chance(pct_taken, skip);
+        a.addi(10, 10, 1);
+        a.bind(skip);
+    }
+    a.bind(hot_skip);
+
+    a.addi(B::Iter, B::Iter, 1);
+    a.jmp(loop_head);
+    return b.finish();
+}
+
+LcfAppParams
+gccLikeParams()
+{
+    LcfAppParams p;
+    p.name = "gcc_like";
+    p.numFuncs = 768;
+    p.minBranches = 4;
+    p.maxBranches = 14;
+    p.zipfExponent = 0.8;
+    p.biasChoices = {3, 6, 10, 50, 90, 94, 97};
+    p.hotH2pPcts = {50, 40, 35, 55, 45};
+    p.hotGateLog2 = 3;
+    p.structSeed = 0x6cc;
+    return p;
+}
+
+LcfAppParams
+gameParams()
+{
+    LcfAppParams p;
+    p.name = "game";
+    // The largest footprint in Table II (45,996 static branch IPs) and
+    // the lowest accuracy (0.73): many mid-bias branches.
+    p.numFuncs = 3072;
+    p.minBranches = 6;
+    p.maxBranches = 16;
+    p.zipfExponent = 0.6;   // flat call mix: most branches rare
+    p.biasChoices = {10, 20, 30, 40, 50, 60, 70, 80, 90};
+    p.hotH2pPcts = {50};
+    p.hotGateLog2 = 2;
+    p.minCallRun = 1;
+    p.maxCallRun = 3;
+    p.structSeed = 0x9a3e;
+    return p;
+}
+
+LcfAppParams
+rdbmsParams()
+{
+    LcfAppParams p;
+    p.name = "rdbms";
+    p.numFuncs = 1536;
+    p.minBranches = 4;
+    p.maxBranches = 12;
+    p.zipfExponent = 0.9;
+    p.biasChoices = {2, 4, 6, 50, 94, 96, 98};
+    p.hotH2pPcts = {45, 50, 55, 40, 60, 35, 48, 52};
+    p.hotGateLog2 = 4;
+    p.minCallRun = 3;
+    p.maxCallRun = 10;
+    p.structSeed = 0x4db;
+    return p;
+}
+
+LcfAppParams
+nosqlParams()
+{
+    LcfAppParams p;
+    p.name = "nosql";
+    p.numFuncs = 640;
+    p.minBranches = 3;
+    p.maxBranches = 10;
+    p.zipfExponent = 1.0;
+    p.biasChoices = {2, 3, 5, 95, 97, 98};
+    p.hotH2pPcts = {45, 55};
+    p.hotGateLog2 = 3;
+    p.minCallRun = 3;
+    p.maxCallRun = 10;
+    p.structSeed = 0x05c1;
+    return p;
+}
+
+LcfAppParams
+analyticsParams()
+{
+    LcfAppParams p;
+    p.name = "analytics";
+    p.numFuncs = 512;
+    p.minBranches = 4;
+    p.maxBranches = 12;
+    p.zipfExponent = 0.75;
+    p.biasChoices = {5, 10, 30, 70, 90, 95};
+    p.hotH2pPcts = {50, 45, 42, 58, 38, 53};
+    p.hotGateLog2 = 3;
+    p.structSeed = 0x8a17;
+    return p;
+}
+
+LcfAppParams
+streamingParams()
+{
+    LcfAppParams p;
+    p.name = "streaming";
+    p.numFuncs = 288;
+    p.minBranches = 3;
+    p.maxBranches = 9;
+    p.zipfExponent = 0.7;
+    p.biasChoices = {10, 20, 50, 50, 80, 90};
+    p.hotH2pPcts = {50, 46, 54, 41, 59, 49};
+    p.hotGateLog2 = 3;
+    p.minCallRun = 1;
+    p.maxCallRun = 4;
+    p.structSeed = 0x57e4;
+    return p;
+}
+
+std::vector<Workload>
+lcfSuite()
+{
+    std::vector<Workload> suite;
+    auto addApp = [&](const LcfAppParams &params) {
+        Workload w;
+        w.name = params.name;
+        w.lcf = true;
+        w.inputs = makeInputs(params.name, 1);
+        w.builder = [params](uint64_t seed) {
+            return buildLcfApp(params, seed);
+        };
+        suite.push_back(std::move(w));
+    };
+    addApp(gccLikeParams());
+    addApp(gameParams());
+    addApp(rdbmsParams());
+    addApp(nosqlParams());
+    addApp(analyticsParams());
+    addApp(streamingParams());
+    return suite;
+}
+
+} // namespace bpnsp

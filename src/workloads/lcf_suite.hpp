@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The large-code-footprint (LCF) synthetic application suite.
+ *
+ * Six applications model the paper's Table II population: gcc_like
+ * plus five "live deployment" programs (game, RDBMS, NoSQL database,
+ * real-time analytics, streaming server). Their defining property is a
+ * large static branch population with low per-branch dynamic execution
+ * counts: a Zipf-driven dispatcher calls into a big generated function
+ * library, so most branches execute only a handful of times per slice
+ * while accuracy spreads widely (paper Figs. 3, 4, 9).
+ */
+
+#ifndef BPNSP_WORKLOADS_LCF_SUITE_HPP
+#define BPNSP_WORKLOADS_LCF_SUITE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "vm/program.hpp"
+#include "workloads/workload.hpp"
+
+namespace bpnsp {
+
+/** Knobs of the LCF program generator. */
+struct LcfAppParams
+{
+    std::string name = "lcf";
+    unsigned numFuncs = 1024;       ///< library size (code footprint)
+    unsigned minBranches = 3;       ///< per-function branch range
+    unsigned maxBranches = 12;
+    double zipfExponent = 0.9;      ///< call-mix skew
+    unsigned log2CallSeq = 14;      ///< call-sequence table length
+    /** Bias thresholds available to function branches (accuracy mix). */
+    std::vector<unsigned> biasChoices = {2, 5, 10, 30, 50, 70, 90, 95};
+    /** Hot, frequently-executed H2P sites in the dispatcher loop
+     *  (taken-percent each); models the suite's few H2Ps. */
+    std::vector<unsigned> hotH2pPcts = {50, 45};
+    /** Hot sites fire once per 2^hotGateLog2 dispatcher iterations. */
+    unsigned hotGateLog2 = 2;
+    /** Call-stream locality: each sampled function repeats for a run
+     *  of [minCallRun, maxCallRun] consecutive calls. */
+    unsigned minCallRun = 2;
+    unsigned maxCallRun = 8;
+    uint64_t structSeed = 0x1cf;    ///< code-shape seed (per app)
+};
+
+/** Build an LCF application program from its parameters. */
+Program buildLcfApp(const LcfAppParams &params, uint64_t seed);
+
+/** Parameter presets for the six Table II applications. */
+LcfAppParams gccLikeParams();
+LcfAppParams gameParams();
+LcfAppParams rdbmsParams();
+LcfAppParams nosqlParams();
+LcfAppParams analyticsParams();
+LcfAppParams streamingParams();
+
+/** The six LCF workloads (single input each, as in the paper). */
+std::vector<Workload> lcfSuite();
+
+} // namespace bpnsp
+
+#endif // BPNSP_WORKLOADS_LCF_SUITE_HPP

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The SPEC-like synthetic benchmark suite.
+ *
+ * Nine programs model the branch character of the SPECint 2017
+ * benchmarks studied in the paper's Table I (603.gcc_s is in the LCF
+ * suite, as in the paper). Each captures the qualitative behaviors the
+ * paper attributes to its namesake: e.g. mcf_like concentrates its
+ * mispredictions in a handful of data-dependent branches (96.9% of
+ * mispredictions from H2Ps), x264_like is loop-regular with a single
+ * dominant H2P, leela_like sprays dozens of moderately-biased
+ * stochastic decision branches (lowest accuracy in the suite).
+ */
+
+#ifndef BPNSP_WORKLOADS_SPEC_SUITE_HPP
+#define BPNSP_WORKLOADS_SPEC_SUITE_HPP
+
+#include <cstdint>
+
+#include "vm/program.hpp"
+#include "workloads/workload.hpp"
+
+namespace bpnsp {
+
+Program buildPerlbenchLike(uint64_t seed);
+Program buildMcfLike(uint64_t seed);
+Program buildOmnetppLike(uint64_t seed);
+Program buildXalancbmkLike(uint64_t seed);
+Program buildX264Like(uint64_t seed);
+Program buildDeepsjengLike(uint64_t seed);
+Program buildLeelaLike(uint64_t seed);
+Program buildExchange2Like(uint64_t seed);
+Program buildXzLike(uint64_t seed);
+
+/** The nine SPEC-like workloads with their per-benchmark input counts
+ *  (Table I's "# App. Inputs" column). */
+std::vector<Workload> specSuite();
+
+} // namespace bpnsp
+
+#endif // BPNSP_WORKLOADS_SPEC_SUITE_HPP

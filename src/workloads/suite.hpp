@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Workload registry: lookup by name across the SPEC-like and LCF
+ * suites.
+ */
+
+#ifndef BPNSP_WORKLOADS_SUITE_HPP
+#define BPNSP_WORKLOADS_SUITE_HPP
+
+#include <string>
+#include <vector>
+
+#include "workloads/lcf_suite.hpp"
+#include "workloads/spec_suite.hpp"
+#include "workloads/workload.hpp"
+
+namespace bpnsp {
+
+/** All fifteen workloads (SPEC-like then LCF). */
+std::vector<Workload> allWorkloads();
+
+/** Find a workload by name; fatal() if unknown. */
+Workload findWorkload(const std::string &name);
+
+} // namespace bpnsp
+
+#endif // BPNSP_WORKLOADS_SUITE_HPP

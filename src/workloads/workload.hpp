@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Workload abstraction: a named benchmark with multiple application
+ * inputs. Mirrors the paper's methodology (Sec. III-A), where each
+ * SPECint 2017 benchmark is traced over an expanded set of inputs and
+ * H2P overlap is measured across them.
+ *
+ * Invariant: all inputs of a workload execute the *same* program text;
+ * inputs differ only in data memory contents and the in-program PRNG
+ * seed. Static branch IPs are therefore comparable across inputs.
+ */
+
+#ifndef BPNSP_WORKLOADS_WORKLOAD_HPP
+#define BPNSP_WORKLOADS_WORKLOAD_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vm/program.hpp"
+
+namespace bpnsp {
+
+/** One application input (data set) of a workload. */
+struct WorkloadInput
+{
+    std::string label;   ///< e.g. "input-3"
+    uint64_t seed;       ///< drives all input-specific data
+};
+
+/** A benchmark with its input collection and program builder. */
+struct Workload
+{
+    std::string name;                ///< e.g. "mcf_like"
+    bool lcf = false;                ///< large-code-footprint class
+    std::vector<WorkloadInput> inputs;
+    std::function<Program(uint64_t seed)> builder;
+
+    /** Build the program for input index idx. */
+    Program
+    build(size_t idx) const
+    {
+        Program prog = builder(inputs.at(idx).seed);
+        prog.name = name + "/" + inputs.at(idx).label;
+        return prog;
+    }
+};
+
+/** Construct the canonical input list for a workload. */
+std::vector<WorkloadInput> makeInputs(const std::string &workload_name,
+                                      unsigned count);
+
+} // namespace bpnsp
+
+#endif // BPNSP_WORKLOADS_WORKLOAD_HPP

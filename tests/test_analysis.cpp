@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests for the analysis pipeline: sliced branch statistics, H2P
+ * screening, heavy hitters, distributions, k-means/SimPoint phases,
+ * recurrence intervals, register-value profiling, and TAGE allocation
+ * statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/alloc_stats.hpp"
+#include "analysis/branch_stats.hpp"
+#include "analysis/distributions.hpp"
+#include "analysis/h2p.hpp"
+#include "analysis/heavy_hitters.hpp"
+#include "analysis/kmeans.hpp"
+#include "analysis/recurrence.hpp"
+#include "analysis/regvalues.hpp"
+#include "analysis/simpoint.hpp"
+#include "bp/simple.hpp"
+#include "util/rng.hpp"
+
+using namespace bpnsp;
+
+namespace {
+
+TraceRecord
+branchRec(uint64_t ip, bool taken)
+{
+    TraceRecord r;
+    r.ip = ip;
+    r.cls = InstrClass::CondBranch;
+    r.taken = taken;
+    r.target = ip - 64;
+    r.fallthrough = ip + 4;
+    r.numSrc = 2;
+    r.src[0] = 1;
+    r.src[1] = 2;
+    return r;
+}
+
+TraceRecord
+aluRec(uint64_t ip, uint8_t dst = 1, uint32_t value = 0)
+{
+    TraceRecord r;
+    r.ip = ip;
+    r.cls = InstrClass::Alu;
+    r.fallthrough = ip + 4;
+    r.hasDst = true;
+    r.dst = dst;
+    r.writtenValue = value;
+    return r;
+}
+
+} // namespace
+
+// -------------------------------------------------- SlicedBranchStats
+
+TEST(SlicedBranchStats, SlicesAndTotals)
+{
+    StaticPredictor bp(true);
+    SlicedBranchStats stats(bp, 4);
+    for (int i = 0; i < 10; ++i)
+        stats.onRecord(branchRec(0x100, i % 2 == 0));
+    stats.onEnd();
+    ASSERT_EQ(stats.slices().size(), 3u);
+    EXPECT_EQ(stats.slices()[0].instructions, 4u);
+    EXPECT_EQ(stats.slices()[2].instructions, 2u);   // partial
+    EXPECT_EQ(stats.instructions(), 10u);
+    EXPECT_EQ(stats.condExecs(), 10u);
+    EXPECT_EQ(stats.condMispreds(), 5u);   // not-taken ones
+    EXPECT_EQ(stats.staticBranchCount(), 1u);
+    EXPECT_DOUBLE_EQ(stats.accuracy(), 0.5);
+}
+
+TEST(SlicedBranchStats, PerSliceBranchCounters)
+{
+    StaticPredictor bp(true);
+    SlicedBranchStats stats(bp, 3);
+    stats.onRecord(branchRec(0xA, true));
+    stats.onRecord(branchRec(0xB, false));
+    stats.onRecord(aluRec(0xC));
+    stats.onEnd();
+    const SliceStats &s = stats.slices().at(0);
+    EXPECT_EQ(s.branches.at(0xA).execs, 1u);
+    EXPECT_EQ(s.branches.at(0xB).mispreds, 1u);
+    EXPECT_EQ(s.condExecs, 2u);
+}
+
+// ------------------------------------------------------------- H2P
+
+TEST(H2p, CriteriaScale)
+{
+    const H2pCriteria base;   // 30M reference
+    const H2pCriteria scaled = base.scaledTo(3000000);   // /10
+    EXPECT_EQ(scaled.minExecs, 1500u);
+    EXPECT_EQ(scaled.minMispreds, 100u);
+    EXPECT_DOUBLE_EQ(scaled.accuracyBelow, 0.99);
+}
+
+TEST(H2p, CriteriaMatch)
+{
+    H2pCriteria c;
+    c.minExecs = 100;
+    c.minMispreds = 10;
+    BranchCounters good;
+    good.execs = 200;
+    good.mispreds = 50;
+    EXPECT_TRUE(c.matches(good));
+    BranchCounters too_few_execs;
+    too_few_execs.execs = 50;
+    too_few_execs.mispreds = 20;
+    EXPECT_FALSE(c.matches(too_few_execs));
+    BranchCounters accurate;
+    accurate.execs = 10000;
+    accurate.mispreds = 10;   // 99.9% accuracy
+    EXPECT_FALSE(c.matches(accurate));
+}
+
+TEST(H2p, ScreenAndSummarize)
+{
+    StaticPredictor bp(true);
+    SlicedBranchStats stats(bp, 1000);
+    // Branch A: hard (50/50), hot. Branch B: always taken, easy.
+    for (int i = 0; i < 1000; ++i) {
+        stats.onRecord(branchRec(0xAAA, i % 2 == 0));
+        if (i % 2)
+            stats.onRecord(branchRec(0xBBB, true));
+        else
+            stats.onRecord(aluRec(0x1));
+    }
+    stats.onEnd();
+    H2pCriteria criteria;
+    criteria.minExecs = 100;
+    criteria.minMispreds = 50;
+    criteria.referenceSlice = 1000;
+    const auto h2ps = screenH2ps(stats.slices().at(0), criteria);
+    EXPECT_EQ(h2ps.count(0xAAA), 1u);
+    EXPECT_EQ(h2ps.count(0xBBB), 0u);
+
+    const H2pSummary summary = summarizeH2ps(stats, criteria);
+    EXPECT_EQ(summary.allH2ps.size(), 1u);
+    EXPECT_GT(summary.avgMispredFraction, 0.9);
+    EXPECT_GT(summary.accuracyExclH2p, 0.99);
+}
+
+TEST(H2p, OverlapAcrossInputs)
+{
+    std::vector<std::unordered_set<uint64_t>> sets = {
+        {1, 2, 3}, {2, 3, 4}, {3, 4, 5}, {3, 9}};
+    const H2pOverlap overlap = overlapH2ps(sets);
+    EXPECT_EQ(overlap.totalUnique, 6u);   // 1,2,3,4,5,9
+    EXPECT_EQ(overlap.inThreePlus, 1u);   // only IP 3 appears 3+ times
+    EXPECT_NEAR(overlap.avgPerInput, 2.75, 1e-9);
+}
+
+// ------------------------------------------------------ heavy hitters
+
+TEST(HeavyHitters, RankedByExecsWithCumulativeFraction)
+{
+    std::unordered_map<uint64_t, BranchCounters> totals;
+    totals[1] = {1000, 100, 0};   // execs, mispreds, taken
+    totals[2] = {500, 300, 0};
+    totals[3] = {2000, 50, 0};
+    const auto ranked =
+        rankHeavyHitters(totals, {1, 2, 3}, /*total_mispreds=*/500);
+    ASSERT_EQ(ranked.size(), 3u);
+    EXPECT_EQ(ranked[0].ip, 3u);   // most executions first
+    EXPECT_EQ(ranked[1].ip, 1u);
+    EXPECT_EQ(ranked[2].ip, 2u);
+    EXPECT_DOUBLE_EQ(ranked[0].cumulativeMispredFraction, 0.1);
+    EXPECT_DOUBLE_EQ(ranked[1].cumulativeMispredFraction, 0.3);
+    EXPECT_DOUBLE_EQ(ranked[2].cumulativeMispredFraction, 0.9);
+    EXPECT_DOUBLE_EQ(topNMispredFraction(ranked, 2), 0.3);
+    EXPECT_DOUBLE_EQ(topNMispredFraction(ranked, 99), 0.9);
+}
+
+// ------------------------------------------------------ distributions
+
+TEST(Distributions, HistogramsPopulated)
+{
+    std::unordered_map<uint64_t, BranchCounters> totals;
+    totals[1] = {50, 0, 0};        // rare, perfect
+    totals[2] = {5000, 2000, 0};   // hot, poor
+    const BranchDistributions d = computeBranchDistributions(totals);
+    EXPECT_EQ(d.executions.total(), 2u);
+    EXPECT_EQ(d.accuracy.total(), 2u);
+    EXPECT_EQ(d.mispredictions.total(), 2u);
+}
+
+TEST(Distributions, AccuracySpreadShrinksWithExecs)
+{
+    // Synthesize the paper's Fig. 4b shape: branches with few execs
+    // have noisy accuracy, branches with many execs converge.
+    std::unordered_map<uint64_t, BranchCounters> totals;
+    Rng rng(5);
+    for (uint64_t i = 0; i < 400; ++i) {
+        BranchCounters c;
+        c.execs = 10 + rng.below(80);            // rare
+        c.mispreds = rng.below(c.execs + 1);     // anything
+        totals[i] = c;
+    }
+    for (uint64_t i = 1000; i < 1400; ++i) {
+        BranchCounters c;
+        c.execs = 900 + rng.below(90);           // hot
+        c.mispreds = c.execs / 100;              // uniformly ~99%
+        totals[i] = c;
+    }
+    const auto bins = accuracySpread(totals, 100, 1000);
+    ASSERT_GE(bins.size(), 10u);
+    EXPECT_GT(bins[0].stddevAccuracy, bins[9].stddevAccuracy + 0.05);
+}
+
+// ------------------------------------------------------------ kmeans
+
+TEST(KMeans, SeparatesObviousClusters)
+{
+    std::vector<std::vector<double>> points;
+    Rng rng(11);
+    for (int i = 0; i < 40; ++i) {
+        points.push_back({rng.uniform() * 0.1, rng.uniform() * 0.1});
+        points.push_back(
+            {10 + rng.uniform() * 0.1, 10 + rng.uniform() * 0.1});
+    }
+    Rng seed_rng(3);
+    const KMeansResult result = kmeans(points, 2, seed_rng);
+    EXPECT_EQ(result.k, 2u);
+    // All even-indexed points share a label distinct from odd ones.
+    for (size_t i = 2; i < points.size(); i += 2) {
+        EXPECT_EQ(result.labels[i], result.labels[0]);
+        EXPECT_EQ(result.labels[i + 1], result.labels[1]);
+    }
+    EXPECT_NE(result.labels[0], result.labels[1]);
+}
+
+TEST(KMeans, PickBestFindsAtLeastTrueK)
+{
+    std::vector<std::vector<double>> points;
+    Rng rng(13);
+    for (int c = 0; c < 3; ++c) {
+        for (int i = 0; i < 30; ++i) {
+            points.push_back({c * 8.0 + rng.uniform(),
+                              c * 8.0 + rng.uniform()});
+        }
+    }
+    Rng seed_rng(7);
+    const KMeansResult best = pickBestClustering(points, 10, seed_rng);
+    EXPECT_GE(best.k, 3u);
+    EXPECT_LE(best.k, 10u);
+}
+
+TEST(KMeans, SinglePoint)
+{
+    Rng rng(1);
+    const KMeansResult r = kmeans({{1.0, 2.0}}, 5, rng);
+    EXPECT_EQ(r.k, 1u);
+    EXPECT_EQ(r.labels[0], 0u);
+}
+
+// ---------------------------------------------------------- simpoint
+
+TEST(Simpoint, DistinguishesAlternatingPhases)
+{
+    BbvCollector bbv(1000, 8);
+    // Phase A: branch X hot; phase B: branch Y hot. 6 slices ABABAB.
+    for (int slice = 0; slice < 6; ++slice) {
+        const uint64_t ip = (slice % 2 == 0) ? 0x100 : 0x900;
+        for (int i = 0; i < 1000; ++i)
+            bbv.onRecord(branchRec(ip + (i % 7) * 8, true));
+    }
+    bbv.onEnd();
+    ASSERT_EQ(bbv.sliceCount(), 6u);
+    const SimpointResult phases = clusterPhases(bbv.vectors());
+    EXPECT_GE(phases.numPhases, 2u);
+    // Slices of the same parity must agree.
+    EXPECT_EQ(phases.phaseOf[0], phases.phaseOf[2]);
+    EXPECT_EQ(phases.phaseOf[1], phases.phaseOf[3]);
+    EXPECT_NE(phases.phaseOf[0], phases.phaseOf[1]);
+}
+
+// --------------------------------------------------------- recurrence
+
+TEST(Recurrence, MedianIntervals)
+{
+    RecurrenceCollector rec;
+    // Branch X every 10 instructions, branch Y every 50.
+    for (int i = 0; i < 500; ++i) {
+        if (i % 10 == 0)
+            rec.onRecord(branchRec(0xA0, true));
+        else if (i % 50 == 1)
+            rec.onRecord(branchRec(0xB, true));
+        else
+            rec.onRecord(aluRec(i));
+    }
+    const auto medians = rec.medians();
+    ASSERT_EQ(medians.size(), 2u);
+    EXPECT_NEAR(static_cast<double>(medians.at(0xA0)), 10.0, 1.0);
+    EXPECT_NEAR(static_cast<double>(medians.at(0xB)), 50.0, 2.0);
+}
+
+TEST(Recurrence, SingletonIsZero)
+{
+    RecurrenceCollector rec;
+    rec.onRecord(branchRec(0x1, true));
+    EXPECT_EQ(rec.medians().at(0x1), 0u);
+}
+
+TEST(Recurrence, HistogramBinsMatchFig9)
+{
+    RecurrenceCollector rec;
+    const Histogram h = rec.medianHistogram();
+    EXPECT_EQ(h.numBins(), 11u);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHi(10), 32e6);
+}
+
+// ---------------------------------------------------------- regvalues
+
+TEST(RegValues, SamplesLastWritesBeforeTarget)
+{
+    RegValueProfiler prof(0x500);
+    prof.onRecord(aluRec(0x100, /*dst=*/3, /*value=*/77));
+    prof.onRecord(aluRec(0x104, /*dst=*/4, /*value=*/88));
+    prof.onRecord(branchRec(0x500, true));
+    prof.onRecord(aluRec(0x108, 3, 99));
+    prof.onRecord(branchRec(0x500, false));
+    EXPECT_EQ(prof.samples(), 2u);
+    EXPECT_EQ(prof.valueCounts(3).at(77), 1u);
+    EXPECT_EQ(prof.valueCounts(3).at(99), 1u);
+    EXPECT_EQ(prof.valueCounts(4).at(88), 2u);
+    EXPECT_EQ(prof.distinctValues(3), 2u);
+    EXPECT_EQ(prof.topValue(4).first, 88u);
+    EXPECT_DOUBLE_EQ(prof.concentration(4, 1), 1.0);
+}
+
+// -------------------------------------------------------- alloc stats
+
+TEST(AllocStats, CountsAndUniques)
+{
+    AllocationStatsCollector collector;
+    collector.onAllocation(0xA, 0, 100, 0);
+    collector.onAllocation(0xA, 1, 200, 0);
+    collector.onAllocation(0xA, 0, 100, 0xB);   // re-acquired
+    collector.onAllocation(0xB, 2, 300, 0);
+    const auto summary = collector.summarize();
+    EXPECT_EQ(summary.at(0xA).allocations, 3u);
+    EXPECT_EQ(summary.at(0xA).uniqueEntries, 2u);
+    EXPECT_EQ(summary.at(0xB).allocations, 1u);
+    EXPECT_EQ(collector.totalAllocations(), 4u);
+    EXPECT_EQ(collector.reacquisitions(), 1u);
+
+    const auto medians = collector.groupMedians({0xA});
+    EXPECT_EQ(medians.medianAllocations, 3u);
+    EXPECT_EQ(medians.medianUniqueEntries, 2u);
+    EXPECT_DOUBLE_EQ(medians.avgAllocationShare, 0.75);
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the core experiment drivers: runTrace, characterize, and
+ * the single-pass IPC study grid.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bp/factory.hpp"
+#include "bp/oracle.hpp"
+#include "core/runner.hpp"
+#include "workloads/suite.hpp"
+
+using namespace bpnsp;
+
+TEST(RunTrace, DeliversExactBudgetAndEnd)
+{
+    const Workload w = findWorkload("leela_like");
+    const Program p = w.build(0);
+    CountingSink c1;
+    CountingSink c2;
+    const uint64_t executed = runTrace(p, {&c1, &c2}, 50000);
+    EXPECT_EQ(executed, 50000u);
+    EXPECT_EQ(c1.totalCount(), 50000u);
+    EXPECT_EQ(c2.totalCount(), 50000u);
+}
+
+TEST(Characterize, ProducesSlicesPhasesAndH2ps)
+{
+    CharacterizationConfig cfg;
+    cfg.sliceLength = 100000;
+    cfg.numSlices = 4;
+    const CharacterizationResult r =
+        characterize(findWorkload("leela_like"), 0, cfg);
+    EXPECT_EQ(r.workloadName, "leela_like");
+    ASSERT_EQ(r.stats->slices().size(), 4u);
+    EXPECT_EQ(r.stats->instructions(), 400000u);
+    EXPECT_GT(r.h2p.allH2ps.size(), 5u);       // leela sprays H2Ps
+    EXPECT_GT(r.h2p.avgMispredFraction, 0.5);
+    EXPECT_GE(r.phases.numPhases, 1u);
+    EXPECT_GT(r.medianStaticPerSlice(), 10u);
+    EXPECT_GT(r.staticBranchesInProgram, 100u);
+    // Criteria must be scaled to the slice length.
+    EXPECT_EQ(r.criteria.minExecs,
+              H2pCriteria{}.scaledTo(100000).minExecs);
+}
+
+TEST(Characterize, AccuracyExcludingH2psIsHigher)
+{
+    CharacterizationConfig cfg;
+    cfg.sliceLength = 150000;
+    cfg.numSlices = 3;
+    cfg.collectPhases = false;
+    const CharacterizationResult r =
+        characterize(findWorkload("xz_like"), 0, cfg);
+    EXPECT_GT(r.h2p.accuracyExclH2p, r.stats->accuracy());
+}
+
+TEST(IpcStudy, GridShapeAndOrdering)
+{
+    const Program p = findWorkload("mcf_like").build(0);
+    std::vector<std::pair<std::string,
+                          std::unique_ptr<BranchPredictor>>> preds;
+    preds.emplace_back("tage-sc-l-8KB",
+                       makePredictor("tage-sc-l-8KB"));
+    preds.emplace_back("perfect", makePredictor("perfect"));
+    const std::vector<unsigned> scales{1, 4};
+    const IpcStudyResult result =
+        runIpcStudy(p, std::move(preds), scales, 400000);
+
+    ASSERT_EQ(result.columns.size(), 2u);
+    ASSERT_EQ(result.columns[0].perScale.size(), 2u);
+    EXPECT_EQ(result.scales, scales);
+
+    // Perfect prediction never loses to TAGE at equal scale.
+    for (size_t s = 0; s < scales.size(); ++s)
+        EXPECT_GE(result.ipc(1, s) * 1.001, result.ipc(0, s));
+    // Perfect at 4x must beat perfect at 1x (mcf has exploitable ILP).
+    EXPECT_GT(result.ipc(1, 1), result.ipc(1, 0));
+    // Accuracy fields populated sensibly.
+    EXPECT_DOUBLE_EQ(result.columns[1].accuracy, 1.0);
+    EXPECT_LT(result.columns[0].accuracy, 1.0);
+    EXPECT_GT(result.columns[0].accuracy, 0.7);
+}
+
+TEST(IpcStudy, PerfectH2pColumnBetweenBaselineAndPerfect)
+{
+    // Build the Fig. 1 middle curve: oracle only on screened H2Ps.
+    const Workload w = findWorkload("mcf_like");
+    const Program p = w.build(0);
+
+    // Screen H2Ps first.
+    auto screen_bp = makePredictor("tage-sc-l-8KB");
+    PredictorSim screen(*screen_bp);
+    runTrace(p, {&screen}, 200000);
+    const H2pCriteria criteria = H2pCriteria{}.scaledTo(200000);
+    std::unordered_set<uint64_t> h2ps;
+    for (const auto &[ip, c] : screen.perBranch()) {
+        if (criteria.matches(c))
+            h2ps.insert(ip);
+    }
+    ASSERT_GT(h2ps.size(), 0u);
+
+    std::vector<std::pair<std::string,
+                          std::unique_ptr<BranchPredictor>>> preds;
+    preds.emplace_back("tage-sc-l-8KB",
+                       makePredictor("tage-sc-l-8KB"));
+    preds.emplace_back("perfect-h2p",
+                       std::make_unique<PerfectOnSetPredictor>(
+                           makePredictor("tage-sc-l-8KB"), h2ps,
+                           "h2p"));
+    preds.emplace_back("perfect", makePredictor("perfect"));
+    const IpcStudyResult result =
+        runIpcStudy(p, std::move(preds), {4}, 400000);
+
+    const double base = result.ipc(0, 0);
+    const double h2p_ipc = result.ipc(1, 0);
+    const double perfect = result.ipc(2, 0);
+    // Monotone ordering; H2P oracle captures most of mcf's gap
+    // (paper: H2Ps cause 96.9% of mcf mispredictions).
+    EXPECT_GT(h2p_ipc, base);
+    EXPECT_GE(perfect * 1.001, h2p_ipc);
+    EXPECT_GT((h2p_ipc - base) / (perfect - base), 0.6);
+}

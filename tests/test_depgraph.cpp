@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Tests for the operand dependency-graph analyzer (Sec. IV-A): it must
+ * find true dependency branches through register AND memory dataflow,
+ * must not report unrelated branches, and must report history
+ * positions that wander when noise separates the branches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/depgraph.hpp"
+#include "trace/sink.hpp"
+#include "util/rng.hpp"
+#include "vm/assembler.hpp"
+#include "vm/interpreter.hpp"
+
+using namespace bpnsp;
+
+namespace {
+
+/** ALU write: dst <- value (sources srcs). */
+TraceRecord
+writeRec(uint64_t ip, uint8_t dst, std::initializer_list<uint8_t> srcs)
+{
+    TraceRecord r;
+    r.ip = ip;
+    r.cls = InstrClass::Alu;
+    r.fallthrough = ip + 4;
+    r.hasDst = true;
+    r.dst = dst;
+    for (uint8_t s : srcs)
+        r.src[r.numSrc++] = s;
+    return r;
+}
+
+TraceRecord
+branchRec(uint64_t ip, std::initializer_list<uint8_t> srcs,
+          bool taken = true)
+{
+    TraceRecord r;
+    r.ip = ip;
+    r.cls = InstrClass::CondBranch;
+    r.fallthrough = ip + 4;
+    r.taken = taken;
+    r.target = ip + 64;
+    for (uint8_t s : srcs)
+        r.src[r.numSrc++] = s;
+    return r;
+}
+
+TraceRecord
+loadRec(uint64_t ip, uint8_t dst, uint8_t addr_reg, uint64_t addr)
+{
+    TraceRecord r;
+    r.ip = ip;
+    r.cls = InstrClass::Load;
+    r.fallthrough = ip + 4;
+    r.hasDst = true;
+    r.dst = dst;
+    r.numSrc = 1;
+    r.src[0] = addr_reg;
+    r.memAddr = addr;
+    return r;
+}
+
+TraceRecord
+storeRec(uint64_t ip, uint8_t value_reg, uint8_t addr_reg,
+         uint64_t addr)
+{
+    TraceRecord r;
+    r.ip = ip;
+    r.cls = InstrClass::Store;
+    r.fallthrough = ip + 4;
+    r.numSrc = 2;
+    r.src[0] = value_reg;
+    r.src[1] = addr_reg;
+    r.memAddr = addr;
+    return r;
+}
+
+} // namespace
+
+TEST(DepGraph, FindsRegisterDependencyBranch)
+{
+    // r5 is written once, tested by branch D, then tested by H2P.
+    DependencyAnalyzer analyzer(/*target=*/0x900, /*window=*/64);
+    for (int round = 0; round < 10; ++round) {
+        analyzer.onRecord(writeRec(0x100, 5, {1}));
+        analyzer.onRecord(branchRec(0x200, {5, 0}));   // dep branch
+        analyzer.onRecord(writeRec(0x300, 7, {2}));    // unrelated
+        analyzer.onRecord(branchRec(0x400, {7, 0}));   // NOT a dep
+        analyzer.onRecord(branchRec(0x900, {5, 0}));   // the H2P
+    }
+    const auto &deps = analyzer.dependencyBranches();
+    ASSERT_EQ(deps.count(0x200), 1u);
+    EXPECT_EQ(deps.count(0x400), 0u);
+    EXPECT_EQ(analyzer.targetExecutions(), 10u);
+    EXPECT_EQ(analyzer.analyzedExecutions(), 10u);
+}
+
+TEST(DepGraph, HistoryPositionsCounted)
+{
+    DependencyAnalyzer analyzer(0x900, 64);
+    analyzer.onRecord(writeRec(0x100, 5, {1}));
+    analyzer.onRecord(branchRec(0x200, {5, 0}));   // position 2
+    analyzer.onRecord(branchRec(0x300, {6, 0}));   // unrelated, pos 1
+    analyzer.onRecord(branchRec(0x900, {5, 0}));   // H2P
+    const auto &d = analyzer.dependencyBranches().at(0x200);
+    ASSERT_EQ(d.positionCounts.size(), 1u);
+    EXPECT_EQ(d.positionCounts.begin()->first, 2u);
+    EXPECT_EQ(analyzer.minPosition(), 2u);
+    EXPECT_EQ(analyzer.maxPosition(), 2u);
+}
+
+TEST(DepGraph, TracksDataflowThroughMemory)
+{
+    // value in r5 -> stored to memory -> loaded into r8 -> H2P reads
+    // r8. The branch that tested r5 is still a dependency branch.
+    DependencyAnalyzer analyzer(0x900, 128);
+    for (int round = 0; round < 5; ++round) {
+        analyzer.onRecord(writeRec(0x100, 5, {1}));
+        analyzer.onRecord(branchRec(0x200, {5, 0}));      // dep (reg)
+        analyzer.onRecord(storeRec(0x300, 5, 2, 0x8000));
+        analyzer.onRecord(writeRec(0x350, 5, {3}));   // r5 overwritten
+        analyzer.onRecord(loadRec(0x400, 8, 2, 0x8000));
+        analyzer.onRecord(branchRec(0x900, {8, 0}));      // H2P
+    }
+    EXPECT_EQ(analyzer.dependencyBranches().count(0x200), 1u);
+}
+
+TEST(DepGraph, TransitiveProducers)
+{
+    // r5 -> r6 -> r7; a branch reading r5 is a dependency of an H2P
+    // reading r7 (two dataflow hops).
+    DependencyAnalyzer analyzer(0x900, 64);
+    for (int round = 0; round < 5; ++round) {
+        analyzer.onRecord(writeRec(0x100, 5, {1}));
+        analyzer.onRecord(branchRec(0x200, {5, 0}));
+        analyzer.onRecord(writeRec(0x300, 6, {5}));
+        analyzer.onRecord(writeRec(0x400, 7, {6}));
+        analyzer.onRecord(branchRec(0x900, {7, 0}));
+    }
+    EXPECT_EQ(analyzer.dependencyBranches().count(0x200), 1u);
+}
+
+TEST(DepGraph, WindowBoundsLookback)
+{
+    // The dependency branch falls out of a tiny window: not reported.
+    DependencyAnalyzer analyzer(0x900, /*window=*/16);
+    analyzer.onRecord(writeRec(0x100, 5, {1}));
+    analyzer.onRecord(branchRec(0x200, {5, 0}));
+    for (int i = 0; i < 40; ++i)   // flush the window
+        analyzer.onRecord(writeRec(0x300 + i * 4, 7, {2}));
+    analyzer.onRecord(branchRec(0x900, {5, 0}));
+    EXPECT_EQ(analyzer.dependencyBranches().count(0x200), 0u);
+}
+
+TEST(DepGraph, SamplingReducesAnalyzedCount)
+{
+    DependencyAnalyzer analyzer(0x900, 64, /*sample_every=*/4);
+    for (int i = 0; i < 16; ++i) {
+        analyzer.onRecord(writeRec(0x100, 5, {1}));
+        analyzer.onRecord(branchRec(0x900, {5, 0}));
+    }
+    EXPECT_EQ(analyzer.targetExecutions(), 16u);
+    EXPECT_EQ(analyzer.analyzedExecutions(), 4u);
+}
+
+TEST(DepGraph, PositionsWanderWithVariableNoise)
+{
+    // Insert a variable number of unrelated branches between the
+    // dependency branch and the H2P: positions must spread (Fig. 6).
+    DependencyAnalyzer analyzer(0x900, 256);
+    Rng rng(17);
+    for (int round = 0; round < 50; ++round) {
+        analyzer.onRecord(writeRec(0x100, 5, {1}));
+        analyzer.onRecord(branchRec(0x200, {5, 0}));
+        const unsigned noise = 1 + static_cast<unsigned>(rng.below(6));
+        for (unsigned i = 0; i < noise; ++i)
+            analyzer.onRecord(branchRec(0x300 + i * 4, {7, 0}));
+        analyzer.onRecord(branchRec(0x900, {5, 0}));
+    }
+    const auto &d = analyzer.dependencyBranches().at(0x200);
+    EXPECT_GE(d.positionCounts.size(), 4u);   // many distinct positions
+    EXPECT_LT(analyzer.minPosition(), analyzer.maxPosition());
+}
+
+TEST(DepGraph, EndToEndOnVmProgram)
+{
+    // Assemble a real program: v = load(data); D: blt v, k1; noise;
+    // H2P: blt v, k2 — the analyzer must recover D from the VM trace.
+    Assembler a("depgraph");
+    Label loop = a.newLabel();
+    Label d_skip = a.newLabel();
+    Label h_skip = a.newLabel();
+    a.data(0x2000, 5);
+    a.data(0x2008, 15);
+    a.li(1, 0x2000);
+    a.li(15, 200);   // rounds
+    a.bind(loop);
+    // Alternate between the two data words for variety.
+    a.andi(2, 15, 1);
+    a.shli(2, 2, 3);
+    a.add(2, 2, 1);
+    a.load(5, 2, 0);       // v
+    a.li(6, 10);
+    a.blt(5, 6, d_skip);   // D: v < 10
+    a.addi(7, 7, 1);
+    a.bind(d_skip);
+    a.li(6, 20);
+    a.blt(5, 6, h_skip);   // H2P: v < 20 (reads the same v)
+    a.addi(7, 7, 2);
+    a.bind(h_skip);
+    a.addi(15, 15, -1);
+    a.bne(15, 0, loop);
+    a.halt();
+    const Program prog = a.finish();
+
+    // The H2P is the second blt; find its instruction index.
+    uint64_t h2p_index = 0;
+    unsigned blts = 0;
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        if (prog.code[i].op == Opcode::Blt && ++blts == 2) {
+            h2p_index = i;
+            break;
+        }
+    }
+    ASSERT_GT(h2p_index, 0u);
+
+    DependencyAnalyzer analyzer(prog.ipOf(h2p_index), 128);
+    Interpreter interp(prog);
+    interp.run(analyzer, 100000);
+
+    // The first blt must be among the dependency branches.
+    uint64_t d_index = 0;
+    blts = 0;
+    for (size_t i = 0; i < prog.code.size(); ++i) {
+        if (prog.code[i].op == Opcode::Blt && ++blts == 1) {
+            d_index = i;
+            break;
+        }
+    }
+    EXPECT_EQ(analyzer.dependencyBranches().count(prog.ipOf(d_index)),
+              1u);
+    EXPECT_GT(analyzer.analyzedExecutions(), 100u);
+}

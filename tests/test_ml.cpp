@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the offline-training ML helper pipeline: dataset
+ * collection, perceptron and CNN models (including quantized
+ * inference), and the end-to-end helper experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bp/factory.hpp"
+#include "core/runner.hpp"
+#include "ml/dataset.hpp"
+#include "ml/models.hpp"
+#include "ml/trainer.hpp"
+#include "util/rng.hpp"
+#include "workloads/suite.hpp"
+
+using namespace bpnsp;
+
+namespace {
+
+TraceRecord
+branchRec(uint64_t ip, bool taken)
+{
+    TraceRecord r;
+    r.ip = ip;
+    r.cls = InstrClass::CondBranch;
+    r.taken = taken;
+    r.target = ip + 64;
+    r.fallthrough = ip + 4;
+    return r;
+}
+
+/**
+ * Build a dataset whose label is a function of the previous outcomes
+ * of a companion branch, using the collector itself.
+ */
+BranchDataset
+makeDataset(unsigned hist_len, uint64_t samples,
+            const std::function<bool(const std::vector<bool> &)> &rule,
+            uint64_t seed = 99)
+{
+    DatasetCollector collector(0x900, hist_len);
+    Rng rng(seed);
+    std::vector<bool> recent;   // most recent first
+    for (uint64_t i = 0; i < samples; ++i) {
+        const bool other = rng.chance(0.5);
+        collector.onRecord(branchRec(0x100, other));
+        recent.insert(recent.begin(), other);
+        if (recent.size() > hist_len)
+            recent.pop_back();
+        const bool label =
+            recent.size() >= hist_len ? rule(recent) : false;
+        collector.onRecord(branchRec(0x900, label));
+        recent.insert(recent.begin(), label);
+        if (recent.size() > hist_len)
+            recent.pop_back();
+    }
+    return collector.dataset();
+}
+
+} // namespace
+
+// ------------------------------------------------------------ dataset
+
+TEST(Dataset, CollectsHistoryAndLabels)
+{
+    DatasetCollector collector(0x900, 4);
+    collector.onRecord(branchRec(0x100, true));
+    collector.onRecord(branchRec(0x200, false));
+    collector.onRecord(branchRec(0x900, true));
+    const BranchDataset &data = collector.dataset();
+    ASSERT_EQ(data.samples.size(), 1u);
+    EXPECT_TRUE(data.samples[0].taken);
+    // History bit 0 = most recent = the 0x200 outcome (false).
+    EXPECT_EQ(data.samples[0].bits[0], 0);
+    EXPECT_EQ(data.samples[0].bits[1], 1);
+    EXPECT_DOUBLE_EQ(data.takenFraction(), 1.0);
+}
+
+TEST(Dataset, RespectsSampleCap)
+{
+    DatasetCollector collector(0x900, 4, /*max_samples=*/3);
+    for (int i = 0; i < 10; ++i)
+        collector.onRecord(branchRec(0x900, true));
+    EXPECT_EQ(collector.dataset().samples.size(), 3u);
+}
+
+// --------------------------------------------------------- perceptron
+
+TEST(PerceptronModel, LearnsPositionalRule)
+{
+    // Label = outcome 3 steps ago: linearly separable on history bits.
+    const auto data = makeDataset(
+        8, 3000, [](const std::vector<bool> &h) { return h[2]; });
+    PerceptronModel model(8);
+    model.train(data);
+    EXPECT_GT(model.evaluate(data), 0.95);
+}
+
+TEST(PerceptronModel, LearnsBias)
+{
+    BranchDataset data;
+    data.ip = 1;
+    data.historyLength = 8;
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        HistorySample s;
+        s.bits.resize(8);
+        for (auto &bit : s.bits)
+            bit = rng.chance(0.5);
+        s.taken = true;   // constant label
+        data.samples.push_back(s);
+    }
+    PerceptronModel model(8);
+    model.train(data);
+    EXPECT_GT(model.evaluate(data), 0.99);
+}
+
+TEST(PerceptronModel, QuantizedStorageIsTiny)
+{
+    PerceptronModel model(64);
+    // 64 positions * 2 bits + bias.
+    EXPECT_LE(model.storageBits(), 64u * 2 + 16);
+}
+
+TEST(PerceptronModel, InferMatchesInferBits)
+{
+    const auto data = makeDataset(
+        8, 1000, [](const std::vector<bool> &h) { return h[0]; });
+    PerceptronModel model(8);
+    model.train(data);
+    // Rebuild one sample's history in a HistoryRegister and compare.
+    const HistorySample &s = data.samples.back();
+    HistoryRegister ghist(16);
+    for (int i = 7; i >= 0; --i)
+        ghist.push(s.bits[i] != 0);
+    EXPECT_EQ(model.infer(0x900, ghist), model.inferBits(s.bits));
+}
+
+// ---------------------------------------------------------------- cnn
+
+TEST(CnnModel, LearnsPositionalRule)
+{
+    const auto data = makeDataset(
+        16, 3000, [](const std::vector<bool> &h) { return h[1]; });
+    CnnModel model(16, 6, 4);
+    model.train(data);
+    EXPECT_GT(model.evaluate(data), 0.9);
+}
+
+TEST(CnnModel, LearnsPositionInvariantMotif)
+{
+    // Label = 1 iff the motif "1,1,1" appears anywhere in the 12-bit
+    // history. Convolution + pooling captures this naturally; a purely
+    // positional model struggles.
+    auto motif = [](const std::vector<bool> &h) {
+        for (size_t i = 0; i + 2 < h.size(); ++i) {
+            if (h[i] && h[i + 1] && h[i + 2])
+                return true;
+        }
+        return false;
+    };
+    const auto data = makeDataset(12, 4000, motif, 123);
+    CnnModel cnn(12, 8, 3);
+    TrainConfig cfg;
+    cfg.epochs = 30;
+    cnn.train(data, cfg);
+    PerceptronModel perceptron(12);
+    perceptron.train(data, cfg);
+    EXPECT_GT(cnn.evaluate(data), 0.8);
+    EXPECT_GT(cnn.evaluate(data), perceptron.evaluate(data) - 0.02);
+}
+
+TEST(CnnModel, StorageScalesWithFilters)
+{
+    const CnnModel small(32, 4, 4);
+    const CnnModel big(32, 16, 8);
+    EXPECT_LT(small.storageBits(), big.storageBits());
+    // 2-bit weights: (16*8 + 16) * 2 + 32 bits of bias.
+    EXPECT_LE(big.storageBits(), (16u * 8 + 16) * 2 + 32);
+}
+
+// ---------------------------------------------------------- end-to-end
+
+TEST(HelperExperiment, RunsEndToEndOnHeldOutInput)
+{
+    // leela_like: H2P biases are fixed in the code, so they transfer
+    // across inputs. Offline helpers should roughly match the
+    // baseline on these stochastic branches (neither can beat the
+    // bias ceiling) without collapsing overall accuracy.
+    HelperExperimentConfig cfg;
+    cfg.screenInstructions = 300000;
+    cfg.trainInstructions = 300000;
+    cfg.testInstructions = 300000;
+    cfg.maxHelpers = 4;
+    cfg.useCnn = false;   // perceptron: fast and sufficient here
+    cfg.train.epochs = 8;
+    const Workload w = findWorkload("leela_like");
+    const HelperExperimentResult r =
+        runHelperExperiment(w, {0, 1, 2}, 3, cfg);
+    ASSERT_FALSE(r.branches.empty());
+    EXPECT_GT(r.baselineOverallAccuracy, 0.5);
+    // The overlay must not collapse overall accuracy.
+    EXPECT_GT(r.overlayOverallAccuracy,
+              r.baselineOverallAccuracy - 0.03);
+    for (const auto &br : r.branches) {
+        EXPECT_GT(br.trainSamples, 100u);
+        EXPECT_GT(br.testExecs, 0u);
+        // Each helper must be in the game on its own branch: no
+        // worse than a few points below the online baseline.
+        EXPECT_GT(br.helperAccuracy, br.baselineAccuracy - 0.10);
+    }
+}

