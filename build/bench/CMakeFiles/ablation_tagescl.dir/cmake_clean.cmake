@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tagescl.dir/ablation_tagescl.cpp.o"
+  "CMakeFiles/ablation_tagescl.dir/ablation_tagescl.cpp.o.d"
+  "ablation_tagescl"
+  "ablation_tagescl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tagescl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

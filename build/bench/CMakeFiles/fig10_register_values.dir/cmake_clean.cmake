@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_register_values.dir/fig10_register_values.cpp.o"
+  "CMakeFiles/fig10_register_values.dir/fig10_register_values.cpp.o.d"
+  "fig10_register_values"
+  "fig10_register_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_register_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_heavy_hitters.dir/fig2_heavy_hitters.cpp.o"
+  "CMakeFiles/fig2_heavy_hitters.dir/fig2_heavy_hitters.cpp.o.d"
+  "fig2_heavy_hitters"
+  "fig2_heavy_hitters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_heavy_hitters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

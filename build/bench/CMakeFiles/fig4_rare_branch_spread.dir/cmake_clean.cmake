@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_rare_branch_spread.dir/fig4_rare_branch_spread.cpp.o"
+  "CMakeFiles/fig4_rare_branch_spread.dir/fig4_rare_branch_spread.cpp.o.d"
+  "fig4_rare_branch_spread"
+  "fig4_rare_branch_spread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rare_branch_spread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

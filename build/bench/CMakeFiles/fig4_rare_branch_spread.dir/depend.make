@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_rare_branch_spread.
+# This may be replaced when dependencies are built.

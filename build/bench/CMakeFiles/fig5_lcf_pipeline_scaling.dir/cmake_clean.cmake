@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_lcf_pipeline_scaling.dir/fig5_lcf_pipeline_scaling.cpp.o"
+  "CMakeFiles/fig5_lcf_pipeline_scaling.dir/fig5_lcf_pipeline_scaling.cpp.o.d"
+  "fig5_lcf_pipeline_scaling"
+  "fig5_lcf_pipeline_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_lcf_pipeline_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

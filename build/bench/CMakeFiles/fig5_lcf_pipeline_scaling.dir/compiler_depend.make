@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5_lcf_pipeline_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_history_positions.dir/fig6_history_positions.cpp.o"
+  "CMakeFiles/fig6_history_positions.dir/fig6_history_positions.cpp.o.d"
+  "fig6_history_positions"
+  "fig6_history_positions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_history_positions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

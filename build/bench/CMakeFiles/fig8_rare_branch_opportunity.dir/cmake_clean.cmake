@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_rare_branch_opportunity.dir/fig8_rare_branch_opportunity.cpp.o"
+  "CMakeFiles/fig8_rare_branch_opportunity.dir/fig8_rare_branch_opportunity.cpp.o.d"
+  "fig8_rare_branch_opportunity"
+  "fig8_rare_branch_opportunity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_rare_branch_opportunity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

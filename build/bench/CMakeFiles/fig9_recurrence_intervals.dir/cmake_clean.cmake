@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_recurrence_intervals.dir/fig9_recurrence_intervals.cpp.o"
+  "CMakeFiles/fig9_recurrence_intervals.dir/fig9_recurrence_intervals.cpp.o.d"
+  "fig9_recurrence_intervals"
+  "fig9_recurrence_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_recurrence_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_predictor_throughput.dir/micro_predictor_throughput.cpp.o"
+  "CMakeFiles/micro_predictor_throughput.dir/micro_predictor_throughput.cpp.o.d"
+  "micro_predictor_throughput"
+  "micro_predictor_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_predictor_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

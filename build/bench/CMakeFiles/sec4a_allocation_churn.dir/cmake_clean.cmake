@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4a_allocation_churn.dir/sec4a_allocation_churn.cpp.o"
+  "CMakeFiles/sec4a_allocation_churn.dir/sec4a_allocation_churn.cpp.o.d"
+  "sec4a_allocation_churn"
+  "sec4a_allocation_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4a_allocation_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

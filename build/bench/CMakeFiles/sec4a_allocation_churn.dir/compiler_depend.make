@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec4a_allocation_churn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec4a_allocation_churn.
+# This may be replaced when dependencies are built.

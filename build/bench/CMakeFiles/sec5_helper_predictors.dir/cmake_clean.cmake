@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_helper_predictors.dir/sec5_helper_predictors.cpp.o"
+  "CMakeFiles/sec5_helper_predictors.dir/sec5_helper_predictors.cpp.o.d"
+  "sec5_helper_predictors"
+  "sec5_helper_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_helper_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

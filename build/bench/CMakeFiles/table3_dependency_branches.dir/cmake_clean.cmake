@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_dependency_branches.dir/table3_dependency_branches.cpp.o"
+  "CMakeFiles/table3_dependency_branches.dir/table3_dependency_branches.cpp.o.d"
+  "table3_dependency_branches"
+  "table3_dependency_branches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_dependency_branches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h2p_hunting.dir/h2p_hunting.cpp.o"
+  "CMakeFiles/h2p_hunting.dir/h2p_hunting.cpp.o.d"
+  "h2p_hunting"
+  "h2p_hunting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h2p_hunting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

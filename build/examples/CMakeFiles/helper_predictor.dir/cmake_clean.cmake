@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/helper_predictor.dir/helper_predictor.cpp.o"
+  "CMakeFiles/helper_predictor.dir/helper_predictor.cpp.o.d"
+  "helper_predictor"
+  "helper_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/helper_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

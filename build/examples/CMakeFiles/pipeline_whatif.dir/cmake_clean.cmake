@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_whatif.dir/pipeline_whatif.cpp.o"
+  "CMakeFiles/pipeline_whatif.dir/pipeline_whatif.cpp.o.d"
+  "pipeline_whatif"
+  "pipeline_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/alloc_stats.cpp" "src/analysis/CMakeFiles/bpnsp_analysis.dir/alloc_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/bpnsp_analysis.dir/alloc_stats.cpp.o.d"
+  "/root/repo/src/analysis/branch_stats.cpp" "src/analysis/CMakeFiles/bpnsp_analysis.dir/branch_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/bpnsp_analysis.dir/branch_stats.cpp.o.d"
+  "/root/repo/src/analysis/depgraph.cpp" "src/analysis/CMakeFiles/bpnsp_analysis.dir/depgraph.cpp.o" "gcc" "src/analysis/CMakeFiles/bpnsp_analysis.dir/depgraph.cpp.o.d"
+  "/root/repo/src/analysis/distributions.cpp" "src/analysis/CMakeFiles/bpnsp_analysis.dir/distributions.cpp.o" "gcc" "src/analysis/CMakeFiles/bpnsp_analysis.dir/distributions.cpp.o.d"
+  "/root/repo/src/analysis/h2p.cpp" "src/analysis/CMakeFiles/bpnsp_analysis.dir/h2p.cpp.o" "gcc" "src/analysis/CMakeFiles/bpnsp_analysis.dir/h2p.cpp.o.d"
+  "/root/repo/src/analysis/heavy_hitters.cpp" "src/analysis/CMakeFiles/bpnsp_analysis.dir/heavy_hitters.cpp.o" "gcc" "src/analysis/CMakeFiles/bpnsp_analysis.dir/heavy_hitters.cpp.o.d"
+  "/root/repo/src/analysis/kmeans.cpp" "src/analysis/CMakeFiles/bpnsp_analysis.dir/kmeans.cpp.o" "gcc" "src/analysis/CMakeFiles/bpnsp_analysis.dir/kmeans.cpp.o.d"
+  "/root/repo/src/analysis/recurrence.cpp" "src/analysis/CMakeFiles/bpnsp_analysis.dir/recurrence.cpp.o" "gcc" "src/analysis/CMakeFiles/bpnsp_analysis.dir/recurrence.cpp.o.d"
+  "/root/repo/src/analysis/regvalues.cpp" "src/analysis/CMakeFiles/bpnsp_analysis.dir/regvalues.cpp.o" "gcc" "src/analysis/CMakeFiles/bpnsp_analysis.dir/regvalues.cpp.o.d"
+  "/root/repo/src/analysis/simpoint.cpp" "src/analysis/CMakeFiles/bpnsp_analysis.dir/simpoint.cpp.o" "gcc" "src/analysis/CMakeFiles/bpnsp_analysis.dir/simpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bpnsp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpnsp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/bp/CMakeFiles/bpnsp_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/bpnsp_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

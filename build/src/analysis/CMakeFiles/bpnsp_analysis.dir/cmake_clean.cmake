@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpnsp_analysis.dir/alloc_stats.cpp.o"
+  "CMakeFiles/bpnsp_analysis.dir/alloc_stats.cpp.o.d"
+  "CMakeFiles/bpnsp_analysis.dir/branch_stats.cpp.o"
+  "CMakeFiles/bpnsp_analysis.dir/branch_stats.cpp.o.d"
+  "CMakeFiles/bpnsp_analysis.dir/depgraph.cpp.o"
+  "CMakeFiles/bpnsp_analysis.dir/depgraph.cpp.o.d"
+  "CMakeFiles/bpnsp_analysis.dir/distributions.cpp.o"
+  "CMakeFiles/bpnsp_analysis.dir/distributions.cpp.o.d"
+  "CMakeFiles/bpnsp_analysis.dir/h2p.cpp.o"
+  "CMakeFiles/bpnsp_analysis.dir/h2p.cpp.o.d"
+  "CMakeFiles/bpnsp_analysis.dir/heavy_hitters.cpp.o"
+  "CMakeFiles/bpnsp_analysis.dir/heavy_hitters.cpp.o.d"
+  "CMakeFiles/bpnsp_analysis.dir/kmeans.cpp.o"
+  "CMakeFiles/bpnsp_analysis.dir/kmeans.cpp.o.d"
+  "CMakeFiles/bpnsp_analysis.dir/recurrence.cpp.o"
+  "CMakeFiles/bpnsp_analysis.dir/recurrence.cpp.o.d"
+  "CMakeFiles/bpnsp_analysis.dir/regvalues.cpp.o"
+  "CMakeFiles/bpnsp_analysis.dir/regvalues.cpp.o.d"
+  "CMakeFiles/bpnsp_analysis.dir/simpoint.cpp.o"
+  "CMakeFiles/bpnsp_analysis.dir/simpoint.cpp.o.d"
+  "libbpnsp_analysis.a"
+  "libbpnsp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpnsp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

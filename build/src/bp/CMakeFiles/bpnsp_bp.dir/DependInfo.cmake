@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bp/factory.cpp" "src/bp/CMakeFiles/bpnsp_bp.dir/factory.cpp.o" "gcc" "src/bp/CMakeFiles/bpnsp_bp.dir/factory.cpp.o.d"
+  "/root/repo/src/bp/loop.cpp" "src/bp/CMakeFiles/bpnsp_bp.dir/loop.cpp.o" "gcc" "src/bp/CMakeFiles/bpnsp_bp.dir/loop.cpp.o.d"
+  "/root/repo/src/bp/perceptron.cpp" "src/bp/CMakeFiles/bpnsp_bp.dir/perceptron.cpp.o" "gcc" "src/bp/CMakeFiles/bpnsp_bp.dir/perceptron.cpp.o.d"
+  "/root/repo/src/bp/ppm.cpp" "src/bp/CMakeFiles/bpnsp_bp.dir/ppm.cpp.o" "gcc" "src/bp/CMakeFiles/bpnsp_bp.dir/ppm.cpp.o.d"
+  "/root/repo/src/bp/sc.cpp" "src/bp/CMakeFiles/bpnsp_bp.dir/sc.cpp.o" "gcc" "src/bp/CMakeFiles/bpnsp_bp.dir/sc.cpp.o.d"
+  "/root/repo/src/bp/sim.cpp" "src/bp/CMakeFiles/bpnsp_bp.dir/sim.cpp.o" "gcc" "src/bp/CMakeFiles/bpnsp_bp.dir/sim.cpp.o.d"
+  "/root/repo/src/bp/simple.cpp" "src/bp/CMakeFiles/bpnsp_bp.dir/simple.cpp.o" "gcc" "src/bp/CMakeFiles/bpnsp_bp.dir/simple.cpp.o.d"
+  "/root/repo/src/bp/tage.cpp" "src/bp/CMakeFiles/bpnsp_bp.dir/tage.cpp.o" "gcc" "src/bp/CMakeFiles/bpnsp_bp.dir/tage.cpp.o.d"
+  "/root/repo/src/bp/tagescl.cpp" "src/bp/CMakeFiles/bpnsp_bp.dir/tagescl.cpp.o" "gcc" "src/bp/CMakeFiles/bpnsp_bp.dir/tagescl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bpnsp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpnsp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpnsp_bp.dir/factory.cpp.o"
+  "CMakeFiles/bpnsp_bp.dir/factory.cpp.o.d"
+  "CMakeFiles/bpnsp_bp.dir/loop.cpp.o"
+  "CMakeFiles/bpnsp_bp.dir/loop.cpp.o.d"
+  "CMakeFiles/bpnsp_bp.dir/perceptron.cpp.o"
+  "CMakeFiles/bpnsp_bp.dir/perceptron.cpp.o.d"
+  "CMakeFiles/bpnsp_bp.dir/ppm.cpp.o"
+  "CMakeFiles/bpnsp_bp.dir/ppm.cpp.o.d"
+  "CMakeFiles/bpnsp_bp.dir/sc.cpp.o"
+  "CMakeFiles/bpnsp_bp.dir/sc.cpp.o.d"
+  "CMakeFiles/bpnsp_bp.dir/sim.cpp.o"
+  "CMakeFiles/bpnsp_bp.dir/sim.cpp.o.d"
+  "CMakeFiles/bpnsp_bp.dir/simple.cpp.o"
+  "CMakeFiles/bpnsp_bp.dir/simple.cpp.o.d"
+  "CMakeFiles/bpnsp_bp.dir/tage.cpp.o"
+  "CMakeFiles/bpnsp_bp.dir/tage.cpp.o.d"
+  "CMakeFiles/bpnsp_bp.dir/tagescl.cpp.o"
+  "CMakeFiles/bpnsp_bp.dir/tagescl.cpp.o.d"
+  "libbpnsp_bp.a"
+  "libbpnsp_bp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpnsp_bp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

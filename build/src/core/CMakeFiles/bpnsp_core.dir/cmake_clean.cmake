@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpnsp_core.dir/runner.cpp.o"
+  "CMakeFiles/bpnsp_core.dir/runner.cpp.o.d"
+  "libbpnsp_core.a"
+  "libbpnsp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpnsp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

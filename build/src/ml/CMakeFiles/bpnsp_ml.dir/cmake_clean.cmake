@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpnsp_ml.dir/dataset.cpp.o"
+  "CMakeFiles/bpnsp_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/bpnsp_ml.dir/models.cpp.o"
+  "CMakeFiles/bpnsp_ml.dir/models.cpp.o.d"
+  "CMakeFiles/bpnsp_ml.dir/trainer.cpp.o"
+  "CMakeFiles/bpnsp_ml.dir/trainer.cpp.o.d"
+  "libbpnsp_ml.a"
+  "libbpnsp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpnsp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/cache.cpp" "src/pipeline/CMakeFiles/bpnsp_pipeline.dir/cache.cpp.o" "gcc" "src/pipeline/CMakeFiles/bpnsp_pipeline.dir/cache.cpp.o.d"
+  "/root/repo/src/pipeline/core.cpp" "src/pipeline/CMakeFiles/bpnsp_pipeline.dir/core.cpp.o" "gcc" "src/pipeline/CMakeFiles/bpnsp_pipeline.dir/core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bpnsp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpnsp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/bp/CMakeFiles/bpnsp_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/bpnsp_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

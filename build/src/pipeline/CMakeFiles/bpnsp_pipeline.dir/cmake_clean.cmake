@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpnsp_pipeline.dir/cache.cpp.o"
+  "CMakeFiles/bpnsp_pipeline.dir/cache.cpp.o.d"
+  "CMakeFiles/bpnsp_pipeline.dir/core.cpp.o"
+  "CMakeFiles/bpnsp_pipeline.dir/core.cpp.o.d"
+  "libbpnsp_pipeline.a"
+  "libbpnsp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpnsp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

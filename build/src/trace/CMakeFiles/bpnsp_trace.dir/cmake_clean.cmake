@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpnsp_trace.dir/file.cpp.o"
+  "CMakeFiles/bpnsp_trace.dir/file.cpp.o.d"
+  "CMakeFiles/bpnsp_trace.dir/record.cpp.o"
+  "CMakeFiles/bpnsp_trace.dir/record.cpp.o.d"
+  "CMakeFiles/bpnsp_trace.dir/slicer.cpp.o"
+  "CMakeFiles/bpnsp_trace.dir/slicer.cpp.o.d"
+  "libbpnsp_trace.a"
+  "libbpnsp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpnsp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpnsp_util.dir/histogram.cpp.o"
+  "CMakeFiles/bpnsp_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/bpnsp_util.dir/logging.cpp.o"
+  "CMakeFiles/bpnsp_util.dir/logging.cpp.o.d"
+  "CMakeFiles/bpnsp_util.dir/options.cpp.o"
+  "CMakeFiles/bpnsp_util.dir/options.cpp.o.d"
+  "CMakeFiles/bpnsp_util.dir/stats.cpp.o"
+  "CMakeFiles/bpnsp_util.dir/stats.cpp.o.d"
+  "CMakeFiles/bpnsp_util.dir/table.cpp.o"
+  "CMakeFiles/bpnsp_util.dir/table.cpp.o.d"
+  "libbpnsp_util.a"
+  "libbpnsp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpnsp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

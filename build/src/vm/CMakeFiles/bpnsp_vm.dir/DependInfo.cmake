@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/assembler.cpp" "src/vm/CMakeFiles/bpnsp_vm.dir/assembler.cpp.o" "gcc" "src/vm/CMakeFiles/bpnsp_vm.dir/assembler.cpp.o.d"
+  "/root/repo/src/vm/interpreter.cpp" "src/vm/CMakeFiles/bpnsp_vm.dir/interpreter.cpp.o" "gcc" "src/vm/CMakeFiles/bpnsp_vm.dir/interpreter.cpp.o.d"
+  "/root/repo/src/vm/isa.cpp" "src/vm/CMakeFiles/bpnsp_vm.dir/isa.cpp.o" "gcc" "src/vm/CMakeFiles/bpnsp_vm.dir/isa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bpnsp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpnsp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpnsp_vm.dir/assembler.cpp.o"
+  "CMakeFiles/bpnsp_vm.dir/assembler.cpp.o.d"
+  "CMakeFiles/bpnsp_vm.dir/interpreter.cpp.o"
+  "CMakeFiles/bpnsp_vm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/bpnsp_vm.dir/isa.cpp.o"
+  "CMakeFiles/bpnsp_vm.dir/isa.cpp.o.d"
+  "libbpnsp_vm.a"
+  "libbpnsp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpnsp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/builder.cpp" "src/workloads/CMakeFiles/bpnsp_workloads.dir/builder.cpp.o" "gcc" "src/workloads/CMakeFiles/bpnsp_workloads.dir/builder.cpp.o.d"
+  "/root/repo/src/workloads/dispatch.cpp" "src/workloads/CMakeFiles/bpnsp_workloads.dir/dispatch.cpp.o" "gcc" "src/workloads/CMakeFiles/bpnsp_workloads.dir/dispatch.cpp.o.d"
+  "/root/repo/src/workloads/lcf_suite.cpp" "src/workloads/CMakeFiles/bpnsp_workloads.dir/lcf_suite.cpp.o" "gcc" "src/workloads/CMakeFiles/bpnsp_workloads.dir/lcf_suite.cpp.o.d"
+  "/root/repo/src/workloads/spec_suite.cpp" "src/workloads/CMakeFiles/bpnsp_workloads.dir/spec_suite.cpp.o" "gcc" "src/workloads/CMakeFiles/bpnsp_workloads.dir/spec_suite.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/workloads/CMakeFiles/bpnsp_workloads.dir/suite.cpp.o" "gcc" "src/workloads/CMakeFiles/bpnsp_workloads.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bpnsp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/bpnsp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpnsp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpnsp_workloads.dir/builder.cpp.o"
+  "CMakeFiles/bpnsp_workloads.dir/builder.cpp.o.d"
+  "CMakeFiles/bpnsp_workloads.dir/dispatch.cpp.o"
+  "CMakeFiles/bpnsp_workloads.dir/dispatch.cpp.o.d"
+  "CMakeFiles/bpnsp_workloads.dir/lcf_suite.cpp.o"
+  "CMakeFiles/bpnsp_workloads.dir/lcf_suite.cpp.o.d"
+  "CMakeFiles/bpnsp_workloads.dir/spec_suite.cpp.o"
+  "CMakeFiles/bpnsp_workloads.dir/spec_suite.cpp.o.d"
+  "CMakeFiles/bpnsp_workloads.dir/suite.cpp.o"
+  "CMakeFiles/bpnsp_workloads.dir/suite.cpp.o.d"
+  "libbpnsp_workloads.a"
+  "libbpnsp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpnsp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbpnsp_workloads.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bpnsp_workloads.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/test_analysis.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/test_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/bpnsp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bpnsp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/bpnsp_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/bpnsp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bpnsp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/bpnsp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bp/CMakeFiles/bpnsp_bp.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/bpnsp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bpnsp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
