@@ -54,7 +54,7 @@ main(int argc, char **argv)
                 std::make_unique<PredictorSim>(*bp, false));
             sinks.push_back(sims.back().get());
         }
-        runTrace(w.build(0), sinks, instructions);
+        runWorkloadTrace(w, 0, sinks, instructions);
 
         const double sc_gain =
             sims[3]->accuracy() - sims[1]->accuracy();

@@ -28,14 +28,28 @@
 
 namespace bpnsp::bench {
 
-/** Standard bench option set; returns the parsed scale factor. */
+/**
+ * Standard bench option set; returns the parsed scale factor. Also
+ * configures the on-disk trace cache from --trace-cache (or the
+ * BPNSP_TRACE_CACHE environment variable): with a cache directory set,
+ * the first run of any harness records every workload trace and later
+ * runs replay them from disk instead of re-executing the VM.
+ */
 inline double
 parseScale(OptionParser &opts, int argc, char **argv)
 {
     opts.addDouble("scale", 1.0,
                    "multiply trace/slice sizes (also BPNSP_SCALE)");
     opts.addFlag("csv", "emit CSV instead of tables");
+    opts.addString("trace-cache", "",
+                   "trace store cache directory (also "
+                   "BPNSP_TRACE_CACHE); first run records traces, "
+                   "later runs replay them");
     opts.parse(argc, argv);
+    if (const std::string &dir = opts.getString("trace-cache");
+        !dir.empty()) {
+        setTraceCacheDir(dir);
+    }
     return opts.getDouble("scale") * experimentScale();
 }
 
@@ -59,31 +73,35 @@ banner(const std::string &what, const std::string &paper_ref)
 /**
  * Screen the H2P set of one workload input: run the baseline over the
  * trace, slice it, and take the union of per-slice H2P sets — the
- * paper's screening methodology.
+ * paper's screening methodology. Goes through the shared
+ * runWorkloadTrace path, so the screening pass replays from the trace
+ * cache when one is configured.
  */
 inline std::unordered_set<uint64_t>
-screenH2pSet(const Program &program, uint64_t slice_len,
-             uint64_t num_slices,
+screenH2pSet(const Workload &workload, size_t input_idx,
+             uint64_t slice_len, uint64_t num_slices,
              const std::string &baseline = "tage-sc-l-8KB")
 {
     auto bp = makePredictor(baseline);
     SlicedBranchStats stats(*bp, slice_len);
-    runTrace(program, {&stats}, slice_len * num_slices);
+    runWorkloadTrace(workload, input_idx, {&stats},
+                     slice_len * num_slices);
     const H2pCriteria criteria = H2pCriteria{}.scaledTo(slice_len);
     return summarizeH2ps(stats, criteria).allH2ps;
 }
 
 /**
- * The Fig. 1 / Fig. 5 study for one workload: four predictor columns
- * (TAGE-SC-L 8KB, TAGE-SC-L 64KB, Perfect H2Ps, Perfect BP) across
- * pipeline scales, all in two trace passes (screen + measure).
+ * The Fig. 1 / Fig. 5 study for one workload input: four predictor
+ * columns (TAGE-SC-L 8KB, TAGE-SC-L 64KB, Perfect H2Ps, Perfect BP)
+ * across pipeline scales, all in two trace passes (screen + measure).
  */
 inline IpcStudyResult
-fourCurveStudy(const Program &program, uint64_t instructions,
+fourCurveStudy(const Workload &workload, size_t input_idx,
+               uint64_t instructions,
                const std::vector<unsigned> &scales)
 {
     const uint64_t slice = instructions / 4;
-    const auto h2ps = screenH2pSet(program, slice, 4);
+    const auto h2ps = screenH2pSet(workload, input_idx, slice, 4);
 
     std::vector<std::pair<std::string,
                           std::unique_ptr<BranchPredictor>>> preds;
@@ -95,7 +113,8 @@ fourCurveStudy(const Program &program, uint64_t instructions,
                            makePredictor("tage-sc-l-8KB"), h2ps,
                            "h2p"));
     preds.emplace_back("perfect", makePredictor("perfect"));
-    return runIpcStudy(program, std::move(preds), scales, instructions);
+    return runIpcStudy(workload, input_idx, std::move(preds), scales,
+                       instructions);
 }
 
 /** Geomean of per-workload relative IPC, one row per scale. */

@@ -38,10 +38,9 @@ main(int argc, char **argv)
                      "mean distinct over 18 regs"});
 
     for (const Workload &w : specSuite()) {
-        const Program program = w.build(0);
         auto bp = makePredictor("tage-sc-l-8KB");
         PredictorSim sim(*bp);
-        runTrace(program, {&sim}, instructions);
+        runWorkloadTrace(w, 0, {&sim}, instructions);
         const H2pCriteria criteria =
             H2pCriteria{}.scaledTo(instructions);
         std::unordered_set<uint64_t> h2ps;
@@ -56,7 +55,7 @@ main(int argc, char **argv)
         const uint64_t target = ranked.front().ip;
 
         RegValueProfiler prof(target);
-        runTrace(program, {&prof}, instructions);
+        runWorkloadTrace(w, 0, {&prof}, instructions);
 
         // Pick the register with the most concentrated (structured)
         // nontrivial distribution.

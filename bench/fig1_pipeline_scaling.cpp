@@ -33,7 +33,7 @@ main(int argc, char **argv)
     std::vector<IpcStudyResult> studies;
     for (const Workload &w : specSuite()) {
         studies.push_back(
-            fourCurveStudy(w.build(0), instructions, scales));
+            fourCurveStudy(w, 0, instructions, scales));
         std::fprintf(stderr, "  %s done\n", w.name.c_str());
     }
 

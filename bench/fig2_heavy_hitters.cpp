@@ -40,7 +40,7 @@ main(int argc, char **argv)
     for (const Workload &w : specSuite()) {
         auto bp = makePredictor("tage-sc-l-8KB");
         PredictorSim sim(*bp);
-        runTrace(w.build(0), {&sim}, instructions);
+        runWorkloadTrace(w, 0, {&sim}, instructions);
 
         const H2pCriteria criteria =
             H2pCriteria{}.scaledTo(instructions);

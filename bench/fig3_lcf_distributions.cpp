@@ -54,7 +54,7 @@ main(int argc, char **argv)
     for (const Workload &w : lcfSuite()) {
         auto bp = makePredictor("tage-sc-l-8KB");
         PredictorSim sim(*bp);
-        runTrace(w.build(0), {&sim}, instructions);
+        runWorkloadTrace(w, 0, {&sim}, instructions);
         for (const auto &[ip, c] : sim.perBranch())
             totals[next_key++] = c;   // disjoint keys across apps
         std::fprintf(stderr, "  %s done\n", w.name.c_str());

@@ -35,11 +35,10 @@ main(int argc, char **argv)
            "Fig. 6");
 
     const Workload w = findWorkload(opts.getString("workload"));
-    const Program program = w.build(0);
 
     auto bp = makePredictor("tage-sc-l-8KB");
     PredictorSim sim(*bp);
-    runTrace(program, {&sim}, instructions);
+    runWorkloadTrace(w, 0, {&sim}, instructions);
     const H2pCriteria criteria = H2pCriteria{}.scaledTo(instructions);
     std::unordered_set<uint64_t> h2ps;
     for (const auto &[ip, c] : sim.perBranch()) {
@@ -65,7 +64,7 @@ main(int argc, char **argv)
     DependencyAnalyzer analyzer(
         target, static_cast<unsigned>(opts.getInt("window")),
         static_cast<unsigned>(opts.getInt("sample")));
-    runTrace(program, {&analyzer}, instructions);
+    runWorkloadTrace(w, 0, {&analyzer}, instructions);
 
     // Order dependency branches by total occurrences.
     std::vector<const DepBranchStats *> deps;

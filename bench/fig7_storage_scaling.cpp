@@ -37,7 +37,7 @@ main(int argc, char **argv)
             preds.emplace_back(name, makePredictor(name));
         preds.emplace_back("perfect", makePredictor("perfect"));
         const IpcStudyResult study = runIpcStudy(
-            w.build(0), std::move(preds), scales, instructions);
+            w, 0, std::move(preds), scales, instructions);
 
         TextTable table(w.name +
                         ": fraction of TAGE8->perfect IPC gap closed");

@@ -46,12 +46,10 @@ main(int argc, char **argv)
     std::vector<double> rem_hi;
     std::vector<double> rem_lo;
     for (const Workload &w : lcfSuite()) {
-        const Program program = w.build(0);
-
         // Profile execution counts first.
         auto profile_bp = makePredictor("tage-sc-l-1024KB");
         PredictorSim profile(*profile_bp);
-        runTrace(program, {&profile}, instructions);
+        runWorkloadTrace(w, 0, {&profile}, instructions);
         std::unordered_set<uint64_t> hot_hi;
         std::unordered_set<uint64_t> hot_lo;
         for (const auto &[ip, c] : profile.perBranch()) {
@@ -74,7 +72,7 @@ main(int argc, char **argv)
                       ">lo"));
         preds.emplace_back("perfect", makePredictor("perfect"));
         const IpcStudyResult study =
-            runIpcStudy(program, std::move(preds), {1}, instructions);
+            runIpcStudy(w, 0, std::move(preds), {1}, instructions);
 
         const double base = study.ipc(0, 0);
         const double perfect = study.ipc(3, 0);

@@ -30,7 +30,7 @@ main(int argc, char **argv)
 
     RecurrenceCollector rec;
     for (const Workload &w : lcfSuite()) {
-        runTrace(w.build(0), {&rec}, instructions);
+        runWorkloadTrace(w, 0, {&rec}, instructions);
         std::fprintf(stderr, "  %s done\n", w.name.c_str());
     }
 

@@ -41,7 +41,7 @@ main(int argc, char **argv)
         AllocationStatsCollector alloc;
         bp.tage().setAllocationListener(&alloc);
         PredictorSim sim(bp);
-        runTrace(w.build(0), {&sim}, instructions);
+        runWorkloadTrace(w, 0, {&sim}, instructions);
 
         const H2pCriteria criteria =
             H2pCriteria{}.scaledTo(instructions);

@@ -39,7 +39,7 @@ main(int argc, char **argv)
     for (const Workload &w : lcfSuite()) {
         auto bp = makePredictor("tage-sc-l-8KB");
         PredictorSim sim(*bp);
-        runTrace(w.build(0), {&sim}, instructions);
+        runWorkloadTrace(w, 0, {&sim}, instructions);
 
         const H2pCriteria criteria =
             H2pCriteria{}.scaledTo(instructions);

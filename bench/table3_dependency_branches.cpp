@@ -39,12 +39,10 @@ main(int argc, char **argv)
                      "analyzed execs"});
 
     for (const Workload &w : specSuite()) {
-        const Program program = w.build(0);
-
         // Find the top heavy hitter.
         auto bp = makePredictor("tage-sc-l-8KB");
         PredictorSim sim(*bp);
-        runTrace(program, {&sim}, instructions);
+        runWorkloadTrace(w, 0, {&sim}, instructions);
         const H2pCriteria criteria =
             H2pCriteria{}.scaledTo(instructions);
         std::unordered_set<uint64_t> h2ps;
@@ -69,7 +67,7 @@ main(int argc, char **argv)
         DependencyAnalyzer analyzer(
             target, static_cast<unsigned>(opts.getInt("window")),
             static_cast<unsigned>(opts.getInt("sample")));
-        runTrace(program, {&analyzer}, instructions);
+        runWorkloadTrace(w, 0, {&analyzer}, instructions);
 
         char ip_str[32];
         std::snprintf(ip_str, sizeof(ip_str), "0x%llx",

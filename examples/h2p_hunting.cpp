@@ -33,7 +33,6 @@ main(int argc, char **argv)
     opts.parse(argc, argv);
 
     const Workload w = findWorkload(opts.getString("workload"));
-    const Program program = w.build(0);
     const uint64_t slice =
         static_cast<uint64_t>(opts.getInt("slice"));
     const uint64_t slices =
@@ -42,7 +41,7 @@ main(int argc, char **argv)
     // Screen per slice, exactly as Sec. III-A prescribes.
     auto bp = makePredictor("tage-sc-l-8KB");
     SlicedBranchStats stats(*bp, slice);
-    runTrace(program, {&stats}, slice * slices);
+    runWorkloadTrace(w, 0, {&stats}, slice * slices);
     const H2pCriteria criteria = H2pCriteria{}.scaledTo(slice);
     const H2pSummary summary = summarizeH2ps(stats, criteria);
 
@@ -84,7 +83,9 @@ main(int argc, char **argv)
     const uint64_t target = ranked.front().ip;
     DependencyAnalyzer deps(target, 5000, 8);
     RegValueProfiler regs(target);
-    runTrace(program, {&deps, &regs}, slice * slices);
+    // Second pass over the same trace — with a trace cache configured
+    // this replays from disk instead of re-executing the VM.
+    runWorkloadTrace(w, 0, {&deps, &regs}, slice * slices);
 
     std::printf("Top heavy hitter 0x%llx:\n",
                 static_cast<unsigned long long>(target));

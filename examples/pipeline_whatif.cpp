@@ -40,7 +40,7 @@ main(int argc, char **argv)
         preds.emplace_back(name, makePredictor(name));
     }
     const IpcStudyResult study = runIpcStudy(
-        w.build(0), std::move(preds), scales, instructions);
+        w, 0, std::move(preds), scales, instructions);
 
     TextTable table("Absolute IPC on " + w.name);
     std::vector<std::string> header{"predictor", "accuracy"};

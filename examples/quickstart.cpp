@@ -29,7 +29,6 @@ main(int argc, char **argv)
     opts.parse(argc, argv);
 
     const Workload workload = findWorkload(opts.getString("workload"));
-    const Program program = workload.build(0);
     const uint64_t instructions =
         static_cast<uint64_t>(opts.getInt("instructions"));
 
@@ -45,7 +44,9 @@ main(int argc, char **argv)
             std::make_unique<PredictorSim>(*predictors.back()));
         sinks.push_back(sims.back().get());
     }
-    runTrace(program, sinks, instructions);
+    // The shared workload path: replays from the on-disk trace cache
+    // when BPNSP_TRACE_CACHE is set, otherwise executes the VM.
+    runWorkloadTrace(workload, 0, sinks, instructions);
 
     TextTable table("Prediction accuracy on " + workload.name + " (" +
                     std::to_string(instructions) + " instructions)");

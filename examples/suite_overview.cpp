@@ -44,7 +44,7 @@ main(int argc, char **argv)
 
         auto bp = makePredictor("tage-sc-l-8KB");
         SlicedBranchStats stats(*bp, instructions);
-        runTrace(workload.build(0), {&stats}, instructions);
+        runWorkloadTrace(workload, 0, {&stats}, instructions);
 
         const H2pCriteria criteria =
             H2pCriteria{}.scaledTo(instructions);

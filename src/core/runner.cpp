@@ -1,8 +1,14 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <mutex>
 
 #include "bp/factory.hpp"
+#include "tracestore/cache.hpp"
+#include "tracestore/store.hpp"
 #include "util/logging.hpp"
 #include "vm/interpreter.hpp"
 
@@ -21,6 +27,115 @@ runTrace(const Program &program, const std::vector<TraceSink *> &sinks,
     fanout.onEnd();
     return executed;
 }
+
+// --- trace cache wiring ----------------------------------------------
+
+namespace {
+
+std::mutex gCacheMutex;
+std::unique_ptr<TraceCache> gCache;
+bool gCacheConfigured = false;
+
+/** The configured cache, lazily falling back to BPNSP_TRACE_CACHE. */
+TraceCache *
+activeCache()
+{
+    std::lock_guard<std::mutex> lock(gCacheMutex);
+    if (!gCacheConfigured) {
+        gCacheConfigured = true;
+        if (const char *env = std::getenv("BPNSP_TRACE_CACHE");
+            env != nullptr && env[0] != '\0') {
+            gCache = std::make_unique<TraceCache>(env);
+        }
+    }
+    return gCache.get();
+}
+
+/** Replay a cached entry into the sinks; false if it is unusable. */
+bool
+replayFromCache(const TraceCache &cache, const TraceCacheKey &key,
+                const std::vector<TraceSink *> &sinks,
+                uint64_t instructions)
+{
+    const std::string path = cache.entryPath(key);
+    std::string error;
+    auto reader = TraceStoreReader::open(path, &error);
+    if (reader == nullptr) {
+        warn("trace cache entry unusable (", error, "); regenerating");
+        return false;
+    }
+    if (reader->count() != instructions) {
+        warn("trace cache entry ", path, " holds ", reader->count(),
+             " records, want ", instructions, "; regenerating");
+        return false;
+    }
+    FanoutSink fanout;
+    for (TraceSink *sink : sinks)
+        fanout.add(sink);
+    if (!reader->replay(fanout, 0, &error)) {
+        // The sinks saw a partial stream; the caller must regenerate
+        // from scratch, so surface this loudly.
+        fatal("trace cache replay failed mid-stream: ", error);
+    }
+    return true;
+}
+
+} // namespace
+
+void
+setTraceCacheDir(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(gCacheMutex);
+    gCacheConfigured = true;
+    gCache = dir.empty() ? nullptr : std::make_unique<TraceCache>(dir);
+}
+
+std::string
+traceCacheDir()
+{
+    TraceCache *cache = activeCache();
+    return cache != nullptr ? cache->dir() : std::string();
+}
+
+uint64_t
+runWorkloadTrace(const Workload &workload, size_t input_idx,
+                 const std::vector<TraceSink *> &sinks,
+                 uint64_t instructions)
+{
+    TraceCache *cache = activeCache();
+    if (cache == nullptr)
+        return runTrace(workload.build(input_idx), sinks, instructions);
+
+    const WorkloadInput &input = workload.inputs.at(input_idx);
+    const TraceCacheKey key{workload.name, input.label, input.seed,
+                            instructions};
+    if (cache->contains(key)) {
+        if (replayFromCache(*cache, key, sinks, instructions))
+            return instructions;
+        cache->evict(key);
+    }
+
+    // Cold path: execute the VM and record into a staging file, then
+    // publish atomically so a crash can never leave a partial entry.
+    const std::string staging = cache->stagingPath(key);
+    uint64_t executed = 0;
+    {
+        TraceStoreWriter writer(staging);
+        std::vector<TraceSink *> all(sinks);
+        all.push_back(&writer);
+        executed = runTrace(workload.build(input_idx), all,
+                            instructions);
+    }
+    if (executed == instructions) {
+        cache->publish(staging, key);
+    } else {
+        std::error_code ec;
+        std::filesystem::remove(staging, ec);
+    }
+    return executed;
+}
+
+// --- characterization ------------------------------------------------
 
 uint64_t
 CharacterizationResult::medianStaticPerSlice() const
@@ -41,8 +156,8 @@ characterize(const Workload &workload, size_t input_idx,
     result.inputLabel = workload.inputs.at(input_idx).label;
     result.predictor = makePredictor(config.predictor);
 
-    const Program program = workload.build(input_idx);
-    result.staticBranchesInProgram = program.staticCondBranches();
+    result.staticBranchesInProgram =
+        workload.build(input_idx).staticCondBranches();
     result.stats = std::make_unique<SlicedBranchStats>(
         *result.predictor, config.sliceLength);
 
@@ -51,8 +166,8 @@ characterize(const Workload &workload, size_t input_idx,
     if (config.collectPhases)
         sinks.push_back(&bbv);
 
-    runTrace(program, sinks,
-             config.sliceLength * config.numSlices);
+    runWorkloadTrace(workload, input_idx, sinks,
+                     config.sliceLength * config.numSlices);
 
     result.criteria = H2pCriteria{}.scaledTo(config.sliceLength);
     result.h2p = summarizeH2ps(*result.stats, result.criteria);
@@ -61,20 +176,28 @@ characterize(const Workload &workload, size_t input_idx,
     return result;
 }
 
+// --- IPC studies -----------------------------------------------------
+
+namespace {
+
+/**
+ * The single-pass many-consumer study over any trace source: builds
+ * one PredictorSim per predictor and one CoreModel per (predictor,
+ * scale), runs the trace once, and collects the grid.
+ */
+template <typename RunTraceFn>
 IpcStudyResult
-runIpcStudy(
-    const Program &program,
+runIpcStudyOver(
+    RunTraceFn &&run_trace,
     std::vector<std::pair<std::string,
                           std::unique_ptr<BranchPredictor>>> predictors,
-    const std::vector<unsigned> &scales, uint64_t instructions)
+    const std::vector<unsigned> &scales)
 {
     BPNSP_ASSERT(!predictors.empty() && !scales.empty());
 
     IpcStudyResult result;
     result.scales = scales;
 
-    // One PredictorSim per predictor; each feeds CoreModels for every
-    // scale. All consume the same single trace pass.
     std::vector<std::unique_ptr<PredictorSim>> sims;
     std::vector<std::vector<std::unique_ptr<CoreModel>>> cores;
     std::vector<TraceSink *> sinks;
@@ -91,7 +214,7 @@ runIpcStudy(
         }
     }
 
-    runTrace(program, sinks, instructions);
+    run_trace(sinks);
 
     for (size_t p = 0; p < predictors.size(); ++p) {
         IpcColumn col;
@@ -102,6 +225,36 @@ runIpcStudy(
         result.columns.push_back(std::move(col));
     }
     return result;
+}
+
+} // namespace
+
+IpcStudyResult
+runIpcStudy(
+    const Program &program,
+    std::vector<std::pair<std::string,
+                          std::unique_ptr<BranchPredictor>>> predictors,
+    const std::vector<unsigned> &scales, uint64_t instructions)
+{
+    return runIpcStudyOver(
+        [&](const std::vector<TraceSink *> &sinks) {
+            runTrace(program, sinks, instructions);
+        },
+        std::move(predictors), scales);
+}
+
+IpcStudyResult
+runIpcStudy(
+    const Workload &workload, size_t input_idx,
+    std::vector<std::pair<std::string,
+                          std::unique_ptr<BranchPredictor>>> predictors,
+    const std::vector<unsigned> &scales, uint64_t instructions)
+{
+    return runIpcStudyOver(
+        [&](const std::vector<TraceSink *> &sinks) {
+            runWorkloadTrace(workload, input_idx, sinks, instructions);
+        },
+        std::move(predictors), scales);
 }
 
 } // namespace bpnsp

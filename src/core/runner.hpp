@@ -37,6 +37,31 @@ uint64_t runTrace(const Program &program,
                   const std::vector<TraceSink *> &sinks,
                   uint64_t instructions);
 
+/**
+ * Configure the process-wide on-disk trace cache (see
+ * tracestore/cache.hpp). An empty dir disables caching. When never
+ * called, the BPNSP_TRACE_CACHE environment variable is consulted on
+ * first use, so every binary supports caching without plumbing.
+ */
+void setTraceCacheDir(const std::string &dir);
+
+/** The configured trace cache directory ("" when disabled). */
+std::string traceCacheDir();
+
+/**
+ * The canonical workload-execution path: stream one workload input's
+ * trace into the sinks, exactly as runTrace(w.build(input_idx), ...)
+ * would, but routed through the trace cache when one is configured —
+ * the first run records the trace to disk, subsequent runs replay it
+ * (bit-identical, no VM execution). Unusable cache entries (corrupt,
+ * wrong length) are evicted and regenerated, never trusted.
+ *
+ * @return instructions delivered.
+ */
+uint64_t runWorkloadTrace(const Workload &workload, size_t input_idx,
+                          const std::vector<TraceSink *> &sinks,
+                          uint64_t instructions);
+
 /** Configuration of a characterization pass (Table I methodology). */
 struct CharacterizationConfig
 {
@@ -95,6 +120,13 @@ struct IpcStudyResult
  */
 IpcStudyResult runIpcStudy(
     const Program &program,
+    std::vector<std::pair<std::string,
+                          std::unique_ptr<BranchPredictor>>> predictors,
+    const std::vector<unsigned> &scales, uint64_t instructions);
+
+/** The same study over a workload input, through the trace cache. */
+IpcStudyResult runIpcStudy(
+    const Workload &workload, size_t input_idx,
     std::vector<std::pair<std::string,
                           std::unique_ptr<BranchPredictor>>> predictors,
     const std::vector<unsigned> &scales, uint64_t instructions);

@@ -1,0 +1,83 @@
+#include "tracestore/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include <unistd.h>
+
+#include "tracestore/format.hpp"
+#include "util/logging.hpp"
+
+namespace fs = std::filesystem;
+
+namespace bpnsp {
+
+std::string
+traceCacheDigest(const TraceCacheKey &key)
+{
+    // Canonical key string; '\n' separators keep fields unambiguous
+    // (labels never contain newlines).
+    const std::string canonical =
+        key.workload + "\n" + key.input + "\n" +
+        std::to_string(key.seed) + "\n" +
+        std::to_string(key.instructions) + "\nstore-v" +
+        std::to_string(kStoreVersion);
+    const uint64_t hash = fnv1a(canonical.data(), canonical.size());
+
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return hex;
+}
+
+TraceCache::TraceCache(std::string directory)
+    : root(std::move(directory))
+{
+    BPNSP_ASSERT(!root.empty());
+    std::error_code ec;
+    fs::create_directories(root, ec);
+    if (ec)
+        fatal("cannot create trace cache directory ", root, ": ",
+              ec.message());
+}
+
+std::string
+TraceCache::entryPath(const TraceCacheKey &key) const
+{
+    return root + "/" + traceCacheDigest(key) + ".bpt";
+}
+
+bool
+TraceCache::contains(const TraceCacheKey &key) const
+{
+    std::error_code ec;
+    return fs::is_regular_file(entryPath(key), ec);
+}
+
+std::string
+TraceCache::stagingPath(const TraceCacheKey &key) const
+{
+    return root + "/" + traceCacheDigest(key) + ".staging." +
+           std::to_string(static_cast<long>(::getpid()));
+}
+
+void
+TraceCache::publish(const std::string &staging,
+                    const TraceCacheKey &key) const
+{
+    std::error_code ec;
+    fs::rename(staging, entryPath(key), ec);
+    if (ec)
+        fatal("cannot publish trace cache entry ", entryPath(key), ": ",
+              ec.message());
+}
+
+void
+TraceCache::evict(const TraceCacheKey &key) const
+{
+    std::error_code ec;
+    fs::remove(entryPath(key), ec);
+}
+
+} // namespace bpnsp

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Content-addressed trace cache: maps (workload, input, scale, format
+ * version) to a trace store file on disk, so trace generation — the
+ * dominant cost of every bench sweep — is paid once and replayed
+ * thereafter.
+ *
+ * Entries are published with write-then-rename: a run records into a
+ * private staging file and atomically renames it into place only after
+ * the trace is complete, so concurrent runs and crashes can never leave
+ * a partial entry under a valid key. The format version participates
+ * in the digest, so a format bump silently invalidates stale entries
+ * instead of misreading them.
+ */
+
+#ifndef BPNSP_TRACESTORE_CACHE_HPP
+#define BPNSP_TRACESTORE_CACHE_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace bpnsp {
+
+/** Everything that determines a trace's identity. */
+struct TraceCacheKey
+{
+    std::string workload;     ///< workload name, e.g. "mcf_like"
+    std::string input;        ///< input label, e.g. "input-0"
+    uint64_t seed = 0;        ///< input seed (drives program data)
+    uint64_t instructions = 0; ///< trace length (the scale knob)
+};
+
+/**
+ * Stable content address of a key: 16 hex digits over the canonical
+ * key string, which includes kStoreVersion.
+ */
+std::string traceCacheDigest(const TraceCacheKey &key);
+
+/** A directory of trace store files addressed by key digest. */
+class TraceCache
+{
+  public:
+    /** Create the directory if needed; fatal() if that fails. */
+    explicit TraceCache(std::string directory);
+
+    const std::string &dir() const { return root; }
+
+    /** Path the entry for `key` lives at (whether or not it exists). */
+    std::string entryPath(const TraceCacheKey &key) const;
+
+    /** True when a published entry exists for `key`. */
+    bool contains(const TraceCacheKey &key) const;
+
+    /**
+     * A private staging path for recording `key`'s trace. Unique per
+     * process so concurrent cold runs don't clobber each other.
+     */
+    std::string stagingPath(const TraceCacheKey &key) const;
+
+    /** Atomically publish a finished staging file under `key`. */
+    void publish(const std::string &staging,
+                 const TraceCacheKey &key) const;
+
+    /** Delete the entry for `key` if present. */
+    void evict(const TraceCacheKey &key) const;
+
+  private:
+    std::string root;
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_TRACESTORE_CACHE_HPP

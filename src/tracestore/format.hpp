@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The on-disk trace store format: constants, primitive codecs, and the
+ * per-chunk record encoder/decoder.
+ *
+ * A store file is a sequence of framed chunks, each holding a batch of
+ * TraceRecords encoded with per-field varint + delta compression,
+ * followed by a footer index (one entry per chunk) and a fixed-size
+ * trailer at EOF that locates the footer. The trailer-at-end layout
+ * lets the writer stream chunks without seeking back, and lets the
+ * reader find the index in O(1) from the file size alone.
+ *
+ * Layout:
+ *
+ *   [FileHeader]                       magic + version, sniffable
+ *   [ChunkHeader][payload] ...         framed, checksummed chunks
+ *   [FooterEntry x numChunks]          chunk offsets + record counts
+ *   [Trailer]                          locates & checksums the footer
+ *
+ * Every field of every record round-trips exactly; nothing is dropped
+ * based on instruction class, so decode(encode(r)) == r always holds.
+ */
+
+#ifndef BPNSP_TRACESTORE_FORMAT_HPP
+#define BPNSP_TRACESTORE_FORMAT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "trace/sink.hpp"
+
+namespace bpnsp {
+
+/** First bytes of every trace store file. */
+inline constexpr char kStoreMagic[8] = {'B', 'P', 'N', 'S', 'P',
+                                        'T', 'S', '1'};
+
+/** Last-but-checksum bytes of every trace store file. */
+inline constexpr char kTrailerMagic[8] = {'B', 'P', 'T', 'S',
+                                          'E', 'N', 'D', '1'};
+
+/**
+ * Format version. Bump on any incompatible layout or encoding change;
+ * it participates in the cache key, so a bump invalidates every cached
+ * trace rather than risking a misdecode.
+ */
+inline constexpr uint32_t kStoreVersion = 1;
+
+/** Default records per chunk (the unit of seek and shard parallelism). */
+inline constexpr uint32_t kDefaultRecordsPerChunk = 1u << 16;
+
+/** Fixed-size file header. */
+struct StoreFileHeader
+{
+    char magic[8];
+    uint32_t version;
+    uint32_t reserved;
+};
+static_assert(sizeof(StoreFileHeader) == 16, "unexpected header size");
+
+/** Frame in front of each chunk payload. */
+struct StoreChunkHeader
+{
+    uint32_t payloadBytes;   ///< encoded payload size after this header
+    uint32_t recordCount;    ///< records encoded in the payload
+    uint64_t checksum;       ///< FNV-1a over the payload bytes
+};
+static_assert(sizeof(StoreChunkHeader) == 16, "unexpected chunk header");
+
+/** One footer index entry per chunk. */
+struct StoreFooterEntry
+{
+    uint64_t offset;         ///< file offset of the StoreChunkHeader
+    uint32_t payloadBytes;   ///< must match the chunk header
+    uint32_t recordCount;    ///< must match the chunk header
+};
+static_assert(sizeof(StoreFooterEntry) == 16, "unexpected footer entry");
+
+/** Fixed-size trailer at EOF. */
+struct StoreTrailer
+{
+    uint64_t footerOffset;    ///< file offset of the first footer entry
+    uint64_t numChunks;
+    uint64_t totalRecords;
+    uint64_t footerChecksum;  ///< FNV-1a over the footer entries
+    uint32_t version;         ///< == header version
+    char magic[8];
+    uint32_t reserved;
+};
+static_assert(sizeof(StoreTrailer) == 48, "unexpected trailer size");
+
+/** FNV-1a 64-bit over a byte range (the format's only checksum). */
+inline uint64_t
+fnv1a(const void *data, size_t len, uint64_t seed = 0xcbf29ce484222325ull)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    uint64_t hash = seed;
+    for (size_t i = 0; i < len; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+/** Append an LEB128 varint. */
+void putVarint(std::vector<uint8_t> &out, uint64_t value);
+
+/** Zigzag-map a signed delta so small magnitudes encode small. */
+inline uint64_t
+zigzag(int64_t value)
+{
+    return (static_cast<uint64_t>(value) << 1) ^
+           static_cast<uint64_t>(value >> 63);
+}
+
+/** Inverse of zigzag(). */
+inline int64_t
+unzigzag(uint64_t value)
+{
+    return static_cast<int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+/**
+ * Bounds-checked varint read: advances *pos past the varint and
+ * returns true, or returns false (leaving *pos unspecified) if the
+ * varint runs past `len` or exceeds 64 bits.
+ */
+bool getVarint(const uint8_t *data, size_t len, size_t *pos,
+               uint64_t *value);
+
+/**
+ * Encode a batch of records into `out` (appended). The encoding is
+ * stateful within the batch only: IPs and memory addresses are
+ * delta-encoded against the previous record, targets and fallthroughs
+ * against the record's own IP, so any chunk decodes standalone.
+ */
+void encodeChunk(const TraceRecord *records, size_t count,
+                 std::vector<uint8_t> &out);
+
+/**
+ * Decode `count` records from a chunk payload into `out` (appended).
+ * Returns true on success; on malformed input (truncated varint,
+ * invalid instruction class, trailing bytes) returns false and sets
+ * *error to a diagnostic.
+ */
+bool decodeChunk(const uint8_t *data, size_t len, size_t count,
+                 std::vector<TraceRecord> &out, std::string *error);
+
+/**
+ * Order-sensitive digest over every field of every observed record.
+ * Used to prove that a cached replay is bit-identical to the live
+ * execution it was captured from.
+ */
+class DigestSink : public TraceSink
+{
+  public:
+    void onRecord(const TraceRecord &rec) override;
+
+    uint64_t digest() const { return hash; }
+    uint64_t count() const { return seen; }
+
+  private:
+    uint64_t hash = 0xcbf29ce484222325ull;
+    uint64_t seen = 0;
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_TRACESTORE_FORMAT_HPP

@@ -1,0 +1,89 @@
+#include "tracestore/shard.hpp"
+
+#include <thread>
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+std::vector<ShardSlice>
+planShards(const TraceStoreReader &reader, unsigned num_shards)
+{
+    BPNSP_ASSERT(num_shards > 0);
+    const uint64_t chunks = reader.numChunks();
+    const uint64_t shards = std::min<uint64_t>(num_shards, chunks);
+
+    std::vector<ShardSlice> plan;
+    if (shards == 0)
+        return plan;
+
+    // Greedy balance by record count: each shard takes chunks until it
+    // reaches its proportional share of the remaining records, always
+    // leaving at least one chunk for every shard after it.
+    uint64_t chunk = 0;
+    uint64_t recordsLeft = reader.count();
+    for (uint64_t s = 0; s < shards; ++s) {
+        const uint64_t shardsAfter = shards - s - 1;
+        const uint64_t want =
+            (recordsLeft + shards - s - 1) / (shards - s);
+
+        ShardSlice slice;
+        slice.index = s;
+        slice.numShards = shards;
+        slice.firstChunk = chunk;
+        slice.firstRecord = reader.chunkFirstRecord(chunk);
+        while (chunk < chunks - shardsAfter &&
+               (slice.numChunks == 0 || slice.numRecords < want)) {
+            slice.numRecords += reader.chunkRecordCount(chunk);
+            ++chunk;
+            ++slice.numChunks;
+        }
+        recordsLeft -= slice.numRecords;
+        plan.push_back(slice);
+    }
+    BPNSP_ASSERT(chunk == chunks && recordsLeft == 0,
+                 "shard plan did not cover the store");
+    return plan;
+}
+
+uint64_t
+replayShards(
+    const TraceStoreReader &reader, unsigned num_shards,
+    const std::function<TraceSink &(const ShardSlice &)> &make_sink,
+    std::string *error)
+{
+    const std::vector<ShardSlice> plan = planShards(reader, num_shards);
+
+    std::vector<TraceSink *> sinks;
+    sinks.reserve(plan.size());
+    for (const ShardSlice &slice : plan)
+        sinks.push_back(&make_sink(slice));
+
+    std::vector<std::string> shardErrors(plan.size());
+    std::vector<std::thread> workers;
+    workers.reserve(plan.size());
+    for (size_t s = 0; s < plan.size(); ++s) {
+        workers.emplace_back([&, s]() {
+            const ShardSlice &slice = plan[s];
+            if (reader.replayRange(slice.firstRecord, slice.numRecords,
+                                   *sinks[s], &shardErrors[s]))
+                sinks[s]->onEnd();
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+
+    uint64_t replayed = 0;
+    for (size_t s = 0; s < plan.size(); ++s) {
+        if (!shardErrors[s].empty()) {
+            if (error != nullptr)
+                *error = "shard " + std::to_string(s) + ": " +
+                         shardErrors[s];
+            return 0;
+        }
+        replayed += plan[s].numRecords;
+    }
+    return replayed;
+}
+
+} // namespace bpnsp

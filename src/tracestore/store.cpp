@@ -1,0 +1,299 @@
+#include "tracestore/store.hpp"
+
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+// --- writer ----------------------------------------------------------
+
+TraceStoreWriter::TraceStoreWriter(const std::string &path,
+                                   uint32_t records_per_chunk)
+    : file(std::fopen(path.c_str(), "wb")), filePath(path),
+      chunkCapacity(records_per_chunk)
+{
+    BPNSP_ASSERT(chunkCapacity > 0);
+    if (file == nullptr)
+        fatal("cannot open trace store for writing: ", path);
+    StoreFileHeader hdr{};
+    std::memcpy(hdr.magic, kStoreMagic, sizeof(kStoreMagic));
+    hdr.version = kStoreVersion;
+    writeBytes(&hdr, sizeof(hdr));
+    pending.reserve(chunkCapacity);
+}
+
+TraceStoreWriter::~TraceStoreWriter()
+{
+    onEnd();
+}
+
+void
+TraceStoreWriter::writeBytes(const void *data, size_t len)
+{
+    if (len == 0)
+        return;   // empty footer: vector::data() may be null
+    if (std::fwrite(data, 1, len, file) != len)
+        fatal("short write to trace store: ", filePath);
+    fileOffset += len;
+}
+
+void
+TraceStoreWriter::onRecord(const TraceRecord &rec)
+{
+    BPNSP_ASSERT(!finished, "write after onEnd()");
+    pending.push_back(rec);
+    ++total;
+    if (pending.size() >= chunkCapacity)
+        flushChunk();
+}
+
+void
+TraceStoreWriter::flushChunk()
+{
+    if (pending.empty())
+        return;
+    encodeBuffer.clear();
+    encodeChunk(pending.data(), pending.size(), encodeBuffer);
+
+    StoreChunkHeader hdr{};
+    hdr.payloadBytes = static_cast<uint32_t>(encodeBuffer.size());
+    hdr.recordCount = static_cast<uint32_t>(pending.size());
+    hdr.checksum = fnv1a(encodeBuffer.data(), encodeBuffer.size());
+
+    StoreFooterEntry entry{};
+    entry.offset = fileOffset;
+    entry.payloadBytes = hdr.payloadBytes;
+    entry.recordCount = hdr.recordCount;
+    footer.push_back(entry);
+
+    writeBytes(&hdr, sizeof(hdr));
+    writeBytes(encodeBuffer.data(), encodeBuffer.size());
+    pending.clear();
+}
+
+void
+TraceStoreWriter::onEnd()
+{
+    if (finished || file == nullptr)
+        return;
+    flushChunk();
+
+    StoreTrailer trailer{};
+    trailer.footerOffset = fileOffset;
+    trailer.numChunks = footer.size();
+    trailer.totalRecords = total;
+    trailer.footerChecksum =
+        fnv1a(footer.data(), footer.size() * sizeof(StoreFooterEntry));
+    trailer.version = kStoreVersion;
+    std::memcpy(trailer.magic, kTrailerMagic, sizeof(kTrailerMagic));
+
+    writeBytes(footer.data(), footer.size() * sizeof(StoreFooterEntry));
+    writeBytes(&trailer, sizeof(trailer));
+    if (std::fclose(file) != 0)
+        fatal("cannot close trace store: ", filePath);
+    file = nullptr;
+    finished = true;
+}
+
+// --- reader ----------------------------------------------------------
+
+std::unique_ptr<TraceStoreReader>
+TraceStoreReader::open(const std::string &path, std::string *error)
+{
+    auto fail = [error](const std::string &what) {
+        if (error != nullptr)
+            *error = what;
+        return nullptr;
+    };
+
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return fail("cannot open trace store: " + path);
+
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+        ::close(fd);
+        return fail("cannot stat trace store: " + path);
+    }
+    const auto size = static_cast<size_t>(st.st_size);
+    if (size < sizeof(StoreFileHeader) + sizeof(StoreTrailer)) {
+        ::close(fd);
+        return fail("trace store too small to be valid (truncated?): " +
+                    path);
+    }
+
+    void *map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);   // the mapping keeps the file alive
+    if (map == MAP_FAILED)
+        return fail("cannot mmap trace store: " + path);
+
+    std::unique_ptr<TraceStoreReader> reader(new TraceStoreReader());
+    reader->base = static_cast<const uint8_t *>(map);
+    reader->mappedSize = size;
+    reader->path = path;
+
+    StoreFileHeader hdr{};
+    std::memcpy(&hdr, reader->base, sizeof(hdr));
+    if (std::memcmp(hdr.magic, kStoreMagic, sizeof(kStoreMagic)) != 0)
+        return fail("bad trace store magic in: " + path);
+    if (hdr.version != kStoreVersion) {
+        return fail("unsupported trace store version " +
+                    std::to_string(hdr.version) + " (want " +
+                    std::to_string(kStoreVersion) + ") in: " + path);
+    }
+
+    StoreTrailer trailer{};
+    std::memcpy(&trailer, reader->base + size - sizeof(trailer),
+                sizeof(trailer));
+    if (std::memcmp(trailer.magic, kTrailerMagic,
+                    sizeof(kTrailerMagic)) != 0) {
+        return fail("missing trace store trailer (file truncated or "
+                    "not finalized): " + path);
+    }
+    if (trailer.version != kStoreVersion)
+        return fail("trailer/header version mismatch in: " + path);
+
+    const uint64_t footerBytes =
+        trailer.numChunks * sizeof(StoreFooterEntry);
+    if (trailer.footerOffset < sizeof(StoreFileHeader) ||
+        trailer.footerOffset + footerBytes + sizeof(StoreTrailer) !=
+            size) {
+        return fail("trace store footer index out of bounds in: " +
+                    path);
+    }
+    const uint8_t *footerBase = reader->base + trailer.footerOffset;
+    if (fnv1a(footerBase, footerBytes) != trailer.footerChecksum)
+        return fail("trace store footer checksum mismatch in: " + path);
+
+    uint64_t firstRecord = 0;
+    uint64_t prevEnd = sizeof(StoreFileHeader);
+    reader->chunks.reserve(trailer.numChunks);
+    for (uint64_t i = 0; i < trailer.numChunks; ++i) {
+        StoreFooterEntry entry{};
+        std::memcpy(&entry, footerBase + i * sizeof(entry),
+                    sizeof(entry));
+        const uint64_t end = entry.offset + sizeof(StoreChunkHeader) +
+                             entry.payloadBytes;
+        if (entry.offset != prevEnd || end > trailer.footerOffset ||
+            entry.recordCount == 0) {
+            return fail("trace store chunk " + std::to_string(i) +
+                        " index entry is corrupt in: " + path);
+        }
+        reader->chunks.push_back(ChunkInfo{entry.offset,
+                                           entry.payloadBytes,
+                                           entry.recordCount,
+                                           firstRecord});
+        firstRecord += entry.recordCount;
+        prevEnd = end;
+    }
+    if (firstRecord != trailer.totalRecords) {
+        return fail("trace store record count disagrees with index "
+                    "in: " + path);
+    }
+    reader->totalRecords = trailer.totalRecords;
+    return reader;
+}
+
+TraceStoreReader::~TraceStoreReader()
+{
+    if (base != nullptr)
+        ::munmap(const_cast<uint8_t *>(base), mappedSize);
+}
+
+uint64_t
+TraceStoreReader::chunkFirstRecord(uint64_t chunk) const
+{
+    return chunks.at(chunk).firstRecord;
+}
+
+uint64_t
+TraceStoreReader::chunkRecordCount(uint64_t chunk) const
+{
+    return chunks.at(chunk).recordCount;
+}
+
+bool
+TraceStoreReader::decodeChunkAt(uint64_t index,
+                                std::vector<TraceRecord> &out,
+                                std::string *error) const
+{
+    const ChunkInfo &info = chunks.at(index);
+    StoreChunkHeader hdr{};
+    std::memcpy(&hdr, base + info.offset, sizeof(hdr));
+    const uint8_t *payload = base + info.offset + sizeof(hdr);
+    auto fail = [&](const std::string &what) {
+        if (error != nullptr) {
+            *error = "chunk " + std::to_string(index) + " of " + path +
+                     ": " + what;
+        }
+        return false;
+    };
+    if (hdr.payloadBytes != info.payloadBytes ||
+        hdr.recordCount != info.recordCount)
+        return fail("chunk header disagrees with footer index");
+    if (fnv1a(payload, hdr.payloadBytes) != hdr.checksum)
+        return fail("payload checksum mismatch (corrupted frame)");
+    std::string decodeError;
+    if (!decodeChunk(payload, hdr.payloadBytes, hdr.recordCount, out,
+                     &decodeError))
+        return fail(decodeError);
+    return true;
+}
+
+bool
+TraceStoreReader::replay(TraceSink &sink, uint64_t limit,
+                         std::string *error) const
+{
+    const uint64_t want =
+        (limit == 0 || limit > totalRecords) ? totalRecords : limit;
+    if (want > 0 && !replayRange(0, want, sink, error))
+        return false;
+    sink.onEnd();
+    return true;
+}
+
+bool
+TraceStoreReader::replayRange(uint64_t first, uint64_t n,
+                              TraceSink &sink, std::string *error) const
+{
+    BPNSP_ASSERT(first + n <= totalRecords, "range past end of store");
+    if (n == 0)
+        return true;
+
+    // Locate the chunk containing `first` (the index is sorted).
+    uint64_t lo = 0;
+    uint64_t hi = chunks.size();
+    while (lo + 1 < hi) {
+        const uint64_t mid = lo + (hi - lo) / 2;
+        if (chunks[mid].firstRecord <= first)
+            lo = mid;
+        else
+            hi = mid;
+    }
+
+    std::vector<TraceRecord> buffer;
+    uint64_t remaining = n;
+    uint64_t cursor = first;
+    for (uint64_t c = lo; c < chunks.size() && remaining > 0; ++c) {
+        buffer.clear();
+        if (!decodeChunkAt(c, buffer, error))
+            return false;
+        const uint64_t skip = cursor - chunks[c].firstRecord;
+        for (uint64_t i = skip;
+             i < buffer.size() && remaining > 0; ++i) {
+            sink.onRecord(buffer[i]);
+            ++cursor;
+            --remaining;
+        }
+    }
+    BPNSP_ASSERT(remaining == 0, "store index inconsistent with data");
+    return true;
+}
+
+} // namespace bpnsp

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Tests for the content-addressed trace cache and its runner wiring:
+ * digest stability, cold-run population, warm-run bit-identical replay
+ * (proven by planting a distinctive store under the key), stale-key
+ * misses on scale changes, and graceful fallback on unusable entries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "tracestore/cache.hpp"
+#include "tracestore/format.hpp"
+#include "tracestore/store.hpp"
+#include "workloads/suite.hpp"
+
+using namespace bpnsp;
+
+namespace {
+
+constexpr uint64_t kInstructions = 20000;
+
+/** Fresh cache directory per test; removed on destruction. */
+class CacheDirGuard
+{
+  public:
+    explicit CacheDirGuard(const char *tag)
+        : path(std::string(::testing::TempDir()) + "bpnsp_cache_" + tag)
+    {
+        std::filesystem::remove_all(path);
+        setTraceCacheDir(path);
+    }
+
+    ~CacheDirGuard()
+    {
+        // Unhook the process-wide cache before deleting the directory
+        // so later tests start from a clean, explicit state.
+        setTraceCacheDir("");
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+
+    const std::string path;
+};
+
+TraceCacheKey
+keyFor(const Workload &w, uint64_t instructions)
+{
+    return TraceCacheKey{w.name, w.inputs[0].label, w.inputs[0].seed,
+                         instructions};
+}
+
+} // namespace
+
+TEST(TraceCacheDigest, StableAndKeySensitive)
+{
+    const TraceCacheKey key{"mcf_like", "input-0", 42, 1000000};
+    const std::string digest = traceCacheDigest(key);
+    EXPECT_EQ(digest.size(), 16u);
+    EXPECT_EQ(digest.find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+    // Same key, same digest — the whole point of content addressing.
+    EXPECT_EQ(traceCacheDigest(key), digest);
+
+    // Every field must participate in the address.
+    TraceCacheKey other = key;
+    other.workload = "gcc_like";
+    EXPECT_NE(traceCacheDigest(other), digest);
+    other = key;
+    other.input = "input-1";
+    EXPECT_NE(traceCacheDigest(other), digest);
+    other = key;
+    other.seed = 43;
+    EXPECT_NE(traceCacheDigest(other), digest);
+    other = key;
+    other.instructions = 2000000;
+    EXPECT_NE(traceCacheDigest(other), digest);
+}
+
+TEST(TraceCache, ColdRunPopulates)
+{
+    CacheDirGuard guard("cold");
+    const Workload w = findWorkload("mcf_like");
+    const TraceCacheKey key = keyFor(w, kInstructions);
+    TraceCache cache(guard.path);
+    ASSERT_FALSE(cache.contains(key));
+
+    CountingSink sink;
+    const uint64_t executed =
+        runWorkloadTrace(w, 0, {&sink}, kInstructions);
+    EXPECT_EQ(executed, kInstructions);
+    EXPECT_EQ(sink.totalCount(), kInstructions);
+    EXPECT_TRUE(cache.contains(key));
+
+    // The published entry is a valid store holding the exact trace.
+    std::string error;
+    auto reader = TraceStoreReader::open(cache.entryPath(key), &error);
+    ASSERT_NE(reader, nullptr) << error;
+    EXPECT_EQ(reader->count(), kInstructions);
+
+    // No staging debris left behind.
+    size_t files = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(guard.path)) {
+        (void)entry;
+        ++files;
+    }
+    EXPECT_EQ(files, 1u);
+}
+
+TEST(TraceCache, WarmRunReplaysBitIdentical)
+{
+    CacheDirGuard guard("warm");
+    const Workload w = findWorkload("mcf_like");
+
+    DigestSink cold;
+    ASSERT_EQ(runWorkloadTrace(w, 0, {&cold}, kInstructions),
+              kInstructions);
+    DigestSink warm;
+    ASSERT_EQ(runWorkloadTrace(w, 0, {&warm}, kInstructions),
+              kInstructions);
+    EXPECT_EQ(warm.count(), cold.count());
+    EXPECT_EQ(warm.digest(), cold.digest())
+        << "warm replay diverged from live execution";
+}
+
+TEST(TraceCache, WarmRunComesFromTheCacheNotTheVm)
+{
+    CacheDirGuard guard("planted");
+    const Workload w = findWorkload("mcf_like");
+    const TraceCacheKey key = keyFor(w, kInstructions);
+    TraceCache cache(guard.path);
+
+    // Plant a store of the right length but distinctive content under
+    // the key. If the runner really replays from the cache, sinks must
+    // see the planted records, not a fresh VM execution.
+    {
+        TraceStoreWriter writer(cache.stagingPath(key));
+        for (uint64_t i = 0; i < kInstructions; ++i) {
+            TraceRecord rec;
+            rec.ip = 0xdead0000 + i;
+            rec.fallthrough = rec.ip + 4;
+            writer.onRecord(rec);
+        }
+        writer.onEnd();
+        cache.publish(cache.stagingPath(key), key);
+    }
+
+    VectorSink sink;
+    ASSERT_EQ(runWorkloadTrace(w, 0, {&sink}, kInstructions),
+              kInstructions);
+    ASSERT_EQ(sink.get().size(), kInstructions);
+    EXPECT_EQ(sink.get()[0].ip, 0xdead0000u);
+    EXPECT_EQ(sink.get()[kInstructions - 1].ip,
+              0xdead0000u + kInstructions - 1);
+}
+
+TEST(TraceCache, StaleKeyOnScaleChangeMisses)
+{
+    CacheDirGuard guard("stale");
+    const Workload w = findWorkload("mcf_like");
+    TraceCache cache(guard.path);
+
+    CountingSink sink;
+    ASSERT_EQ(runWorkloadTrace(w, 0, {&sink}, kInstructions),
+              kInstructions);
+    EXPECT_TRUE(cache.contains(keyFor(w, kInstructions)));
+
+    // A different instruction budget is a different trace: its key
+    // must miss and the run must populate a second, separate entry.
+    const uint64_t other = kInstructions / 2;
+    EXPECT_FALSE(cache.contains(keyFor(w, other)));
+    CountingSink sink2;
+    ASSERT_EQ(runWorkloadTrace(w, 0, {&sink2}, other), other);
+    EXPECT_TRUE(cache.contains(keyFor(w, other)));
+    EXPECT_TRUE(cache.contains(keyFor(w, kInstructions)));
+    EXPECT_NE(cache.entryPath(keyFor(w, other)),
+              cache.entryPath(keyFor(w, kInstructions)));
+}
+
+TEST(TraceCache, UnusableEntryFallsBackToExecution)
+{
+    CacheDirGuard guard("fallback");
+    const Workload w = findWorkload("mcf_like");
+    const TraceCacheKey key = keyFor(w, kInstructions);
+    TraceCache cache(guard.path);
+
+    DigestSink reference;
+    ASSERT_EQ(runWorkloadTrace(w, 0, {&reference}, kInstructions),
+              kInstructions);
+
+    // Truncate the published entry so it no longer opens. The next run
+    // must fall back to live execution, still deliver the full trace,
+    // and repair the cache entry.
+    const std::string entry = cache.entryPath(key);
+    std::filesystem::resize_file(
+        entry, std::filesystem::file_size(entry) / 2);
+
+    DigestSink repaired;
+    ASSERT_EQ(runWorkloadTrace(w, 0, {&repaired}, kInstructions),
+              kInstructions);
+    EXPECT_EQ(repaired.digest(), reference.digest());
+
+    std::string error;
+    auto reader = TraceStoreReader::open(entry, &error);
+    ASSERT_NE(reader, nullptr)
+        << "entry not repaired after fallback: " << error;
+    EXPECT_EQ(reader->count(), kInstructions);
+}
+
+TEST(TraceCache, DisabledCacheRunsLive)
+{
+    // With no cache configured the runner must execute the VM and
+    // write nothing anywhere.
+    setTraceCacheDir("");
+    const Workload w = findWorkload("mcf_like");
+    CountingSink sink;
+    EXPECT_EQ(runWorkloadTrace(w, 0, {&sink}, kInstructions),
+              kInstructions);
+    EXPECT_EQ(sink.totalCount(), kInstructions);
+    EXPECT_TRUE(traceCacheDir().empty());
+}
