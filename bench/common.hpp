@@ -21,6 +21,8 @@
 #include "bp/oracle.hpp"
 #include "bp/sim.hpp"
 #include "core/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -33,7 +35,10 @@ namespace bpnsp::bench {
  * configures the on-disk trace cache from --trace-cache (or the
  * BPNSP_TRACE_CACHE environment variable): with a cache directory set,
  * the first run of any harness records every workload trace and later
- * runs replay them from disk instead of re-executing the VM.
+ * runs replay them from disk instead of re-executing the VM. Activates
+ * the standard telemetry options too (--metrics-out writes a JSON run
+ * report on exit, --progress prints an instr/sec heartbeat) and stamps
+ * the effective scale into the run manifest.
  */
 inline double
 parseScale(OptionParser &opts, int argc, char **argv)
@@ -46,11 +51,15 @@ parseScale(OptionParser &opts, int argc, char **argv)
                    "BPNSP_TRACE_CACHE); first run records traces, "
                    "later runs replay them");
     opts.parse(argc, argv);
+    obs::configureFromOptions(opts);
     if (const std::string &dir = opts.getString("trace-cache");
         !dir.empty()) {
         setTraceCacheDir(dir);
     }
-    return opts.getDouble("scale") * experimentScale();
+    const double scale = opts.getDouble("scale") * experimentScale();
+    obs::Registry::instance().setRunField("scale",
+                                          std::to_string(scale));
+    return scale;
 }
 
 /** Print a table in the format selected by --csv. */

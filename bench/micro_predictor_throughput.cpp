@@ -9,10 +9,14 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string_view>
+#include <vector>
 
 #include "bp/factory.hpp"
 #include "bp/sim.hpp"
 #include "core/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "pipeline/core.hpp"
 #include "trace/sink.hpp"
 #include "vm/interpreter.hpp"
@@ -109,4 +113,36 @@ BM_CoreModel(benchmark::State &state)
 }
 BENCHMARK(BM_CoreModel);
 
-BENCHMARK_MAIN();
+// Hand-rolled main instead of BENCHMARK_MAIN(): google-benchmark
+// rejects flags it does not recognize, so peel off the standard
+// telemetry options (--metrics-out, --progress) before passing argv
+// through.
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> passthrough;
+    passthrough.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg.rfind("--metrics-out=", 0) == 0) {
+            obs::setReportPath(std::string(arg.substr(14)));
+        } else if (arg == "--metrics-out" && i + 1 < argc) {
+            obs::setReportPath(argv[++i]);
+        } else if (arg == "--progress") {
+            obs::setProgressInterval(obs::kDefaultProgressInterval);
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    obs::Registry::instance().setRunField(
+        "binary", "micro_predictor_throughput");
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

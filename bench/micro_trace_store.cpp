@@ -126,6 +126,18 @@ main(int argc, char **argv)
         shardSec);
     emit(table, opts.getFlag("csv"));
 
+    // Export the phase timings as gauges so a --metrics-out report of
+    // this bench doubles as a perf-trajectory data point.
+    obs::gauge("bench.trace_replay.cold_seconds").set(coldSec);
+    obs::gauge("bench.trace_replay.warm_seconds").set(warmSec);
+    obs::gauge("bench.trace_replay.shard_seconds").set(shardSec);
+    obs::gauge("bench.trace_replay.warm_speedup")
+        .set(warmSec > 0 ? coldSec / warmSec : 0.0);
+    obs::gauge("bench.trace_replay.shard_speedup")
+        .set(shardSec > 0 ? coldSec / shardSec : 0.0);
+    obs::gauge("bench.trace_replay.shards")
+        .set(static_cast<double>(shards));
+
     std::printf("replay bit-identical to execution: %s (digest "
                 "%016llx over %llu records x 12 fields)\n",
                 identical ? "yes" : "NO — BUG",

@@ -13,6 +13,7 @@
 #include "bp/factory.hpp"
 #include "bp/sim.hpp"
 #include "core/runner.hpp"
+#include "obs/report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 #include "workloads/builder.hpp"
@@ -84,6 +85,7 @@ main(int argc, char **argv)
     opts.addInt("log2-elements", 12, "log2 of the table size");
     opts.addInt("instructions", 400000, "trace length");
     opts.parse(argc, argv);
+    obs::configureFromOptions(opts);
 
     const Program program = buildBinarySearch(
         0xb5, static_cast<unsigned>(opts.getInt("log2-elements")));

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "ml/trainer.hpp"
+#include "obs/report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 #include "workloads/suite.hpp"
@@ -27,6 +28,7 @@ main(int argc, char **argv)
     opts.addInt("helpers", 4, "H2P branches to cover");
     opts.addFlag("cnn", "use CNN helpers (default: perceptron)");
     opts.parse(argc, argv);
+    obs::configureFromOptions(opts);
 
     const Workload w = findWorkload(opts.getString("workload"));
     if (w.inputs.size() < 4)

@@ -13,6 +13,7 @@
 
 #include "bp/factory.hpp"
 #include "core/runner.hpp"
+#include "obs/report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 #include "workloads/suite.hpp"
@@ -26,6 +27,7 @@ main(int argc, char **argv)
     opts.addString("workload", "mcf_like", "workload name");
     opts.addInt("instructions", 1000000, "trace length");
     opts.parse(argc, argv);
+    obs::configureFromOptions(opts);
 
     const Workload w = findWorkload(opts.getString("workload"));
     const uint64_t instructions =

@@ -14,6 +14,7 @@
 #include "bp/factory.hpp"
 #include "bp/sim.hpp"
 #include "core/runner.hpp"
+#include "obs/report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 #include "workloads/suite.hpp"
@@ -27,6 +28,7 @@ main(int argc, char **argv)
     opts.addString("workload", "leela_like", "workload name");
     opts.addInt("instructions", 2000000, "trace length");
     opts.parse(argc, argv);
+    obs::configureFromOptions(opts);
 
     const Workload workload = findWorkload(opts.getString("workload"));
     const uint64_t instructions =

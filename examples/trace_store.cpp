@@ -17,6 +17,7 @@
 #include "tracestore/shard.hpp"
 #include "tracestore/store.hpp"
 #include "util/logging.hpp"
+#include "obs/report.hpp"
 #include "util/options.hpp"
 #include "workloads/suite.hpp"
 
@@ -31,6 +32,7 @@ main(int argc, char **argv)
     opts.addInt("shards", 4, "parallel replay shards");
     opts.addString("path", "/tmp/bpnsp_demo.bpt", "store file path");
     opts.parse(argc, argv);
+    obs::configureFromOptions(opts);
 
     const Workload w = findWorkload(opts.getString("workload"));
     const uint64_t instructions =

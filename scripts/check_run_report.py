@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Validate bpnsp JSON run reports (--metrics-out output).
+
+Usage: check_run_report.py REPORT.json [REPORT.json ...]
+
+Checks that each report parses as JSON, declares the expected schema,
+and carries the contract keys downstream tooling relies on:
+run.instructions, run.wall_seconds, and the
+tracestore.cache.{hits,misses} / bp.{predictions,mispredicts}
+counters. Exits non-zero on the first violation.
+"""
+
+import json
+import sys
+
+REQUIRED_RUN_KEYS = ("instructions", "wall_seconds", "git")
+REQUIRED_COUNTERS = (
+    "run.instructions",
+    "tracestore.cache.hits",
+    "tracestore.cache.misses",
+    "bp.predictions",
+    "bp.mispredicts",
+)
+
+
+def check(path):
+    with open(path) as f:
+        report = json.load(f)
+
+    if report.get("schema") != "bpnsp-run-report-v1":
+        raise ValueError(f"unexpected schema: {report.get('schema')!r}")
+
+    run = report.get("run")
+    if not isinstance(run, dict):
+        raise ValueError("missing 'run' object")
+    for key in REQUIRED_RUN_KEYS:
+        if key not in run:
+            raise ValueError(f"missing run.{key}")
+    if not isinstance(run["instructions"], int) or run["instructions"] < 0:
+        raise ValueError(f"run.instructions not a count: {run['instructions']!r}")
+    if not isinstance(run["wall_seconds"], (int, float)) or run["wall_seconds"] < 0:
+        raise ValueError(f"run.wall_seconds not a duration: {run['wall_seconds']!r}")
+
+    counters = report.get("counters")
+    if not isinstance(counters, dict):
+        raise ValueError("missing 'counters' object")
+    for name in REQUIRED_COUNTERS:
+        if name not in counters:
+            raise ValueError(f"missing counter {name}")
+        if not isinstance(counters[name], int) or counters[name] < 0:
+            raise ValueError(f"counter {name} not a count: {counters[name]!r}")
+
+    for section in ("gauges", "histograms"):
+        if not isinstance(report.get(section), dict):
+            raise ValueError(f"missing '{section}' object")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            check(path)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"{path}: FAIL: {err}", file=sys.stderr)
+            return 1
+        print(f"{path}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

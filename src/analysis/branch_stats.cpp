@@ -1,5 +1,6 @@
 #include "analysis/branch_stats.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace bpnsp {
@@ -63,6 +64,13 @@ SlicedBranchStats::onEnd()
     ended = true;
     if (current.instructions > 0)
         closeSlice();
+
+    // One aggregate flush per stream keeps the per-record loop free of
+    // atomics; the `ended` latch above guarantees exactly-once.
+    static obs::Counter &predictions = obs::counter("bp.predictions");
+    static obs::Counter &mispredicts = obs::counter("bp.mispredicts");
+    predictions.add(execsTotal);
+    mispredicts.add(mispredsTotal);
 }
 
 } // namespace bpnsp

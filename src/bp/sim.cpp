@@ -1,11 +1,35 @@
 #include "bp/sim.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace bpnsp {
 
 PredictorSim::PredictorSim(BranchPredictor &predictor,
                            bool collect_per_branch)
     : bp(predictor), collectPerBranch(collect_per_branch)
 {
+}
+
+PredictorSim::~PredictorSim()
+{
+    flushObs();
+}
+
+void
+PredictorSim::onEnd()
+{
+    flushObs();
+}
+
+void
+PredictorSim::flushObs()
+{
+    static obs::Counter &predictions = obs::counter("bp.predictions");
+    static obs::Counter &mispredicts = obs::counter("bp.mispredicts");
+    predictions.add(totals.execs - flushedExecs);
+    mispredicts.add(totals.mispreds - flushedMispreds);
+    flushedExecs = totals.execs;
+    flushedMispreds = totals.mispreds;
 }
 
 void
@@ -43,9 +67,12 @@ PredictorSim::onRecord(const TraceRecord &rec)
 void
 PredictorSim::resetCounters()
 {
+    flushObs();   // credit the process-wide counters before forgetting
     instrCount = 0;
     totals = BranchCounters{};
     branchMap.clear();
+    flushedExecs = 0;
+    flushedMispreds = 0;
 }
 
 } // namespace bpnsp

@@ -50,7 +50,17 @@ class PredictorSim : public TraceSink
     explicit PredictorSim(BranchPredictor &predictor,
                           bool collect_per_branch = true);
 
+    ~PredictorSim() override;
+
     void onRecord(const TraceRecord &rec) override;
+
+    /**
+     * Flushes this sim's prediction totals into the process-wide
+     * bp.predictions / bp.mispredicts counters (delta since the last
+     * flush, so repeated onEnd() deliveries never double-count). The
+     * hot loop stays free of atomics; destruction flushes too.
+     */
+    void onEnd() override;
 
     /** @name Aggregate counters */
     /// @{
@@ -92,6 +102,8 @@ class PredictorSim : public TraceSink
     BranchPredictor &predictor() { return bp; }
 
   private:
+    void flushObs();
+
     BranchPredictor &bp;
     bool collectPerBranch;
     uint64_t instrCount = 0;
@@ -100,6 +112,8 @@ class PredictorSim : public TraceSink
     bool lastCond = false;
     bool lastMispred = false;
     bool lastPred = false;
+    uint64_t flushedExecs = 0;     ///< already in obs counters
+    uint64_t flushedMispreds = 0;  ///< already in obs counters
 };
 
 } // namespace bpnsp

@@ -1,12 +1,16 @@
 #include "core/runner.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <mutex>
 
 #include "bp/factory.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
 #include "tracestore/cache.hpp"
 #include "tracestore/store.hpp"
 #include "util/logging.hpp"
@@ -14,17 +18,80 @@
 
 namespace bpnsp {
 
+namespace {
+
+/**
+ * Heartbeat sink: appended to the delivery fan-out only when
+ * --progress is active, so disabled runs pay nothing. Reports
+ * instructions delivered and the delivery rate through inform(), which
+ * BPNSP_LOG_LEVEL=warn silences.
+ */
+class ProgressSink : public TraceSink
+{
+  public:
+    explicit ProgressSink(const char *source)
+        : src(source), interval(obs::progressInterval()),
+          next(interval), begin(std::chrono::steady_clock::now())
+    {
+    }
+
+    void
+    onRecord(const TraceRecord &) override
+    {
+        if (++seen >= next) {
+            report();
+            next += interval;
+        }
+    }
+
+  private:
+    void
+    report() const
+    {
+        const double sec =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - begin)
+                .count();
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "progress (%s): %.0fM instr, %.1fM instr/s", src,
+                      static_cast<double>(seen) / 1e6,
+                      sec > 0.0
+                          ? static_cast<double>(seen) / 1e6 / sec
+                          : 0.0);
+        inform(buf);
+    }
+
+    const char *src;
+    const uint64_t interval;
+    uint64_t next;
+    uint64_t seen = 0;
+    const std::chrono::steady_clock::time_point begin;
+};
+
+} // namespace
+
 uint64_t
 runTrace(const Program &program, const std::vector<TraceSink *> &sinks,
          uint64_t instructions)
 {
+    static obs::Counter &vmRuns = obs::counter("core.runner.vm_runs");
+    static obs::Counter &delivered = obs::counter("run.instructions");
+    static obs::Histogram &executeNs = obs::histogram("vm.execute_ns");
+    obs::ScopedTimer timer(executeNs);
+
     FanoutSink fanout;
+    ProgressSink progress("vm");
+    if (obs::progressInterval() > 0)
+        fanout.add(&progress);
     for (TraceSink *sink : sinks)
         fanout.add(sink);
     Interpreter interp(program);
     interp.setRestartOnHalt(true);
     const uint64_t executed = interp.run(fanout, instructions);
     fanout.onEnd();
+    vmRuns.inc();
+    delivered.add(executed);
     return executed;
 }
 
@@ -51,25 +118,40 @@ activeCache()
     return gCache.get();
 }
 
-/** Replay a cached entry into the sinks; false if it is unusable. */
+/**
+ * Replay a cached entry into the sinks. Returns false and sets *why if
+ * the entry is unusable; the caller owns the loud eviction path
+ * (TraceCache::evictCorrupt), so this stays silent on failure.
+ */
 bool
 replayFromCache(const TraceCache &cache, const TraceCacheKey &key,
                 const std::vector<TraceSink *> &sinks,
-                uint64_t instructions)
+                uint64_t instructions, std::string *why)
 {
+    static obs::Counter &replayRuns =
+        obs::counter("core.runner.replay_runs");
+    static obs::Counter &delivered = obs::counter("run.instructions");
+    static obs::Histogram &replayNs =
+        obs::histogram("tracestore.replay_ns");
+
     const std::string path = cache.entryPath(key);
     std::string error;
     auto reader = TraceStoreReader::open(path, &error);
     if (reader == nullptr) {
-        warn("trace cache entry unusable (", error, "); regenerating");
+        *why = error;
         return false;
     }
     if (reader->count() != instructions) {
-        warn("trace cache entry ", path, " holds ", reader->count(),
-             " records, want ", instructions, "; regenerating");
+        *why = "holds " + std::to_string(reader->count()) +
+               " records, want " + std::to_string(instructions);
         return false;
     }
+
+    obs::ScopedTimer timer(replayNs);
     FanoutSink fanout;
+    ProgressSink progress("replay");
+    if (obs::progressInterval() > 0)
+        fanout.add(&progress);
     for (TraceSink *sink : sinks)
         fanout.add(sink);
     if (!reader->replay(fanout, 0, &error)) {
@@ -77,6 +159,8 @@ replayFromCache(const TraceCache &cache, const TraceCacheKey &key,
         // from scratch, so surface this loudly.
         fatal("trace cache replay failed mid-stream: ", error);
     }
+    replayRuns.inc();
+    delivered.add(instructions);
     return true;
 }
 
@@ -102,6 +186,18 @@ runWorkloadTrace(const Workload &workload, size_t input_idx,
                  const std::vector<TraceSink *> &sinks,
                  uint64_t instructions)
 {
+    static obs::Counter &hits = obs::counter("tracestore.cache.hits");
+    static obs::Counter &misses =
+        obs::counter("tracestore.cache.misses");
+
+    // Run-manifest identity: the last workload executed describes the
+    // run (single-workload binaries, the common case, get exact
+    // attribution; sweeps get their final leg).
+    obs::Registry &reg = obs::Registry::instance();
+    reg.setRunField("workload", workload.name);
+    reg.setRunField("input", workload.inputs.at(input_idx).label);
+    reg.setRunField("instruction_budget", std::to_string(instructions));
+
     TraceCache *cache = activeCache();
     if (cache == nullptr)
         return runTrace(workload.build(input_idx), sinks, instructions);
@@ -110,10 +206,14 @@ runWorkloadTrace(const Workload &workload, size_t input_idx,
     const TraceCacheKey key{workload.name, input.label, input.seed,
                             instructions};
     if (cache->contains(key)) {
-        if (replayFromCache(*cache, key, sinks, instructions))
+        std::string why;
+        if (replayFromCache(*cache, key, sinks, instructions, &why)) {
+            hits.inc();
             return instructions;
-        cache->evict(key);
+        }
+        cache->evictCorrupt(key, why);
     }
+    misses.inc();
 
     // Cold path: execute the VM and record into a staging file, then
     // publish atomically so a crash can never leave a partial entry.
@@ -151,6 +251,15 @@ CharacterizationResult
 characterize(const Workload &workload, size_t input_idx,
              const CharacterizationConfig &config)
 {
+    static obs::Counter &slices =
+        obs::counter("core.characterize.slices");
+    static obs::Histogram &charNs =
+        obs::histogram("core.characterize_ns");
+    obs::ScopedTimer timer(charNs);
+    slices.add(config.numSlices);
+    obs::Registry::instance().setRunField("predictor",
+                                          config.predictor);
+
     CharacterizationResult result;
     result.workloadName = workload.name;
     result.inputLabel = workload.inputs.at(input_idx).label;

@@ -1,0 +1,253 @@
+#include "obs/report.hpp"
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+#include "util/options.hpp"
+#include "util/stats.hpp"
+
+namespace bpnsp::obs {
+
+namespace {
+
+std::mutex gReportMutex;
+std::string gReportPath;
+bool gAtExitInstalled = false;
+std::atomic<uint64_t> gProgressInterval{0};
+
+/** JSON string escaping (quotes, backslash, control characters). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Format a double as a JSON number (finite; %.9g keeps precision). */
+std::string
+jsonNumber(double v)
+{
+    if (!(v == v) || v > 1e308 || v < -1e308)   // NaN or +-inf
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    // %.9g may produce "1e+06"-style output, which is valid JSON.
+    return buf;
+}
+
+std::string
+quoted(const std::string &s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+void
+writeReportAtExit()
+{
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(gReportMutex);
+        path = gReportPath;
+    }
+    if (!path.empty())
+        writeRunReport(path);
+}
+
+} // namespace
+
+std::string
+gitDescribe()
+{
+#ifdef BPNSP_GIT_DESCRIBE
+    return BPNSP_GIT_DESCRIBE;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+statsJson(const OnlineStats &stats)
+{
+    std::ostringstream oss;
+    oss << "{\"count\":" << stats.count();
+    if (stats.empty()) {
+        oss << ",\"sum\":0,\"min\":null,\"max\":null,\"mean\":null,"
+               "\"stddev\":null}";
+        return oss.str();
+    }
+    oss << ",\"sum\":" << jsonNumber(stats.sum())
+        << ",\"min\":" << jsonNumber(stats.min())
+        << ",\"max\":" << jsonNumber(stats.max())
+        << ",\"mean\":" << jsonNumber(stats.mean())
+        << ",\"stddev\":" << jsonNumber(stats.stddev()) << "}";
+    return oss.str();
+}
+
+std::string
+renderRunReport()
+{
+    Registry &reg = Registry::instance();
+
+    // Guarantee the contract keys exist even in runs that never touch
+    // the instrumented paths (e.g. a bench invoked with --help-ish
+    // flows): touching a counter registers it at value 0.
+    for (const char *name :
+         {"run.instructions", "tracestore.cache.hits",
+          "tracestore.cache.misses", "bp.predictions",
+          "bp.mispredicts"}) {
+        reg.counter(name);
+    }
+
+    std::ostringstream oss;
+    oss << "{\n  \"schema\": \"bpnsp-run-report-v1\",\n  \"run\": {\n";
+    for (const auto &[key, value] : reg.runFields())
+        oss << "    " << quoted(key) << ": " << quoted(value) << ",\n";
+    oss << "    \"git\": " << quoted(gitDescribe()) << ",\n"
+        << "    \"obs_detail\": "
+#ifdef BPNSP_OBS_DETAIL
+        << "true"
+#else
+        << "false"
+#endif
+        << ",\n    \"instructions\": "
+        << reg.counterValue("run.instructions") << ",\n"
+        << "    \"wall_seconds\": " << jsonNumber(reg.wallSeconds())
+        << "\n  },\n";
+
+    oss << "  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : reg.counters()) {
+        oss << (first ? "\n" : ",\n") << "    " << quoted(name) << ": "
+            << value;
+        first = false;
+    }
+    oss << "\n  },\n";
+
+    oss << "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : reg.gauges()) {
+        oss << (first ? "\n" : ",\n") << "    " << quoted(name) << ": "
+            << jsonNumber(value);
+        first = false;
+    }
+    oss << (first ? "" : "\n  ") << "},\n";
+
+    oss << "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, s] : reg.histograms()) {
+        oss << (first ? "\n" : ",\n") << "    " << quoted(name) << ": ";
+        if (s.empty()) {
+            // An empty histogram is not one that observed zeros.
+            oss << "{\"count\":0,\"sum\":0,\"min\":null,\"max\":null,"
+                   "\"mean\":null,\"p50\":null,\"p90\":null,"
+                   "\"p99\":null}";
+        } else {
+            oss << "{\"count\":" << s.count << ",\"sum\":" << s.sum
+                << ",\"min\":" << s.min << ",\"max\":" << s.max
+                << ",\"mean\":" << jsonNumber(s.mean)
+                << ",\"p50\":" << jsonNumber(s.p50)
+                << ",\"p90\":" << jsonNumber(s.p90)
+                << ",\"p99\":" << jsonNumber(s.p99) << "}";
+        }
+        first = false;
+    }
+    oss << (first ? "" : "\n  ") << "}\n}\n";
+    return oss.str();
+}
+
+bool
+writeRunReport(const std::string &path)
+{
+    const std::string doc = renderRunReport();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn("cannot open metrics report for writing: ", path);
+        return false;
+    }
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    if (std::fclose(f) != 0 || !ok) {
+        warn("short write to metrics report: ", path);
+        return false;
+    }
+    return true;
+}
+
+void
+setReportPath(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(gReportMutex);
+    gReportPath = path;
+    if (!path.empty() && !gAtExitInstalled) {
+        gAtExitInstalled = true;
+        std::atexit(writeReportAtExit);
+    }
+}
+
+std::string
+reportPath()
+{
+    std::lock_guard<std::mutex> lock(gReportMutex);
+    return gReportPath;
+}
+
+void
+setProgressInterval(uint64_t instructions)
+{
+    gProgressInterval.store(instructions, std::memory_order_relaxed);
+}
+
+uint64_t
+progressInterval()
+{
+    return gProgressInterval.load(std::memory_order_relaxed);
+}
+
+void
+configureFromOptions(const OptionParser &opts)
+{
+    Registry::instance().setRunField("binary", opts.binaryName());
+    if (const std::string &path = opts.getString("metrics-out");
+        !path.empty()) {
+        setReportPath(path);
+    }
+    if (opts.getFlag("progress"))
+        setProgressInterval(kDefaultProgressInterval);
+}
+
+} // namespace bpnsp::obs

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * JSON run reports over the obs metric registry.
+ *
+ * A run report is one JSON document per process run: a `run` manifest
+ * (binary, workload, input, predictor, instruction budget, git
+ * describe, wall seconds) plus every counter, gauge, and histogram
+ * registered at export time. The schema is documented in DESIGN.md
+ * ("Telemetry"); reports are stable input for CI artifacts and the
+ * BENCH_*.json perf-trajectory files.
+ *
+ * Every binary that parses options through OptionParser accepts:
+ *   --metrics-out=FILE   write the run report on exit
+ *   --progress           instr/sec heartbeat to stderr (inform level)
+ * after calling obs::configureFromOptions(opts) once after parse().
+ */
+
+#ifndef BPNSP_OBS_REPORT_HPP
+#define BPNSP_OBS_REPORT_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace bpnsp {
+
+class OnlineStats;
+class OptionParser;
+
+namespace obs {
+
+/**
+ * Render the full run report as a JSON document. Always contains the
+ * keys `run.instructions`, `run.wall_seconds`, `run.git`,
+ * `counters["tracestore.cache.{hits,misses}"]`, and
+ * `counters["bp.{predictions,mispredicts}"]` (0 when untouched), so
+ * downstream tooling can rely on them.
+ */
+std::string renderRunReport();
+
+/** Write renderRunReport() to `path`; warn() and false on failure. */
+bool writeRunReport(const std::string &path);
+
+/**
+ * Arrange for the run report to be written to `path` at process exit
+ * (std::atexit). An empty path cancels a pending exit report.
+ */
+void setReportPath(const std::string &path);
+
+/** The pending exit-report path ("" when none). */
+std::string reportPath();
+
+/**
+ * Enable the progress heartbeat: trace drivers emit an instr/sec line
+ * through inform() every `instructions` delivered (0 disables). The
+ * heartbeat respects BPNSP_LOG_LEVEL, so CI can silence it.
+ */
+void setProgressInterval(uint64_t instructions);
+
+/** Current heartbeat period in instructions (0 = disabled). */
+uint64_t progressInterval();
+
+/** Default heartbeat period used for a bare --progress flag. */
+inline constexpr uint64_t kDefaultProgressInterval = 10'000'000;
+
+/**
+ * Wire the standard telemetry options (registered by every
+ * OptionParser): --metrics-out installs the exit report, --progress
+ * enables the heartbeat. Also records the binary name and argv-level
+ * fields in the run manifest. Call once, after opts.parse().
+ */
+void configureFromOptions(const OptionParser &opts);
+
+/**
+ * Serialize an OnlineStats accumulator as a JSON object. Empty
+ * accumulators emit null for min/max/mean/stddev — an empty stat is
+ * not the same thing as one that observed 0 (see
+ * OnlineStats::empty()).
+ */
+std::string statsJson(const OnlineStats &stats);
+
+/** git describe of the built tree ("unknown" outside a git checkout). */
+std::string gitDescribe();
+
+} // namespace obs
+} // namespace bpnsp
+
+#endif // BPNSP_OBS_REPORT_HPP

@@ -6,6 +6,7 @@
 
 #include <unistd.h>
 
+#include "obs/metrics.hpp"
 #include "tracestore/format.hpp"
 #include "util/logging.hpp"
 
@@ -76,8 +77,23 @@ TraceCache::publish(const std::string &staging,
 void
 TraceCache::evict(const TraceCacheKey &key) const
 {
+    static obs::Counter &evictions =
+        obs::counter("tracestore.cache.evictions");
     std::error_code ec;
-    fs::remove(entryPath(key), ec);
+    if (fs::remove(entryPath(key), ec))
+        evictions.inc();
+}
+
+void
+TraceCache::evictCorrupt(const TraceCacheKey &key,
+                         const std::string &reason) const
+{
+    static obs::Counter &corrupt =
+        obs::counter("tracestore.cache.corrupt_evictions");
+    corrupt.inc();
+    warn("evicting unusable trace cache entry ", entryPath(key), " (",
+         reason, "); regenerating from live execution");
+    evict(key);
 }
 
 } // namespace bpnsp

@@ -64,6 +64,16 @@ class TraceCache
     /** Delete the entry for `key` if present. */
     void evict(const TraceCacheKey &key) const;
 
+    /**
+     * Evict an entry that exists but cannot be used (truncated,
+     * corrupt, wrong length). Unlike evict(), this is loud: it warn()s
+     * with the reason and bumps the tracestore.cache.corrupt_evictions
+     * counter, so silent trace-store corruption shows up in run
+     * reports instead of hiding behind transparent regeneration.
+     */
+    void evictCorrupt(const TraceCacheKey &key,
+                      const std::string &reason) const;
+
   private:
     std::string root;
 };

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace bpnsp {
@@ -52,18 +53,38 @@ replayShards(
     const std::function<TraceSink &(const ShardSlice &)> &make_sink,
     std::string *error)
 {
+    // Telemetry: the fan-out width actually used, the per-shard record
+    // split (min/max/mean in the run report expose plan skew), and the
+    // per-worker wall time (skew in *time*, which is what stalls the
+    // join below).
+    static obs::Counter &replays =
+        obs::counter("tracestore.shard.replays");
+    static obs::Gauge &fanout = obs::gauge("tracestore.shard.fanout");
+    static obs::Histogram &shardRecords =
+        obs::histogram("tracestore.shard.records");
+    static obs::Histogram &workerNs =
+        obs::histogram("tracestore.shard.worker_ns");
+    static obs::Histogram &replayNs =
+        obs::histogram("tracestore.shard.replay_ns");
+    obs::ScopedTimer replayTimer(replayNs);
+
     const std::vector<ShardSlice> plan = planShards(reader, num_shards);
+    replays.inc();
+    fanout.set(static_cast<double>(plan.size()));
 
     std::vector<TraceSink *> sinks;
     sinks.reserve(plan.size());
-    for (const ShardSlice &slice : plan)
+    for (const ShardSlice &slice : plan) {
+        shardRecords.observe(slice.numRecords);
         sinks.push_back(&make_sink(slice));
+    }
 
     std::vector<std::string> shardErrors(plan.size());
     std::vector<std::thread> workers;
     workers.reserve(plan.size());
     for (size_t s = 0; s < plan.size(); ++s) {
         workers.emplace_back([&, s]() {
+            obs::ScopedTimer workerTimer(workerNs);
             const ShardSlice &slice = plan[s];
             if (reader.replayRange(slice.firstRecord, slice.numRecords,
                                    *sinks[s], &shardErrors[s]))

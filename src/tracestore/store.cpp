@@ -7,6 +7,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "obs/metrics.hpp"
 #include "util/logging.hpp"
 
 namespace bpnsp {
@@ -36,11 +37,14 @@ TraceStoreWriter::~TraceStoreWriter()
 void
 TraceStoreWriter::writeBytes(const void *data, size_t len)
 {
+    static obs::Counter &bytesWritten =
+        obs::counter("tracestore.store.bytes_written");
     if (len == 0)
         return;   // empty footer: vector::data() may be null
     if (std::fwrite(data, 1, len, file) != len)
         fatal("short write to trace store: ", filePath);
     fileOffset += len;
+    bytesWritten.add(len);
 }
 
 void
@@ -56,8 +60,11 @@ TraceStoreWriter::onRecord(const TraceRecord &rec)
 void
 TraceStoreWriter::flushChunk()
 {
+    static obs::Counter &chunksEncoded =
+        obs::counter("tracestore.store.chunks_encoded");
     if (pending.empty())
         return;
+    chunksEncoded.inc();
     encodeBuffer.clear();
     encodeChunk(pending.data(), pending.size(), encodeBuffer);
 
@@ -223,7 +230,17 @@ TraceStoreReader::decodeChunkAt(uint64_t index,
                                 std::vector<TraceRecord> &out,
                                 std::string *error) const
 {
+    static obs::Counter &chunksDecoded =
+        obs::counter("tracestore.store.chunks_decoded");
+    static obs::Counter &bytesRead =
+        obs::counter("tracestore.store.bytes_read");
+    static obs::Histogram &decodeNs =
+        obs::histogram("tracestore.store.chunk_decode_ns");
+    obs::ScopedTimer timer(decodeNs);
+
     const ChunkInfo &info = chunks.at(index);
+    chunksDecoded.inc();
+    bytesRead.add(sizeof(StoreChunkHeader) + info.payloadBytes);
     StoreChunkHeader hdr{};
     std::memcpy(&hdr, base + info.offset, sizeof(hdr));
     const uint8_t *payload = base + info.offset + sizeof(hdr);

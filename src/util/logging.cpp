@@ -1,9 +1,55 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace bpnsp {
+
+namespace {
+
+/** -1 until resolved; then a LogLevel value. */
+std::atomic<int> gLogLevel{-1};
+
+LogLevel
+levelFromEnvironment()
+{
+    const char *env = std::getenv("BPNSP_LOG_LEVEL");
+    if (env == nullptr || *env == '\0')
+        return LogLevel::Info;
+    if (std::strcmp(env, "quiet") == 0)
+        return LogLevel::Quiet;
+    if (std::strcmp(env, "warn") == 0)
+        return LogLevel::Warn;
+    if (std::strcmp(env, "info") == 0)
+        return LogLevel::Info;
+    std::fprintf(stderr,
+                 "warn: ignoring invalid BPNSP_LOG_LEVEL '%s' "
+                 "(want quiet|warn|info)\n",
+                 env);
+    return LogLevel::Info;
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    int v = gLogLevel.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = static_cast<int>(levelFromEnvironment());
+        gLogLevel.store(v, std::memory_order_relaxed);
+    }
+    return static_cast<LogLevel>(v);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLogLevel.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
 namespace detail {
 
 void
@@ -23,13 +69,15 @@ panicImpl(const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Warn)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (logLevel() >= LogLevel::Info)
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
 }
 
 } // namespace detail

@@ -5,6 +5,12 @@
  * fatal() is for user errors (bad configuration, invalid arguments) and
  * exits with status 1. panic() is for internal invariant violations and
  * aborts. warn()/inform() report conditions without stopping.
+ *
+ * warn() and inform() respect a verbosity level, read once from the
+ * BPNSP_LOG_LEVEL environment variable ("quiet" silences both, "warn"
+ * silences inform() only, "info" — the default — prints both), so CI
+ * logs can drop the progress heartbeat and cache chatter without
+ * touching per-binary flags. fatal()/panic() always print.
  */
 
 #ifndef BPNSP_UTIL_LOGGING_HPP
@@ -14,6 +20,18 @@
 #include <string>
 
 namespace bpnsp {
+
+/** Verbosity of warn()/inform(); higher prints more. */
+enum class LogLevel { Quiet = 0, Warn = 1, Info = 2 };
+
+/**
+ * The effective log level: the last setLogLevel() value, else
+ * BPNSP_LOG_LEVEL (quiet|warn|info), else Info.
+ */
+LogLevel logLevel();
+
+/** Override the log level (takes precedence over the environment). */
+void setLogLevel(LogLevel level);
 
 namespace detail {
 

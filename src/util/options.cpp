@@ -11,6 +11,15 @@ namespace bpnsp {
 OptionParser::OptionParser(std::string description)
     : desc(std::move(description))
 {
+    // Standard telemetry options, available in every binary. The
+    // parser only records them; obs::configureFromOptions() (called by
+    // each main after parse()) activates the report and heartbeat.
+    addString("metrics-out", "",
+              "write a JSON run report (metrics + run manifest) to "
+              "this file on exit");
+    addFlag("progress",
+            "print an instr/sec heartbeat to stderr during trace "
+            "delivery (silence with BPNSP_LOG_LEVEL=warn)");
 }
 
 void

@@ -18,7 +18,14 @@
 
 namespace bpnsp {
 
-/** Declarative command-line parser. */
+/**
+ * Declarative command-line parser.
+ *
+ * Every parser pre-registers the standard telemetry options
+ * --metrics-out=FILE (JSON run report on exit) and --progress
+ * (instr/sec heartbeat); binaries activate them by passing the parsed
+ * parser to obs::configureFromOptions() once after parse().
+ */
 class OptionParser
 {
   public:
@@ -52,6 +59,9 @@ class OptionParser
 
     /** Usage text. */
     std::string usage() const;
+
+    /** argv[0] as seen by parse() ("" before parse). */
+    const std::string &binaryName() const { return programName; }
 
   private:
     enum class Kind { Int, Double, String, Flag };

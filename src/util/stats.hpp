@@ -22,7 +22,15 @@ class OnlineStats
     /** Number of observations so far. */
     uint64_t count() const { return n; }
 
-    /** Sample mean (0 when empty). */
+    /**
+     * True when nothing was observed. Callers that serialize stats
+     * must check this: min()/max()/mean() return 0.0 when empty, which
+     * is indistinguishable from a real observation of 0 (the JSON
+     * exporter emits null for empty stats — see obs::statsJson()).
+     */
+    bool empty() const { return n == 0; }
+
+    /** Sample mean (0 when empty; see empty()). */
     double mean() const { return n ? mu : 0.0; }
 
     /** Population variance (0 when fewer than 2 observations). */
@@ -31,10 +39,10 @@ class OnlineStats
     /** Population standard deviation. */
     double stddev() const;
 
-    /** Smallest observation (0 when empty). */
+    /** Smallest observation (0 when empty; see empty()). */
     double min() const { return n ? lo : 0.0; }
 
-    /** Largest observation (0 when empty). */
+    /** Largest observation (0 when empty; see empty()). */
     double max() const { return n ? hi : 0.0; }
 
     /** Sum of observations. */

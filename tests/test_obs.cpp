@@ -1,0 +1,507 @@
+/**
+ * @file
+ * Tests for the obs telemetry subsystem: exact counting under
+ * concurrency, histogram percentile math, JSON run-report round-trips
+ * through a small in-test parser, empty-stats serialization, and the
+ * trace-cache hit/miss counters observed through the real
+ * runWorkloadTrace() path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "util/stats.hpp"
+#include "workloads/suite.hpp"
+
+using namespace bpnsp;
+
+namespace {
+
+/**
+ * Minimal JSON reader covering exactly what the run report emits:
+ * objects, strings, numbers, booleans, and null. Arrays are
+ * intentionally unsupported — the report schema has none, and hitting
+ * one here should fail loudly.
+ */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::map<std::string, JsonValue> object;
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        auto it = object.find(key);
+        EXPECT_NE(it, object.end()) << "missing key: " << key;
+        static const JsonValue nullValue;
+        return it == object.end() ? nullValue : it->second;
+    }
+
+    bool has(const std::string &key) const
+    {
+        return object.count(key) != 0;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        EXPECT_EQ(pos, s.size()) << "trailing bytes after document";
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos]))) {
+            ++pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        return pos < s.size() ? s[pos] : '\0';
+    }
+
+    void
+    expect(char c)
+    {
+        ASSERT_EQ(peek(), c) << "at offset " << pos;
+        ++pos;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '"':
+            return parseString();
+          case 't':
+          case 'f':
+            return parseBool();
+          case 'n':
+            parseLiteral("null");
+            return JsonValue{};
+          default:
+            return parseNumber();
+        }
+    }
+
+    void
+    parseLiteral(const char *lit)
+    {
+        skipWs();
+        for (const char *c = lit; *c != '\0'; ++c, ++pos) {
+            ASSERT_LT(pos, s.size());
+            ASSERT_EQ(s[pos], *c) << "bad literal at offset " << pos;
+        }
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (peek() == 't') {
+            parseLiteral("true");
+            v.boolean = true;
+        } else {
+            parseLiteral("false");
+            v.boolean = false;
+        }
+        return v;
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        while (pos < s.size() && s[pos] != '"') {
+            if (s[pos] == '\\' && pos + 1 < s.size()) {
+                ++pos;
+                switch (s[pos]) {
+                  case 'n': v.string += '\n'; break;
+                  case 't': v.string += '\t'; break;
+                  case 'r': v.string += '\r'; break;
+                  default: v.string += s[pos]; break;
+                }
+            } else {
+                v.string += s[pos];
+            }
+            ++pos;
+        }
+        expect('"');
+        return v;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipWs();
+        const size_t start = pos;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '-' || s[pos] == '+' || s[pos] == '.' ||
+                s[pos] == 'e' || s[pos] == 'E')) {
+            ++pos;
+        }
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        v.number = std::strtod(s.substr(start, pos - start).c_str(),
+                               nullptr);
+        EXPECT_GT(pos, start) << "not a number at offset " << start;
+        return v;
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            JsonValue key = parseString();
+            expect(':');
+            v.object[key.string] = parseValue();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            break;
+        }
+        expect('}');
+        return v;
+    }
+
+    // By value: callers hand in temporaries (renderRunReport()).
+    const std::string s;
+    size_t pos = 0;
+};
+
+/** Fresh cache directory per test; removed on destruction. */
+class CacheDirGuard
+{
+  public:
+    explicit CacheDirGuard(const char *tag)
+        : path(std::string(::testing::TempDir()) + "bpnsp_obs_" + tag)
+    {
+        std::filesystem::remove_all(path);
+        setTraceCacheDir(path);
+    }
+
+    ~CacheDirGuard()
+    {
+        setTraceCacheDir("");
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+
+    const std::string path;
+};
+
+uint64_t
+counterValue(const std::string &name)
+{
+    return obs::Registry::instance().counterValue(name);
+}
+
+} // namespace
+
+TEST(ObsCounter, ConcurrentIncrementsSumExactly)
+{
+    obs::Counter &c = obs::counter("test.obs.concurrent_incs");
+    const uint64_t before = c.value();
+    constexpr unsigned kThreads = 8;
+    constexpr uint64_t kIncsPerThread = 100000;
+
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        workers.emplace_back([] {
+            // Resolve the handle again on each thread: find-or-create
+            // must hand back the same object.
+            obs::Counter &mine = obs::counter("test.obs.concurrent_incs");
+            for (uint64_t i = 0; i < kIncsPerThread; ++i)
+                mine.inc();
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    EXPECT_EQ(c.value(), before + kThreads * kIncsPerThread);
+}
+
+TEST(ObsCounter, HandleSurvivesResetForTest)
+{
+    obs::Counter &c = obs::counter("test.obs.reset_survivor");
+    c.add(7);
+    EXPECT_GE(c.value(), 7u);
+    obs::Registry::instance().resetForTest();
+    // Identity preserved, value zeroed.
+    EXPECT_EQ(&c, &obs::counter("test.obs.reset_survivor"));
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    EXPECT_EQ(counterValue("test.obs.reset_survivor"), 1u);
+}
+
+TEST(ObsHistogram, SingleValuePercentilesAreExact)
+{
+    obs::Histogram &h = obs::histogram("test.obs.hist_single");
+    h.observe(1234567);
+    const obs::HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 1u);
+    EXPECT_EQ(snap.sum, 1234567u);
+    EXPECT_EQ(snap.min, 1234567u);
+    EXPECT_EQ(snap.max, 1234567u);
+    // The clamp to [min, max] makes single-valued histograms exact.
+    EXPECT_DOUBLE_EQ(snap.p50, 1234567.0);
+    EXPECT_DOUBLE_EQ(snap.p90, 1234567.0);
+    EXPECT_DOUBLE_EQ(snap.p99, 1234567.0);
+    EXPECT_DOUBLE_EQ(snap.mean, 1234567.0);
+}
+
+TEST(ObsHistogram, PercentilesMonotonicAndBucketBounded)
+{
+    obs::Histogram &h = obs::histogram("test.obs.hist_spread");
+    // 90 small values and 10 large: p50 must sit in the small cluster,
+    // p99 in the large one, and estimates must stay within the power-
+    // of-two bucket that holds the true rank.
+    for (int i = 0; i < 90; ++i)
+        h.observe(100);   // bucket [64, 128)
+    for (int i = 0; i < 10; ++i)
+        h.observe(10000); // bucket [8192, 16384)
+
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.sum(), 90u * 100 + 10u * 10000);
+
+    const double p50 = h.percentile(50);
+    const double p90 = h.percentile(90);
+    const double p99 = h.percentile(99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    // Rank 50 lands among the 100s: clamped below by min=100,
+    // bounded above by the bucket edge 128.
+    EXPECT_GE(p50, 100.0);
+    EXPECT_LT(p50, 128.0);
+    // Rank 99 lands among the 10000s: within [8192, 16384), clamped
+    // above by max=10000.
+    EXPECT_GE(p99, 8192.0);
+    EXPECT_LE(p99, 10000.0);
+
+    // Degenerate percentiles hit the observed extremes exactly.
+    EXPECT_DOUBLE_EQ(h.percentile(0), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 10000.0);
+}
+
+TEST(ObsHistogram, ZeroValueHasItsOwnBucket)
+{
+    obs::Histogram &h = obs::histogram("test.obs.hist_zero");
+    h.observe(0);
+    h.observe(0);
+    const obs::HistogramSnapshot snap = h.snapshot();
+    EXPECT_EQ(snap.count, 2u);
+    EXPECT_EQ(snap.min, 0u);
+    EXPECT_EQ(snap.max, 0u);
+    EXPECT_DOUBLE_EQ(snap.p50, 0.0);
+}
+
+TEST(ObsHistogram, EmptySnapshot)
+{
+    obs::Histogram &h = obs::histogram("test.obs.hist_empty");
+    const obs::HistogramSnapshot snap = h.snapshot();
+    EXPECT_TRUE(snap.empty());
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+TEST(ObsReport, JsonRoundTripOfPopulatedReport)
+{
+    obs::Registry &reg = obs::Registry::instance();
+    reg.resetForTest();
+    reg.setRunField("workload", "leela_like");
+    reg.setRunField("predictor", "tage-sc-l-8KB");
+    obs::counter("run.instructions").add(123456);
+    obs::counter("test.obs.roundtrip_events").add(42);
+    obs::gauge("test.obs.roundtrip_width").set(3.5);
+    obs::Histogram &h = obs::histogram("test.obs.roundtrip_ns");
+    h.observe(1000);
+    h.observe(1000);
+
+    const std::string text = obs::renderRunReport();
+    JsonParser parser(text);
+    const JsonValue doc = parser.parse();
+
+    EXPECT_EQ(doc.at("schema").string, "bpnsp-run-report-v1");
+
+    const JsonValue &run = doc.at("run");
+    EXPECT_EQ(run.at("workload").string, "leela_like");
+    EXPECT_EQ(run.at("predictor").string, "tage-sc-l-8KB");
+    EXPECT_DOUBLE_EQ(run.at("instructions").number, 123456.0);
+    EXPECT_GE(run.at("wall_seconds").number, 0.0);
+    EXPECT_FALSE(run.at("git").string.empty());
+
+    const JsonValue &counters = doc.at("counters");
+    EXPECT_DOUBLE_EQ(counters.at("test.obs.roundtrip_events").number,
+                     42.0);
+    EXPECT_DOUBLE_EQ(counters.at("run.instructions").number, 123456.0);
+    // Contract keys are present even when untouched.
+    EXPECT_DOUBLE_EQ(counters.at("tracestore.cache.hits").number, 0.0);
+    EXPECT_DOUBLE_EQ(counters.at("tracestore.cache.misses").number, 0.0);
+    EXPECT_DOUBLE_EQ(counters.at("bp.predictions").number, 0.0);
+    EXPECT_DOUBLE_EQ(counters.at("bp.mispredicts").number, 0.0);
+
+    EXPECT_DOUBLE_EQ(
+        doc.at("gauges").at("test.obs.roundtrip_width").number, 3.5);
+
+    const JsonValue &hist =
+        doc.at("histograms").at("test.obs.roundtrip_ns");
+    EXPECT_DOUBLE_EQ(hist.at("count").number, 2.0);
+    EXPECT_DOUBLE_EQ(hist.at("sum").number, 2000.0);
+    EXPECT_DOUBLE_EQ(hist.at("min").number, 1000.0);
+    EXPECT_DOUBLE_EQ(hist.at("max").number, 1000.0);
+    EXPECT_DOUBLE_EQ(hist.at("p50").number, 1000.0);
+
+    reg.resetForTest();
+}
+
+TEST(ObsReport, EmptyHistogramSerializesNullSummaries)
+{
+    obs::Registry &reg = obs::Registry::instance();
+    reg.resetForTest();
+    (void)obs::histogram("test.obs.never_observed_ns");
+
+    JsonParser parser(obs::renderRunReport());
+    const JsonValue doc = parser.parse();
+    const JsonValue &hist =
+        doc.at("histograms").at("test.obs.never_observed_ns");
+    EXPECT_DOUBLE_EQ(hist.at("count").number, 0.0);
+    EXPECT_EQ(hist.at("min").kind, JsonValue::Kind::Null);
+    EXPECT_EQ(hist.at("max").kind, JsonValue::Kind::Null);
+    EXPECT_EQ(hist.at("mean").kind, JsonValue::Kind::Null);
+    EXPECT_EQ(hist.at("p50").kind, JsonValue::Kind::Null);
+
+    reg.resetForTest();
+}
+
+TEST(ObsReport, StatsJsonEmptyVsPopulated)
+{
+    OnlineStats empty;
+    EXPECT_TRUE(empty.empty());
+    JsonParser emptyParser(obs::statsJson(empty));
+    const JsonValue emptyDoc = emptyParser.parse();
+    EXPECT_DOUBLE_EQ(emptyDoc.at("count").number, 0.0);
+    EXPECT_EQ(emptyDoc.at("min").kind, JsonValue::Kind::Null);
+    EXPECT_EQ(emptyDoc.at("max").kind, JsonValue::Kind::Null);
+    EXPECT_EQ(emptyDoc.at("mean").kind, JsonValue::Kind::Null);
+
+    OnlineStats stats;
+    stats.add(1.0);
+    stats.add(3.0);
+    EXPECT_FALSE(stats.empty());
+    JsonParser parser(obs::statsJson(stats));
+    const JsonValue doc = parser.parse();
+    EXPECT_DOUBLE_EQ(doc.at("count").number, 2.0);
+    EXPECT_DOUBLE_EQ(doc.at("min").number, 1.0);
+    EXPECT_DOUBLE_EQ(doc.at("max").number, 3.0);
+    EXPECT_DOUBLE_EQ(doc.at("mean").number, 2.0);
+}
+
+TEST(ObsReport, WriteRunReportProducesParsableFile)
+{
+    const std::string path =
+        std::string(::testing::TempDir()) + "bpnsp_obs_report.json";
+    ASSERT_TRUE(obs::writeRunReport(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    JsonParser parser(text);
+    const JsonValue doc = parser.parse();
+    EXPECT_EQ(doc.at("schema").string, "bpnsp-run-report-v1");
+    std::filesystem::remove(path);
+}
+
+TEST(ObsIntegration, RunWorkloadTraceCountsCacheHitsAndMisses)
+{
+    constexpr uint64_t kInstructions = 20000;
+    CacheDirGuard guard("hitmiss");
+    const Workload w = findWorkload("mcf_like");
+
+    // Cold run: the cache is configured but empty, so the runner must
+    // record exactly one miss and no hit.
+    const uint64_t missBefore = counterValue("tracestore.cache.misses");
+    const uint64_t hitBefore = counterValue("tracestore.cache.hits");
+    const uint64_t instrBefore = counterValue("run.instructions");
+    CountingSink cold;
+    ASSERT_EQ(runWorkloadTrace(w, 0, {&cold}, kInstructions),
+              kInstructions);
+    EXPECT_EQ(counterValue("tracestore.cache.misses"), missBefore + 1);
+    EXPECT_EQ(counterValue("tracestore.cache.hits"), hitBefore);
+    EXPECT_EQ(counterValue("run.instructions"),
+              instrBefore + kInstructions);
+
+    // Warm run: same key, one hit, no new miss, instructions counted
+    // on the replay path too.
+    CountingSink warm;
+    ASSERT_EQ(runWorkloadTrace(w, 0, {&warm}, kInstructions),
+              kInstructions);
+    EXPECT_EQ(counterValue("tracestore.cache.misses"), missBefore + 1);
+    EXPECT_EQ(counterValue("tracestore.cache.hits"), hitBefore + 1);
+    EXPECT_EQ(counterValue("run.instructions"),
+              instrBefore + 2 * kInstructions);
+
+    // The runner also stamps run identity into the manifest.
+    const auto fields = obs::Registry::instance().runFields();
+    EXPECT_EQ(fields.at("workload"), "mcf_like");
+    EXPECT_EQ(fields.at("instruction_budget"),
+              std::to_string(kInstructions));
+}
+
+TEST(ObsIntegration, UncachedRunsTouchNeitherHitNorMiss)
+{
+    constexpr uint64_t kInstructions = 20000;
+    setTraceCacheDir("");
+    const uint64_t missBefore = counterValue("tracestore.cache.misses");
+    const uint64_t hitBefore = counterValue("tracestore.cache.hits");
+    CountingSink sink;
+    ASSERT_EQ(runWorkloadTrace(findWorkload("mcf_like"), 0, {&sink},
+                               kInstructions),
+              kInstructions);
+    EXPECT_EQ(counterValue("tracestore.cache.misses"), missBefore);
+    EXPECT_EQ(counterValue("tracestore.cache.hits"), hitBefore);
+}

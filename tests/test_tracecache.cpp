@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/runner.hpp"
+#include "obs/metrics.hpp"
 #include "tracestore/cache.hpp"
 #include "tracestore/format.hpp"
 #include "tracestore/store.hpp"
@@ -195,15 +196,20 @@ TEST(TraceCache, UnusableEntryFallsBackToExecution)
 
     // Truncate the published entry so it no longer opens. The next run
     // must fall back to live execution, still deliver the full trace,
-    // and repair the cache entry.
+    // repair the cache entry, and count the corrupt eviction.
     const std::string entry = cache.entryPath(key);
     std::filesystem::resize_file(
         entry, std::filesystem::file_size(entry) / 2);
+    const uint64_t corruptBefore = obs::Registry::instance().counterValue(
+        "tracestore.cache.corrupt_evictions");
 
     DigestSink repaired;
     ASSERT_EQ(runWorkloadTrace(w, 0, {&repaired}, kInstructions),
               kInstructions);
     EXPECT_EQ(repaired.digest(), reference.digest());
+    EXPECT_EQ(obs::Registry::instance().counterValue(
+                  "tracestore.cache.corrupt_evictions"),
+              corruptBefore + 1);
 
     std::string error;
     auto reader = TraceStoreReader::open(entry, &error);

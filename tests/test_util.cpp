@@ -11,6 +11,7 @@
 #include "util/bitops.hpp"
 #include "util/folded_history.hpp"
 #include "util/histogram.hpp"
+#include "util/logging.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/sat_counter.hpp"
@@ -313,6 +314,24 @@ TEST(OnlineStats, MeanAndStddev)
     EXPECT_DOUBLE_EQ(s.max(), 9.0);
 }
 
+TEST(OnlineStats, EmptyIsDistinguishableFromZero)
+{
+    OnlineStats s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    // The accessors fall back to 0.0 when empty — exactly why empty()
+    // exists: a real observation of 0 looks the same otherwise.
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+
+    s.add(0.0);
+    EXPECT_FALSE(s.empty());
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
 TEST(OnlineStats, MergeEqualsCombined)
 {
     OnlineStats all;
@@ -488,4 +507,36 @@ TEST(Options, Defaults)
     p.parse(1, argv);
     EXPECT_EQ(p.getInt("n"), 5);
     EXPECT_FALSE(p.getFlag("f"));
+}
+
+// -------------------------------------------------------------- logging
+
+TEST(Logging, LevelGatesWarnAndInform)
+{
+    const LogLevel saved = logLevel();
+
+    setLogLevel(LogLevel::Info);
+    ::testing::internal::CaptureStderr();
+    warn("warn at info level");
+    inform("inform at info level");
+    std::string out = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("warn: warn at info level"), std::string::npos);
+    EXPECT_NE(out.find("info: inform at info level"), std::string::npos);
+
+    setLogLevel(LogLevel::Warn);
+    ::testing::internal::CaptureStderr();
+    warn("warn at warn level");
+    inform("inform at warn level");
+    out = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("warn at warn level"), std::string::npos);
+    EXPECT_EQ(out.find("inform at warn level"), std::string::npos);
+
+    setLogLevel(LogLevel::Quiet);
+    ::testing::internal::CaptureStderr();
+    warn("warn at quiet level");
+    inform("inform at quiet level");
+    out = ::testing::internal::GetCapturedStderr();
+    EXPECT_TRUE(out.empty()) << out;
+
+    setLogLevel(saved);
 }
