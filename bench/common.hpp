@@ -21,6 +21,7 @@
 #include "bp/oracle.hpp"
 #include "bp/sim.hpp"
 #include "core/runner.hpp"
+#include "faultsim/faultsim.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "util/options.hpp"
@@ -52,6 +53,7 @@ parseScale(OptionParser &opts, int argc, char **argv)
                    "later runs replay them");
     opts.parse(argc, argv);
     obs::configureFromOptions(opts);
+    faultsim::configureFromOptions(opts);
     if (const std::string &dir = opts.getString("trace-cache");
         !dir.empty()) {
         setTraceCacheDir(dir);

@@ -92,10 +92,10 @@ main(int argc, char **argv)
     // Sharded: parallel replay of the same store, one digest per
     // shard (sinks are per-shard, so analyses scale with cores).
     const std::string entry = TraceCache(traceCacheDir()).entryPath(key);
-    std::string error;
-    auto reader = TraceStoreReader::open(entry, &error);
+    Status st;
+    auto reader = TraceStoreReader::open(entry, &st);
     if (reader == nullptr)
-        fatal("cannot open cache entry for shard replay: ", error);
+        fatal("cannot open cache entry for shard replay: ", st.str());
     std::vector<std::unique_ptr<CountingSink>> counters;
     auto shardStart = std::chrono::steady_clock::now();
     const uint64_t replayed = replayShards(
@@ -104,11 +104,11 @@ main(int argc, char **argv)
             counters.push_back(std::make_unique<CountingSink>());
             return *counters.back();
         },
-        &error);
+        &st);
     const double shardSec = secondsSince(shardStart);
     if (replayed != instructions)
         fatal("shard replay delivered ", replayed, " of ", instructions,
-              " records: ", error);
+              " records: ", st.str());
 
     TextTable table("Trace store timing (" + w.name + ")");
     table.setHeader({"phase", "records", "seconds", "speedup vs cold"});

@@ -13,6 +13,7 @@
 #include "bp/factory.hpp"
 #include "bp/sim.hpp"
 #include "core/runner.hpp"
+#include "faultsim/faultsim.hpp"
 #include "obs/report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -86,6 +87,7 @@ main(int argc, char **argv)
     opts.addInt("instructions", 400000, "trace length");
     opts.parse(argc, argv);
     obs::configureFromOptions(opts);
+    faultsim::configureFromOptions(opts);
 
     const Program program = buildBinarySearch(
         0xb5, static_cast<unsigned>(opts.getInt("log2-elements")));

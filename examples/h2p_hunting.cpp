@@ -17,6 +17,7 @@
 #include "analysis/regvalues.hpp"
 #include "bp/factory.hpp"
 #include "core/runner.hpp"
+#include "faultsim/faultsim.hpp"
 #include "obs/report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -33,6 +34,7 @@ main(int argc, char **argv)
     opts.addInt("slices", 6, "number of slices");
     opts.parse(argc, argv);
     obs::configureFromOptions(opts);
+    faultsim::configureFromOptions(opts);
 
     const Workload w = findWorkload(opts.getString("workload"));
     const uint64_t slice =

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "ml/trainer.hpp"
+#include "faultsim/faultsim.hpp"
 #include "obs/report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -29,6 +30,7 @@ main(int argc, char **argv)
     opts.addFlag("cnn", "use CNN helpers (default: perceptron)");
     opts.parse(argc, argv);
     obs::configureFromOptions(opts);
+    faultsim::configureFromOptions(opts);
 
     const Workload w = findWorkload(opts.getString("workload"));
     if (w.inputs.size() < 4)

@@ -13,6 +13,7 @@
 
 #include "bp/factory.hpp"
 #include "core/runner.hpp"
+#include "faultsim/faultsim.hpp"
 #include "obs/report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -28,6 +29,7 @@ main(int argc, char **argv)
     opts.addInt("instructions", 1000000, "trace length");
     opts.parse(argc, argv);
     obs::configureFromOptions(opts);
+    faultsim::configureFromOptions(opts);
 
     const Workload w = findWorkload(opts.getString("workload"));
     const uint64_t instructions =

@@ -14,6 +14,7 @@
 #include "bp/factory.hpp"
 #include "bp/sim.hpp"
 #include "core/runner.hpp"
+#include "faultsim/faultsim.hpp"
 #include "obs/report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -29,6 +30,7 @@ main(int argc, char **argv)
     opts.addInt("instructions", 2000000, "trace length");
     opts.parse(argc, argv);
     obs::configureFromOptions(opts);
+    faultsim::configureFromOptions(opts);
 
     const Workload workload = findWorkload(opts.getString("workload"));
     const uint64_t instructions =

@@ -13,6 +13,7 @@
 #include "analysis/h2p.hpp"
 #include "bp/factory.hpp"
 #include "core/runner.hpp"
+#include "faultsim/faultsim.hpp"
 #include "obs/report.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -29,6 +30,7 @@ main(int argc, char **argv)
     opts.addFlag("spec-only", "only run the SPEC-like suite");
     opts.parse(argc, argv);
     obs::configureFromOptions(opts);
+    faultsim::configureFromOptions(opts);
     const uint64_t instructions =
         static_cast<uint64_t>(opts.getInt("instructions"));
 

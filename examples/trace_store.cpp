@@ -17,6 +17,7 @@
 #include "tracestore/shard.hpp"
 #include "tracestore/store.hpp"
 #include "util/logging.hpp"
+#include "faultsim/faultsim.hpp"
 #include "obs/report.hpp"
 #include "util/options.hpp"
 #include "workloads/suite.hpp"
@@ -33,6 +34,7 @@ main(int argc, char **argv)
     opts.addString("path", "/tmp/bpnsp_demo.bpt", "store file path");
     opts.parse(argc, argv);
     obs::configureFromOptions(opts);
+    faultsim::configureFromOptions(opts);
 
     const Workload w = findWorkload(opts.getString("workload"));
     const uint64_t instructions =
@@ -50,18 +52,18 @@ main(int argc, char **argv)
 
     // 2. Open and seek: the footer index gives O(1) access to any
     //    record range without touching the rest of the file.
-    std::string error;
-    auto reader = TraceStoreReader::open(path, &error);
+    Status st;
+    auto reader = TraceStoreReader::open(path, &st);
     if (reader == nullptr)
-        fatal("open failed: ", error);
+        fatal("open failed: ", st.str());
     std::printf("store holds %llu records in %llu chunks\n",
                 static_cast<unsigned long long>(reader->count()),
                 static_cast<unsigned long long>(reader->numChunks()));
 
     VectorSink middle;
     const uint64_t mid = reader->count() / 2;
-    if (!reader->replayRange(mid, 5, middle, &error))
-        fatal("seek replay failed: ", error);
+    if (st = reader->replayRange(mid, 5, middle); !st.ok())
+        fatal("seek replay failed: ", st.str());
     std::printf("records [%llu..%llu): first ip 0x%llx\n",
                 static_cast<unsigned long long>(mid),
                 static_cast<unsigned long long>(mid + 5),
@@ -81,9 +83,9 @@ main(int argc, char **argv)
             counters.push_back(std::make_unique<CountingSink>());
             return *counters.back();
         },
-        &error);
-    if (replayed == 0 && reader->count() != 0)
-        fatal("shard replay failed: ", error);
+        &st);
+    if (!st.ok())
+        fatal("shard replay failed: ", st.str());
 
     uint64_t branches = 0;
     uint64_t taken = 0;

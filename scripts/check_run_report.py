@@ -3,11 +3,15 @@
 
 Usage: check_run_report.py REPORT.json [REPORT.json ...]
 
-Checks that each report parses as JSON, declares the expected schema,
-and carries the contract keys downstream tooling relies on:
-run.instructions, run.wall_seconds, and the
-tracestore.cache.{hits,misses} / bp.{predictions,mispredicts}
-counters. Exits non-zero on the first violation.
+Checks that each report parses as JSON, declares the expected schema
+(and a known schema_rev — unknown revisions fail loudly instead of
+being half-validated), and carries the contract keys downstream tooling
+relies on: run.instructions, run.wall_seconds, the
+tracestore.cache.{hits,misses} / bp.{predictions,mispredicts} counters,
+and — from schema_rev 2 — the robustness counters
+(tracestore.replay.chunk_retries, tracestore.cache.quarantined,
+core.runner.degraded_runs, faultsim.injected). Exits non-zero on the
+first violation.
 """
 
 import json
@@ -21,6 +25,16 @@ REQUIRED_COUNTERS = (
     "bp.predictions",
     "bp.mispredicts",
 )
+# Added in schema_rev 2: every report proves whether the run had to
+# heal itself (retried chunks, quarantined entries, degraded runs) and
+# whether fault injection was active.
+REQUIRED_COUNTERS_REV2 = (
+    "tracestore.replay.chunk_retries",
+    "tracestore.cache.quarantined",
+    "core.runner.degraded_runs",
+    "faultsim.injected",
+)
+MAX_KNOWN_SCHEMA_REV = 2
 
 
 def check(path):
@@ -29,6 +43,15 @@ def check(path):
 
     if report.get("schema") != "bpnsp-run-report-v1":
         raise ValueError(f"unexpected schema: {report.get('schema')!r}")
+    # Reports that predate the schema_rev mechanism are implicitly rev 1.
+    rev = report.get("schema_rev", 1)
+    if not isinstance(rev, int) or rev < 1:
+        raise ValueError(f"bad schema_rev: {rev!r}")
+    if rev > MAX_KNOWN_SCHEMA_REV:
+        raise ValueError(
+            f"unknown schema_rev {rev} (this checker knows up to "
+            f"{MAX_KNOWN_SCHEMA_REV}); refusing to half-validate"
+        )
 
     run = report.get("run")
     if not isinstance(run, dict):
@@ -44,7 +67,10 @@ def check(path):
     counters = report.get("counters")
     if not isinstance(counters, dict):
         raise ValueError("missing 'counters' object")
-    for name in REQUIRED_COUNTERS:
+    required = REQUIRED_COUNTERS
+    if rev >= 2:
+        required = required + REQUIRED_COUNTERS_REV2
+    for name in required:
         if name not in counters:
             raise ValueError(f"missing counter {name}")
         if not isinstance(counters[name], int) or counters[name] < 0:

@@ -119,14 +119,20 @@ activeCache()
 }
 
 /**
- * Replay a cached entry into the sinks. Returns false and sets *why if
- * the entry is unusable; the caller owns the loud eviction path
- * (TraceCache::evictCorrupt), so this stays silent on failure.
+ * Replay a cached entry into the sinks. Returns non-Ok if the entry is
+ * unusable; the caller owns the loud quarantine-and-regenerate path,
+ * so this stays silent on failure.
+ *
+ * The entry is verify()'d — every chunk checksummed, with transient
+ * read faults absorbed by the reader's retry — *before* any record is
+ * streamed. That ordering is what makes regeneration safe: a corrupt
+ * entry is rejected while the sinks are still empty, so the live rerun
+ * never double-counts a partial replay.
  */
-bool
+Status
 replayFromCache(const TraceCache &cache, const TraceCacheKey &key,
                 const std::vector<TraceSink *> &sinks,
-                uint64_t instructions, std::string *why)
+                uint64_t instructions)
 {
     static obs::Counter &replayRuns =
         obs::counter("core.runner.replay_runs");
@@ -135,17 +141,17 @@ replayFromCache(const TraceCache &cache, const TraceCacheKey &key,
         obs::histogram("tracestore.replay_ns");
 
     const std::string path = cache.entryPath(key);
-    std::string error;
-    auto reader = TraceStoreReader::open(path, &error);
-    if (reader == nullptr) {
-        *why = error;
-        return false;
-    }
-    if (reader->count() != instructions) {
-        *why = "holds " + std::to_string(reader->count()) +
-               " records, want " + std::to_string(instructions);
-        return false;
-    }
+    Status st;
+    auto reader = TraceStoreReader::open(path, &st);
+    if (reader == nullptr)
+        return st;
+    if (reader->count() != instructions)
+        return Status::corruptData(
+            "holds " + std::to_string(reader->count()) +
+            " records, want " + std::to_string(instructions));
+    st = reader->verify();
+    if (!st.ok())
+        return st;
 
     obs::ScopedTimer timer(replayNs);
     FanoutSink fanout;
@@ -154,14 +160,19 @@ replayFromCache(const TraceCache &cache, const TraceCacheKey &key,
         fanout.add(&progress);
     for (TraceSink *sink : sinks)
         fanout.add(sink);
-    if (!reader->replay(fanout, 0, &error)) {
-        // The sinks saw a partial stream; the caller must regenerate
-        // from scratch, so surface this loudly.
-        fatal("trace cache replay failed mid-stream: ", error);
+    st = reader->replay(fanout, 0);
+    if (!st.ok()) {
+        // verify() passed moments ago, so reaching here means the
+        // store changed under us mid-replay (active media failure or
+        // an adversarial fault spec that skips the verify pass). The
+        // sinks saw a partial stream, so regeneration would
+        // double-count — the only honest exit is loud.
+        fatal("trace cache replay failed mid-stream after a clean "
+              "verify: ", st.str());
     }
     replayRuns.inc();
     delivered.add(instructions);
-    return true;
+    return Status();
 }
 
 } // namespace
@@ -189,6 +200,8 @@ runWorkloadTrace(const Workload &workload, size_t input_idx,
     static obs::Counter &hits = obs::counter("tracestore.cache.hits");
     static obs::Counter &misses =
         obs::counter("tracestore.cache.misses");
+    static obs::Counter &degraded =
+        obs::counter("core.runner.degraded_runs");
 
     // Run-manifest identity: the last workload executed describes the
     // run (single-workload binaries, the common case, get exact
@@ -206,31 +219,72 @@ runWorkloadTrace(const Workload &workload, size_t input_idx,
     const TraceCacheKey key{workload.name, input.label, input.seed,
                             instructions};
     if (cache->contains(key)) {
-        std::string why;
-        if (replayFromCache(*cache, key, sinks, instructions, &why)) {
+        const Status why =
+            replayFromCache(*cache, key, sinks, instructions);
+        if (why.ok()) {
             hits.inc();
             return instructions;
         }
-        cache->evictCorrupt(key, why);
+        // Self-healing: keep the bad entry as evidence, then fall
+        // through to the cold path, which regenerates it from the VM.
+        cache->quarantine(key, why.str());
     }
     misses.inc();
 
-    // Cold path: execute the VM and record into a staging file, then
+    // Cold path. The generation lock keeps two processes from
+    // recording the same key at once; the loser runs uncached (a
+    // degraded run: correct results, cache benefit forfeited) instead
+    // of waiting on or interleaving with the winner.
+    Status lockStatus;
+    TraceCacheLock lock =
+        TraceCacheLock::acquire(*cache, key, &lockStatus);
+    if (!lock.held()) {
+        degraded.inc();
+        warn("trace cache generation skipped (", lockStatus.str(),
+             "); running uncached");
+        return runTrace(workload.build(input_idx), sinks, instructions);
+    }
+
+    // Execute the VM and record into a private staging file, then
     // publish atomically so a crash can never leave a partial entry.
     const std::string staging = cache->stagingPath(key);
     uint64_t executed = 0;
+    Status captureStatus;
+    bool torn = false;
     {
         TraceStoreWriter writer(staging);
         std::vector<TraceSink *> all(sinks);
         all.push_back(&writer);
         executed = runTrace(workload.build(input_idx), all,
                             instructions);
+        captureStatus = writer.status();
+        torn = writer.crashed();
     }
-    if (executed == instructions) {
-        cache->publish(staging, key);
+
+    // Capture failures never fail the run — the sinks already saw the
+    // full live stream; only the cache entry is lost.
+    if (executed == instructions && captureStatus.ok()) {
+        const Status pub = cache->publish(staging, key);
+        if (!pub.ok()) {
+            degraded.inc();
+            warn("cannot publish trace cache entry (", pub.str(),
+                 "); run results are unaffected");
+            std::error_code ec;
+            std::filesystem::remove(staging, ec);
+        }
     } else {
-        std::error_code ec;
-        std::filesystem::remove(staging, ec);
+        if (!captureStatus.ok()) {
+            degraded.inc();
+            warn("trace capture failed (", captureStatus.str(),
+                 "); entry not cached, run results are unaffected");
+        }
+        // A simulated crash deliberately leaves its torn staging file
+        // behind (the "dead process" debris) so the constructor-time
+        // GC path stays exercised; every other failure cleans up.
+        if (!torn) {
+            std::error_code ec;
+            std::filesystem::remove(staging, ec);
+        }
     }
     return executed;
 }

@@ -129,12 +129,22 @@ renderRunReport()
     for (const char *name :
          {"run.instructions", "tracestore.cache.hits",
           "tracestore.cache.misses", "bp.predictions",
-          "bp.mispredicts"}) {
+          "bp.mispredicts",
+          // Robustness counters (schema_rev 2): consumers key off
+          // these to detect runs that healed themselves.
+          "tracestore.replay.chunk_retries",
+          "tracestore.cache.quarantined", "core.runner.degraded_runs",
+          "faultsim.injected"}) {
         reg.counter(name);
     }
 
+    // schema_rev bumps additively within the v1 schema: rev 2 adds the
+    // robustness counter contract above without renaming anything, so
+    // v1 consumers keep parsing and rev-aware consumers know the new
+    // keys are guaranteed present.
     std::ostringstream oss;
-    oss << "{\n  \"schema\": \"bpnsp-run-report-v1\",\n  \"run\": {\n";
+    oss << "{\n  \"schema\": \"bpnsp-run-report-v1\",\n"
+        << "  \"schema_rev\": 2,\n  \"run\": {\n";
     for (const auto &[key, value] : reg.runFields())
         oss << "    " << quoted(key) << ": " << quoted(value) << ",\n";
     oss << "    \"git\": " << quoted(gitDescribe()) << ",\n"

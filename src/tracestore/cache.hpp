@@ -5,12 +5,23 @@
  * dominant cost of every bench sweep — is paid once and replayed
  * thereafter.
  *
- * Entries are published with write-then-rename: a run records into a
- * private staging file and atomically renames it into place only after
- * the trace is complete, so concurrent runs and crashes can never leave
- * a partial entry under a valid key. The format version participates
- * in the digest, so a format bump silently invalidates stale entries
- * instead of misreading them.
+ * Crash-safety and concurrency contract:
+ *  - Entries are published with write-to-temp + fsync + atomic rename
+ *    + directory fsync: a run records into a private staging file and
+ *    renames it into place only after the trace is complete and
+ *    durable, so concurrent runs and crashes can never expose a
+ *    partial entry under a valid key.
+ *  - Construction garbage-collects debris of crashed runs: staging
+ *    files and generation lockfiles whose owning process is dead.
+ *  - A per-entry generation lockfile (TraceCacheLock) serializes cold
+ *    generation of the same key across processes; losers degrade to an
+ *    uncached run instead of interleaving writes.
+ *  - Unusable entries are *quarantined* (renamed aside, bounded count)
+ *    rather than silently deleted, preserving the evidence while the
+ *    key regenerates.
+ *
+ * The format version participates in the digest, so a format bump
+ * silently invalidates stale entries instead of misreading them.
  */
 
 #ifndef BPNSP_TRACESTORE_CACHE_HPP
@@ -18,6 +29,8 @@
 
 #include <cstdint>
 #include <string>
+
+#include "util/status.hpp"
 
 namespace bpnsp {
 
@@ -40,7 +53,11 @@ std::string traceCacheDigest(const TraceCacheKey &key);
 class TraceCache
 {
   public:
-    /** Create the directory if needed; fatal() if that fails. */
+    /**
+     * Create the directory if needed (fatal() if that fails) and
+     * garbage-collect staging files and lockfiles left by dead
+     * processes (counted as tracestore.cache.orphans_collected).
+     */
     explicit TraceCache(std::string directory);
 
     const std::string &dir() const { return root; }
@@ -52,30 +69,82 @@ class TraceCache
     bool contains(const TraceCacheKey &key) const;
 
     /**
-     * A private staging path for recording `key`'s trace. Unique per
-     * process so concurrent cold runs don't clobber each other.
+     * A fresh private staging path for recording `key`'s trace.
+     * Unique per process AND per call, so concurrent cold runs (or
+     * threads) never clobber each other's half-written files. The
+     * embedded pid lets a later construction GC the file if this
+     * process dies.
      */
     std::string stagingPath(const TraceCacheKey &key) const;
 
-    /** Atomically publish a finished staging file under `key`. */
-    void publish(const std::string &staging,
-                 const TraceCacheKey &key) const;
+    /**
+     * Durably and atomically publish a finished staging file under
+     * `key`: fsync the bytes, rename onto the entry path, fsync the
+     * directory. IoError leaves the staging file for the caller to
+     * discard; no reader can ever observe a partial entry.
+     */
+    Status publish(const std::string &staging,
+                   const TraceCacheKey &key) const;
 
     /** Delete the entry for `key` if present. */
     void evict(const TraceCacheKey &key) const;
 
     /**
-     * Evict an entry that exists but cannot be used (truncated,
-     * corrupt, wrong length). Unlike evict(), this is loud: it warn()s
-     * with the reason and bumps the tracestore.cache.corrupt_evictions
-     * counter, so silent trace-store corruption shows up in run
-     * reports instead of hiding behind transparent regeneration.
+     * Move an unusable entry (truncated, corrupt, wrong length) aside
+     * to a numbered .quarantine file instead of deleting it, so the
+     * evidence survives for postmortems while the key regenerates.
+     * Keeps at most kQuarantineSlots quarantined copies per key
+     * (oldest evicted beyond that). Loud: warn()s with the reason and
+     * bumps tracestore.cache.quarantined (plus the legacy
+     * tracestore.cache.corrupt_evictions), so silent trace-store
+     * corruption shows up in run reports instead of hiding behind
+     * transparent regeneration.
      */
-    void evictCorrupt(const TraceCacheKey &key,
-                      const std::string &reason) const;
+    void quarantine(const TraceCacheKey &key,
+                    const std::string &reason) const;
+
+    /** Quarantined copies kept per key before the oldest is dropped. */
+    static constexpr int kQuarantineSlots = 4;
 
   private:
     std::string root;
+
+    void collectOrphans() const;
+};
+
+/**
+ * RAII per-entry generation lock. Backed by an O_CREAT|O_EXCL
+ * lockfile holding the owner pid; stale locks of dead processes are
+ * broken automatically (tracestore.cache.stale_locks_broken). On
+ * Busy — a live process is already generating this entry — the caller
+ * should degrade to an uncached run rather than wait or interleave.
+ */
+class TraceCacheLock
+{
+  public:
+    /**
+     * Try to take the generation lock for `key`. Returns a held lock,
+     * or an unheld one with *status = Busy (live owner) / IoError.
+     */
+    static TraceCacheLock acquire(const TraceCache &cache,
+                                  const TraceCacheKey &key,
+                                  Status *status);
+
+    TraceCacheLock() = default;
+    ~TraceCacheLock() { release(); }
+
+    TraceCacheLock(TraceCacheLock &&other) noexcept;
+    TraceCacheLock &operator=(TraceCacheLock &&other) noexcept;
+    TraceCacheLock(const TraceCacheLock &) = delete;
+    TraceCacheLock &operator=(const TraceCacheLock &) = delete;
+
+    bool held() const { return !lockPath.empty(); }
+
+    /** Unlink the lockfile early (idempotent). */
+    void release();
+
+  private:
+    std::string lockPath;
 };
 
 } // namespace bpnsp

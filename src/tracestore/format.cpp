@@ -81,14 +81,12 @@ encodeChunk(const TraceRecord *records, size_t count,
     }
 }
 
-bool
+Status
 decodeChunk(const uint8_t *data, size_t len, size_t count,
-            std::vector<TraceRecord> &out, std::string *error)
+            std::vector<TraceRecord> &out)
 {
-    auto fail = [error](const char *what) {
-        if (error != nullptr)
-            *error = what;
-        return false;
+    auto fail = [](const char *what) {
+        return Status::corruptData(what);
     };
 
     size_t pos = 0;
@@ -138,7 +136,7 @@ decodeChunk(const uint8_t *data, size_t len, size_t count,
     }
     if (pos != len)
         return fail("trailing bytes after last record in chunk");
-    return true;
+    return Status();
 }
 
 void

@@ -31,6 +31,7 @@
 
 #include "trace/record.hpp"
 #include "trace/sink.hpp"
+#include "util/status.hpp"
 
 namespace bpnsp {
 
@@ -142,12 +143,12 @@ void encodeChunk(const TraceRecord *records, size_t count,
 
 /**
  * Decode `count` records from a chunk payload into `out` (appended).
- * Returns true on success; on malformed input (truncated varint,
- * invalid instruction class, trailing bytes) returns false and sets
- * *error to a diagnostic.
+ * On malformed input (truncated varint, invalid instruction class,
+ * trailing bytes) returns CorruptData with a diagnostic; never
+ * crashes.
  */
-bool decodeChunk(const uint8_t *data, size_t len, size_t count,
-                 std::vector<TraceRecord> &out, std::string *error);
+Status decodeChunk(const uint8_t *data, size_t len, size_t count,
+                   std::vector<TraceRecord> &out);
 
 /**
  * Order-sensitive digest over every field of every observed record.

@@ -51,7 +51,7 @@ uint64_t
 replayShards(
     const TraceStoreReader &reader, unsigned num_shards,
     const std::function<TraceSink &(const ShardSlice &)> &make_sink,
-    std::string *error)
+    Status *status)
 {
     // Telemetry: the fan-out width actually used, the per-shard record
     // split (min/max/mean in the run report expose plan skew), and the
@@ -66,6 +66,8 @@ replayShards(
         obs::histogram("tracestore.shard.worker_ns");
     static obs::Histogram &replayNs =
         obs::histogram("tracestore.shard.replay_ns");
+    static obs::Counter &shardFailures =
+        obs::counter("tracestore.shard.failures");
     obs::ScopedTimer replayTimer(replayNs);
 
     const std::vector<ShardSlice> plan = planShards(reader, num_shards);
@@ -79,30 +81,51 @@ replayShards(
         sinks.push_back(&make_sink(slice));
     }
 
-    std::vector<std::string> shardErrors(plan.size());
+    std::vector<Status> shardStatus(plan.size());
     std::vector<std::thread> workers;
     workers.reserve(plan.size());
     for (size_t s = 0; s < plan.size(); ++s) {
         workers.emplace_back([&, s]() {
             obs::ScopedTimer workerTimer(workerNs);
             const ShardSlice &slice = plan[s];
-            if (reader.replayRange(slice.firstRecord, slice.numRecords,
-                                   *sinks[s], &shardErrors[s]))
+            shardStatus[s] = reader.replayRange(
+                slice.firstRecord, slice.numRecords, *sinks[s]);
+            if (shardStatus[s].ok())
                 sinks[s]->onEnd();
         });
     }
     for (std::thread &worker : workers)
         worker.join();
 
+    // Aggregate ALL shard failures into one diagnostic, keeping the
+    // first failing shard's code as the combined code.
     uint64_t replayed = 0;
+    size_t failed = 0;
+    StatusCode worstCode = StatusCode::Ok;
+    std::string detail;
     for (size_t s = 0; s < plan.size(); ++s) {
-        if (!shardErrors[s].empty()) {
-            if (error != nullptr)
-                *error = "shard " + std::to_string(s) + ": " +
-                         shardErrors[s];
-            return 0;
+        if (shardStatus[s].ok()) {
+            replayed += plan[s].numRecords;
+            continue;
         }
-        replayed += plan[s].numRecords;
+        shardFailures.inc();
+        ++failed;
+        if (worstCode == StatusCode::Ok)
+            worstCode = shardStatus[s].code();
+        if (!detail.empty())
+            detail += "; ";
+        detail += "shard " + std::to_string(s) + ": " +
+                  shardStatus[s].str();
+    }
+    if (status != nullptr) {
+        if (failed == 0)
+            *status = Status();
+        else
+            *status = Status::make(
+                worstCode,
+                std::to_string(failed) + " of " +
+                    std::to_string(plan.size()) +
+                    " shards failed: " + detail);
     }
     return replayed;
 }

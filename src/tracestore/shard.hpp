@@ -17,11 +17,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <string>
 #include <vector>
 
 #include "tracestore/store.hpp"
 #include "trace/sink.hpp"
+#include "util/status.hpp"
 
 namespace bpnsp {
 
@@ -52,13 +52,19 @@ std::vector<ShardSlice> planShards(const TraceStoreReader &reader,
  * its slice's records (onEnd() included) on a worker thread; no sink
  * is shared across threads.
  *
- * Returns the number of records replayed, or sets *error and returns 0
- * if any shard hit a corrupt chunk.
+ * Failure handling: every shard runs to completion regardless of other
+ * shards' outcomes, and *status reports ALL failing shards in one
+ * aggregated diagnostic ("2 of 8 shards failed: shard 0: ...; shard
+ * 7: ..."), not just the first — a media-level problem typically hits
+ * several shards at once, and naming only one hides the blast radius.
+ * Returns the number of records replayed by the shards that succeeded
+ * (their sinks saw a complete slice and onEnd()); failed shards
+ * contribute nothing and their sinks never see onEnd().
  */
 uint64_t replayShards(
     const TraceStoreReader &reader, unsigned num_shards,
     const std::function<TraceSink &(const ShardSlice &)> &make_sink,
-    std::string *error);
+    Status *status);
 
 } // namespace bpnsp
 

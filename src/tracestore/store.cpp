@@ -1,13 +1,18 @@
 #include "tracestore/store.hpp"
 
+#include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include <fcntl.h>
 #include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "faultsim/faultsim.hpp"
 #include "obs/metrics.hpp"
+#include "util/fsutil.hpp"
 #include "util/logging.hpp"
 
 namespace bpnsp {
@@ -20,8 +25,11 @@ TraceStoreWriter::TraceStoreWriter(const std::string &path,
       chunkCapacity(records_per_chunk)
 {
     BPNSP_ASSERT(chunkCapacity > 0);
-    if (file == nullptr)
-        fatal("cannot open trace store for writing: ", path);
+    if (file == nullptr) {
+        st = Status::ioError("cannot open trace store for writing: " +
+                             path + ": " + std::strerror(errno));
+        return;
+    }
     StoreFileHeader hdr{};
     std::memcpy(hdr.magic, kStoreMagic, sizeof(kStoreMagic));
     hdr.version = kStoreVersion;
@@ -34,23 +42,94 @@ TraceStoreWriter::~TraceStoreWriter()
     onEnd();
 }
 
-void
+/**
+ * Write `len` bytes, resuming partial writes (the EINTR/short-write
+ * recovery loop). The faultsim failpoints inject each failure class
+ * documented in faultsim.hpp; on unrecoverable failure the writer
+ * latches into the failed state and drops everything thereafter.
+ */
+bool
 TraceStoreWriter::writeBytes(const void *data, size_t len)
 {
     static obs::Counter &bytesWritten =
         obs::counter("tracestore.store.bytes_written");
+    static obs::Counter &writeRetries =
+        obs::counter("tracestore.store.write_retries");
+    static obs::Counter &writeFailures =
+        obs::counter("tracestore.store.write_failures");
+
+    if (!st.ok())
+        return false;
     if (len == 0)
-        return;   // empty footer: vector::data() may be null
-    if (std::fwrite(data, 1, len, file) != len)
-        fatal("short write to trace store: ", filePath);
+        return true;   // empty footer: vector::data() may be null
+
+    if (faultsim::evaluate("tracestore.write.enospc")) {
+        writeFailures.inc();
+        st = Status::ioError(
+            "injected ENOSPC (no space left on device) writing " +
+            filePath);
+        return false;
+    }
+    if (faultsim::evaluate("tracestore.write.crash")) {
+        // Torn write: a deterministic prefix reaches the disk, then
+        // the "process dies". The torn file is left behind on purpose.
+        const size_t torn =
+            len > 1
+                ? faultsim::payloadDraw("tracestore.write.crash") % len
+                : 0;
+        if (torn > 0)
+            (void)std::fwrite(data, 1, torn, file);
+        std::fflush(file);
+        didCrash = true;
+        writeFailures.inc();
+        st = Status::cancelled("injected crash after " +
+                               std::to_string(torn) + " of " +
+                               std::to_string(len) + " bytes to " +
+                               filePath);
+        return false;
+    }
+
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    size_t written = 0;
+    bool injectShort = faultsim::evaluate("tracestore.write.short");
+    bool injectEintr = faultsim::evaluate("tracestore.write.eintr");
+    while (written < len) {
+        size_t want = len - written;
+        size_t n = 0;
+        if (injectEintr) {
+            // Interrupted before transferring anything; retry.
+            injectEintr = false;
+            writeRetries.inc();
+            continue;
+        }
+        if (injectShort) {
+            // The OS accepted only part of the buffer; resume.
+            injectShort = false;
+            want = (want + 1) / 2;
+            n = std::fwrite(bytes + written, 1, want, file);
+            writeRetries.inc();
+        } else {
+            n = std::fwrite(bytes + written, 1, want, file);
+        }
+        if (n == 0) {
+            writeFailures.inc();
+            st = Status::ioError("short write to trace store: " +
+                                 filePath);
+            return false;
+        }
+        written += n;
+    }
     fileOffset += len;
     bytesWritten.add(len);
+    return true;
 }
 
 void
 TraceStoreWriter::onRecord(const TraceRecord &rec)
 {
     BPNSP_ASSERT(!finished, "write after onEnd()");
+    if (!st.ok())
+        return;   // failed writers swallow the rest of the stream
     pending.push_back(rec);
     ++total;
     if (pending.size() >= chunkCapacity)
@@ -62,7 +141,7 @@ TraceStoreWriter::flushChunk()
 {
     static obs::Counter &chunksEncoded =
         obs::counter("tracestore.store.chunks_encoded");
-    if (pending.empty())
+    if (pending.empty() || !st.ok())
         return;
     chunksEncoded.inc();
     encodeBuffer.clear();
@@ -77,10 +156,10 @@ TraceStoreWriter::flushChunk()
     entry.offset = fileOffset;
     entry.payloadBytes = hdr.payloadBytes;
     entry.recordCount = hdr.recordCount;
-    footer.push_back(entry);
 
-    writeBytes(&hdr, sizeof(hdr));
-    writeBytes(encodeBuffer.data(), encodeBuffer.size());
+    if (writeBytes(&hdr, sizeof(hdr)) &&
+        writeBytes(encodeBuffer.data(), encodeBuffer.size()))
+        footer.push_back(entry);
     pending.clear();
 }
 
@@ -89,56 +168,75 @@ TraceStoreWriter::onEnd()
 {
     if (finished || file == nullptr)
         return;
+    finished = true;
     flushChunk();
 
-    StoreTrailer trailer{};
-    trailer.footerOffset = fileOffset;
-    trailer.numChunks = footer.size();
-    trailer.totalRecords = total;
-    trailer.footerChecksum =
-        fnv1a(footer.data(), footer.size() * sizeof(StoreFooterEntry));
-    trailer.version = kStoreVersion;
-    std::memcpy(trailer.magic, kTrailerMagic, sizeof(kTrailerMagic));
+    if (st.ok()) {
+        StoreTrailer trailer{};
+        trailer.footerOffset = fileOffset;
+        trailer.numChunks = footer.size();
+        trailer.totalRecords = total;
+        trailer.footerChecksum = fnv1a(
+            footer.data(), footer.size() * sizeof(StoreFooterEntry));
+        trailer.version = kStoreVersion;
+        std::memcpy(trailer.magic, kTrailerMagic,
+                    sizeof(kTrailerMagic));
 
-    writeBytes(footer.data(), footer.size() * sizeof(StoreFooterEntry));
-    writeBytes(&trailer, sizeof(trailer));
+        if (writeBytes(footer.data(),
+                       footer.size() * sizeof(StoreFooterEntry)) &&
+            writeBytes(&trailer, sizeof(trailer))) {
+            // Durability barrier: a published entry must survive a
+            // crash right after the rename that publishes it.
+            if (faultsim::evaluate("tracestore.write.fsync")) {
+                st = Status::ioError("injected fsync failure on " +
+                                     filePath);
+            } else {
+                st.update(syncStream(file, filePath));
+            }
+        }
+    }
     if (std::fclose(file) != 0)
-        fatal("cannot close trace store: ", filePath);
+        st.update(Status::ioError("cannot close trace store: " +
+                                  filePath));
     file = nullptr;
-    finished = true;
 }
 
 // --- reader ----------------------------------------------------------
 
 std::unique_ptr<TraceStoreReader>
-TraceStoreReader::open(const std::string &path, std::string *error)
+TraceStoreReader::open(const std::string &path, Status *status)
 {
-    auto fail = [error](const std::string &what) {
-        if (error != nullptr)
-            *error = what;
+    auto fail = [status](Status why) {
+        if (status != nullptr)
+            *status = std::move(why);
         return nullptr;
+    };
+    auto corrupt = [&fail](const std::string &what) {
+        return fail(Status::corruptData(what));
     };
 
     const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0)
-        return fail("cannot open trace store: " + path);
-
-    struct stat st{};
-    if (::fstat(fd, &st) != 0 || st.st_size < 0) {
-        ::close(fd);
-        return fail("cannot stat trace store: " + path);
+    if (fd < 0) {
+        return fail(Status::ioError("cannot open trace store: " + path +
+                                    ": " + std::strerror(errno)));
     }
-    const auto size = static_cast<size_t>(st.st_size);
+
+    struct stat stbuf{};
+    if (::fstat(fd, &stbuf) != 0 || stbuf.st_size < 0) {
+        ::close(fd);
+        return fail(Status::ioError("cannot stat trace store: " + path));
+    }
+    const auto size = static_cast<size_t>(stbuf.st_size);
     if (size < sizeof(StoreFileHeader) + sizeof(StoreTrailer)) {
         ::close(fd);
-        return fail("trace store too small to be valid (truncated?): " +
-                    path);
+        return corrupt("trace store too small to be valid "
+                       "(truncated?): " + path);
     }
 
     void *map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
     ::close(fd);   // the mapping keeps the file alive
     if (map == MAP_FAILED)
-        return fail("cannot mmap trace store: " + path);
+        return fail(Status::ioError("cannot mmap trace store: " + path));
 
     std::unique_ptr<TraceStoreReader> reader(new TraceStoreReader());
     reader->base = static_cast<const uint8_t *>(map);
@@ -148,11 +246,11 @@ TraceStoreReader::open(const std::string &path, std::string *error)
     StoreFileHeader hdr{};
     std::memcpy(&hdr, reader->base, sizeof(hdr));
     if (std::memcmp(hdr.magic, kStoreMagic, sizeof(kStoreMagic)) != 0)
-        return fail("bad trace store magic in: " + path);
+        return corrupt("bad trace store magic in: " + path);
     if (hdr.version != kStoreVersion) {
-        return fail("unsupported trace store version " +
-                    std::to_string(hdr.version) + " (want " +
-                    std::to_string(kStoreVersion) + ") in: " + path);
+        return corrupt("unsupported trace store version " +
+                       std::to_string(hdr.version) + " (want " +
+                       std::to_string(kStoreVersion) + ") in: " + path);
     }
 
     StoreTrailer trailer{};
@@ -160,23 +258,24 @@ TraceStoreReader::open(const std::string &path, std::string *error)
                 sizeof(trailer));
     if (std::memcmp(trailer.magic, kTrailerMagic,
                     sizeof(kTrailerMagic)) != 0) {
-        return fail("missing trace store trailer (file truncated or "
-                    "not finalized): " + path);
+        return corrupt("missing trace store trailer (file truncated or "
+                       "not finalized): " + path);
     }
     if (trailer.version != kStoreVersion)
-        return fail("trailer/header version mismatch in: " + path);
+        return corrupt("trailer/header version mismatch in: " + path);
 
     const uint64_t footerBytes =
         trailer.numChunks * sizeof(StoreFooterEntry);
     if (trailer.footerOffset < sizeof(StoreFileHeader) ||
         trailer.footerOffset + footerBytes + sizeof(StoreTrailer) !=
             size) {
-        return fail("trace store footer index out of bounds in: " +
-                    path);
+        return corrupt("trace store footer index out of bounds in: " +
+                       path);
     }
     const uint8_t *footerBase = reader->base + trailer.footerOffset;
     if (fnv1a(footerBase, footerBytes) != trailer.footerChecksum)
-        return fail("trace store footer checksum mismatch in: " + path);
+        return corrupt("trace store footer checksum mismatch in: " +
+                       path);
 
     uint64_t firstRecord = 0;
     uint64_t prevEnd = sizeof(StoreFileHeader);
@@ -189,8 +288,8 @@ TraceStoreReader::open(const std::string &path, std::string *error)
                              entry.payloadBytes;
         if (entry.offset != prevEnd || end > trailer.footerOffset ||
             entry.recordCount == 0) {
-            return fail("trace store chunk " + std::to_string(i) +
-                        " index entry is corrupt in: " + path);
+            return corrupt("trace store chunk " + std::to_string(i) +
+                           " index entry is corrupt in: " + path);
         }
         reader->chunks.push_back(ChunkInfo{entry.offset,
                                            entry.payloadBytes,
@@ -200,8 +299,8 @@ TraceStoreReader::open(const std::string &path, std::string *error)
         prevEnd = end;
     }
     if (firstRecord != trailer.totalRecords) {
-        return fail("trace store record count disagrees with index "
-                    "in: " + path);
+        return corrupt("trace store record count disagrees with index "
+                       "in: " + path);
     }
     reader->totalRecords = trailer.totalRecords;
     return reader;
@@ -225,10 +324,93 @@ TraceStoreReader::chunkRecordCount(uint64_t chunk) const
     return chunks.at(chunk).recordCount;
 }
 
-bool
+namespace {
+
+/**
+ * Run a per-chunk operation with retries and exponential backoff.
+ * Counts every retry (and permanent failure) in the obs registry and
+ * annotates the final diagnostic with the attempt count.
+ */
+template <typename Op>
+Status
+withChunkRetries(uint64_t index, Op &&op)
+{
+    static obs::Counter &retries =
+        obs::counter("tracestore.replay.chunk_retries");
+    static obs::Counter &retrySuccesses =
+        obs::counter("tracestore.replay.chunk_retry_successes");
+    static obs::Counter &permanentFailures =
+        obs::counter("tracestore.replay.chunk_failures");
+
+    Status st;
+    for (unsigned attempt = 1; attempt <= kChunkReplayAttempts;
+         ++attempt) {
+        st = op();
+        if (st.ok()) {
+            if (attempt > 1)
+                retrySuccesses.inc();
+            return st;
+        }
+        if (attempt < kChunkReplayAttempts) {
+            retries.inc();
+            warn("chunk ", index, " failed (attempt ", attempt, " of ",
+                 kChunkReplayAttempts, "): ", st.str(), "; retrying");
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(50u << attempt));
+        }
+    }
+    permanentFailures.inc();
+    return Status::make(st.code(),
+                        st.message() + " (after " +
+                            std::to_string(kChunkReplayAttempts) +
+                            " attempts)");
+}
+
+/**
+ * When the bit-flip failpoint fires, copy the payload and flip one
+ * deterministically chosen bit, exactly as decaying media or a bad
+ * DIMM would hand us — the checksum below then rejects the chunk.
+ */
+const uint8_t *
+maybeBitflip(const uint8_t *payload, uint32_t payloadBytes,
+             std::vector<uint8_t> &scratch)
+{
+    if (payloadBytes == 0 ||
+        !faultsim::evaluate("tracestore.read.bitflip"))
+        return payload;
+    const uint64_t draw = faultsim::payloadDraw("tracestore.read.bitflip");
+    scratch.assign(payload, payload + payloadBytes);
+    scratch[(draw >> 3) % payloadBytes] ^=
+        static_cast<uint8_t>(1u << (draw & 7));
+    return scratch.data();
+}
+
+} // namespace
+
+Status
+TraceStoreReader::checksumChunkAt(uint64_t index) const
+{
+    const ChunkInfo &info = chunks.at(index);
+    StoreChunkHeader hdr{};
+    std::memcpy(&hdr, base + info.offset, sizeof(hdr));
+    auto fail = [&](const std::string &what) {
+        return Status::corruptData("chunk " + std::to_string(index) +
+                                   " of " + path + ": " + what);
+    };
+    if (hdr.payloadBytes != info.payloadBytes ||
+        hdr.recordCount != info.recordCount)
+        return fail("chunk header disagrees with footer index");
+    std::vector<uint8_t> scratch;
+    const uint8_t *payload = maybeBitflip(
+        base + info.offset + sizeof(hdr), hdr.payloadBytes, scratch);
+    if (fnv1a(payload, hdr.payloadBytes) != hdr.checksum)
+        return fail("payload checksum mismatch (corrupted frame)");
+    return Status();
+}
+
+Status
 TraceStoreReader::decodeChunkAt(uint64_t index,
-                                std::vector<TraceRecord> &out,
-                                std::string *error) const
+                                std::vector<TraceRecord> &out) const
 {
     static obs::Counter &chunksDecoded =
         obs::counter("tracestore.store.chunks_decoded");
@@ -243,45 +425,79 @@ TraceStoreReader::decodeChunkAt(uint64_t index,
     bytesRead.add(sizeof(StoreChunkHeader) + info.payloadBytes);
     StoreChunkHeader hdr{};
     std::memcpy(&hdr, base + info.offset, sizeof(hdr));
-    const uint8_t *payload = base + info.offset + sizeof(hdr);
     auto fail = [&](const std::string &what) {
-        if (error != nullptr) {
-            *error = "chunk " + std::to_string(index) + " of " + path +
-                     ": " + what;
-        }
-        return false;
+        return Status::corruptData("chunk " + std::to_string(index) +
+                                   " of " + path + ": " + what);
     };
     if (hdr.payloadBytes != info.payloadBytes ||
         hdr.recordCount != info.recordCount)
         return fail("chunk header disagrees with footer index");
+    std::vector<uint8_t> scratch;
+    const uint8_t *payload = maybeBitflip(
+        base + info.offset + sizeof(hdr), hdr.payloadBytes, scratch);
     if (fnv1a(payload, hdr.payloadBytes) != hdr.checksum)
         return fail("payload checksum mismatch (corrupted frame)");
-    std::string decodeError;
-    if (!decodeChunk(payload, hdr.payloadBytes, hdr.recordCount, out,
-                     &decodeError))
-        return fail(decodeError);
-    return true;
+    const Status decoded =
+        decodeChunk(payload, hdr.payloadBytes, hdr.recordCount, out);
+    if (!decoded.ok())
+        return fail(decoded.message());
+    return Status();
 }
 
-bool
-TraceStoreReader::replay(TraceSink &sink, uint64_t limit,
-                         std::string *error) const
+Status
+TraceStoreReader::decodeChunkRetrying(uint64_t index,
+                                      std::vector<TraceRecord> &out) const
+{
+    return withChunkRetries(index, [&] {
+        out.clear();
+        return decodeChunkAt(index, out);
+    });
+}
+
+Status
+TraceStoreReader::verify() const
+{
+    static obs::Histogram &verifyNs =
+        obs::histogram("tracestore.store.verify_ns");
+    obs::ScopedTimer timer(verifyNs);
+
+    Status st;
+    for (uint64_t c = 0; c < chunks.size(); ++c) {
+        st = withChunkRetries(c,
+                              [&] { return checksumChunkAt(c); });
+        if (!st.ok())
+            return st;
+    }
+    return st;
+}
+
+Status
+TraceStoreReader::replay(TraceSink &sink, uint64_t limit) const
 {
     const uint64_t want =
         (limit == 0 || limit > totalRecords) ? totalRecords : limit;
-    if (want > 0 && !replayRange(0, want, sink, error))
-        return false;
+    if (want > 0) {
+        const Status st = replayRange(0, want, sink);
+        if (!st.ok())
+            return st;
+    }
     sink.onEnd();
-    return true;
+    return Status();
 }
 
-bool
+Status
 TraceStoreReader::replayRange(uint64_t first, uint64_t n,
-                              TraceSink &sink, std::string *error) const
+                              TraceSink &sink) const
 {
-    BPNSP_ASSERT(first + n <= totalRecords, "range past end of store");
+    if (first + n < first || first + n > totalRecords) {
+        return Status::invalidArgument(
+            "replay range [" + std::to_string(first) + ", " +
+            std::to_string(first) + " + " + std::to_string(n) +
+            ") past end of store (" + std::to_string(totalRecords) +
+            " records) in: " + path);
+    }
     if (n == 0)
-        return true;
+        return Status();
 
     // Locate the chunk containing `first` (the index is sorted).
     uint64_t lo = 0;
@@ -298,9 +514,9 @@ TraceStoreReader::replayRange(uint64_t first, uint64_t n,
     uint64_t remaining = n;
     uint64_t cursor = first;
     for (uint64_t c = lo; c < chunks.size() && remaining > 0; ++c) {
-        buffer.clear();
-        if (!decodeChunkAt(c, buffer, error))
-            return false;
+        const Status st = decodeChunkRetrying(c, buffer);
+        if (!st.ok())
+            return st;
         const uint64_t skip = cursor - chunks[c].firstRecord;
         for (uint64_t i = skip;
              i < buffer.size() && remaining > 0; ++i) {
@@ -309,8 +525,13 @@ TraceStoreReader::replayRange(uint64_t first, uint64_t n,
             --remaining;
         }
     }
-    BPNSP_ASSERT(remaining == 0, "store index inconsistent with data");
-    return true;
+    if (remaining != 0) {
+        return Status::corruptData(
+            "store index inconsistent with data: " +
+            std::to_string(remaining) + " of " + std::to_string(n) +
+            " records unreachable in: " + path);
+    }
+    return Status();
 }
 
 } // namespace bpnsp

@@ -12,9 +12,21 @@
  * Unlike the legacy trace/file.hpp format (uncompressed fixed-width
  * records, header patched in place), the store format is ~4x smaller,
  * supports O(1) seek to any record range through its footer index, and
- * detects corruption through per-chunk checksums. Reader errors are
- * reported through out-parameters rather than fatal() so callers (the
- * cache, tests) can fall back gracefully.
+ * detects corruption through per-chunk checksums.
+ *
+ * Robustness contract (see DESIGN.md "Robustness & fault injection"):
+ *  - The writer never fatal()s on I/O failure. It degrades into a
+ *    failed state (dropping further records), records why in status(),
+ *    and leaves the caller to discard the torn file — the capture is
+ *    just one sink of a fan-out, so the run itself continues.
+ *  - Every filesystem touch is wrapped in a faultsim failpoint
+ *    (tracestore.write.{short,eintr,enospc,crash,fsync},
+ *    tracestore.read.bitflip), so torn writes, out-of-space, and
+ *    bit rot are deterministically reproducible in tests.
+ *  - Reader errors are Status values, never aborts: transient chunk
+ *    corruption is retried with backoff (kChunkReplayAttempts), and
+ *    verify() lets callers checksum a whole store *before* streaming
+ *    any record into analysis sinks.
  */
 
 #ifndef BPNSP_TRACESTORE_STORE_HPP
@@ -28,14 +40,28 @@
 
 #include "tracestore/format.hpp"
 #include "trace/sink.hpp"
+#include "util/status.hpp"
 
 namespace bpnsp {
+
+/**
+ * Attempts per chunk before a decode failure is considered permanent:
+ * the first try plus retries with short exponential backoff. Retries
+ * absorb transient faults (injected or environmental bit flips on
+ * read); persistent on-disk corruption still fails, with the attempt
+ * count in the diagnostic.
+ */
+inline constexpr unsigned kChunkReplayAttempts = 3;
 
 /** Captures a record stream into a trace store file. */
 class TraceStoreWriter : public TraceSink
 {
   public:
-    /** Open (truncate) the file; fatal() on failure. */
+    /**
+     * Open (truncate) the file. Failure to open does not throw or
+     * abort: the writer starts in the failed state (see status()) and
+     * drops all records.
+     */
     explicit TraceStoreWriter(
         const std::string &path,
         uint32_t records_per_chunk = kDefaultRecordsPerChunk);
@@ -46,11 +72,25 @@ class TraceStoreWriter : public TraceSink
 
     void onRecord(const TraceRecord &rec) override;
 
-    /** Flush the last chunk, write footer + trailer, and close. */
+    /**
+     * Flush the last chunk, write footer + trailer, fsync, and close.
+     * Check status() afterwards: a writer that failed anywhere leaves
+     * a torn file behind that no reader will accept.
+     */
     void onEnd() override;
 
     /** Records accepted so far. */
     uint64_t count() const { return total; }
+
+    /** Ok while every write (and the final fsync) has succeeded. */
+    const Status &status() const { return st; }
+
+    /**
+     * True when an injected crash tore the file mid-write. The torn
+     * file is deliberately left on disk (the "process died"), so
+     * staging-file garbage collection paths can be exercised.
+     */
+    bool crashed() const { return didCrash; }
 
   private:
     std::FILE *file;
@@ -62,9 +102,11 @@ class TraceStoreWriter : public TraceSink
     uint64_t total = 0;
     uint64_t fileOffset = 0;
     bool finished = false;
+    bool didCrash = false;
+    Status st;
 
     void flushChunk();
-    void writeBytes(const void *data, size_t len);
+    bool writeBytes(const void *data, size_t len);
 };
 
 /** Replays a trace store file; all replay methods are thread-safe. */
@@ -72,13 +114,13 @@ class TraceStoreReader
 {
   public:
     /**
-     * Map and validate a store file. Returns nullptr and sets *error
-     * to a diagnostic on any problem (missing file, bad magic,
-     * version mismatch, truncation, index corruption). Never crashes
-     * on malformed input.
+     * Map and validate a store file. Returns nullptr and sets *status
+     * on any problem — IoError for missing/unmappable files,
+     * CorruptData for bad magic, version mismatch, truncation, or
+     * index corruption. Never crashes on malformed input.
      */
     static std::unique_ptr<TraceStoreReader>
-    open(const std::string &path, std::string *error);
+    open(const std::string &path, Status *status);
 
     ~TraceStoreReader();
 
@@ -98,20 +140,30 @@ class TraceStoreReader
     uint64_t chunkRecordCount(uint64_t chunk) const;
 
     /**
+     * Checksum every chunk without decoding or streaming anything.
+     * Lets callers prove a store is wholly intact *before* wiring it
+     * into analysis sinks, so a corrupt entry can be quarantined and
+     * regenerated without ever contaminating downstream statistics.
+     * Transient read faults are absorbed by the per-chunk retry.
+     */
+    Status verify() const;
+
+    /**
      * Stream up to `limit` records (0 = all) into the sink and call
-     * onEnd(). Returns false and sets *error on a corrupt chunk
-     * (checksum or decode failure); the sink may have received a
+     * onEnd(). Returns CorruptData on a corrupt chunk (checksum or
+     * decode failure after retries); the sink may have received a
      * prefix of the stream in that case.
      */
-    bool replay(TraceSink &sink, uint64_t limit, std::string *error) const;
+    Status replay(TraceSink &sink, uint64_t limit) const;
 
     /**
      * Stream records [first, first + n) into the sink WITHOUT calling
      * onEnd() — callers composing slices own stream termination. Seeks
-     * directly to the containing chunk via the footer index.
+     * directly to the containing chunk via the footer index. A range
+     * past the end of the store is InvalidArgument, not an abort.
      */
-    bool replayRange(uint64_t first, uint64_t n, TraceSink &sink,
-                     std::string *error) const;
+    Status replayRange(uint64_t first, uint64_t n,
+                       TraceSink &sink) const;
 
   private:
     struct ChunkInfo
@@ -124,9 +176,20 @@ class TraceStoreReader
 
     TraceStoreReader() = default;
 
-    /** Decode chunk `index` into `out`; false + *error on corruption. */
-    bool decodeChunkAt(uint64_t index, std::vector<TraceRecord> &out,
-                       std::string *error) const;
+    /** Decode chunk `index` into `out`; CorruptData on corruption. */
+    Status decodeChunkAt(uint64_t index,
+                         std::vector<TraceRecord> &out) const;
+
+    /**
+     * decodeChunkAt with up to kChunkReplayAttempts tries and
+     * exponential backoff between them; counts retries in the obs
+     * registry (tracestore.replay.chunk_retries).
+     */
+    Status decodeChunkRetrying(uint64_t index,
+                               std::vector<TraceRecord> &out) const;
+
+    /** Checksum chunk `index` (bit-flip failpoint included). */
+    Status checksumChunkAt(uint64_t index) const;
 
     const uint8_t *base = nullptr;   ///< mmap base (read-only)
     size_t mappedSize = 0;

@@ -1,0 +1,70 @@
+#include "util/fsutil.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+namespace bpnsp {
+
+Status
+syncStream(std::FILE *file, const std::string &path)
+{
+    if (std::fflush(file) != 0) {
+        return Status::ioError("cannot flush " + path + ": " +
+                               std::strerror(errno));
+    }
+    if (::fsync(::fileno(file)) != 0) {
+        return Status::ioError("cannot fsync " + path + ": " +
+                               std::strerror(errno));
+    }
+    return Status();
+}
+
+Status
+syncDirectory(const std::string &dir)
+{
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+        return Status::ioError("cannot open directory " + dir +
+                               " for fsync: " + std::strerror(errno));
+    }
+    const int rc = ::fsync(fd);
+    const int err = errno;
+    ::close(fd);
+    if (rc != 0) {
+        return Status::ioError("cannot fsync directory " + dir + ": " +
+                               std::strerror(err));
+    }
+    return Status();
+}
+
+Status
+atomicPublishFile(const std::string &from, const std::string &to)
+{
+    std::error_code ec;
+    std::filesystem::rename(from, to, ec);
+    if (ec) {
+        return Status::ioError("cannot rename " + from + " to " + to +
+                               ": " + ec.message());
+    }
+    const std::string dir =
+        std::filesystem::path(to).parent_path().string();
+    return dir.empty() ? Status() : syncDirectory(dir);
+}
+
+bool
+processAlive(pid_t pid)
+{
+    if (pid <= 0)
+        return false;
+    if (::kill(pid, 0) == 0)
+        return true;
+    return errno == EPERM;   // exists, but owned by someone else
+}
+
+} // namespace bpnsp

@@ -23,8 +23,10 @@ namespace bpnsp {
  *
  * Every parser pre-registers the standard telemetry options
  * --metrics-out=FILE (JSON run report on exit) and --progress
- * (instr/sec heartbeat); binaries activate them by passing the parsed
- * parser to obs::configureFromOptions() once after parse().
+ * (instr/sec heartbeat), plus the standard robustness option
+ * --faults=SPEC (deterministic fault injection); binaries activate
+ * them by passing the parsed parser to obs::configureFromOptions() and
+ * faultsim::configureFromOptions() once after parse().
  */
 class OptionParser
 {

@@ -9,8 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "core/runner.hpp"
 #include "obs/metrics.hpp"
@@ -98,9 +102,9 @@ TEST(TraceCache, ColdRunPopulates)
     EXPECT_TRUE(cache.contains(key));
 
     // The published entry is a valid store holding the exact trace.
-    std::string error;
-    auto reader = TraceStoreReader::open(cache.entryPath(key), &error);
-    ASSERT_NE(reader, nullptr) << error;
+    Status st;
+    auto reader = TraceStoreReader::open(cache.entryPath(key), &st);
+    ASSERT_NE(reader, nullptr) << st.str();
     EXPECT_EQ(reader->count(), kInstructions);
 
     // No staging debris left behind.
@@ -140,7 +144,9 @@ TEST(TraceCache, WarmRunComesFromTheCacheNotTheVm)
     // the key. If the runner really replays from the cache, sinks must
     // see the planted records, not a fresh VM execution.
     {
-        TraceStoreWriter writer(cache.stagingPath(key));
+        // stagingPath() is unique per call, so take it exactly once.
+        const std::string staging = cache.stagingPath(key);
+        TraceStoreWriter writer(staging);
         for (uint64_t i = 0; i < kInstructions; ++i) {
             TraceRecord rec;
             rec.ip = 0xdead0000 + i;
@@ -148,7 +154,9 @@ TEST(TraceCache, WarmRunComesFromTheCacheNotTheVm)
             writer.onRecord(rec);
         }
         writer.onEnd();
-        cache.publish(cache.stagingPath(key), key);
+        ASSERT_TRUE(writer.status().ok()) << writer.status().str();
+        const Status published = cache.publish(staging, key);
+        ASSERT_TRUE(published.ok()) << published.str();
     }
 
     VectorSink sink;
@@ -196,12 +204,16 @@ TEST(TraceCache, UnusableEntryFallsBackToExecution)
 
     // Truncate the published entry so it no longer opens. The next run
     // must fall back to live execution, still deliver the full trace,
-    // repair the cache entry, and count the corrupt eviction.
+    // repair the cache entry, and count the corrupt eviction — and the
+    // damaged file must survive as quarantined evidence, not vanish.
     const std::string entry = cache.entryPath(key);
     std::filesystem::resize_file(
         entry, std::filesystem::file_size(entry) / 2);
     const uint64_t corruptBefore = obs::Registry::instance().counterValue(
         "tracestore.cache.corrupt_evictions");
+    const uint64_t quarantinedBefore =
+        obs::Registry::instance().counterValue(
+            "tracestore.cache.quarantined");
 
     DigestSink repaired;
     ASSERT_EQ(runWorkloadTrace(w, 0, {&repaired}, kInstructions),
@@ -210,12 +222,132 @@ TEST(TraceCache, UnusableEntryFallsBackToExecution)
     EXPECT_EQ(obs::Registry::instance().counterValue(
                   "tracestore.cache.corrupt_evictions"),
               corruptBefore + 1);
+    EXPECT_EQ(obs::Registry::instance().counterValue(
+                  "tracestore.cache.quarantined"),
+              quarantinedBefore + 1);
 
-    std::string error;
-    auto reader = TraceStoreReader::open(entry, &error);
+    const std::string evidence =
+        guard.path + "/" + traceCacheDigest(key) + ".quarantine.0";
+    EXPECT_TRUE(std::filesystem::exists(evidence))
+        << "quarantine should preserve the damaged entry";
+
+    Status st;
+    auto reader = TraceStoreReader::open(entry, &st);
     ASSERT_NE(reader, nullptr)
-        << "entry not repaired after fallback: " << error;
+        << "entry not repaired after fallback: " << st.str();
     EXPECT_EQ(reader->count(), kInstructions);
+}
+
+TEST(TraceCache, OrphanGcCollectsDeadPidDebris)
+{
+    const std::string dir =
+        std::string(::testing::TempDir()) + "bpnsp_cache_gc";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    // A genuinely dead pid: fork a child that exits immediately.
+    const pid_t dead = fork();
+    ASSERT_GE(dead, 0);
+    if (dead == 0)
+        _exit(0);
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(dead, &wstatus, 0), dead);
+
+    const auto touch = [&](const std::string &name,
+                           const std::string &content) {
+        std::ofstream(dir + "/" + name) << content;
+    };
+    const std::string deadPid = std::to_string(static_cast<long>(dead));
+    const std::string livePid =
+        std::to_string(static_cast<long>(::getpid()));
+    touch("aaaa.staging." + deadPid + ".0", "torn");
+    touch("bbbb.lock", deadPid + "\n");
+    touch("cccc.staging." + livePid + ".0", "in progress");
+    touch("dddd.lock", livePid + "\n");
+    touch("eeee.bpt", "published entry, never touched");
+
+    const uint64_t orphansBefore =
+        obs::Registry::instance().counterValue(
+            "tracestore.cache.orphans_collected");
+
+    TraceCache cache(dir);   // construction runs the GC
+
+    EXPECT_FALSE(std::filesystem::exists(dir + "/aaaa.staging." +
+                                         deadPid + ".0"));
+    EXPECT_FALSE(std::filesystem::exists(dir + "/bbbb.lock"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/cccc.staging." +
+                                        livePid + ".0"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/dddd.lock"));
+    EXPECT_TRUE(std::filesystem::exists(dir + "/eeee.bpt"));
+    EXPECT_EQ(obs::Registry::instance().counterValue(
+                  "tracestore.cache.orphans_collected"),
+              orphansBefore + 1);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCacheLock, BusyWhileHeldAndStaleLocksBroken)
+{
+    const std::string dir =
+        std::string(::testing::TempDir()) + "bpnsp_cache_lock";
+    std::filesystem::remove_all(dir);
+    TraceCache cache(dir);
+    const TraceCacheKey key{"mcf_like", "input-0", 1, 1000};
+
+    Status st;
+    TraceCacheLock lock = TraceCacheLock::acquire(cache, key, &st);
+    ASSERT_TRUE(lock.held()) << st.str();
+
+    // Second acquisition while the (live) owner holds it: Busy.
+    Status busy;
+    TraceCacheLock second = TraceCacheLock::acquire(cache, key, &busy);
+    EXPECT_FALSE(second.held());
+    EXPECT_EQ(busy.code(), StatusCode::Busy);
+
+    lock.release();
+
+    // A lockfile owned by a dead process must be broken, not Busy.
+    const pid_t deadOwner = fork();
+    ASSERT_GE(deadOwner, 0);
+    if (deadOwner == 0)
+        _exit(0);
+    int wstatus = 0;
+    ASSERT_EQ(waitpid(deadOwner, &wstatus, 0), deadOwner);
+    std::ofstream(dir + "/" + traceCacheDigest(key) + ".lock")
+        << static_cast<long>(deadOwner) << "\n";
+
+    Status broken;
+    TraceCacheLock third = TraceCacheLock::acquire(cache, key, &broken);
+    EXPECT_TRUE(third.held()) << broken.str();
+    third.release();
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(TraceCache, LockBusyDegradesToUncachedRun)
+{
+    CacheDirGuard guard("busy");
+    const Workload w = findWorkload("mcf_like");
+    const TraceCacheKey key = keyFor(w, kInstructions);
+    TraceCache cache(guard.path);
+
+    // Pose as a live competitor mid-generation: our own pid in the
+    // lockfile. The cold run must not wait or interleave — it runs
+    // uncached, delivers the full trace, and publishes nothing.
+    std::ofstream(guard.path + "/" + traceCacheDigest(key) + ".lock")
+        << static_cast<long>(::getpid()) << "\n";
+    const uint64_t degradedBefore =
+        obs::Registry::instance().counterValue(
+            "core.runner.degraded_runs");
+
+    CountingSink sink;
+    EXPECT_EQ(runWorkloadTrace(w, 0, {&sink}, kInstructions),
+              kInstructions);
+    EXPECT_EQ(sink.totalCount(), kInstructions);
+    EXPECT_FALSE(cache.contains(key));
+    EXPECT_EQ(obs::Registry::instance().counterValue(
+                  "core.runner.degraded_runs"),
+              degradedBefore + 1);
 }
 
 TEST(TraceCache, DisabledCacheRunsLive)
