@@ -10,8 +10,12 @@ relies on: run.instructions, run.wall_seconds, the
 tracestore.cache.{hits,misses} / bp.{predictions,mispredicts} counters,
 and — from schema_rev 2 — the robustness counters
 (tracestore.replay.chunk_retries, tracestore.cache.quarantined,
-core.runner.degraded_runs, faultsim.injected). Exits non-zero on the
-first violation.
+core.runner.degraded_runs, faultsim.injected), and — from schema_rev
+3 — the campaign/cancellation counters (campaign.cells_*,
+campaign.resumed, campaign.interrupted, core.runner.cancelled) with
+their accounting invariant: once a campaign drains
+(campaign.interrupted == 0), cells_done + cells_failed + cells_skipped
+must equal cells_total. Exits non-zero on the first violation.
 """
 
 import json
@@ -34,7 +38,20 @@ REQUIRED_COUNTERS_REV2 = (
     "core.runner.degraded_runs",
     "faultsim.injected",
 )
-MAX_KNOWN_SCHEMA_REV = 2
+# Added in schema_rev 3: the campaign/cancellation contract. Every
+# report proves whether the run was a campaign, whether it resumed,
+# and whether any delivery loop was cancelled.
+REQUIRED_COUNTERS_REV3 = (
+    "campaign.cells_total",
+    "campaign.cells_done",
+    "campaign.cells_failed",
+    "campaign.cells_retried",
+    "campaign.cells_skipped",
+    "campaign.resumed",
+    "campaign.interrupted",
+    "core.runner.cancelled",
+)
+MAX_KNOWN_SCHEMA_REV = 3
 
 
 def check(path):
@@ -70,11 +87,35 @@ def check(path):
     required = REQUIRED_COUNTERS
     if rev >= 2:
         required = required + REQUIRED_COUNTERS_REV2
+    if rev >= 3:
+        required = required + REQUIRED_COUNTERS_REV3
     for name in required:
         if name not in counters:
             raise ValueError(f"missing counter {name}")
         if not isinstance(counters[name], int) or counters[name] < 0:
             raise ValueError(f"counter {name} not a count: {counters[name]!r}")
+
+    if rev >= 3:
+        total = counters["campaign.cells_total"]
+        accounted = (
+            counters["campaign.cells_done"]
+            + counters["campaign.cells_failed"]
+            + counters["campaign.cells_skipped"]
+        )
+        if counters["campaign.interrupted"] == 0:
+            # A drained campaign accounts for every cell exactly once.
+            if accounted != total:
+                raise ValueError(
+                    f"campaign cell accounting broken: done+failed+skipped "
+                    f"= {accounted} but cells_total = {total}"
+                )
+        elif accounted > total:
+            # Interrupted: in-flight/pending cells are unaccounted, but
+            # the books can never claim more cells than exist.
+            raise ValueError(
+                f"campaign cell accounting overflows: done+failed+skipped "
+                f"= {accounted} > cells_total = {total}"
+            )
 
     for section in ("gauges", "histograms"):
         if not isinstance(report.get(section), dict):

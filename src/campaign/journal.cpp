@@ -1,0 +1,257 @@
+#include "campaign/journal.hpp"
+
+#include <cinttypes>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "faultsim/faultsim.hpp"
+#include "util/fsutil.hpp"
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+namespace {
+
+/** Newlines inside failure detail would forge journal records. */
+std::string
+sanitizeDetail(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s)
+        out += (c == '\n' || c == '\r') ? ' ' : c;
+    return out;
+}
+
+std::string
+headerLine(const std::string &specDigest, uint64_t cells)
+{
+    std::ostringstream oss;
+    oss << "bpnsp-campaign-journal-v1 spec=" << specDigest
+        << " cells=" << cells;
+    return oss.str();
+}
+
+/** Parse one body line into the ledger; false on malformed input. */
+bool
+applyLine(const std::string &line, std::vector<CellLedger> &ledger)
+{
+    std::istringstream iss(line);
+    std::string tag;
+    uint64_t idx = 0;
+    if (!(iss >> tag >> idx) || tag.size() != 1 ||
+        idx >= ledger.size())
+        return false;
+    CellLedger &cell = ledger[idx];
+    switch (tag[0]) {
+      case 'R': {
+        int attempt = 0;
+        if (!(iss >> attempt))
+            return false;
+        cell.attempts += 1;
+        return true;
+      }
+      case 'D': {
+        CellResult r;
+        if (!(iss >> r.instructions >> r.predictions >> r.mispredicts >>
+              r.wallMs))
+            return false;
+        cell.state = CellLedger::State::Done;
+        cell.result = r;
+        return true;
+      }
+      case 'F':
+      case 'C':
+        // Attempt-level outcomes; the cell stays Pending and re-runs
+        // on resume (possibly under a raised deadline).
+        return true;
+      case 'P':
+        cell.state = CellLedger::State::Poisoned;
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+CampaignJournal::~CampaignJournal() { close(); }
+
+CampaignJournal::CampaignJournal(CampaignJournal &&other) noexcept
+    : file(std::exchange(other.file, nullptr)),
+      path(std::move(other.path))
+{
+}
+
+CampaignJournal &
+CampaignJournal::operator=(CampaignJournal &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        file = std::exchange(other.file, nullptr);
+        path = std::move(other.path);
+    }
+    return *this;
+}
+
+void
+CampaignJournal::close()
+{
+    if (file != nullptr) {
+        std::fclose(file);
+        file = nullptr;
+    }
+}
+
+Status
+CampaignJournal::appendLine(const std::string &line)
+{
+    if (file == nullptr)
+        return Status::ioError("journal is not open");
+    if (std::fputs(line.c_str(), file) == EOF ||
+        std::fputc('\n', file) == EOF)
+        return Status::ioError("journal append failed: " + path);
+    if (faultsim::evaluate("campaign.journal.fsync"))
+        return Status::ioError(
+            "injected fsync failure (campaign.journal.fsync): " + path);
+    return syncStream(file, path);
+}
+
+Status
+CampaignJournal::create(const std::string &path,
+                        const std::string &specDigest, uint64_t cells,
+                        CampaignJournal *out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return Status::ioError("cannot create campaign journal: " +
+                               path);
+    out->close();
+    out->file = f;
+    out->path = path;
+    return out->appendLine(headerLine(specDigest, cells));
+}
+
+Status
+CampaignJournal::load(const std::string &path,
+                      const std::string &specDigest, uint64_t cells,
+                      std::vector<CellLedger> *ledger)
+{
+    ledger->assign(cells, CellLedger{});
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (f == nullptr)
+        return Status::ioError("cannot open campaign journal: " + path);
+
+    // Read the whole file; split on '\n'. A final fragment without a
+    // terminating newline is a torn append and is ignored.
+    std::string contents;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        contents.append(buf, n);
+    const bool readError = std::ferror(f) != 0;
+    std::fclose(f);
+    if (readError)
+        return Status::ioError("error reading campaign journal: " +
+                               path);
+
+    size_t pos = 0;
+    bool sawHeader = false;
+    uint64_t dropped = 0;
+    while (pos < contents.size()) {
+        const size_t nl = contents.find('\n', pos);
+        if (nl == std::string::npos) {
+            ++dropped;   // torn tail
+            break;
+        }
+        const std::string line = contents.substr(pos, nl - pos);
+        pos = nl + 1;
+        if (!sawHeader) {
+            if (line != headerLine(specDigest, cells))
+                return Status::invalidArgument(
+                    "campaign journal header mismatch (different "
+                    "campaign spec?): " +
+                    path);
+            sawHeader = true;
+            continue;
+        }
+        if (!applyLine(line, *ledger))
+            ++dropped;
+    }
+    if (!sawHeader)
+        return Status::corruptData("campaign journal has no header: " +
+                                   path);
+    if (dropped > 0)
+        warn("campaign journal ", path, ": dropped ", dropped,
+             " torn/malformed line(s); the cells they described will "
+             "re-run");
+    return Status();
+}
+
+Status
+CampaignJournal::openResume(const std::string &path,
+                            const std::string &specDigest,
+                            uint64_t cells, CampaignJournal *out,
+                            std::vector<CellLedger> *ledger)
+{
+    if (Status st = load(path, specDigest, cells, ledger); !st.ok())
+        return st;
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    if (f == nullptr)
+        return Status::ioError(
+            "cannot reopen campaign journal for append: " + path);
+    out->close();
+    out->file = f;
+    out->path = path;
+    return Status();
+}
+
+Status
+CampaignJournal::appendStart(uint64_t idx, int attempt,
+                             const std::string &cellId)
+{
+    std::ostringstream oss;
+    oss << "R " << idx << ' ' << attempt << ' '
+        << sanitizeDetail(cellId);
+    return appendLine(oss.str());
+}
+
+Status
+CampaignJournal::appendDone(uint64_t idx, const CellResult &result)
+{
+    std::ostringstream oss;
+    oss << "D " << idx << ' ' << result.instructions << ' '
+        << result.predictions << ' ' << result.mispredicts << ' '
+        << result.wallMs;
+    return appendLine(oss.str());
+}
+
+Status
+CampaignJournal::appendFailure(uint64_t idx, int attempt,
+                               const Status &why)
+{
+    std::ostringstream oss;
+    oss << "F " << idx << ' ' << attempt << ' '
+        << statusCodeName(why.code()) << ' '
+        << sanitizeDetail(why.message());
+    return appendLine(oss.str());
+}
+
+Status
+CampaignJournal::appendCancelled(uint64_t idx)
+{
+    std::ostringstream oss;
+    oss << "C " << idx;
+    return appendLine(oss.str());
+}
+
+Status
+CampaignJournal::appendPoisoned(uint64_t idx)
+{
+    std::ostringstream oss;
+    oss << "P " << idx;
+    return appendLine(oss.str());
+}
+
+} // namespace bpnsp

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <mutex>
 
@@ -13,6 +14,7 @@
 #include "obs/report.hpp"
 #include "tracestore/cache.hpp"
 #include "tracestore/store.hpp"
+#include "util/cancel.hpp"
 #include "util/logging.hpp"
 #include "vm/interpreter.hpp"
 
@@ -69,7 +71,48 @@ class ProgressSink : public TraceSink
     const std::chrono::steady_clock::time_point begin;
 };
 
+/**
+ * Pulse sink: invokes a callback every `interval` records. The cold
+ * capture path uses one to refresh the generation lock's mtime
+ * heartbeat, so a progressing recorder is distinguishable from a
+ * wedged one (see TraceCacheLock::ttlMs()).
+ */
+class PulseSink : public TraceSink
+{
+  public:
+    PulseSink(uint64_t interval, std::function<void()> fn)
+        : period(interval), remaining(interval), pulse(std::move(fn))
+    {
+    }
+
+    void
+    onRecord(const TraceRecord &) override
+    {
+        if (--remaining == 0) {
+            remaining = period;
+            pulse();
+        }
+    }
+
+  private:
+    const uint64_t period;
+    uint64_t remaining;
+    const std::function<void()> pulse;
+};
+
+/** Records between generation-lock heartbeats (~a second of VM). */
+constexpr uint64_t kLockPulseInterval = 1u << 21;
+
 } // namespace
+
+/**
+ * Instructions delivered between cancellation polls of the VM path.
+ * ~256K instructions is single-digit milliseconds of VM execution, so
+ * deadlines and interrupts land promptly while the poll itself (one
+ * relaxed atomic load, plus a clock read when a deadline is armed)
+ * stays invisible in profiles.
+ */
+constexpr uint64_t kCancelCheckInterval = 1u << 18;
 
 uint64_t
 runTrace(const Program &program, const std::vector<TraceSink *> &sinks,
@@ -77,6 +120,8 @@ runTrace(const Program &program, const std::vector<TraceSink *> &sinks,
 {
     static obs::Counter &vmRuns = obs::counter("core.runner.vm_runs");
     static obs::Counter &delivered = obs::counter("run.instructions");
+    static obs::Counter &cancelledRuns =
+        obs::counter("core.runner.cancelled");
     static obs::Histogram &executeNs = obs::histogram("vm.execute_ns");
     obs::ScopedTimer timer(executeNs);
 
@@ -88,7 +133,22 @@ runTrace(const Program &program, const std::vector<TraceSink *> &sinks,
         fanout.add(sink);
     Interpreter interp(program);
     interp.setRestartOnHalt(true);
-    const uint64_t executed = interp.run(fanout, instructions);
+
+    // The delivery loop runs in cancellation-poll slices. A fired
+    // token stops the run short — callers detect the early exit via
+    // the return value and learn *why* from currentCancelToken();
+    // onEnd() is still delivered so sinks flush what they saw.
+    CancelToken *cancel = currentCancelToken();
+    uint64_t executed = 0;
+    while (executed < instructions) {
+        if (cancel->cancelled()) {
+            cancelledRuns.inc();
+            break;
+        }
+        const uint64_t slice = std::min<uint64_t>(
+            kCancelCheckInterval, instructions - executed);
+        executed += interp.run(fanout, slice);
+    }
     fanout.onEnd();
     vmRuns.inc();
     delivered.add(executed);
@@ -162,6 +222,17 @@ replayFromCache(const TraceCache &cache, const TraceCacheKey &key,
         fanout.add(sink);
     st = reader->replay(fanout, 0);
     if (!st.ok()) {
+        if (st.code() == StatusCode::Cancelled ||
+            st.code() == StatusCode::DeadlineExceeded) {
+            // Cooperative cancellation mid-replay: the sinks saw a
+            // prefix, but the run is being abandoned, so nobody will
+            // consume their partial state. Report why and leave the
+            // (healthy) entry alone.
+            static obs::Counter &cancelledRuns =
+                obs::counter("core.runner.cancelled");
+            cancelledRuns.inc();
+            return st;
+        }
         // verify() passed moments ago, so reaching here means the
         // store changed under us mid-replay (active media failure or
         // an adversarial fault spec that skips the verify pass). The
@@ -225,6 +296,14 @@ runWorkloadTrace(const Workload &workload, size_t input_idx,
             hits.inc();
             return instructions;
         }
+        if (why.code() == StatusCode::Cancelled ||
+            why.code() == StatusCode::DeadlineExceeded) {
+            // Abandoned, not broken: the run was cancelled during
+            // verify or replay. The delivered count is unspecified
+            // (sinks may hold a prefix); callers that care consult
+            // currentCancelToken() for the cause.
+            return 0;
+        }
         // Self-healing: keep the bad entry as evidence, then fall
         // through to the cold path, which regenerates it from the VM.
         cache->quarantine(key, why.str());
@@ -253,8 +332,11 @@ runWorkloadTrace(const Workload &workload, size_t input_idx,
     bool torn = false;
     {
         TraceStoreWriter writer(staging);
+        PulseSink heartbeat(kLockPulseInterval,
+                            [&lock]() { lock.touch(); });
         std::vector<TraceSink *> all(sinks);
         all.push_back(&writer);
+        all.push_back(&heartbeat);
         executed = runTrace(workload.build(input_idx), all,
                             instructions);
         captureStatus = writer.status();

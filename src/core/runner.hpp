@@ -31,6 +31,13 @@ namespace bpnsp {
  * the given sinks (restart-on-halt is enabled so any budget works).
  * onEnd() is delivered to every sink.
  *
+ * Honors cooperative cancellation: the delivery loop polls
+ * currentCancelToken() (util/cancel.hpp) every ~256K instructions and
+ * stops short when it fires — a campaign interrupt or per-cell
+ * deadline never waits for the full budget. An early return smaller
+ * than `instructions` signals the cut; consult the token's check()
+ * for Cancelled vs DeadlineExceeded.
+ *
  * @return instructions executed.
  */
 uint64_t runTrace(const Program &program,
@@ -55,6 +62,12 @@ std::string traceCacheDir();
  * the first run records the trace to disk, subsequent runs replay it
  * (bit-identical, no VM execution). Unusable cache entries (corrupt,
  * wrong length) are evicted and regenerated, never trusted.
+ *
+ * Cancellation: both the VM and replay paths poll
+ * currentCancelToken(). A cancelled run returns fewer instructions
+ * than requested (possibly 0 when cancelled mid-replay) and leaves
+ * the sinks holding a partial stream the caller must discard; the
+ * cache entry itself is never quarantined for a cancellation.
  *
  * @return instructions delivered.
  */

@@ -44,6 +44,24 @@
  *   tracestore.write.fsync    durability barrier fails
  *   tracestore.read.bitflip   one bit of a chunk payload flips on read
  *   tracestore.cache.publish  entry rename into the cache fails
+ *
+ * Failpoints in the execution/supervision layer:
+ *   tracestore.shard.stall    a shard replay worker stops making
+ *                             progress (parks until the watchdog or a
+ *                             cancel reaps it) — only meaningful with
+ *                             a stall timeout configured
+ *   campaign.journal.fsync    a journal append's durability barrier
+ *                             fails (the append is rolled into the
+ *                             cell's failure handling)
+ *   campaign.cell.kill        the campaign process "dies" (SIGKILL
+ *                             semantics: std::_Exit, nothing flushed
+ *                             beyond what the journal already synced)
+ *                             right after a cell's terminal append —
+ *                             drives the kill/resume soak
+ *   campaign.cell.fail        the cell's execution reports an
+ *                             injected IoError, exercising the
+ *                             retry-with-backoff and poisoned-cell
+ *                             paths without real media damage
  */
 
 #ifndef BPNSP_FAULTSIM_FAULTSIM_HPP

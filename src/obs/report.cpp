@@ -2,12 +2,15 @@
 
 #include <atomic>
 #include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <mutex>
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "util/cancel.hpp"
 #include "util/logging.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
@@ -20,6 +23,14 @@ std::mutex gReportMutex;
 std::string gReportPath;
 bool gAtExitInstalled = false;
 std::atomic<uint64_t> gProgressInterval{0};
+
+// Signal-handler state. The handler cannot take gReportMutex (the
+// interrupted thread might hold it), so the report path is mirrored
+// into a fixed buffer it can read lock-free.
+std::atomic<int> gSignalCount{0};
+std::atomic<bool> gGracefulDrain{false};
+std::atomic<bool> gHandlersInstalled{false};
+char gSignalReportPath[4096] = {};
 
 /** JSON string escaping (quotes, backslash, control characters). */
 std::string
@@ -88,6 +99,38 @@ writeReportAtExit()
         writeRunReport(path);
 }
 
+/**
+ * First SIGINT/SIGTERM: fire the global cancel token and — unless a
+ * supervisor owns the drain — flush the run report and die with the
+ * signal's default disposition so the exit status is honest. Second
+ * signal: force-exit immediately.
+ *
+ * The report flush is deliberately not async-signal-safe (it
+ * allocates and formats); this is the standard last-gasp trade every
+ * profiler/simulator makes: the alternative is Ctrl-C silently
+ * discarding an hours-long run's telemetry. The one real hazard —
+ * self-deadlock on gReportMutex — is avoided by reading the path from
+ * the lock-free mirror and the registry's snapshot locks being held
+ * only for short, signal-free critical sections.
+ */
+void
+signalHandler(int sig)
+{
+    const int nth = gSignalCount.fetch_add(1,
+                                           std::memory_order_relaxed);
+    if (nth >= 1) {
+        // Second signal: the user means *now*.
+        std::_Exit(128 + sig);
+    }
+    globalCancelToken().requestCancel(CancelCause::Signal);
+    if (gGracefulDrain.load(std::memory_order_relaxed))
+        return;   // a supervisor drains, flushes, and exits
+    if (gSignalReportPath[0] != '\0')
+        writeRunReport(gSignalReportPath);
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+}
+
 } // namespace
 
 std::string
@@ -134,17 +177,28 @@ renderRunReport()
           // these to detect runs that healed themselves.
           "tracestore.replay.chunk_retries",
           "tracestore.cache.quarantined", "core.runner.degraded_runs",
-          "faultsim.injected"}) {
+          "faultsim.injected",
+          // Campaign/cancellation counters (schema_rev 3): every
+          // report proves whether the run was a campaign, whether it
+          // resumed, and whether any delivery loop was cancelled.
+          // Invariant checked downstream: cells_done + cells_failed +
+          // cells_skipped == cells_total once a campaign drains
+          // (campaign.interrupted == 0).
+          "campaign.cells_total", "campaign.cells_done",
+          "campaign.cells_failed", "campaign.cells_retried",
+          "campaign.cells_skipped", "campaign.resumed",
+          "campaign.interrupted", "core.runner.cancelled"}) {
         reg.counter(name);
     }
 
-    // schema_rev bumps additively within the v1 schema: rev 2 adds the
-    // robustness counter contract above without renaming anything, so
-    // v1 consumers keep parsing and rev-aware consumers know the new
+    // schema_rev bumps additively within the v1 schema: rev 2 added
+    // the robustness counter contract, rev 3 adds the campaign /
+    // cancellation contract above — nothing is ever renamed, so v1
+    // consumers keep parsing and rev-aware consumers know the new
     // keys are guaranteed present.
     std::ostringstream oss;
     oss << "{\n  \"schema\": \"bpnsp-run-report-v1\",\n"
-        << "  \"schema_rev\": 2,\n  \"run\": {\n";
+        << "  \"schema_rev\": 3,\n  \"run\": {\n";
     for (const auto &[key, value] : reg.runFields())
         oss << "    " << quoted(key) << ": " << quoted(value) << ",\n";
     oss << "    \"git\": " << quoted(gitDescribe()) << ",\n"
@@ -223,10 +277,32 @@ setReportPath(const std::string &path)
 {
     std::lock_guard<std::mutex> lock(gReportMutex);
     gReportPath = path;
+    std::snprintf(gSignalReportPath, sizeof(gSignalReportPath), "%s",
+                  path.c_str());
     if (!path.empty() && !gAtExitInstalled) {
         gAtExitInstalled = true;
         std::atexit(writeReportAtExit);
     }
+}
+
+void
+installSignalHandlers()
+{
+    bool expected = false;
+    if (!gHandlersInstalled.compare_exchange_strong(expected, true))
+        return;
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = signalHandler;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+void
+setSignalDrainMode(bool graceful)
+{
+    gGracefulDrain.store(graceful, std::memory_order_relaxed);
 }
 
 std::string
@@ -255,6 +331,8 @@ configureFromOptions(const OptionParser &opts)
     if (const std::string &path = opts.getString("metrics-out");
         !path.empty()) {
         setReportPath(path);
+        // With a report at stake, Ctrl-C must flush it, not lose it.
+        installSignalHandlers();
     }
     if (opts.getFlag("progress"))
         setProgressInterval(kDefaultProgressInterval);

@@ -46,6 +46,29 @@ bool writeRunReport(const std::string &path);
  */
 void setReportPath(const std::string &path);
 
+/**
+ * Install SIGINT/SIGTERM handlers (idempotent). The first signal
+ * fires the global cancel token (util/cancel.hpp) so cooperative
+ * loops drain; unless graceful-drain mode is on, it then writes the
+ * pending run report and re-raises, so a Ctrl-C'd run still leaves a
+ * valid --metrics-out file instead of losing everything std::atexit
+ * would have written. A second signal always force-exits immediately
+ * (128+sig), report or no report.
+ *
+ * Installed automatically by configureFromOptions() when
+ * --metrics-out is set; binaries that supervise their own drain (the
+ * campaign driver) install explicitly and enable graceful mode.
+ */
+void installSignalHandlers();
+
+/**
+ * Graceful-drain mode: when on, the first signal only fires the
+ * cancel token — the caller owns flushing journals/reports and
+ * exiting. Off (the default), the first signal writes the report and
+ * re-raises.
+ */
+void setSignalDrainMode(bool graceful);
+
 /** The pending exit-report path ("" when none). */
 std::string reportPath();
 

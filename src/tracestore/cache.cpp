@@ -8,6 +8,8 @@
 #include <system_error>
 
 #include <fcntl.h>
+#include <sys/stat.h>
+#include <time.h>
 #include <unistd.h>
 
 #include "faultsim/faultsim.hpp"
@@ -50,6 +52,29 @@ stagingOwnerPid(const std::string &name)
     if (end != name.c_str() + pidEnd || pid <= 0)
         return -1;
     return pid;
+}
+
+std::atomic<uint64_t> gLockTtlMs{UINT64_MAX};   // UINT64_MAX = unset
+
+/**
+ * Age of a lockfile's mtime heartbeat in milliseconds; 0 when the
+ * file cannot be stat'ed (vanished — treat as fresh, the acquire
+ * retry will sort it out) or when the clock reads earlier than the
+ * mtime (skew).
+ */
+uint64_t
+lockAgeMs(const std::string &path)
+{
+    struct stat sb;
+    if (::stat(path.c_str(), &sb) != 0)
+        return 0;
+    struct timespec now;
+    if (::clock_gettime(CLOCK_REALTIME, &now) != 0)
+        return 0;
+    const int64_t ms =
+        (static_cast<int64_t>(now.tv_sec) - sb.st_mtim.tv_sec) * 1000 +
+        (now.tv_nsec - sb.st_mtim.tv_nsec) / 1000000;
+    return ms > 0 ? static_cast<uint64_t>(ms) : 0;
 }
 
 /**
@@ -279,14 +304,17 @@ TraceCacheLock::acquire(const TraceCache &cache,
         obs::counter("tracestore.cache.lock_busy");
     static obs::Counter &staleLocks =
         obs::counter("tracestore.cache.stale_locks_broken");
+    static obs::Counter &takeovers =
+        obs::counter("tracestore.cache.lock_takeovers");
 
     const std::string path =
         cache.dir() + "/" + traceCacheDigest(key) + ".lock";
 
     TraceCacheLock lock;
     Status st;
-    // Two tries: the second is only reached after breaking a stale
-    // lock; losing the race again means a live competitor -> Busy.
+    // Two tries: the second is only reached after breaking a stale or
+    // expired lock; losing the race again means a live competitor ->
+    // Busy.
     for (int attempt = 0; attempt < 2; ++attempt) {
         const int fd =
             ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
@@ -309,6 +337,23 @@ TraceCacheLock::acquire(const TraceCache &cache,
         }
         const long owner = lockOwnerPid(path);
         if (owner > 0 && processAlive(static_cast<pid_t>(owner))) {
+            // Live owner: honor the lock while its heartbeat is
+            // fresh. Past the TTL the holder is presumed wedged —
+            // a pid that never exits would otherwise force every
+            // future run of this key to degrade-to-uncached.
+            const uint64_t ttl = ttlMs();
+            const uint64_t age = lockAgeMs(path);
+            if (attempt == 0 && ttl > 0 && age > ttl) {
+                std::error_code ec;
+                if (std::filesystem::remove(path, ec)) {
+                    takeovers.inc();
+                    warn("took over trace cache lock ", path,
+                         " (owner pid ", owner,
+                         " is alive but heartbeat is ", age,
+                         "ms old, TTL ", ttl, "ms)");
+                }
+                continue;
+            }
             lockBusy.inc();
             st = Status::busy("trace cache entry is being generated "
                               "by live pid " +
@@ -330,6 +375,41 @@ TraceCacheLock::acquire(const TraceCache &cache,
     if (status != nullptr)
         *status = st;
     return lock;
+}
+
+void
+TraceCacheLock::touch() const
+{
+    if (lockPath.empty())
+        return;
+    if (::utimensat(AT_FDCWD, lockPath.c_str(), nullptr, 0) != 0)
+        warn("cannot refresh trace cache lock heartbeat ", lockPath);
+}
+
+uint64_t
+TraceCacheLock::ttlMs()
+{
+    uint64_t ttl = gLockTtlMs.load(std::memory_order_relaxed);
+    if (ttl != UINT64_MAX)
+        return ttl;
+    ttl = kDefaultTtlMs;
+    if (const char *env = std::getenv("BPNSP_TRACE_LOCK_TTL_MS");
+        env != nullptr && env[0] != '\0') {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (end != env && *end == '\0')
+            ttl = v;
+        else
+            warn("ignoring malformed BPNSP_TRACE_LOCK_TTL_MS: ", env);
+    }
+    gLockTtlMs.store(ttl, std::memory_order_relaxed);
+    return ttl;
+}
+
+void
+TraceCacheLock::setTtlMs(uint64_t ms)
+{
+    gLockTtlMs.store(ms, std::memory_order_relaxed);
 }
 
 TraceCacheLock::TraceCacheLock(TraceCacheLock &&other) noexcept

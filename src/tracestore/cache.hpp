@@ -118,13 +118,22 @@ class TraceCache
  * broken automatically (tracestore.cache.stale_locks_broken). On
  * Busy — a live process is already generating this entry — the caller
  * should degrade to an uncached run rather than wait or interleave.
+ *
+ * Live-but-wedged holders are handled by an mtime heartbeat: the
+ * holder touch()es its lockfile while making progress (the runner's
+ * capture path pulses it from the record stream), and acquire()
+ * treats a lock whose mtime is older than the TTL as abandoned even
+ * when its owner pid is still alive — a hung generator must not force
+ * every future run of that key to degrade-to-uncached forever
+ * (tracestore.cache.lock_takeovers counts these).
  */
 class TraceCacheLock
 {
   public:
     /**
      * Try to take the generation lock for `key`. Returns a held lock,
-     * or an unheld one with *status = Busy (live owner) / IoError.
+     * or an unheld one with *status = Busy (live owner with a fresh
+     * heartbeat) / IoError.
      */
     static TraceCacheLock acquire(const TraceCache &cache,
                                   const TraceCacheKey &key,
@@ -140,8 +149,27 @@ class TraceCacheLock
 
     bool held() const { return !lockPath.empty(); }
 
+    /**
+     * Heartbeat: refresh the lockfile mtime so concurrent acquirers
+     * see a live, progressing holder. No-op when not held; cheap
+     * enough to call from a record-stream pulse.
+     */
+    void touch() const;
+
     /** Unlink the lockfile early (idempotent). */
     void release();
+
+    /**
+     * Heartbeat TTL in milliseconds: a held lock whose mtime is older
+     * than this is eligible for takeover. Configurable through
+     * BPNSP_TRACE_LOCK_TTL_MS (read once) or setTtlMs() (tests);
+     * 0 disables takeover entirely.
+     */
+    static uint64_t ttlMs();
+    static void setTtlMs(uint64_t ms);
+
+    /** Default heartbeat TTL: generous next to the pulse period. */
+    static constexpr uint64_t kDefaultTtlMs = 10 * 60 * 1000;
 
   private:
     std::string lockPath;

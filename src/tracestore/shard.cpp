@@ -1,8 +1,14 @@
 #include "tracestore/shard.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
+#include "faultsim/faultsim.hpp"
 #include "obs/metrics.hpp"
+#include "util/cancel.hpp"
 #include "util/logging.hpp"
 
 namespace bpnsp {
@@ -47,11 +53,23 @@ planShards(const TraceStoreReader &reader, unsigned num_shards)
     return plan;
 }
 
+namespace {
+
+/** Poll period of the watchdog monitor (bounded by the timeout). */
+uint64_t
+watchdogPollMs(uint64_t stall_timeout_ms)
+{
+    return std::max<uint64_t>(1, std::min<uint64_t>(
+                                     50, stall_timeout_ms / 4));
+}
+
+} // namespace
+
 uint64_t
 replayShards(
     const TraceStoreReader &reader, unsigned num_shards,
     const std::function<TraceSink &(const ShardSlice &)> &make_sink,
-    Status *status)
+    Status *status, const ReplayShardsOptions &options)
 {
     // Telemetry: the fan-out width actually used, the per-shard record
     // split (min/max/mean in the run report expose plan skew), and the
@@ -81,24 +99,144 @@ replayShards(
         sinks.push_back(&make_sink(slice));
     }
 
+    static obs::Counter &abortedShards =
+        obs::counter("tracestore.shard.aborted");
+    static obs::Counter &watchdogFires =
+        obs::counter("tracestore.shard.watchdog_fires");
+
+    // Shared supervision state. `abortFlag` is raised by the first
+    // failing shard, the watchdog, or a fired cancel token; every
+    // worker polls it between chunks so one poisoned shard cannot
+    // keep the healthy ones grinding through work nobody will use.
+    // Heartbeats count completed chunks per worker; the watchdog
+    // samples them to tell "slow" from "stuck".
+    std::atomic<bool> abortFlag{false};
+    std::vector<std::atomic<uint64_t>> heartbeats(plan.size());
+    std::vector<std::atomic<bool>> workerDone(plan.size());
+    CancelToken *cancel = currentCancelToken();
+
     std::vector<Status> shardStatus(plan.size());
     std::vector<std::thread> workers;
     workers.reserve(plan.size());
     for (size_t s = 0; s < plan.size(); ++s) {
         workers.emplace_back([&, s]() {
             obs::ScopedTimer workerTimer(workerNs);
+            // Workers are fresh threads: re-install the spawning
+            // thread's token so store-level cancellation checks see
+            // the same scope as the caller.
+            CancelScope scope(*cancel);
             const ShardSlice &slice = plan[s];
-            shardStatus[s] = reader.replayRange(
-                slice.firstRecord, slice.numRecords, *sinks[s]);
-            if (shardStatus[s].ok())
+            Status st;
+            bool aborted = false;
+            for (uint64_t c = 0; c < slice.numChunks; ++c) {
+                if (abortFlag.load(std::memory_order_relaxed)) {
+                    st = Status::cancelled(
+                        "aborted after a failure in another shard");
+                    aborted = true;
+                    break;
+                }
+                st = cancel->check();
+                if (!st.ok())
+                    break;
+                // Deterministic stall simulation: park until the
+                // supervisor (watchdog/abort) or a cancel releases
+                // us, exactly like a worker wedged on pathological
+                // media — except observable and reapable.
+                if (faultsim::evaluate("tracestore.shard.stall")) {
+                    while (!abortFlag.load(
+                               std::memory_order_relaxed) &&
+                           !cancel->cancelled()) {
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(1));
+                    }
+                    st = Status::deadlineExceeded(
+                        "shard worker stalled (reaped by watchdog)");
+                    break;
+                }
+                const uint64_t chunk = slice.firstChunk + c;
+                st = reader.replayRange(
+                    reader.chunkFirstRecord(chunk),
+                    reader.chunkRecordCount(chunk), *sinks[s]);
+                if (!st.ok())
+                    break;
+                heartbeats[s].fetch_add(1, std::memory_order_relaxed);
+            }
+            shardStatus[s] = st;
+            if (!st.ok() && !aborted)
+                abortFlag.store(true, std::memory_order_relaxed);
+            if (aborted)
+                abortedShards.inc();
+            if (st.ok())
                 sinks[s]->onEnd();
+            workerDone[s].store(true, std::memory_order_relaxed);
         });
     }
+
+    // Watchdog: joins the party only when a stall timeout is
+    // configured. It samples heartbeats; a worker whose count has not
+    // moved for the timeout while still running is declared stalled,
+    // and the whole replay aborts (the stalled worker's own status
+    // names the stall; healthy workers report Cancelled).
+    std::thread watchdog;
+    std::mutex wdMutex;
+    std::condition_variable wdCv;
+    bool wdStop = false;
+    if (options.stallTimeoutMs > 0) {
+        watchdog = std::thread([&]() {
+            const uint64_t pollMs =
+                watchdogPollMs(options.stallTimeoutMs);
+            std::vector<uint64_t> lastBeat(plan.size(), 0);
+            std::vector<std::chrono::steady_clock::time_point>
+                lastMove(plan.size(),
+                         std::chrono::steady_clock::now());
+            std::unique_lock<std::mutex> lock(wdMutex);
+            while (!wdStop) {
+                wdCv.wait_for(lock,
+                              std::chrono::milliseconds(pollMs));
+                if (wdStop)
+                    break;
+                const auto now = std::chrono::steady_clock::now();
+                for (size_t s = 0; s < plan.size(); ++s) {
+                    if (workerDone[s].load(std::memory_order_relaxed))
+                        continue;
+                    const uint64_t beat = heartbeats[s].load(
+                        std::memory_order_relaxed);
+                    if (beat != lastBeat[s]) {
+                        lastBeat[s] = beat;
+                        lastMove[s] = now;
+                        continue;
+                    }
+                    if (now - lastMove[s] >=
+                        std::chrono::milliseconds(
+                            options.stallTimeoutMs)) {
+                        watchdogFires.inc();
+                        warn("shard ", s, " made no progress for ",
+                             options.stallTimeoutMs,
+                             "ms; aborting replay");
+                        abortFlag.store(true,
+                                        std::memory_order_relaxed);
+                        return;
+                    }
+                }
+            }
+        });
+    }
+
     for (std::thread &worker : workers)
         worker.join();
+    if (watchdog.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(wdMutex);
+            wdStop = true;
+        }
+        wdCv.notify_all();
+        watchdog.join();
+    }
 
-    // Aggregate ALL shard failures into one diagnostic, keeping the
-    // first failing shard's code as the combined code.
+    // Aggregate ALL shard failures into one diagnostic. The combined
+    // code is the first *root-cause* failure — shards that merely
+    // aborted in sympathy report Cancelled and must not mask the
+    // CorruptData/DeadlineExceeded that actually sank the replay.
     uint64_t replayed = 0;
     size_t failed = 0;
     StatusCode worstCode = StatusCode::Ok;
@@ -110,8 +248,11 @@ replayShards(
         }
         shardFailures.inc();
         ++failed;
-        if (worstCode == StatusCode::Ok)
+        if (worstCode == StatusCode::Ok ||
+            (worstCode == StatusCode::Cancelled &&
+             shardStatus[s].code() != StatusCode::Cancelled)) {
             worstCode = shardStatus[s].code();
+        }
         if (!detail.empty())
             detail += "; ";
         detail += "shard " + std::to_string(s) + ": " +

@@ -44,6 +44,23 @@ struct ShardSlice
 std::vector<ShardSlice> planShards(const TraceStoreReader &reader,
                                    unsigned num_shards);
 
+/** Supervision knobs for replayShards. */
+struct ReplayShardsOptions
+{
+    /**
+     * Fail a worker that makes no chunk progress for this long
+     * (milliseconds); 0 disables the watchdog. Stall detection is a
+     * per-worker heartbeat counter sampled by a monitor thread; a
+     * stalled worker's shard fails with DeadlineExceeded and the
+     * remaining shards abort promptly instead of hanging the join
+     * forever. Detection is cooperative: the stalled worker itself
+     * must eventually observe the abort flag (the faultsim
+     * tracestore.shard.stall failpoint does; a thread truly wedged in
+     * the kernel cannot be reaped without killing the process).
+     */
+    uint64_t stallTimeoutMs = 0;
+};
+
 /**
  * Replay every planned shard concurrently, one worker thread per
  * shard. `make_sink` is called once per shard, in shard order, on the
@@ -52,19 +69,23 @@ std::vector<ShardSlice> planShards(const TraceStoreReader &reader,
  * its slice's records (onEnd() included) on a worker thread; no sink
  * is shared across threads.
  *
- * Failure handling: every shard runs to completion regardless of other
- * shards' outcomes, and *status reports ALL failing shards in one
- * aggregated diagnostic ("2 of 8 shards failed: shard 0: ...; shard
- * 7: ..."), not just the first — a media-level problem typically hits
- * several shards at once, and naming only one hides the blast radius.
- * Returns the number of records replayed by the shards that succeeded
- * (their sinks saw a complete slice and onEnd()); failed shards
- * contribute nothing and their sinks never see onEnd().
+ * Failure handling: the first failing shard raises a shared abort
+ * flag that every other worker polls between chunks, so healthy
+ * workers stop promptly instead of finishing work nobody will
+ * consume. Shards aborted this way (or by a fired cancel token — the
+ * caller's currentCancelToken() is propagated into every worker)
+ * report Cancelled; *status aggregates ALL failing shards in one
+ * diagnostic ("2 of 8 shards failed: shard 0: ...; shard 7: ..."),
+ * keeping the first root-cause failure's code as the combined code.
+ * Returns the number of records replayed by the shards that completed
+ * their slice (their sinks saw the full slice and onEnd()); failed or
+ * aborted shards contribute nothing and their sinks never see
+ * onEnd().
  */
 uint64_t replayShards(
     const TraceStoreReader &reader, unsigned num_shards,
     const std::function<TraceSink &(const ShardSlice &)> &make_sink,
-    Status *status);
+    Status *status, const ReplayShardsOptions &options = {});
 
 } // namespace bpnsp
 

@@ -12,6 +12,7 @@
 
 #include "faultsim/faultsim.hpp"
 #include "obs/metrics.hpp"
+#include "util/cancel.hpp"
 #include "util/fsutil.hpp"
 #include "util/logging.hpp"
 
@@ -461,8 +462,12 @@ TraceStoreReader::verify() const
         obs::histogram("tracestore.store.verify_ns");
     obs::ScopedTimer timer(verifyNs);
 
+    CancelToken *cancel = currentCancelToken();
     Status st;
     for (uint64_t c = 0; c < chunks.size(); ++c) {
+        st = cancel->check();
+        if (!st.ok())
+            return st;
         st = withChunkRetries(c,
                               [&] { return checksumChunkAt(c); });
         if (!st.ok())
@@ -510,11 +515,18 @@ TraceStoreReader::replayRange(uint64_t first, uint64_t n,
             hi = mid;
     }
 
+    // Cancellation granularity is one chunk: fine enough that a
+    // deadline or interrupt never waits on more than one decode, and
+    // cheap enough (one relaxed load between decodes) to never matter.
+    CancelToken *cancel = currentCancelToken();
     std::vector<TraceRecord> buffer;
     uint64_t remaining = n;
     uint64_t cursor = first;
     for (uint64_t c = lo; c < chunks.size() && remaining > 0; ++c) {
-        const Status st = decodeChunkRetrying(c, buffer);
+        Status st = cancel->check();
+        if (!st.ok())
+            return st;
+        st = decodeChunkRetrying(c, buffer);
         if (!st.ok())
             return st;
         const uint64_t skip = cursor - chunks[c].firstRecord;

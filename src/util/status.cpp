@@ -16,6 +16,8 @@ statusCodeName(StatusCode code)
         return "Busy";
       case StatusCode::Cancelled:
         return "Cancelled";
+      case StatusCode::DeadlineExceeded:
+        return "DeadlineExceeded";
       case StatusCode::InvalidArgument:
         return "InvalidArgument";
     }

@@ -19,7 +19,11 @@
  *  - Busy         — a concurrent holder owns the resource (generation
  *                   lockfile); retry later or degrade.
  *  - Cancelled    — the operation was abandoned mid-flight (injected
- *                   crash, writer already failed).
+ *                   crash, writer already failed, cooperative
+ *                   cancellation via util/cancel.hpp).
+ *  - DeadlineExceeded — a deadline or wall budget expired before the
+ *                   operation finished (per-cell --deadline-ms, shard
+ *                   watchdog stall detection).
  *  - InvalidArgument — the caller asked for something impossible
  *                   (range past end of store, malformed fault spec).
  */
@@ -41,6 +45,7 @@ enum class StatusCode : uint8_t
     CorruptData,
     Busy,
     Cancelled,
+    DeadlineExceeded,
     InvalidArgument,
 };
 
@@ -90,6 +95,12 @@ class Status
     cancelled(std::string message)
     {
         return make(StatusCode::Cancelled, std::move(message));
+    }
+
+    static Status
+    deadlineExceeded(std::string message)
+    {
+        return make(StatusCode::DeadlineExceeded, std::move(message));
     }
 
     static Status
