@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Serving-path micro-benchmark: end-to-end request latency and
+ * throughput of bpnsp_served as the closed-loop client count grows.
+ *
+ * Starts an in-process ServeServer over a scratch trace corpus, warms
+ * the corpus (one trace generation + one replay so the decoded-chunk
+ * cache is hot), then sweeps client counts — each level running the
+ * closed-loop load generator from serve/client.hpp: every client keeps
+ * exactly one Simulate request outstanding, so offered load rises with
+ * the client count and queueing shows up directly in the tail.
+ *
+ * Reported per level: exact p50/p99 reply latency and aggregate
+ * req/sec, both as a table and as bench.serve_latency.* gauges so a
+ * --metrics-out report (BENCH_serve_latency.json) doubles as a perf
+ * trajectory data point.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "serve/client.hpp"
+#include "util/logging.hpp"
+#include "serve/server.hpp"
+#include "tracestore/chunk_cache.hpp"
+
+using namespace bpnsp;
+using namespace bpnsp::bench;
+using namespace bpnsp::serve;
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts(
+        "Serve-path latency/throughput vs concurrent client count.");
+    opts.addString("workload", "mcf_like", "workload to serve");
+    opts.addInt("instructions", 2000000, "trace length (pre-scale)");
+    opts.addInt("requests", 32, "requests per client per level");
+    opts.addInt("slice", 200000,
+                "random slice width per request (0 = whole trace)");
+    opts.addInt("workers", 4, "server worker threads");
+    opts.addInt("batch", 8, "max same-slice requests per replay pass");
+    opts.addString("clients", "1,2,4,8",
+                   "comma-separated client counts to sweep");
+    const double scale = parseScale(opts, argc, argv);
+    const uint64_t instructions = static_cast<uint64_t>(
+        static_cast<double>(opts.getInt("instructions")) * scale);
+
+    std::vector<unsigned> levels;
+    {
+        std::string csv = opts.getString("clients");
+        size_t pos = 0;
+        while (pos < csv.size()) {
+            const size_t comma = csv.find(',', pos);
+            const std::string tok =
+                csv.substr(pos, comma == std::string::npos
+                                    ? std::string::npos
+                                    : comma - pos);
+            if (!tok.empty())
+                levels.push_back(
+                    static_cast<unsigned>(std::stoul(tok)));
+            if (comma == std::string::npos)
+                break;
+            pos = comma + 1;
+        }
+    }
+    if (levels.empty())
+        fatal("--clients parsed to an empty sweep");
+
+    // Self-contained corpus + socket under /tmp; an explicit
+    // --trace-cache (via parseScale) reuses a real corpus instead.
+    std::string cacheDir = traceCacheDir();
+    if (cacheDir.empty()) {
+        cacheDir = "/tmp/bpnsp-serve-bench-cache";
+        setTraceCacheDir(cacheDir);
+    }
+    const std::string socketPath = "/tmp/bpnsp-serve-bench.sock";
+    DecodedChunkCache::instance().setCapacityBytes(128ull * 1024 *
+                                                   1024);
+
+    banner("Serving-path latency under concurrent load",
+           "the Sec. III trace-reuse methodology, as a service");
+    const Workload w = findWorkload(opts.getString("workload"));
+    std::printf("workload %s, %llu-record trace, %d worker(s), "
+                "batch %d, corpus %s\n\n",
+                w.name.c_str(),
+                static_cast<unsigned long long>(instructions),
+                static_cast<int>(opts.getInt("workers")),
+                static_cast<int>(opts.getInt("batch")),
+                cacheDir.c_str());
+
+    ServeConfig config;
+    config.socketPath = socketPath;
+    config.workers = static_cast<unsigned>(opts.getInt("workers"));
+    config.queueDepth = 256;
+    config.maxBatch = static_cast<unsigned>(opts.getInt("batch"));
+    config.traceCacheDir = cacheDir;
+    ServeServer server(std::move(config));
+    if (const Status st = server.start(); !st.ok())
+        fatal("cannot start bench server: ", st.str());
+
+    // Warm-up: one client, a few requests. The first pays trace
+    // generation; the rest pull every chunk into the in-memory LRU so
+    // the sweep measures serving, not disk.
+    {
+        LoadGenConfig warm;
+        warm.socketPath = socketPath;
+        warm.clients = 1;
+        warm.requestsPerClient = 4;
+        warm.workload = w.name;
+        warm.instructions = instructions;
+        warm.sliceRecords = 0;
+        const LoadGenResult r = runLoadGen(warm);
+        if (r.ok == 0)
+            fatal("warm-up failed: no Ok replies");
+    }
+
+    TextTable table("Serve latency vs client count (" + w.name + ")");
+    table.setHeader(
+        {"clients", "ok", "rejected", "p50 ms", "p99 ms", "req/s"});
+    for (const unsigned clients : levels) {
+        LoadGenConfig cfg;
+        cfg.socketPath = socketPath;
+        cfg.clients = clients;
+        cfg.requestsPerClient =
+            static_cast<unsigned>(opts.getInt("requests"));
+        cfg.workload = w.name;
+        cfg.instructions = instructions;
+        cfg.sliceRecords = static_cast<uint64_t>(
+            static_cast<double>(opts.getInt("slice")) * scale);
+        cfg.seed = 1 + clients;
+        const LoadGenResult r = runLoadGen(cfg);
+
+        table.beginRow();
+        table.cell(static_cast<uint64_t>(clients));
+        table.cell(r.ok);
+        table.cell(r.rejected);
+        table.cell(r.p50Ms, 2);
+        table.cell(r.p99Ms, 2);
+        table.cell(r.requestsPerSecond(), 0);
+
+        const std::string prefix =
+            "bench.serve_latency.c" + std::to_string(clients) + ".";
+        obs::gauge(prefix + "p50_ms").set(r.p50Ms);
+        obs::gauge(prefix + "p99_ms").set(r.p99Ms);
+        obs::gauge(prefix + "req_per_sec")
+            .set(r.requestsPerSecond());
+        obs::gauge(prefix + "ok").set(static_cast<double>(r.ok));
+        obs::gauge(prefix + "rejected")
+            .set(static_cast<double>(r.rejected));
+        if (r.transport != 0 || r.errors != 0)
+            warn("level ", clients, ": ", r.transport,
+                 " transport failure(s), ", r.errors,
+                 " error reply(ies)");
+    }
+    emit(table, opts.getFlag("csv"));
+
+    server.drain();
+    std::printf("drained; corpus retained at %s\n", cacheDir.c_str());
+    return 0;
+}

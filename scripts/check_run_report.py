@@ -15,7 +15,11 @@ core.runner.degraded_runs, faultsim.injected), and — from schema_rev
 campaign.resumed, campaign.interrupted, core.runner.cancelled) with
 their accounting invariant: once a campaign drains
 (campaign.interrupted == 0), cells_done + cells_failed + cells_skipped
-must equal cells_total. Exits non-zero on the first violation.
+must equal cells_total, and — from schema_rev 4 — the serving
+counters (serve.requests, serve.accepted, serve.rejected,
+serve.completed, serve.frames_corrupt) with their admission
+invariants: accepted + rejected <= requests and completed <= accepted.
+Exits non-zero on the first violation.
 """
 
 import json
@@ -51,7 +55,17 @@ REQUIRED_COUNTERS_REV3 = (
     "campaign.interrupted",
     "core.runner.cancelled",
 )
-MAX_KNOWN_SCHEMA_REV = 3
+# Added in schema_rev 4: the serving contract. Every report proves how
+# many requests the daemon saw, admitted, refused, and finished, and
+# whether any inbound frame failed its checksum.
+REQUIRED_COUNTERS_REV4 = (
+    "serve.requests",
+    "serve.accepted",
+    "serve.rejected",
+    "serve.completed",
+    "serve.frames_corrupt",
+)
+MAX_KNOWN_SCHEMA_REV = 4
 
 
 def check(path):
@@ -89,6 +103,8 @@ def check(path):
         required = required + REQUIRED_COUNTERS_REV2
     if rev >= 3:
         required = required + REQUIRED_COUNTERS_REV3
+    if rev >= 4:
+        required = required + REQUIRED_COUNTERS_REV4
     for name in required:
         if name not in counters:
             raise ValueError(f"missing counter {name}")
@@ -115,6 +131,25 @@ def check(path):
             raise ValueError(
                 f"campaign cell accounting overflows: done+failed+skipped "
                 f"= {accounted} > cells_total = {total}"
+            )
+
+    if rev >= 4:
+        # Admission bookkeeping: every request resolves as at most one
+        # of accepted/rejected, and nothing completes without being
+        # admitted first.
+        if counters["serve.accepted"] + counters["serve.rejected"] > counters[
+            "serve.requests"
+        ]:
+            raise ValueError(
+                f"serve admission accounting broken: accepted + rejected = "
+                f"{counters['serve.accepted'] + counters['serve.rejected']} > "
+                f"requests = {counters['serve.requests']}"
+            )
+        if counters["serve.completed"] > counters["serve.accepted"]:
+            raise ValueError(
+                f"serve completion accounting broken: completed = "
+                f"{counters['serve.completed']} > accepted = "
+                f"{counters['serve.accepted']}"
             )
 
     for section in ("gauges", "histograms"):

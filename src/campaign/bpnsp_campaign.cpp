@@ -28,6 +28,7 @@
 #include "obs/report.hpp"
 #include "util/logging.hpp"
 #include "util/options.hpp"
+#include "util/signals.hpp"
 
 using namespace bpnsp;
 
@@ -69,9 +70,8 @@ main(int argc, char **argv)
     // The campaign owns its drain: the first SIGINT/SIGTERM only fires
     // the cancel token; the supervisor journals the interruption,
     // writes the results + report, and exits 130. A second signal
-    // force-exits.
-    obs::installSignalHandlers();
-    obs::setSignalDrainMode(true);
+    // force-exits. (Shared discipline: util/signals.hpp.)
+    signals::installGracefulDrain();
 
     if (const std::string &dir = opts.getString("trace-cache");
         !dir.empty())

@@ -62,6 +62,19 @@
  *                             injected IoError, exercising the
  *                             retry-with-backoff and poisoned-cell
  *                             paths without real media damage
+ *
+ * Failpoints in the serving daemon (src/serve):
+ *   serve.accept.fail         an accepted connection is immediately
+ *                             closed (transient accept failure, as in
+ *                             an accept-queue overflow under load)
+ *   serve.frame.corrupt       one bit of an inbound frame payload
+ *                             flips before checksum verification —
+ *                             must surface as a CorruptData reply and
+ *                             a closed connection, never a crash
+ *   serve.worker.stall        a worker thread parks for a bounded,
+ *                             cancellable moment before executing,
+ *                             exercising queue backpressure and the
+ *                             drain path under a slow pool
  */
 
 #ifndef BPNSP_FAULTSIM_FAULTSIM_HPP

@@ -2,10 +2,8 @@
 
 #include <atomic>
 #include <cinttypes>
-#include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <mutex>
 #include <sstream>
 
@@ -13,6 +11,7 @@
 #include "util/cancel.hpp"
 #include "util/logging.hpp"
 #include "util/options.hpp"
+#include "util/signals.hpp"
 #include "util/stats.hpp"
 
 namespace bpnsp::obs {
@@ -24,12 +23,9 @@ std::string gReportPath;
 bool gAtExitInstalled = false;
 std::atomic<uint64_t> gProgressInterval{0};
 
-// Signal-handler state. The handler cannot take gReportMutex (the
+// Signal-hook state. The hook cannot take gReportMutex (the
 // interrupted thread might hold it), so the report path is mirrored
 // into a fixed buffer it can read lock-free.
-std::atomic<int> gSignalCount{0};
-std::atomic<bool> gGracefulDrain{false};
-std::atomic<bool> gHandlersInstalled{false};
 char gSignalReportPath[4096] = {};
 
 /** JSON string escaping (quotes, backslash, control characters). */
@@ -100,10 +96,9 @@ writeReportAtExit()
 }
 
 /**
- * First SIGINT/SIGTERM: fire the global cancel token and — unless a
- * supervisor owns the drain — flush the run report and die with the
- * signal's default disposition so the exit status is honest. Second
- * signal: force-exit immediately.
+ * First-signal hook registered with util/signals: flush the pending
+ * run report before the shared handler re-raises with the default
+ * disposition, so the exit status stays honest.
  *
  * The report flush is deliberately not async-signal-safe (it
  * allocates and formats); this is the standard last-gasp trade every
@@ -114,21 +109,10 @@ writeReportAtExit()
  * only for short, signal-free critical sections.
  */
 void
-signalHandler(int sig)
+reportFlushHook(int /*sig*/)
 {
-    const int nth = gSignalCount.fetch_add(1,
-                                           std::memory_order_relaxed);
-    if (nth >= 1) {
-        // Second signal: the user means *now*.
-        std::_Exit(128 + sig);
-    }
-    globalCancelToken().requestCancel(CancelCause::Signal);
-    if (gGracefulDrain.load(std::memory_order_relaxed))
-        return;   // a supervisor drains, flushes, and exits
     if (gSignalReportPath[0] != '\0')
         writeRunReport(gSignalReportPath);
-    std::signal(sig, SIG_DFL);
-    std::raise(sig);
 }
 
 } // namespace
@@ -187,18 +171,25 @@ renderRunReport()
           "campaign.cells_total", "campaign.cells_done",
           "campaign.cells_failed", "campaign.cells_retried",
           "campaign.cells_skipped", "campaign.resumed",
-          "campaign.interrupted", "core.runner.cancelled"}) {
+          "campaign.interrupted", "core.runner.cancelled",
+          // Serving counters (schema_rev 4): every report proves
+          // whether the run served requests, and the admission books
+          // must balance — serve.accepted + serve.rejected ==
+          // serve.requests once a server drains, and serve.completed
+          // never exceeds serve.accepted.
+          "serve.requests", "serve.accepted", "serve.rejected",
+          "serve.completed", "serve.frames_corrupt"}) {
         reg.counter(name);
     }
 
     // schema_rev bumps additively within the v1 schema: rev 2 added
-    // the robustness counter contract, rev 3 adds the campaign /
-    // cancellation contract above — nothing is ever renamed, so v1
-    // consumers keep parsing and rev-aware consumers know the new
-    // keys are guaranteed present.
+    // the robustness counter contract, rev 3 the campaign /
+    // cancellation contract, rev 4 adds the serving contract above —
+    // nothing is ever renamed, so v1 consumers keep parsing and
+    // rev-aware consumers know the new keys are guaranteed present.
     std::ostringstream oss;
     oss << "{\n  \"schema\": \"bpnsp-run-report-v1\",\n"
-        << "  \"schema_rev\": 3,\n  \"run\": {\n";
+        << "  \"schema_rev\": 4,\n  \"run\": {\n";
     for (const auto &[key, value] : reg.runFields())
         oss << "    " << quoted(key) << ": " << quoted(value) << ",\n";
     oss << "    \"git\": " << quoted(gitDescribe()) << ",\n"
@@ -288,21 +279,14 @@ setReportPath(const std::string &path)
 void
 installSignalHandlers()
 {
-    bool expected = false;
-    if (!gHandlersInstalled.compare_exchange_strong(expected, true))
-        return;
-    struct sigaction sa;
-    std::memset(&sa, 0, sizeof(sa));
-    sa.sa_handler = signalHandler;
-    sigemptyset(&sa.sa_mask);
-    ::sigaction(SIGINT, &sa, nullptr);
-    ::sigaction(SIGTERM, &sa, nullptr);
+    signals::setFirstSignalHook(reportFlushHook);
+    signals::installHandlers();
 }
 
 void
 setSignalDrainMode(bool graceful)
 {
-    gGracefulDrain.store(graceful, std::memory_order_relaxed);
+    signals::setDrainMode(graceful);
 }
 
 std::string

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * bpnsp_client: command-line client for a running bpnsp_served.
+ *
+ * Single-request mode (--op=ping|simulate|stats|h2p|materialize)
+ * prints one human-readable result; --op=loadgen runs the closed-loop
+ * load generator (N concurrent clients, optional randomized kills and
+ * reply verification) and prints its aggregate tally.
+ *
+ * Examples:
+ *   bpnsp_client --socket=/tmp/b.sock --op=ping
+ *   bpnsp_client --socket=/tmp/b.sock --op=simulate \
+ *       --workload=mcf_like --predictor=gshare \
+ *       --instructions=200000 --first=50000 --count=100000
+ *   bpnsp_client --socket=/tmp/b.sock --op=loadgen --clients=32 \
+ *       --requests=64 --kill-prob=0.05 --verify
+ *
+ * Exit status: 0 on an Ok reply (loadgen: no transport errors and no
+ * verify mismatches), 1 otherwise.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/runner.hpp"
+#include "serve/client.hpp"
+#include "util/logging.hpp"
+#include "util/options.hpp"
+
+using namespace bpnsp;
+using namespace bpnsp::serve;
+
+namespace {
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+int
+runOne(const OptionParser &opts, const std::string &op)
+{
+    ServeClient client;
+    Status st;
+    if (const int64_t port = opts.getInt("tcp-port"); port > 0)
+        st = client.connectTcp(static_cast<int>(port));
+    else
+        st = client.connectUnix(opts.getString("socket"));
+    if (!st.ok()) {
+        warn("bpnsp_client: ", st.str());
+        return 1;
+    }
+
+    ServeRequest request;
+    request.workload = opts.getString("workload");
+    request.inputIdx = static_cast<uint32_t>(opts.getInt("input"));
+    request.instructions =
+        static_cast<uint64_t>(opts.getInt("instructions"));
+    request.predictor = opts.getString("predictor");
+    request.first = static_cast<uint64_t>(opts.getInt("first"));
+    request.count = static_cast<uint64_t>(opts.getInt("count"));
+    request.sliceLength =
+        static_cast<uint64_t>(opts.getInt("slice"));
+    request.topK = static_cast<uint32_t>(opts.getInt("top"));
+    request.deadlineMs =
+        static_cast<uint32_t>(opts.getInt("deadline-ms"));
+
+    if (op == "ping") {
+        request.type = MessageType::Ping;
+    } else if (op == "simulate") {
+        request.type = MessageType::Simulate;
+    } else if (op == "stats") {
+        request.type = MessageType::BranchStats;
+    } else if (op == "h2p") {
+        request.type = MessageType::H2p;
+    } else if (op == "materialize") {
+        request.type = MessageType::Materialize;
+    } else {
+        fatal("unknown --op \"", op,
+              "\" (want ping|simulate|stats|h2p|materialize|loadgen)");
+    }
+
+    ServeReply reply;
+    st = client.call(request, &reply);
+    if (!st.ok()) {
+        warn("bpnsp_client: ", st.str());
+        return 1;
+    }
+    if (reply.code != WireCode::Ok) {
+        std::printf("%s: %s\n", wireCodeName(reply.code),
+                    reply.message.c_str());
+        return 1;
+    }
+
+    switch (reply.type) {
+      case MessageType::PingReply:
+        std::printf("pong: %s\n", reply.serverInfo.c_str());
+        break;
+      case MessageType::SimulateReply:
+        std::printf("simulate %s/%s: %llu records, %llu cond execs, "
+                    "%llu mispredicts, accuracy %.6f\n",
+                    request.workload.c_str(),
+                    request.predictor.c_str(),
+                    static_cast<unsigned long long>(reply.delivered),
+                    static_cast<unsigned long long>(reply.condExecs),
+                    static_cast<unsigned long long>(
+                        reply.condMispreds),
+                    bitsDouble(reply.accuracyBits));
+        break;
+      case MessageType::BranchStatsReply:
+        std::printf("branch stats %s/%s: %llu records, %llu cond "
+                    "execs, %llu mispredicts, %zu branch row(s)\n",
+                    request.workload.c_str(),
+                    request.predictor.c_str(),
+                    static_cast<unsigned long long>(reply.delivered),
+                    static_cast<unsigned long long>(reply.condExecs),
+                    static_cast<unsigned long long>(
+                        reply.condMispreds),
+                    reply.branches.size());
+        for (const BranchRow &row : reply.branches)
+            std::printf("  ip=0x%llx execs=%llu mispreds=%llu "
+                        "taken=%llu\n",
+                        static_cast<unsigned long long>(row.ip),
+                        static_cast<unsigned long long>(row.execs),
+                        static_cast<unsigned long long>(row.mispreds),
+                        static_cast<unsigned long long>(row.taken));
+        break;
+      case MessageType::H2pReply:
+        std::printf("h2p %s/%s: %zu H2P ip(s) over %llu slice(s), "
+                    "avg/slice %.2f, avg mispred fraction %.4f\n",
+                    request.workload.c_str(),
+                    request.predictor.c_str(), reply.h2pIps.size(),
+                    static_cast<unsigned long long>(reply.slices),
+                    bitsDouble(reply.avgPerSliceBits),
+                    bitsDouble(reply.avgMispredFractionBits));
+        for (const uint64_t ip : reply.h2pIps)
+            std::printf("  0x%llx\n",
+                        static_cast<unsigned long long>(ip));
+        break;
+      case MessageType::MaterializeReply:
+        std::printf("materialized %s input %u: digest %s, %llu "
+                    "records at %s\n",
+                    request.workload.c_str(), request.inputIdx,
+                    reply.digest.c_str(),
+                    static_cast<unsigned long long>(reply.records),
+                    reply.path.c_str());
+        break;
+      default:
+        std::printf("unexpected reply type %s\n",
+                    messageTypeName(reply.type));
+        return 1;
+    }
+    return 0;
+}
+
+int
+runLoad(const OptionParser &opts)
+{
+    LoadGenConfig cfg;
+    cfg.socketPath = opts.getString("socket");
+    cfg.clients = static_cast<unsigned>(opts.getInt("clients"));
+    cfg.requestsPerClient =
+        static_cast<unsigned>(opts.getInt("requests"));
+    cfg.workload = opts.getString("workload");
+    cfg.inputIdx = static_cast<uint32_t>(opts.getInt("input"));
+    cfg.instructions =
+        static_cast<uint64_t>(opts.getInt("instructions"));
+    cfg.predictors = splitCsv(opts.getString("predictor"));
+    if (cfg.predictors.empty())
+        cfg.predictors = {"gshare"};
+    cfg.sliceRecords = static_cast<uint64_t>(opts.getInt("count"));
+    cfg.killProb = opts.getDouble("kill-prob");
+    cfg.seed = static_cast<uint64_t>(opts.getInt("seed"));
+    cfg.verify = opts.getFlag("verify");
+
+    const LoadGenResult result = runLoadGen(cfg);
+    std::printf(
+        "loadgen: %u client(s) x %u request(s): %llu ok, %llu "
+        "rejected, %llu error(s), %llu transport, %llu killed, %llu "
+        "mismatch(es) in %.2fs (%.0f req/s, p50 %.2fms, p99 "
+        "%.2fms)\n",
+        cfg.clients, cfg.requestsPerClient,
+        static_cast<unsigned long long>(result.ok),
+        static_cast<unsigned long long>(result.rejected),
+        static_cast<unsigned long long>(result.errors),
+        static_cast<unsigned long long>(result.transport),
+        static_cast<unsigned long long>(result.killed),
+        static_cast<unsigned long long>(result.mismatches),
+        result.elapsedSeconds, result.requestsPerSecond(),
+        result.p50Ms, result.p99Ms);
+
+    if (result.mismatches != 0)
+        return 1;
+    // Kills close connections deliberately, so transport errors are
+    // only fatal in a kill-free run.
+    if (cfg.killProb == 0.0 && result.transport != 0)
+        return 1;
+    return result.ok == 0 ? 1 : 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts("Query a running bpnsp_served.");
+    opts.addString("socket", "bpnsp_served.sock",
+                   "server UNIX-domain socket path");
+    opts.addInt("tcp-port", 0,
+                "connect to 127.0.0.1:PORT instead of the socket");
+    opts.addString("op", "ping",
+                   "ping|simulate|stats|h2p|materialize|loadgen");
+    opts.addString("workload", "mcf_like", "workload name");
+    opts.addInt("input", 0, "workload input index");
+    opts.addInt("instructions", 200000, "trace length (cache key)");
+    opts.addString("predictor", "gshare",
+                   "predictor name (loadgen: comma-separated pool)");
+    opts.addInt("first", 0, "simulate: slice start record");
+    opts.addInt("count", 0,
+                "simulate: slice record count (0 = to end; loadgen: "
+                "random slice width, 0 = whole trace)");
+    opts.addInt("slice", 0,
+                "stats/h2p: slice length (0 = whole trace)");
+    opts.addInt("top", 0, "stats: top-K rows (0 = all)");
+    opts.addInt("deadline-ms", 0, "per-request deadline (0 = none)");
+    opts.addInt("clients", 4, "loadgen: concurrent clients");
+    opts.addInt("requests", 32, "loadgen: requests per client");
+    opts.addDouble("kill-prob", 0.0,
+                   "loadgen: P(vanish before reading the reply)");
+    opts.addInt("seed", 1, "loadgen: randomization seed");
+    opts.addFlag("verify",
+                 "loadgen: check every Ok reply bit-for-bit against "
+                 "a direct in-process run (needs BPNSP_TRACE_CACHE "
+                 "or --trace-cache pointing at the server's corpus)");
+    opts.addString("trace-cache", "",
+                   "trace corpus directory (verify mode)");
+    opts.parse(argc, argv);
+
+    if (const std::string &dir = opts.getString("trace-cache");
+        !dir.empty())
+        setTraceCacheDir(dir);
+
+    const std::string op = opts.getString("op");
+    if (op == "loadgen")
+        return runLoad(opts);
+    return runOne(opts, op);
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * bpnsp_served: the prediction-serving daemon. Binds a UNIX-domain
+ * socket (TCP loopback optional behind --tcp-port), serves concurrent
+ * bpnsp-serve-v1 requests — predictor simulation over trace slices,
+ * branch stats, H2P lists, trace materialization — from a shared
+ * on-disk trace corpus, and drains gracefully on SIGINT/SIGTERM:
+ * in-flight requests finish, the listener closes immediately, and the
+ * final run report (--metrics-out) captures the serve.* counters.
+ *
+ * Quickstart:
+ *   bpnsp_served --socket=/tmp/bpnsp.sock --trace-cache=/tmp/traces &
+ *   bpnsp_client --socket=/tmp/bpnsp.sock --op=simulate \
+ *       --workload=mcf_like --predictor=gshare --instructions=200000
+ *
+ * Exit status: 0 on a clean drain (signal or --max-seconds), 1 when
+ * the server could not start.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include "faultsim/faultsim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "serve/server.hpp"
+#include "tracestore/chunk_cache.hpp"
+#include "util/cancel.hpp"
+#include "util/logging.hpp"
+#include "util/options.hpp"
+#include "util/signals.hpp"
+
+using namespace bpnsp;
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts(
+        "Serve trace/simulation queries over a UNIX-domain socket.");
+    opts.addString("socket", "bpnsp_served.sock",
+                   "UNIX-domain socket path to bind");
+    opts.addInt("tcp-port", 0,
+                "also listen on 127.0.0.1:PORT (0 = off; -1 = "
+                "OS-assigned, printed at startup)");
+    opts.addInt("workers", 4, "worker threads");
+    opts.addInt("queue-depth", 64,
+                "admission queue bound; beyond it requests are "
+                "rejected with RESOURCE_EXHAUSTED");
+    opts.addInt("batch", 8,
+                "max same-slice Simulate requests per replay pass");
+    opts.addString("trace-cache", "",
+                   "trace corpus directory (required; also "
+                   "BPNSP_TRACE_CACHE)");
+    opts.addInt("chunk-cache-mb", 64,
+                "in-memory decoded-chunk LRU capacity (0 = off)");
+    opts.addInt("max-open-readers", 32, "mmap'd store reader LRU cap");
+    opts.addInt("max-seconds", 0,
+                "self-terminate (drain) after N seconds (0 = run "
+                "until signalled)");
+    opts.parse(argc, argv);
+    obs::configureFromOptions(opts);
+    faultsim::configureFromOptions(opts);
+
+    // Shared signal discipline (util/signals.hpp): the first
+    // SIGINT/SIGTERM fires the global cancel token and returns; we
+    // notice below and drain. A second signal force-exits.
+    signals::installGracefulDrain();
+
+    std::string cacheDir = opts.getString("trace-cache");
+    if (cacheDir.empty()) {
+        if (const char *env = std::getenv("BPNSP_TRACE_CACHE"))
+            cacheDir = env;
+    }
+    if (cacheDir.empty())
+        fatal("bpnsp_served needs --trace-cache (or "
+              "BPNSP_TRACE_CACHE): the corpus directory to serve");
+
+    if (const int64_t mb = opts.getInt("chunk-cache-mb"); mb > 0)
+        DecodedChunkCache::instance().setCapacityBytes(
+            static_cast<size_t>(mb) * 1024 * 1024);
+
+    serve::ServeConfig config;
+    config.socketPath = opts.getString("socket");
+    config.tcpPort = static_cast<int>(opts.getInt("tcp-port"));
+    config.workers = static_cast<unsigned>(opts.getInt("workers"));
+    config.queueDepth =
+        static_cast<size_t>(opts.getInt("queue-depth"));
+    config.maxBatch = static_cast<unsigned>(opts.getInt("batch"));
+    config.traceCacheDir = cacheDir;
+    config.maxOpenReaders =
+        static_cast<size_t>(opts.getInt("max-open-readers"));
+
+    serve::ServeServer server(std::move(config));
+    if (const Status st = server.start(); !st.ok()) {
+        warn("bpnsp_served: ", st.str());
+        return 1;
+    }
+    obs::Registry::instance().setRunField("serve_socket",
+                                          server.config().socketPath);
+
+    // Idle until the signal token fires or the wall budget expires.
+    // The serving work itself happens on the server's own threads.
+    const int64_t maxSeconds = opts.getInt("max-seconds");
+    const auto start = std::chrono::steady_clock::now();
+    while (!globalCancelToken().cancelled()) {
+        if (maxSeconds > 0 &&
+            std::chrono::steady_clock::now() - start >=
+                std::chrono::seconds(maxSeconds))
+            break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    inform("bpnsp_served: draining (in-flight requests finish, "
+           "listener closed)");
+    server.drain();
+
+    // The run report flushes through the --metrics-out atexit hook
+    // (obs::configureFromOptions), after the drain has settled every
+    // serve.* counter.
+    std::printf("bpnsp_served: drained cleanly\n");
+    return 0;
+}

@@ -1,0 +1,385 @@
+#include "serve/client.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "bp/factory.hpp"
+#include "bp/sim.hpp"
+#include "core/runner.hpp"
+#include "tracestore/cache.hpp"
+#include "tracestore/store.hpp"
+#include "util/rng.hpp"
+#include "workloads/suite.hpp"
+
+namespace bpnsp::serve {
+
+// --- ServeClient -----------------------------------------------------
+
+ServeClient::~ServeClient()
+{
+    close();
+}
+
+void
+ServeClient::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+Status
+ServeClient::connectUnix(const std::string &socket_path)
+{
+    close();
+    struct sockaddr_un addr;
+    if (socket_path.size() >= sizeof(addr.sun_path))
+        return Status::invalidArgument("socket path too long: " +
+                                       socket_path);
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Status::ioError(std::string("socket(): ") +
+                               std::strerror(errno));
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const Status st = Status::ioError("connect(" + socket_path +
+                                          "): " + std::strerror(errno));
+        close();
+        return st;
+    }
+    return Status();
+}
+
+Status
+ServeClient::connectTcp(int port)
+{
+    close();
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Status::ioError(std::string("socket(): ") +
+                               std::strerror(errno));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        const Status st =
+            Status::ioError("connect(127.0.0.1:" +
+                            std::to_string(port) +
+                            "): " + std::strerror(errno));
+        close();
+        return st;
+    }
+    return Status();
+}
+
+Status
+ServeClient::sendFrame(MessageType type, uint64_t request_id,
+                       const std::vector<uint8_t> &payload)
+{
+    std::vector<uint8_t> frame;
+    Status st = encodeFrame(type, request_id, payload, &frame);
+    if (!st.ok())
+        return st;
+    size_t off = 0;
+    while (off < frame.size()) {
+        const ssize_t n = ::send(fd, frame.data() + off,
+                                 frame.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return Status::ioError(std::string("send(): ") +
+                               std::strerror(errno));
+    }
+    return Status();
+}
+
+Status
+ServeClient::readExact(uint8_t *out, size_t n)
+{
+    size_t off = 0;
+    while (off < n) {
+        const ssize_t got = ::recv(fd, out + off, n - off, 0);
+        if (got > 0) {
+            off += static_cast<size_t>(got);
+            continue;
+        }
+        if (got < 0 && errno == EINTR)
+            continue;
+        if (got == 0)
+            return Status::ioError(
+                "server closed the connection mid-reply");
+        return Status::ioError(std::string("recv(): ") +
+                               std::strerror(errno));
+    }
+    return Status();
+}
+
+Status
+ServeClient::recvReply(uint64_t expect_id, ServeReply *reply)
+{
+    uint8_t headerBytes[kFrameHeaderBytes];
+    Status st = readExact(headerBytes, sizeof(headerBytes));
+    if (!st.ok())
+        return st;
+    FrameHeader header;
+    st = parseFrameHeader(headerBytes, sizeof(headerBytes), &header);
+    if (!st.ok())
+        return st;
+    std::vector<uint8_t> payload(header.payloadLen);
+    if (header.payloadLen > 0) {
+        st = readExact(payload.data(), payload.size());
+        if (!st.ok())
+            return st;
+    }
+    st = verifyFramePayload(header, payload.data());
+    if (!st.ok())
+        return st;
+    if (header.requestId != expect_id)
+        return Status::corruptData(
+            "reply id " + std::to_string(header.requestId) +
+            " does not match request id " + std::to_string(expect_id));
+    return decodeReplyPayload(static_cast<MessageType>(header.type),
+                              payload.data(), payload.size(), reply);
+}
+
+Status
+ServeClient::call(const ServeRequest &request, ServeReply *reply)
+{
+    if (fd < 0)
+        return Status::invalidArgument("client is not connected");
+    const uint64_t id = nextRequestId++;
+    Status st = sendFrame(request.type, id,
+                          encodeRequestPayload(request));
+    if (!st.ok())
+        return st;
+    st = recvReply(id, reply);
+    if (!st.ok())
+        close();   // the stream may be desynchronized; start fresh
+    else if (reply->type == MessageType::Error)
+        // Surface the application code through reply->code; the call
+        // itself succeeded at the protocol level.
+        reply->code = reply->code == WireCode::Ok ? WireCode::Internal
+                                                  : reply->code;
+    return st;
+}
+
+Status
+ServeClient::fireAndForget(const ServeRequest &request)
+{
+    if (fd < 0)
+        return Status::invalidArgument("client is not connected");
+    return sendFrame(request.type, nextRequestId++,
+                     encodeRequestPayload(request));
+}
+
+Status
+ServeClient::ping(std::string *info)
+{
+    ServeRequest request;
+    request.type = MessageType::Ping;
+    ServeReply reply;
+    const Status st = call(request, &reply);
+    if (!st.ok())
+        return st;
+    if (reply.code != WireCode::Ok)
+        return statusFromWire(reply.code, reply.message);
+    if (info != nullptr)
+        *info = reply.serverInfo;
+    return Status();
+}
+
+// --- load generator --------------------------------------------------
+
+namespace {
+
+/** What one client thread accumulated. */
+struct ClientTally
+{
+    uint64_t attempted = 0;
+    uint64_t ok = 0;
+    uint64_t rejected = 0;
+    uint64_t errors = 0;
+    uint64_t transport = 0;
+    uint64_t killed = 0;
+    uint64_t mismatches = 0;
+    std::vector<double> latenciesMs;
+};
+
+/**
+ * Direct in-process result of the same slice, for --verify: open the
+ * published cache entry and drive a fresh predictor over records
+ * [first, first+count), exactly as the server does.
+ */
+bool
+verifyReply(const LoadGenConfig &cfg, const std::string &predictor,
+            uint64_t first, uint64_t count, const ServeReply &reply)
+{
+    const Workload workload = findWorkload(cfg.workload);
+    const WorkloadInput &input = workload.inputs.at(cfg.inputIdx);
+    const TraceCacheKey key{workload.name, input.label, input.seed,
+                            cfg.instructions};
+    const TraceCache cache(traceCacheDir());
+    Status st;
+    auto reader = TraceStoreReader::open(cache.entryPath(key), &st);
+    if (reader == nullptr)
+        return false;
+    auto bp = makePredictor(predictor);
+    PredictorSim sim(*bp, /*collect_per_branch=*/false);
+    if (!reader->replayRange(first, count, sim).ok())
+        return false;
+    return sim.condExecs() == reply.condExecs &&
+           sim.condMispreds() == reply.condMispreds &&
+           doubleBits(sim.accuracy()) == reply.accuracyBits;
+}
+
+ClientTally
+clientLoop(const LoadGenConfig &cfg, unsigned index)
+{
+    ClientTally tally;
+    Rng rng(cfg.seed * 0x9e3779b97f4a7c15ull + index);
+    ServeClient client;
+
+    for (unsigned i = 0; i < cfg.requestsPerClient; ++i) {
+        if (!client.connected()) {
+            if (!client.connectUnix(cfg.socketPath).ok()) {
+                ++tally.transport;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(5));
+                continue;
+            }
+        }
+
+        ServeRequest request;
+        request.type = MessageType::Simulate;
+        request.workload = cfg.workload;
+        request.inputIdx = cfg.inputIdx;
+        request.instructions = cfg.instructions;
+        request.predictor =
+            cfg.predictors[rng.below(cfg.predictors.size())];
+        if (cfg.sliceRecords != 0 &&
+            cfg.sliceRecords < cfg.instructions) {
+            request.first =
+                rng.below(cfg.instructions - cfg.sliceRecords + 1);
+            request.count = cfg.sliceRecords;
+        }
+        ++tally.attempted;
+
+        if (cfg.killProb > 0.0 && rng.chance(cfg.killProb)) {
+            // Randomized client kill: send the request, then vanish
+            // without reading the reply. The server must shrug this
+            // off (EPIPE on its write, never a crash or a wedge).
+            client.fireAndForget(request);
+            client.close();
+            ++tally.killed;
+            continue;
+        }
+
+        const auto t0 = std::chrono::steady_clock::now();
+        ServeReply reply;
+        const Status st = client.call(request, &reply);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!st.ok()) {
+            ++tally.transport;
+            continue;
+        }
+        tally.latenciesMs.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0)
+                .count());
+        if (reply.code == WireCode::Ok) {
+            ++tally.ok;
+            if (cfg.verify) {
+                const uint64_t first = request.first;
+                const uint64_t count =
+                    request.count == 0
+                        ? cfg.instructions - request.first
+                        : request.count;
+                if (!verifyReply(cfg, request.predictor, first, count,
+                                 reply))
+                    ++tally.mismatches;
+            }
+        } else if (reply.code == WireCode::ResourceExhausted ||
+                   reply.code == WireCode::Busy) {
+            ++tally.rejected;
+            // Closed-loop backoff: the server asked for it.
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                1 + static_cast<long>(rng.below(5))));
+        } else {
+            ++tally.errors;
+        }
+    }
+    return tally;
+}
+
+double
+exactPercentile(std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank =
+        q * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(std::floor(rank));
+    const size_t hi = static_cast<size_t>(std::ceil(rank));
+    const double frac = rank - std::floor(rank);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+} // namespace
+
+LoadGenResult
+runLoadGen(const LoadGenConfig &cfg)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<ClientTally> tallies(cfg.clients);
+    std::vector<std::thread> threads;
+    threads.reserve(cfg.clients);
+    for (unsigned c = 0; c < cfg.clients; ++c) {
+        threads.emplace_back([&cfg, &tallies, c] {
+            tallies[c] = clientLoop(cfg, c);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    LoadGenResult result;
+    std::vector<double> all;
+    for (const ClientTally &t : tallies) {
+        result.attempted += t.attempted;
+        result.ok += t.ok;
+        result.rejected += t.rejected;
+        result.errors += t.errors;
+        result.transport += t.transport;
+        result.killed += t.killed;
+        result.mismatches += t.mismatches;
+        all.insert(all.end(), t.latenciesMs.begin(),
+                   t.latenciesMs.end());
+    }
+    result.elapsedSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    std::sort(all.begin(), all.end());
+    result.p50Ms = exactPercentile(all, 0.50);
+    result.p99Ms = exactPercentile(all, 0.99);
+    return result;
+}
+
+} // namespace bpnsp::serve

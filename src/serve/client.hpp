@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Client side of bpnsp-serve-v1: a small blocking client (one
+ * outstanding request per connection) plus a closed-loop load
+ * generator for the latency bench and the soak test.
+ *
+ * The client is deliberately simple — connect, send one frame, block
+ * for the matching reply — because every caller here (CLI, tests,
+ * bench workers) wants request/reply semantics; concurrency comes from
+ * running many clients, which is also what the server's batching is
+ * designed to exploit.
+ */
+
+#ifndef BPNSP_SERVE_CLIENT_HPP
+#define BPNSP_SERVE_CLIENT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/status.hpp"
+
+namespace bpnsp::serve {
+
+/** Blocking request/reply client over one connection. */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient();
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Connect to a UNIX-domain socket path. */
+    Status connectUnix(const std::string &socket_path);
+
+    /** Connect to the loopback TCP listener. */
+    Status connectTcp(int port);
+
+    bool connected() const { return fd >= 0; }
+
+    void close();
+
+    /**
+     * Send `request` and block for the reply. Protocol-level failures
+     * (connection loss, malformed reply, id mismatch) come back as a
+     * Status; application-level failures arrive as an Ok Status with
+     * reply->code != WireCode::Ok.
+     */
+    Status call(const ServeRequest &request, ServeReply *reply);
+
+    /** Liveness probe; fills `info` from the server's PingReply. */
+    Status ping(std::string *info);
+
+    /**
+     * Send a request and do NOT wait for the reply. Used by the load
+     * generator's randomized client kills (send, vanish) to prove the
+     * server shrugs off peers that disappear mid-request.
+     */
+    Status fireAndForget(const ServeRequest &request);
+
+  private:
+    Status sendFrame(MessageType type, uint64_t request_id,
+                     const std::vector<uint8_t> &payload);
+    Status recvReply(uint64_t expect_id, ServeReply *reply);
+    Status readExact(uint8_t *out, size_t n);
+
+    int fd = -1;
+    uint64_t nextRequestId = 1;
+};
+
+/** Knobs of one closed-loop load-generation run. */
+struct LoadGenConfig
+{
+    std::string socketPath;
+    unsigned clients = 4;           ///< concurrent connections
+    unsigned requestsPerClient = 32;
+    std::string workload = "mcf_like";
+    uint32_t inputIdx = 0;
+    uint64_t instructions = 200000;
+    std::vector<std::string> predictors = {"gshare"};
+    uint64_t sliceRecords = 0;      ///< slice width (0 = whole trace)
+    double killProb = 0.0;          ///< P(disconnect before reply)
+    uint64_t seed = 1;              ///< drives slice + kill draws
+    bool verify = false;            ///< check replies vs direct runs
+};
+
+/** What the closed loop observed. */
+struct LoadGenResult
+{
+    uint64_t attempted = 0;  ///< requests sent
+    uint64_t ok = 0;         ///< Ok replies
+    uint64_t rejected = 0;   ///< RESOURCE_EXHAUSTED / BUSY replies
+    uint64_t errors = 0;     ///< other error replies
+    uint64_t transport = 0;  ///< connection-level failures
+    uint64_t killed = 0;     ///< deliberate client-side disconnects
+    uint64_t mismatches = 0; ///< verify failures (must stay 0)
+    double elapsedSeconds = 0.0;
+    double p50Ms = 0.0;      ///< exact percentiles over all replies
+    double p99Ms = 0.0;
+
+    double
+    requestsPerSecond() const
+    {
+        if (elapsedSeconds <= 0.0)
+            return 0.0;
+        return static_cast<double>(ok) / elapsedSeconds;
+    }
+};
+
+/**
+ * Run `clients` concurrent closed loops of Simulate requests against a
+ * server and aggregate what they saw. With cfg.verify, every Ok reply
+ * is checked bit-for-bit against a direct in-process run of the same
+ * slice. Latency percentiles are exact (computed from the full sample
+ * vector, not a histogram estimate).
+ */
+LoadGenResult runLoadGen(const LoadGenConfig &cfg);
+
+} // namespace bpnsp::serve
+
+#endif // BPNSP_SERVE_CLIENT_HPP

@@ -1,0 +1,1194 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "analysis/branch_stats.hpp"
+#include "analysis/h2p.hpp"
+#include "bp/factory.hpp"
+#include "bp/sim.hpp"
+#include "core/runner.hpp"
+#include "faultsim/faultsim.hpp"
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+#include "workloads/suite.hpp"
+
+namespace bpnsp::serve {
+
+namespace {
+
+/** Request-size sanity bound: longer traces are refused up front. */
+constexpr uint64_t kMaxServeInstructions = 2000000000ull;
+
+/** Reply-size bound on BranchStats rows (frames are <= 16 MiB). */
+constexpr uint32_t kMaxBranchRows = 65536;
+
+/** poll() tick so quit/drain flags are noticed without wire traffic. */
+constexpr int kPollTimeoutMs = 200;
+
+obs::Counter &
+serveRequests()
+{
+    static obs::Counter &c = obs::counter("serve.requests");
+    return c;
+}
+
+obs::Counter &
+serveAccepted()
+{
+    static obs::Counter &c = obs::counter("serve.accepted");
+    return c;
+}
+
+obs::Counter &
+serveRejected()
+{
+    static obs::Counter &c = obs::counter("serve.rejected");
+    return c;
+}
+
+obs::Counter &
+serveCompleted()
+{
+    static obs::Counter &c = obs::counter("serve.completed");
+    return c;
+}
+
+obs::Counter &
+serveFramesCorrupt()
+{
+    static obs::Counter &c = obs::counter("serve.frames_corrupt");
+    return c;
+}
+
+obs::Gauge &
+queueDepthGauge()
+{
+    static obs::Gauge &g = obs::gauge("serve.queue_depth");
+    return g;
+}
+
+uint64_t
+nowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/**
+ * Write all of `len` bytes to a non-blocking socket, parking in
+ * poll(POLLOUT) when the send buffer fills. MSG_NOSIGNAL everywhere: a
+ * peer that vanished mid-reply surfaces as EPIPE, never as a
+ * process-killing SIGPIPE.
+ */
+bool
+sendAll(int fd, const uint8_t *bytes, size_t len)
+{
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n =
+            ::send(fd, bytes + off, len - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            struct pollfd pfd = {fd, POLLOUT, 0};
+            if (::poll(&pfd, 1, 5000) <= 0)
+                return false;   // wedged peer: give up on the conn
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+void
+setNonBlocking(int fd)
+{
+    // Sockets come from accept()/socket() moments earlier; fcntl on
+    // them cannot meaningfully fail, but stay defensive.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags >= 0)
+        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+} // namespace
+
+/** One live client connection (owned by the io thread). */
+struct ServeServer::Conn
+{
+    int fd = -1;
+    uint64_t id = 0;
+    std::vector<uint8_t> inbuf;   ///< unparsed bytes, frame-aligned
+    std::mutex writeMu;           ///< serializes reply frames
+    std::atomic<bool> open{true};
+};
+
+/** One admitted request waiting for (or owned by) a worker. */
+struct ServeServer::Pending
+{
+    std::shared_ptr<Conn> conn;
+    uint64_t requestId = 0;
+    ServeRequest request;
+    uint64_t enqueuedNs = 0;
+};
+
+ServeServer::ServeServer(ServeConfig config)
+    : cfg(std::move(config))
+{
+    if (cfg.workers == 0)
+        cfg.workers = 1;
+    if (cfg.maxBatch == 0)
+        cfg.maxBatch = 1;
+    if (cfg.queueDepth == 0)
+        cfg.queueDepth = 1;
+    if (cfg.maxOpenReaders == 0)
+        cfg.maxOpenReaders = 1;
+}
+
+ServeServer::~ServeServer()
+{
+    if (started && !stopped)
+        stop();
+}
+
+Status
+ServeServer::start()
+{
+    if (started)
+        return Status::invalidArgument("server already started");
+    if (cfg.socketPath.empty())
+        return Status::invalidArgument("serve: socket path required");
+    if (cfg.traceCacheDir.empty())
+        return Status::invalidArgument(
+            "serve: trace cache directory required");
+
+    struct sockaddr_un addr;
+    if (cfg.socketPath.size() >= sizeof(addr.sun_path))
+        return Status::invalidArgument(
+            "serve: socket path too long: " + cfg.socketPath);
+
+    // The server and the canonical runWorkloadTrace() cold path must
+    // agree on the corpus directory, or generated traces would publish
+    // somewhere the server never looks.
+    setTraceCacheDir(cfg.traceCacheDir);
+    cache = std::make_unique<TraceCache>(cfg.traceCacheDir);
+    workloadsCatalog = allWorkloads();
+
+    // UNIX-domain listener. The bound name is daemon-owned: a stale
+    // socket file from a previous (dead) instance is removed, exactly
+    // like the trace cache GCs its orphaned lockfiles.
+    const int ufd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (ufd < 0)
+        return Status::ioError(std::string("serve: socket(): ") +
+                               std::strerror(errno));
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, cfg.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(cfg.socketPath.c_str());
+    if (::bind(ufd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(ufd, 128) != 0) {
+        const Status st = Status::ioError(
+            "serve: bind/listen on " + cfg.socketPath + ": " +
+            std::strerror(errno));
+        ::close(ufd);
+        return st;
+    }
+    listenFds.push_back(ufd);
+
+    // Optional TCP listener, loopback only: serving is a host-local
+    // facility, not a network-exposed one.
+    if (cfg.tcpPort != 0) {
+        const int tfd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (tfd < 0)
+            return Status::ioError(
+                std::string("serve: tcp socket(): ") +
+                std::strerror(errno));
+        const int one = 1;
+        ::setsockopt(tfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        struct sockaddr_in tin;
+        std::memset(&tin, 0, sizeof(tin));
+        tin.sin_family = AF_INET;
+        tin.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        tin.sin_port =
+            htons(static_cast<uint16_t>(cfg.tcpPort < 0 ? 0
+                                                        : cfg.tcpPort));
+        if (::bind(tfd, reinterpret_cast<struct sockaddr *>(&tin),
+                   sizeof(tin)) != 0 ||
+            ::listen(tfd, 128) != 0) {
+            const Status st = Status::ioError(
+                "serve: tcp bind/listen on 127.0.0.1:" +
+                std::to_string(cfg.tcpPort) + ": " +
+                std::strerror(errno));
+            ::close(tfd);
+            ::close(ufd);
+            listenFds.clear();
+            return st;
+        }
+        socklen_t tlen = sizeof(tin);
+        ::getsockname(tfd, reinterpret_cast<struct sockaddr *>(&tin),
+                      &tlen);
+        tcpPortBound = ntohs(tin.sin_port);
+        listenFds.push_back(tfd);
+    }
+
+    if (::pipe(wakePipe) != 0)
+        return Status::ioError(std::string("serve: pipe(): ") +
+                               std::strerror(errno));
+    setNonBlocking(wakePipe[0]);
+    setNonBlocking(wakePipe[1]);
+
+    started = true;
+    acceptingFlag.store(true);
+    quitFlag.store(false);
+    ioThread = std::thread([this] { ioLoop(); });
+    workerThreads.reserve(cfg.workers);
+    for (unsigned i = 0; i < cfg.workers; ++i)
+        workerThreads.emplace_back([this] { workerLoop(); });
+
+    static obs::Gauge &workersGauge = obs::gauge("serve.workers");
+    workersGauge.set(static_cast<double>(cfg.workers));
+    inform("serving on ", cfg.socketPath,
+           tcpPortBound != 0
+               ? " and 127.0.0.1:" + std::to_string(tcpPortBound)
+               : std::string(),
+           " (", cfg.workers, " workers, queue depth ",
+           cfg.queueDepth, ")");
+    return Status();
+}
+
+void
+ServeServer::drain()
+{
+    if (!started || stopped)
+        return;
+    static obs::Counter &drains = obs::counter("serve.drains");
+    drains.inc();
+
+    // Phase 1: stop admitting. The io thread keeps running so replies
+    // to in-flight requests still go out, but every listener closes
+    // and every newly parsed request is refused.
+    acceptingFlag.store(false);
+    {
+        const uint8_t byte = 1;
+        [[maybe_unused]] ssize_t n = ::write(wakePipe[1], &byte, 1);
+    }
+
+    // Phase 2: wait for the queue to empty and in-flight work to
+    // finish — the whole point of a graceful drain.
+    {
+        std::unique_lock<std::mutex> lock(queueMu);
+        idleCv.wait(lock,
+                    [this] { return queue.empty() && inFlight == 0; });
+    }
+
+    // Phase 3: tear the machinery down.
+    quitFlag.store(true);
+    queueCv.notify_all();
+    {
+        const uint8_t byte = 1;
+        [[maybe_unused]] ssize_t n = ::write(wakePipe[1], &byte, 1);
+    }
+    for (std::thread &t : workerThreads)
+        t.join();
+    workerThreads.clear();
+    if (ioThread.joinable())
+        ioThread.join();
+
+    for (const int fd : listenFds)
+        ::close(fd);
+    listenFds.clear();
+    ::unlink(cfg.socketPath.c_str());
+    ::close(wakePipe[0]);
+    ::close(wakePipe[1]);
+    wakePipe[0] = wakePipe[1] = -1;
+
+    {
+        std::lock_guard<std::mutex> lock(readersMu);
+        readers.clear();
+        genMutexes.clear();
+    }
+    stopped = true;
+}
+
+void
+ServeServer::stop()
+{
+    if (!started || stopped)
+        return;
+    // The hard cut: every in-flight request's token chains to this
+    // one, so replay/generation loops unwind at their next poll; the
+    // drain below then completes quickly.
+    stopToken.requestCancel(CancelCause::User);
+    drain();
+}
+
+// --- io thread -------------------------------------------------------
+
+void
+ServeServer::ioLoop()
+{
+    std::vector<struct pollfd> pfds;
+    bool listenersClosed = false;
+    while (!quitFlag.load()) {
+        if (!acceptingFlag.load() && !listenersClosed) {
+            // Drain phase 1: close the listeners so new connect()s are
+            // refused by the OS while existing conns keep their
+            // replies coming.
+            for (const int fd : listenFds)
+                ::close(fd);
+            listenFds.clear();
+            ::unlink(cfg.socketPath.c_str());
+            listenersClosed = true;
+        }
+
+        pfds.clear();
+        pfds.push_back({wakePipe[0], POLLIN, 0});
+        for (const int fd : listenFds)
+            pfds.push_back({fd, POLLIN, 0});
+        const size_t connBase = pfds.size();
+        for (const auto &conn : conns)
+            pfds.push_back({conn->fd, POLLIN, 0});
+
+        const int ready =
+            ::poll(pfds.data(), pfds.size(), kPollTimeoutMs);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("serve: poll(): ", std::strerror(errno));
+            break;
+        }
+
+        if ((pfds[0].revents & POLLIN) != 0) {
+            uint8_t sink[64];
+            while (::read(wakePipe[0], sink, sizeof(sink)) > 0) {
+            }
+        }
+
+        for (size_t i = 1; i < connBase; ++i) {
+            if ((pfds[i].revents & POLLIN) != 0)
+                acceptOne(pfds[i].fd);
+        }
+
+        // Snapshot: readConn may close (and remove) connections.
+        std::vector<std::shared_ptr<Conn>> readable;
+        for (size_t i = connBase; i < pfds.size(); ++i) {
+            if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+                readable.push_back(conns[i - connBase]);
+        }
+        for (const auto &conn : readable)
+            readConn(conn);
+    }
+
+    // Shutdown: close every connection. Workers are already gone (the
+    // drain joins them before the io thread), so nobody writes.
+    for (const auto &conn : conns)
+        closeConn(conn);
+    conns.clear();
+}
+
+void
+ServeServer::acceptOne(int listen_fd)
+{
+    static obs::Counter &connections =
+        obs::counter("serve.connections");
+    static obs::Counter &acceptFailures =
+        obs::counter("serve.accept_failures");
+    static uint64_t nextConnId = 1;
+
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+        if (errno != EAGAIN && errno != EWOULDBLOCK &&
+            errno != ECONNABORTED && errno != EINTR)
+            warn("serve: accept(): ", std::strerror(errno));
+        return;
+    }
+    if (faultsim::evaluate("serve.accept.fail")) {
+        // Injected transient accept failure: the client sees a
+        // connection that opens and immediately closes, exactly like
+        // an accept-queue overflow under real load.
+        acceptFailures.inc();
+        ::close(fd);
+        return;
+    }
+    setNonBlocking(fd);
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->id = nextConnId++;
+    conns.push_back(std::move(conn));
+    connections.inc();
+}
+
+void
+ServeServer::readConn(const std::shared_ptr<Conn> &conn)
+{
+    static obs::Counter &connResets = obs::counter("serve.conn_resets");
+
+    bool eof = false;
+    uint8_t chunk[16384];
+    while (conn->open.load()) {
+        const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+        if (n > 0) {
+            conn->inbuf.insert(conn->inbuf.end(), chunk, chunk + n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        if (n < 0 && errno == EINTR)
+            continue;
+        eof = true;   // orderly close or reset, either way: done
+        break;
+    }
+
+    if (conn->open.load())
+        parseFrames(conn);
+
+    if (eof && conn->open.load()) {
+        // A mid-frame disconnect leaves a partial frame in inbuf;
+        // that is the peer's prerogative, not a protocol error.
+        if (!conn->inbuf.empty())
+            connResets.inc();
+        closeConn(conn);
+    } else if (!conn->open.load()) {
+        closeConn(conn);
+    }
+}
+
+void
+ServeServer::parseFrames(const std::shared_ptr<Conn> &conn)
+{
+    while (conn->open.load() &&
+           conn->inbuf.size() >= kFrameHeaderBytes) {
+        FrameHeader header;
+        Status st = parseFrameHeader(conn->inbuf.data(),
+                                     conn->inbuf.size(), &header);
+        if (!st.ok()) {
+            // Bad magic / unsupported version / oversized length
+            // prefix: the stream cannot be resynchronized, so answer
+            // once and hang up.
+            serveFramesCorrupt().inc();
+            sendError(conn, 0, wireCodeFor(st), st.str());
+            conn->open.store(false);
+            return;
+        }
+        const size_t frameBytes = kFrameHeaderBytes + header.payloadLen;
+        if (conn->inbuf.size() < frameBytes)
+            return;   // wait for the rest of the frame
+
+        std::vector<uint8_t> payload(
+            conn->inbuf.begin() + kFrameHeaderBytes,
+            conn->inbuf.begin() + frameBytes);
+        conn->inbuf.erase(conn->inbuf.begin(),
+                          conn->inbuf.begin() + frameBytes);
+
+        if (faultsim::evaluate("serve.frame.corrupt")) {
+            // Injected wire corruption: flip one payload bit (or the
+            // expected checksum itself for empty payloads) so the
+            // verify below must catch it.
+            if (!payload.empty()) {
+                const uint64_t draw =
+                    faultsim::payloadDraw("serve.frame.corrupt");
+                payload[draw % payload.size()] ^=
+                    static_cast<uint8_t>(1u << (draw % 8));
+            } else {
+                header.payloadCrc ^= 1u;
+            }
+        }
+
+        st = verifyFramePayload(header, payload.data());
+        if (!st.ok()) {
+            serveFramesCorrupt().inc();
+            sendError(conn, header.requestId, WireCode::CorruptData,
+                      st.str());
+            conn->open.store(false);
+            return;
+        }
+
+        const MessageType type =
+            static_cast<MessageType>(header.type);
+        if (!isRequestType(type)) {
+            sendError(conn, header.requestId,
+                      WireCode::InvalidArgument,
+                      std::string("unexpected message type: ") +
+                          messageTypeName(type));
+            conn->open.store(false);
+            return;
+        }
+
+        ServeRequest request;
+        st = decodeRequestPayload(type, payload.data(),
+                                  payload.size(), &request);
+        if (!st.ok()) {
+            // The checksum passed, so this is a malformed-but-intact
+            // payload: reply and keep the connection (the framing is
+            // still synchronized).
+            serveRequests().inc();
+            serveRejected().inc();
+            sendError(conn, header.requestId, wireCodeFor(st),
+                      st.str());
+            continue;
+        }
+
+        if (type == MessageType::Ping) {
+            // Pings answer from the io thread: they are the liveness
+            // probe, so they must not queue behind real work.
+            serveRequests().inc();
+            serveAccepted().inc();
+            ServeReply reply;
+            reply.type = MessageType::PingReply;
+            reply.serverInfo =
+                "bpnsp-serve-v1 workers=" +
+                std::to_string(cfg.workers) +
+                " queue=" + std::to_string(cfg.queueDepth);
+            sendReply(conn, header.requestId, reply);
+            serveCompleted().inc();
+            continue;
+        }
+
+        admit(conn, header, std::move(request));
+    }
+}
+
+void
+ServeServer::admit(const std::shared_ptr<Conn> &conn,
+                   const FrameHeader &header, ServeRequest request)
+{
+    serveRequests().inc();
+
+    if (!acceptingFlag.load()) {
+        serveRejected().inc();
+        sendError(conn, header.requestId, WireCode::Busy,
+                  "server is draining");
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(queueMu);
+        if (queue.size() >= cfg.queueDepth) {
+            serveRejected().inc();
+            sendError(conn, header.requestId,
+                      WireCode::ResourceExhausted,
+                      "admission queue full (" +
+                          std::to_string(cfg.queueDepth) +
+                          " requests); retry with backoff");
+            return;
+        }
+        Pending p;
+        p.conn = conn;
+        p.requestId = header.requestId;
+        p.request = std::move(request);
+        p.enqueuedNs = nowNs();
+        queue.push_back(std::move(p));
+        queueDepthGauge().set(static_cast<double>(queue.size()));
+    }
+    serveAccepted().inc();
+    queueCv.notify_one();
+}
+
+// --- workers ---------------------------------------------------------
+
+void
+ServeServer::workerLoop()
+{
+    while (true) {
+        std::vector<Pending> batch = popBatch();
+        if (batch.empty())
+            return;   // quit
+        execute(std::move(batch));
+    }
+}
+
+/**
+ * Pop the next request plus — when it is a Simulate with no deadline —
+ * every queued Simulate for the *same trace slice*, so one replay pass
+ * serves them all. Requests with deadlines run solo: batching would
+ * couple their cancellation.
+ */
+std::vector<ServeServer::Pending>
+ServeServer::popBatch()
+{
+    static obs::Histogram &batchSize =
+        obs::histogram("serve.batch_size");
+    static obs::Histogram &queueWait =
+        obs::histogram("serve.queue_wait_ns");
+
+    std::vector<Pending> batch;
+    std::unique_lock<std::mutex> lock(queueMu);
+    queueCv.wait(lock,
+                 [this] { return quitFlag.load() || !queue.empty(); });
+    if (queue.empty())
+        return batch;   // quitting
+
+    batch.push_back(std::move(queue.front()));
+    queue.pop_front();
+
+    // Copied, not referenced: the batch vector reallocates as members
+    // join, which would invalidate any reference into it.
+    const ServeRequest head = batch.front().request;
+    if (head.type == MessageType::Simulate && head.deadlineMs == 0) {
+        for (auto it = queue.begin();
+             it != queue.end() && batch.size() < cfg.maxBatch;) {
+            const ServeRequest &r = it->request;
+            const bool sameSlice =
+                r.type == MessageType::Simulate &&
+                r.deadlineMs == 0 && r.workload == head.workload &&
+                r.inputIdx == head.inputIdx &&
+                r.instructions == head.instructions &&
+                r.first == head.first && r.count == head.count;
+            if (sameSlice) {
+                batch.push_back(std::move(*it));
+                it = queue.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    inFlight += static_cast<unsigned>(batch.size());
+    queueDepthGauge().set(static_cast<double>(queue.size()));
+    lock.unlock();
+
+    batchSize.observe(batch.size());
+    const uint64_t now = nowNs();
+    for (const Pending &p : batch)
+        queueWait.observe(now > p.enqueuedNs ? now - p.enqueuedNs : 0);
+    return batch;
+}
+
+void
+ServeServer::execute(std::vector<Pending> batch)
+{
+    static obs::Counter &stalls = obs::counter("serve.worker_stalls");
+    static obs::Histogram &execNs = obs::histogram("serve.exec_ns");
+    static obs::Histogram &requestNs =
+        obs::histogram("serve.request_ns");
+
+    if (faultsim::evaluate("serve.worker.stall")) {
+        // Injected worker stall: park this worker for a bounded,
+        // cancellable moment. Under a drain the stop token cuts the
+        // nap short, so a stalled pool can never hang shutdown.
+        stalls.inc();
+        CancelScope scope(stopToken);
+        cancellableSleepMs(
+            25 + faultsim::payloadDraw("serve.worker.stall") % 200);
+    }
+
+    {
+        obs::ScopedTimer timer(execNs);
+        if (batch.front().request.type == MessageType::Simulate) {
+            executeSimulateBatch(batch);
+        } else {
+            // Non-simulate requests are popped solo.
+            Pending &p = batch.front();
+            CancelToken token(&stopToken);
+            if (p.request.deadlineMs != 0)
+                token.setDeadlineAfterMs(p.request.deadlineMs);
+            CancelScope scope(token);
+            ServeReply reply;
+            switch (p.request.type) {
+              case MessageType::BranchStats:
+                reply = executeBranchStats(p.request);
+                break;
+              case MessageType::H2p:
+                reply = executeH2p(p.request);
+                break;
+              case MessageType::Materialize:
+                reply = executeMaterialize(p.request);
+                break;
+              default:
+                reply.type = MessageType::Error;
+                reply.code = WireCode::Unimplemented;
+                reply.message =
+                    std::string("no handler for ") +
+                    messageTypeName(p.request.type);
+                break;
+            }
+            sendReply(p.conn, p.requestId, reply);
+        }
+    }
+
+    const uint64_t now = nowNs();
+    for (const Pending &p : batch) {
+        requestNs.observe(now > p.enqueuedNs ? now - p.enqueuedNs : 0);
+        serveCompleted().inc();
+    }
+
+    std::lock_guard<std::mutex> lock(queueMu);
+    inFlight -= static_cast<unsigned>(batch.size());
+    if (queue.empty() && inFlight == 0)
+        idleCv.notify_all();
+}
+
+void
+ServeServer::executeSimulateBatch(std::vector<Pending> &batch)
+{
+    static obs::Counter &batches = obs::counter("serve.batches");
+    batches.inc();
+
+    // Per-request validation first: an invalid member gets its error
+    // reply and drops out without sinking the whole batch.
+    std::vector<Pending *> live;
+    const Workload *workload = nullptr;
+    for (Pending &p : batch) {
+        const Status st = validateRequest(p.request, &workload);
+        if (!st.ok()) {
+            sendError(p.conn, p.requestId, wireCodeFor(st), st.str());
+            continue;
+        }
+        live.push_back(&p);
+    }
+    if (live.empty())
+        return;
+
+    // One token for the batch: members were only batched because none
+    // carries a deadline, so the token exists to chain the server's
+    // hard stop. Solo (deadline) simulates arm theirs here too.
+    CancelToken token(&stopToken);
+    if (live.size() == 1 && live[0]->request.deadlineMs != 0)
+        token.setDeadlineAfterMs(live[0]->request.deadlineMs);
+    CancelScope scope(token);
+
+    const ServeRequest &head = live[0]->request;
+    Status st;
+    std::shared_ptr<TraceStoreReader> reader =
+        ensureReader(*workload, head, &st);
+    if (reader == nullptr) {
+        for (Pending *p : live)
+            sendError(p->conn, p->requestId, wireCodeFor(st),
+                      st.str());
+        return;
+    }
+
+    const uint64_t first = head.first;
+    const uint64_t count =
+        head.count == 0 ? reader->count() - first : head.count;
+
+    // One replay pass over the shared mmap'd store drives every
+    // member's predictor sim; each sim sees the identical stream a
+    // direct in-process run would deliver.
+    std::vector<std::unique_ptr<BranchPredictor>> predictors;
+    std::vector<std::unique_ptr<PredictorSim>> sims;
+    FanoutSink fanout;
+    for (Pending *p : live) {
+        predictors.push_back(makePredictor(p->request.predictor));
+        sims.push_back(std::make_unique<PredictorSim>(
+            *predictors.back(), /*collect_per_branch=*/false));
+        fanout.add(sims.back().get());
+    }
+
+    st = reader->replayRange(first, count, fanout);
+    if (!st.ok()) {
+        if (st.code() == StatusCode::CorruptData) {
+            // The store changed under us (or a fault spec fired):
+            // quarantine the entry so the next request regenerates it,
+            // and make sure the stale mmap is dropped.
+            const WorkloadInput &input =
+                workload->inputs.at(head.inputIdx);
+            const TraceCacheKey key{workload->name, input.label,
+                                    input.seed, head.instructions};
+            cache->quarantine(key, st.str());
+            dropReader(traceCacheDigest(key));
+        }
+        for (Pending *p : live)
+            sendError(p->conn, p->requestId, wireCodeFor(st),
+                      st.str());
+        return;
+    }
+    fanout.onEnd();   // flush sim deltas into the bp.* counters
+
+    for (size_t i = 0; i < live.size(); ++i) {
+        ServeReply reply;
+        reply.type = MessageType::SimulateReply;
+        reply.delivered = count;
+        reply.condExecs = sims[i]->condExecs();
+        reply.condMispreds = sims[i]->condMispreds();
+        reply.accuracyBits = doubleBits(sims[i]->accuracy());
+        sendReply(live[i]->conn, live[i]->requestId, reply);
+    }
+}
+
+ServeReply
+ServeServer::executeBranchStats(const ServeRequest &request)
+{
+    ServeReply reply;
+    reply.type = MessageType::BranchStatsReply;
+
+    const Workload *workload = nullptr;
+    Status st = validateRequest(request, &workload);
+    if (st.ok()) {
+        std::shared_ptr<TraceStoreReader> reader =
+            ensureReader(*workload, request, &st);
+        if (st.ok()) {
+            std::unique_ptr<BranchPredictor> predictor =
+                makePredictor(request.predictor);
+            PredictorSim sim(*predictor, /*collect_per_branch=*/true);
+            st = reader->replay(sim, 0);
+            if (st.ok()) {
+                reply.delivered = sim.instructions();
+                reply.condExecs = sim.condExecs();
+                reply.condMispreds = sim.condMispreds();
+                std::vector<BranchRow> rows;
+                rows.reserve(sim.perBranch().size());
+                for (const auto &[ip, c] : sim.perBranch())
+                    rows.push_back({ip, c.execs, c.mispreds, c.taken});
+                // Deterministic order: most-mispredicted first, IP
+                // ascending on ties (the H2P-ranking convention).
+                std::sort(rows.begin(), rows.end(),
+                          [](const BranchRow &a, const BranchRow &b) {
+                              if (a.mispreds != b.mispreds)
+                                  return a.mispreds > b.mispreds;
+                              return a.ip < b.ip;
+                          });
+                uint32_t keep = request.topK == 0 ? kMaxBranchRows
+                                                 : request.topK;
+                keep = std::min(keep, kMaxBranchRows);
+                if (rows.size() > keep)
+                    rows.resize(keep);
+                reply.branches = std::move(rows);
+            }
+        }
+    }
+    if (!st.ok()) {
+        reply.type = MessageType::Error;
+        reply.code = wireCodeFor(st);
+        reply.message = st.str();
+    }
+    return reply;
+}
+
+ServeReply
+ServeServer::executeH2p(const ServeRequest &request)
+{
+    ServeReply reply;
+    reply.type = MessageType::H2pReply;
+
+    const Workload *workload = nullptr;
+    Status st = validateRequest(request, &workload);
+    if (st.ok()) {
+        std::shared_ptr<TraceStoreReader> reader =
+            ensureReader(*workload, request, &st);
+        if (st.ok()) {
+            const uint64_t sliceLen = request.sliceLength != 0
+                                          ? request.sliceLength
+                                          : request.instructions;
+            std::unique_ptr<BranchPredictor> predictor =
+                makePredictor(request.predictor);
+            SlicedBranchStats stats(*predictor, sliceLen);
+            st = reader->replay(stats, 0);
+            if (st.ok()) {
+                const H2pCriteria criteria =
+                    H2pCriteria{}.scaledTo(sliceLen);
+                const H2pSummary summary =
+                    summarizeH2ps(stats, criteria);
+                reply.h2pIps.assign(summary.allH2ps.begin(),
+                                    summary.allH2ps.end());
+                std::sort(reply.h2pIps.begin(), reply.h2pIps.end());
+                reply.slices = stats.slices().size();
+                reply.avgPerSliceBits =
+                    doubleBits(summary.avgPerSlice);
+                reply.avgMispredFractionBits =
+                    doubleBits(summary.avgMispredFraction);
+            }
+        }
+    }
+    if (!st.ok()) {
+        reply.type = MessageType::Error;
+        reply.code = wireCodeFor(st);
+        reply.message = st.str();
+    }
+    return reply;
+}
+
+ServeReply
+ServeServer::executeMaterialize(const ServeRequest &request)
+{
+    ServeReply reply;
+    reply.type = MessageType::MaterializeReply;
+
+    const Workload *workload = nullptr;
+    Status st = validateRequest(request, &workload);
+    if (st.ok()) {
+        std::shared_ptr<TraceStoreReader> reader =
+            ensureReader(*workload, request, &st);
+        if (st.ok()) {
+            const WorkloadInput &input =
+                workload->inputs.at(request.inputIdx);
+            const TraceCacheKey key{workload->name, input.label,
+                                    input.seed, request.instructions};
+            reply.digest = traceCacheDigest(key);
+            reply.records = reader->count();
+            reply.path = cache->entryPath(key);
+        }
+    }
+    if (!st.ok()) {
+        reply.type = MessageType::Error;
+        reply.code = wireCodeFor(st);
+        reply.message = st.str();
+    }
+    return reply;
+}
+
+// --- shared helpers --------------------------------------------------
+
+void
+ServeServer::sendReply(const std::shared_ptr<Conn> &conn,
+                       uint64_t request_id, const ServeReply &reply)
+{
+    if (!conn->open.load())
+        return;
+    const std::vector<uint8_t> payload = encodeReplyPayload(reply);
+    std::vector<uint8_t> frame;
+    const Status st =
+        encodeFrame(reply.type, request_id, payload, &frame);
+    if (!st.ok()) {
+        // A reply too large for one frame (pathological topK): degrade
+        // to an error the client can act on.
+        sendError(conn, request_id, WireCode::Internal, st.str());
+        return;
+    }
+    std::lock_guard<std::mutex> lock(conn->writeMu);
+    if (!sendAll(conn->fd, frame.data(), frame.size()))
+        conn->open.store(false);
+}
+
+void
+ServeServer::sendError(const std::shared_ptr<Conn> &conn,
+                       uint64_t request_id, WireCode code,
+                       const std::string &message)
+{
+    if (!conn->open.load())
+        return;
+    ServeReply reply;
+    reply.type = MessageType::Error;
+    reply.code = code;
+    reply.message = message;
+    const std::vector<uint8_t> payload = encodeReplyPayload(reply);
+    std::vector<uint8_t> frame;
+    if (!encodeFrame(MessageType::Error, request_id, payload, &frame)
+             .ok())
+        return;
+    std::lock_guard<std::mutex> lock(conn->writeMu);
+    if (!sendAll(conn->fd, frame.data(), frame.size()))
+        conn->open.store(false);
+}
+
+void
+ServeServer::closeConn(const std::shared_ptr<Conn> &conn)
+{
+    conn->open.store(false);
+    if (conn->fd >= 0) {
+        ::close(conn->fd);
+        conn->fd = -1;
+    }
+    conns.erase(std::remove(conns.begin(), conns.end(), conn),
+                conns.end());
+}
+
+const Workload *
+ServeServer::findServableWorkload(const std::string &name)
+{
+    for (const Workload &w : workloadsCatalog) {
+        if (w.name == name)
+            return &w;
+    }
+    return nullptr;
+}
+
+Status
+ServeServer::validateRequest(const ServeRequest &request,
+                             const Workload **workload_out)
+{
+    // findWorkload()/makePredictor() fatal() on unknown names — fine
+    // for CLI typos, lethal for a daemon fed client bytes. Everything
+    // client-controlled is validated here first.
+    const Workload *w = findServableWorkload(request.workload);
+    if (w == nullptr)
+        return Status::invalidArgument("unknown workload: \"" +
+                                       request.workload + "\"");
+    *workload_out = w;
+    if (request.inputIdx >= w->inputs.size())
+        return Status::invalidArgument(
+            "input index " + std::to_string(request.inputIdx) +
+            " out of range for " + w->name + " (" +
+            std::to_string(w->inputs.size()) + " inputs)");
+    if (request.instructions == 0 ||
+        request.instructions > kMaxServeInstructions)
+        return Status::invalidArgument(
+            "instruction count " +
+            std::to_string(request.instructions) +
+            " outside [1, " + std::to_string(kMaxServeInstructions) +
+            "]");
+
+    if (request.type == MessageType::Simulate ||
+        request.type == MessageType::BranchStats ||
+        request.type == MessageType::H2p) {
+        static const std::vector<std::string> known =
+            knownPredictorNames();
+        if (std::find(known.begin(), known.end(), request.predictor) ==
+            known.end())
+            return Status::invalidArgument("unknown predictor: \"" +
+                                           request.predictor + "\"");
+    }
+
+    if (request.type == MessageType::Simulate) {
+        if (request.first > request.instructions)
+            return Status::invalidArgument(
+                "slice start " + std::to_string(request.first) +
+                " past the " + std::to_string(request.instructions) +
+                "-record trace");
+        if (request.count != 0 &&
+            request.first + request.count > request.instructions)
+            return Status::invalidArgument(
+                "slice [" + std::to_string(request.first) + ", " +
+                std::to_string(request.first + request.count) +
+                ") past the " + std::to_string(request.instructions) +
+                "-record trace");
+    }
+    return Status();
+}
+
+std::shared_ptr<TraceStoreReader>
+ServeServer::ensureReader(const Workload &workload,
+                          const ServeRequest &request, Status *status)
+{
+    static obs::Counter &generated =
+        obs::counter("serve.generated_traces");
+    static obs::Gauge &openReaders = obs::gauge("serve.open_readers");
+
+    const WorkloadInput &input = workload.inputs.at(request.inputIdx);
+    const TraceCacheKey key{workload.name, input.label, input.seed,
+                            request.instructions};
+    const std::string digest = traceCacheDigest(key);
+
+    {
+        std::lock_guard<std::mutex> lock(readersMu);
+        auto it = readers.find(digest);
+        if (it != readers.end()) {
+            it->second.lastUse = ++readerClock;
+            *status = Status();
+            return it->second.reader;
+        }
+    }
+
+    // Serialize cold-open (and cold-generation) per digest so N
+    // concurrent requests for the same trace cost one generation, not
+    // N. A per-digest mutex, not the readers lock: generating takes
+    // seconds and must not block unrelated digests.
+    std::shared_ptr<std::mutex> gen;
+    {
+        std::lock_guard<std::mutex> lock(readersMu);
+        auto &slot = genMutexes[digest];
+        if (slot == nullptr)
+            slot = std::make_shared<std::mutex>();
+        gen = slot;
+    }
+    std::lock_guard<std::mutex> genLock(*gen);
+
+    {
+        std::lock_guard<std::mutex> lock(readersMu);
+        auto it = readers.find(digest);
+        if (it != readers.end()) {
+            it->second.lastUse = ++readerClock;
+            *status = Status();
+            return it->second.reader;
+        }
+    }
+
+    if (!cache->contains(key)) {
+        // Cold trace: materialize through the canonical path, which
+        // records and atomically publishes. No sinks — this pass
+        // exists only to populate the corpus.
+        runWorkloadTrace(workload, request.inputIdx, {},
+                         request.instructions);
+        const Status cancelled = currentCancelToken()->check();
+        if (!cancelled.ok()) {
+            *status = cancelled;
+            return nullptr;
+        }
+        if (!cache->contains(key)) {
+            // Possible under cross-process lock contention: the run
+            // degraded to uncached and nothing was published.
+            *status = Status::busy(
+                "trace generation for " + digest +
+                " did not publish (concurrent generator?); retry");
+            return nullptr;
+        }
+        generated.inc();
+    }
+
+    Status openStatus;
+    std::unique_ptr<TraceStoreReader> opened =
+        TraceStoreReader::open(cache->entryPath(key), &openStatus);
+    if (opened == nullptr) {
+        if (openStatus.code() == StatusCode::CorruptData)
+            cache->quarantine(key, openStatus.str());
+        *status = openStatus;
+        return nullptr;
+    }
+    if (opened->count() != request.instructions) {
+        cache->quarantine(key,
+                          "holds " + std::to_string(opened->count()) +
+                              " records, want " +
+                              std::to_string(request.instructions));
+        *status = Status::corruptData("trace cache entry had " +
+                                      std::to_string(opened->count()) +
+                                      " records; quarantined, retry");
+        return nullptr;
+    }
+    const Status verified = opened->verify();
+    if (!verified.ok()) {
+        // Quarantine is for damage only: a deadline or cancellation
+        // during verify leaves a perfectly healthy entry behind.
+        if (verified.code() == StatusCode::CorruptData)
+            cache->quarantine(key, verified.str());
+        *status = verified;
+        return nullptr;
+    }
+
+    std::shared_ptr<TraceStoreReader> shared = std::move(opened);
+    {
+        std::lock_guard<std::mutex> lock(readersMu);
+        readers[digest] = ReaderEntry{shared, ++readerClock};
+        // LRU-cap the open mmaps; in-flight replays keep their reader
+        // alive through their shared_ptr.
+        while (readers.size() > cfg.maxOpenReaders) {
+            auto victim = readers.begin();
+            for (auto it = readers.begin(); it != readers.end(); ++it) {
+                if (it->second.lastUse < victim->second.lastUse)
+                    victim = it;
+            }
+            readers.erase(victim);
+        }
+        openReaders.set(static_cast<double>(readers.size()));
+    }
+    *status = Status();
+    return shared;
+}
+
+void
+ServeServer::dropReader(const std::string &digest)
+{
+    static obs::Gauge &openReaders = obs::gauge("serve.open_readers");
+    std::lock_guard<std::mutex> lock(readersMu);
+    readers.erase(digest);
+    openReaders.set(static_cast<double>(readers.size()));
+}
+
+} // namespace bpnsp::serve

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * `bpnsp_served`'s engine: a concurrent trace/simulation query service
+ * over the shared mmap'd trace store corpus.
+ *
+ * Architecture (see DESIGN.md "Serving"):
+ *
+ *  - One I/O thread owns accept() on the UNIX-domain listener (plus an
+ *    optional loopback TCP listener behind a flag) and a poll() loop
+ *    over every live connection. It assembles length-prefixed frames
+ *    incrementally, validates magic/version/length *before* buffering
+ *    a payload, verifies the payload checksum, and decodes requests.
+ *    Malformed input of any kind — truncated frame, oversized length
+ *    prefix, corrupt checksum, mid-frame disconnect — produces a clean
+ *    Status, a best-effort Error reply, and a closed connection; never
+ *    a crash.
+ *  - Admission is a bounded FIFO queue. When it is full the request is
+ *    answered *immediately* with RESOURCE_EXHAUSTED (serve.rejected)
+ *    instead of buffering without bound: backpressure is explicit, and
+ *    the server's memory stays bounded under any offered load.
+ *  - A fixed pool of worker threads pops requests. A worker that pops
+ *    a Simulate request batches it with queued Simulate requests for
+ *    the *same trace slice* (same workload/input/instructions/[a,b),
+ *    no deadline): one replay pass over the shared mmap'd store drives
+ *    all of their predictor sims through a fanout (serve.batch_size).
+ *    The in-memory decoded-chunk LRU (tracestore/chunk_cache.hpp)
+ *    sits below this, so even unbatchable requests on a hot trace skip
+ *    the varint decode.
+ *  - Each request runs under its own CancelToken carrying the
+ *    client-supplied deadline, parented to the server's stop token —
+ *    deliberately *not* to the process-global signal token, so a
+ *    SIGTERM drain lets in-flight requests finish while the listener
+ *    is already closed. stop() fires the stop token for a hard cut.
+ *  - Cold traces are materialized on demand through the canonical
+ *    runWorkloadTrace() path (recorded + atomically published to the
+ *    on-disk cache), serialized per digest so concurrent requests for
+ *    the same cold trace generate it once.
+ *
+ * Thread-safety: start(), drain(), and stop() are for the owning
+ * thread; everything else is internal.
+ */
+
+#ifndef BPNSP_SERVE_SERVER_HPP
+#define BPNSP_SERVE_SERVER_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "tracestore/cache.hpp"
+#include "tracestore/store.hpp"
+#include "util/cancel.hpp"
+#include "util/status.hpp"
+#include "workloads/workload.hpp"
+
+namespace bpnsp::serve {
+
+/** Everything a server needs. */
+struct ServeConfig
+{
+    std::string socketPath;    ///< UNIX-domain socket (required)
+    int tcpPort = 0;           ///< optional loopback TCP (0 = off)
+    unsigned workers = 4;      ///< fixed worker pool size
+    size_t queueDepth = 64;    ///< bounded admission queue
+    unsigned maxBatch = 8;     ///< max Simulate requests per batch
+    std::string traceCacheDir; ///< on-disk corpus (required)
+    size_t maxOpenReaders = 32; ///< mmap'd reader LRU cap
+};
+
+/** The serving engine. */
+class ServeServer
+{
+  public:
+    explicit ServeServer(ServeConfig config);
+    ~ServeServer();
+
+    ServeServer(const ServeServer &) = delete;
+    ServeServer &operator=(const ServeServer &) = delete;
+
+    /**
+     * Bind, listen, and spawn the I/O thread plus the worker pool.
+     * InvalidArgument for a missing socket path or trace cache dir,
+     * IoError when the OS refuses the socket.
+     */
+    Status start();
+
+    /**
+     * Graceful drain: close the listeners (no new connections, no new
+     * requests), let the queue empty and in-flight requests finish,
+     * then shut the pool down and close every connection. Idempotent.
+     */
+    void drain();
+
+    /**
+     * Hard stop: fire the stop token (cancelling in-flight requests at
+     * their next poll), then drain the machinery. Idempotent.
+     */
+    void stop();
+
+    bool running() const { return started && !stopped; }
+
+    const ServeConfig &config() const { return cfg; }
+
+    /** The bound TCP port (0 when TCP is off); valid after start(). */
+    int boundTcpPort() const { return tcpPortBound; }
+
+  private:
+    struct Conn;
+    struct Pending;
+
+    // --- I/O side (io thread) ---
+    void ioLoop();
+    void acceptOne(int listen_fd);
+    void readConn(const std::shared_ptr<Conn> &conn);
+    void parseFrames(const std::shared_ptr<Conn> &conn);
+    void admit(const std::shared_ptr<Conn> &conn,
+               const FrameHeader &header, ServeRequest request);
+
+    // --- worker side ---
+    void workerLoop();
+    std::vector<Pending> popBatch();
+    void execute(std::vector<Pending> batch);
+    void executeSimulateBatch(std::vector<Pending> &batch);
+    ServeReply executeBranchStats(const ServeRequest &request);
+    ServeReply executeH2p(const ServeRequest &request);
+    ServeReply executeMaterialize(const ServeRequest &request);
+
+    // --- shared helpers ---
+    void sendReply(const std::shared_ptr<Conn> &conn,
+                   uint64_t request_id, const ServeReply &reply);
+    void sendError(const std::shared_ptr<Conn> &conn,
+                   uint64_t request_id, WireCode code,
+                   const std::string &message);
+    void closeConn(const std::shared_ptr<Conn> &conn);
+
+    /** Non-fatal workload lookup (nullptr when unknown). */
+    const Workload *findServableWorkload(const std::string &name);
+
+    /** Validate the common request fields; Ok or InvalidArgument. */
+    Status validateRequest(const ServeRequest &request,
+                           const Workload **workload_out);
+
+    /**
+     * The open reader for (workload, input, instructions),
+     * materializing and publishing the trace first when cold.
+     */
+    std::shared_ptr<TraceStoreReader>
+    ensureReader(const Workload &workload, const ServeRequest &request,
+                 Status *status);
+
+    void dropReader(const std::string &digest);
+
+    ServeConfig cfg;
+    bool started = false;
+    bool stopped = false;
+    int tcpPortBound = 0;
+
+    std::vector<int> listenFds;
+    int wakePipe[2] = {-1, -1};   ///< self-pipe to nudge poll()
+
+    std::thread ioThread;
+    std::vector<std::thread> workerThreads;
+
+    std::atomic<bool> acceptingFlag{true};
+    std::atomic<bool> quitFlag{false};     ///< workers + io exit
+    CancelToken stopToken;                 ///< in-flight hard cut
+
+    // Connections are owned by the io thread; workers hold shared_ptrs
+    // only long enough to write replies.
+    std::vector<std::shared_ptr<Conn>> conns;
+
+    std::mutex queueMu;
+    std::condition_variable queueCv;       ///< workers wait here
+    std::condition_variable idleCv;        ///< drain() waits here
+    std::deque<Pending> queue;
+    unsigned inFlight = 0;                 ///< popped, not yet replied
+
+    std::mutex readersMu;
+    struct ReaderEntry
+    {
+        std::shared_ptr<TraceStoreReader> reader;
+        uint64_t lastUse = 0;
+    };
+    std::map<std::string, ReaderEntry> readers;   ///< digest -> entry
+    uint64_t readerClock = 0;
+    std::map<std::string, std::shared_ptr<std::mutex>> genMutexes;
+
+    std::unique_ptr<TraceCache> cache;
+    std::vector<Workload> workloadsCatalog;       ///< loaded at start
+};
+
+} // namespace bpnsp::serve
+
+#endif // BPNSP_SERVE_SERVER_HPP

@@ -456,6 +456,30 @@ TraceStoreReader::decodeChunkRetrying(uint64_t index,
 }
 
 Status
+TraceStoreReader::chunkViaCache(uint64_t index, DecodedChunk *out) const
+{
+    // The on-disk payload checksum guards the cache key: a chunk
+    // rewritten under the same path (quarantine + regeneration) can
+    // never serve a stale decode.
+    const ChunkInfo &info = chunks.at(index);
+    StoreChunkHeader hdr{};
+    std::memcpy(&hdr, base + info.offset, sizeof(hdr));
+
+    DecodedChunkCache &cache = DecodedChunkCache::instance();
+    if (DecodedChunk cached = cache.lookup(path, index, hdr.checksum);
+        cached != nullptr) {
+        *out = std::move(cached);
+        return Status();
+    }
+    auto fresh = std::make_shared<std::vector<TraceRecord>>();
+    if (Status st = decodeChunkRetrying(index, *fresh); !st.ok())
+        return st;
+    *out = std::move(fresh);
+    cache.insert(path, index, hdr.checksum, *out);
+    return Status();
+}
+
+Status
 TraceStoreReader::verify() const
 {
     static obs::Histogram &verifyNs =
@@ -519,6 +543,7 @@ TraceStoreReader::replayRange(uint64_t first, uint64_t n,
     // deadline or interrupt never waits on more than one decode, and
     // cheap enough (one relaxed load between decodes) to never matter.
     CancelToken *cancel = currentCancelToken();
+    const bool viaCache = DecodedChunkCache::instance().enabled();
     std::vector<TraceRecord> buffer;
     uint64_t remaining = n;
     uint64_t cursor = first;
@@ -526,13 +551,20 @@ TraceStoreReader::replayRange(uint64_t first, uint64_t n,
         Status st = cancel->check();
         if (!st.ok())
             return st;
-        st = decodeChunkRetrying(c, buffer);
+        DecodedChunk shared;
+        if (viaCache) {
+            st = chunkViaCache(c, &shared);
+        } else {
+            st = decodeChunkRetrying(c, buffer);
+        }
         if (!st.ok())
             return st;
+        const std::vector<TraceRecord> &records =
+            viaCache ? *shared : buffer;
         const uint64_t skip = cursor - chunks[c].firstRecord;
         for (uint64_t i = skip;
-             i < buffer.size() && remaining > 0; ++i) {
-            sink.onRecord(buffer[i]);
+             i < records.size() && remaining > 0; ++i) {
+            sink.onRecord(records[i]);
             ++cursor;
             --remaining;
         }

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "tracestore/chunk_cache.hpp"
 #include "tracestore/format.hpp"
 #include "trace/sink.hpp"
 #include "util/status.hpp"
@@ -187,6 +188,14 @@ class TraceStoreReader
      */
     Status decodeChunkRetrying(uint64_t index,
                                std::vector<TraceRecord> &out) const;
+
+    /**
+     * Chunk `index` through the process-wide DecodedChunkCache: a hit
+     * streams the shared in-memory decode, a miss decodes (with
+     * retries) and publishes it for the next replay. Only consulted
+     * when the cache is enabled; batch binaries keep the plain path.
+     */
+    Status chunkViaCache(uint64_t index, DecodedChunk *out) const;
 
     /** Checksum chunk `index` (bit-flip failpoint included). */
     Status checksumChunkAt(uint64_t index) const;

@@ -1,0 +1,853 @@
+/**
+ * @file
+ * Tests for the serving subsystem: bpnsp-serve-v1 protocol round
+ * trips, frame-decoder hardening against malformed and truncated
+ * input, server request semantics (validation, deadlines,
+ * backpressure, drain), bit-identity of served results against direct
+ * in-process runs under concurrent clients, and the serve.* fault
+ * injection points.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "bp/factory.hpp"
+#include "bp/sim.hpp"
+#include "core/runner.hpp"
+#include "faultsim/faultsim.hpp"
+#include "obs/metrics.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "tracestore/chunk_cache.hpp"
+#include "util/status.hpp"
+#include "workloads/suite.hpp"
+
+using namespace bpnsp;
+using namespace bpnsp::serve;
+
+namespace {
+
+/** Fresh scratch directory per test; removed on destruction. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const char *tag)
+        : path(std::string(::testing::TempDir()) + "bpnsp_serve_" +
+               tag)
+    {
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+
+    ~ScratchDir()
+    {
+        std::error_code ec;
+        std::filesystem::remove_all(path, ec);
+    }
+
+    std::string
+    file(const std::string &name) const
+    {
+        return path + "/" + name;
+    }
+
+    const std::string path;
+};
+
+constexpr uint64_t kTraceLen = 120000;
+
+ServeRequest
+simulateRequest(const std::string &predictor, uint64_t first = 0,
+                uint64_t count = 0)
+{
+    ServeRequest request;
+    request.type = MessageType::Simulate;
+    request.workload = "mcf_like";
+    request.inputIdx = 0;
+    request.instructions = kTraceLen;
+    request.predictor = predictor;
+    request.first = first;
+    request.count = count;
+    return request;
+}
+
+/** Direct in-process result of one whole-trace run (canonical path). */
+struct DirectResult
+{
+    uint64_t condExecs = 0;
+    uint64_t condMispreds = 0;
+    uint64_t accuracyBits = 0;
+};
+
+DirectResult
+directRun(const std::string &predictor)
+{
+    const Workload workload = findWorkload("mcf_like");
+    auto bp = makePredictor(predictor);
+    PredictorSim sim(*bp, /*collect_per_branch=*/false);
+    const uint64_t got =
+        runWorkloadTrace(workload, 0, {&sim}, kTraceLen);
+    EXPECT_EQ(got, kTraceLen);
+    return {sim.condExecs(), sim.condMispreds(),
+            doubleBits(sim.accuracy())};
+}
+
+/** Server + scratch corpus fixture. */
+class ServeTest : public ::testing::Test
+{
+  protected:
+    void
+    startServer(unsigned workers = 2, size_t queue_depth = 32,
+                unsigned max_batch = 8)
+    {
+        scratch = std::make_unique<ScratchDir>(
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()
+                ->name());
+        ServeConfig config;
+        config.socketPath = scratch->file("s.sock");
+        config.workers = workers;
+        config.queueDepth = queue_depth;
+        config.maxBatch = max_batch;
+        config.traceCacheDir = scratch->file("cache");
+        server = std::make_unique<ServeServer>(std::move(config));
+        ASSERT_TRUE(server->start().ok());
+    }
+
+    void
+    TearDown() override
+    {
+        faultsim::reset();
+        DecodedChunkCache::instance().setCapacityBytes(0);
+        if (server != nullptr)
+            server->stop();
+    }
+
+    const std::string &
+    socketPath() const
+    {
+        return server->config().socketPath;
+    }
+
+    std::unique_ptr<ScratchDir> scratch;
+    std::unique_ptr<ServeServer> server;
+};
+
+/** Raw connected UNIX socket for wire-level hardening tests. */
+class RawConn
+{
+  public:
+    explicit RawConn(const std::string &path)
+    {
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        struct sockaddr_un addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(fd,
+                      reinterpret_cast<struct sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd);
+            fd = -1;
+        }
+    }
+
+    ~RawConn()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+
+    bool ok() const { return fd >= 0; }
+
+    void
+    send(const std::vector<uint8_t> &bytes)
+    {
+        ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+                  static_cast<ssize_t>(bytes.size()));
+    }
+
+    /** Read one reply frame; false on EOF/timeout. */
+    bool
+    recvFrame(FrameHeader *header, std::vector<uint8_t> *payload)
+    {
+        struct timeval tv = {5, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        uint8_t hdr[kFrameHeaderBytes];
+        size_t off = 0;
+        while (off < sizeof(hdr)) {
+            const ssize_t n =
+                ::recv(fd, hdr + off, sizeof(hdr) - off, 0);
+            if (n <= 0)
+                return false;
+            off += static_cast<size_t>(n);
+        }
+        if (!parseFrameHeader(hdr, sizeof(hdr), header).ok())
+            return false;
+        payload->resize(header->payloadLen);
+        off = 0;
+        while (off < payload->size()) {
+            const ssize_t n = ::recv(fd, payload->data() + off,
+                                     payload->size() - off, 0);
+            if (n <= 0)
+                return false;
+            off += static_cast<size_t>(n);
+        }
+        return true;
+    }
+
+    /** True when the server closed this connection. */
+    bool
+    closedByPeer()
+    {
+        struct timeval tv = {5, 0};
+        ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+        uint8_t byte;
+        return ::recv(fd, &byte, 1, 0) == 0;
+    }
+
+    int fd = -1;
+};
+
+uint64_t
+counterValue(const char *name)
+{
+    return obs::Registry::instance().counterValue(name);
+}
+
+// --- protocol round trips --------------------------------------------
+
+TEST(ServeProtocol, FrameHeaderRoundTrip)
+{
+    std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+    std::vector<uint8_t> frame;
+    ASSERT_TRUE(encodeFrame(MessageType::Simulate, 42, payload, &frame)
+                    .ok());
+    ASSERT_EQ(frame.size(), kFrameHeaderBytes + payload.size());
+
+    FrameHeader header;
+    ASSERT_TRUE(
+        parseFrameHeader(frame.data(), frame.size(), &header).ok());
+    EXPECT_EQ(header.magic, kFrameMagic);
+    EXPECT_EQ(header.version, kProtocolVersion);
+    EXPECT_EQ(static_cast<MessageType>(header.type),
+              MessageType::Simulate);
+    EXPECT_EQ(header.requestId, 42u);
+    EXPECT_EQ(header.payloadLen, payload.size());
+    EXPECT_TRUE(
+        verifyFramePayload(header, frame.data() + kFrameHeaderBytes)
+            .ok());
+}
+
+TEST(ServeProtocol, RequestPayloadRoundTrip)
+{
+    ServeRequest request = simulateRequest("gshare", 100, 5000);
+    request.deadlineMs = 250;
+    const std::vector<uint8_t> payload = encodeRequestPayload(request);
+    ServeRequest out;
+    ASSERT_TRUE(decodeRequestPayload(MessageType::Simulate,
+                                     payload.data(), payload.size(),
+                                     &out)
+                    .ok());
+    EXPECT_EQ(out.workload, request.workload);
+    EXPECT_EQ(out.inputIdx, request.inputIdx);
+    EXPECT_EQ(out.instructions, request.instructions);
+    EXPECT_EQ(out.predictor, request.predictor);
+    EXPECT_EQ(out.first, request.first);
+    EXPECT_EQ(out.count, request.count);
+    EXPECT_EQ(out.deadlineMs, request.deadlineMs);
+}
+
+TEST(ServeProtocol, ReplyPayloadRoundTrip)
+{
+    ServeReply reply;
+    reply.type = MessageType::SimulateReply;
+    reply.delivered = kTraceLen;
+    reply.condExecs = 12345;
+    reply.condMispreds = 678;
+    reply.accuracyBits = doubleBits(0.9451234567890123);
+    const std::vector<uint8_t> payload = encodeReplyPayload(reply);
+    ServeReply out;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::SimulateReply,
+                                   payload.data(), payload.size(),
+                                   &out)
+                    .ok());
+    EXPECT_EQ(out.condExecs, reply.condExecs);
+    EXPECT_EQ(out.condMispreds, reply.condMispreds);
+    EXPECT_EQ(out.accuracyBits, reply.accuracyBits);
+    EXPECT_DOUBLE_EQ(bitsDouble(out.accuracyBits),
+                     0.9451234567890123);
+}
+
+TEST(ServeProtocol, TrailingBytesAreIgnoredWithinV1)
+{
+    // The v1 compat rule: payloads grow at the end, decoders ignore
+    // what they do not know.
+    ServeRequest request = simulateRequest("gshare");
+    std::vector<uint8_t> payload = encodeRequestPayload(request);
+    payload.push_back(0xAB);
+    payload.push_back(0xCD);
+    ServeRequest out;
+    EXPECT_TRUE(decodeRequestPayload(MessageType::Simulate,
+                                     payload.data(), payload.size(),
+                                     &out)
+                    .ok());
+    EXPECT_EQ(out.predictor, "gshare");
+}
+
+// --- frame-decoder hardening (no sockets) ----------------------------
+
+TEST(ServeProtocol, TruncatedHeaderIsRefused)
+{
+    std::vector<uint8_t> frame;
+    ASSERT_TRUE(encodeFrame(MessageType::Ping, 1, {}, &frame).ok());
+    FrameHeader header;
+    for (size_t len = 0; len < kFrameHeaderBytes; ++len)
+        EXPECT_FALSE(
+            parseFrameHeader(frame.data(), len, &header).ok());
+}
+
+TEST(ServeProtocol, BadMagicIsRefused)
+{
+    std::vector<uint8_t> frame;
+    ASSERT_TRUE(encodeFrame(MessageType::Ping, 1, {}, &frame).ok());
+    frame[0] ^= 0xFF;
+    FrameHeader header;
+    const Status st =
+        parseFrameHeader(frame.data(), frame.size(), &header);
+    EXPECT_EQ(st.code(), StatusCode::CorruptData);
+}
+
+TEST(ServeProtocol, UnsupportedVersionIsRefused)
+{
+    std::vector<uint8_t> frame;
+    ASSERT_TRUE(encodeFrame(MessageType::Ping, 1, {}, &frame).ok());
+    frame[4] = 99;   // version word
+    FrameHeader header;
+    EXPECT_FALSE(
+        parseFrameHeader(frame.data(), frame.size(), &header).ok());
+}
+
+TEST(ServeProtocol, OversizedLengthPrefixIsRefusedBeforeBuffering)
+{
+    std::vector<uint8_t> frame;
+    ASSERT_TRUE(encodeFrame(MessageType::Ping, 1, {}, &frame).ok());
+    const uint32_t huge = kMaxFramePayload + 1;
+    std::memcpy(frame.data() + 16, &huge, sizeof(huge));
+    FrameHeader header;
+    EXPECT_FALSE(
+        parseFrameHeader(frame.data(), frame.size(), &header).ok());
+}
+
+TEST(ServeProtocol, CorruptChecksumIsDetected)
+{
+    const std::vector<uint8_t> payload = {10, 20, 30};
+    std::vector<uint8_t> frame;
+    ASSERT_TRUE(
+        encodeFrame(MessageType::Simulate, 7, payload, &frame).ok());
+    frame[kFrameHeaderBytes + 1] ^= 0x01;   // flip one payload bit
+    FrameHeader header;
+    ASSERT_TRUE(
+        parseFrameHeader(frame.data(), frame.size(), &header).ok());
+    const Status st =
+        verifyFramePayload(header, frame.data() + kFrameHeaderBytes);
+    EXPECT_EQ(st.code(), StatusCode::CorruptData);
+}
+
+TEST(ServeProtocol, MalformedPayloadNeverCrashesDecoder)
+{
+    // Adversarial bytes into every request decoder: must produce a
+    // Status, never a crash or an unbounded allocation.
+    std::vector<uint8_t> junk(64);
+    for (size_t i = 0; i < junk.size(); ++i)
+        junk[i] = static_cast<uint8_t>(i * 37 + 11);
+    for (const MessageType type :
+         {MessageType::Simulate, MessageType::BranchStats,
+          MessageType::H2p, MessageType::Materialize}) {
+        ServeRequest out;
+        for (size_t len = 0; len <= junk.size(); ++len)
+            decodeRequestPayload(type, junk.data(), len, &out);
+    }
+    // A reply whose row count claims more than the payload holds is
+    // refused without allocating for the claimed count.
+    ServeReply reply;
+    reply.type = MessageType::BranchStatsReply;
+    std::vector<uint8_t> payload = encodeReplyPayload(reply);
+    const uint32_t lying = 0x00FFFFFF;
+    std::memcpy(payload.data() + payload.size() - 4, &lying, 4);
+    ServeReply out;
+    const Status st =
+        decodeReplyPayload(MessageType::BranchStatsReply,
+                           payload.data(), payload.size(), &out);
+    EXPECT_EQ(st.code(), StatusCode::CorruptData);
+    EXPECT_TRUE(out.branches.empty());
+}
+
+// --- server behavior -------------------------------------------------
+
+TEST_F(ServeTest, PingAndServerInfo)
+{
+    startServer();
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+    std::string info;
+    ASSERT_TRUE(client.ping(&info).ok());
+    EXPECT_NE(info.find("bpnsp-serve-v1"), std::string::npos);
+}
+
+TEST_F(ServeTest, SimulateMatchesDirectRunBitForBit)
+{
+    startServer();
+    // Expected values from the canonical in-process path, through the
+    // same trace cache directory the server serves from.
+    setTraceCacheDir(scratch->file("cache"));
+    const DirectResult gshare = directRun("gshare");
+    const DirectResult bimodal = directRun("bimodal");
+
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+    for (const auto &[predictor, expect] :
+         {std::pair<std::string, DirectResult>{"gshare", gshare},
+          {"bimodal", bimodal}}) {
+        ServeReply reply;
+        ASSERT_TRUE(
+            client.call(simulateRequest(predictor), &reply).ok());
+        ASSERT_EQ(reply.code, WireCode::Ok) << reply.message;
+        EXPECT_EQ(reply.delivered, kTraceLen);
+        EXPECT_EQ(reply.condExecs, expect.condExecs);
+        EXPECT_EQ(reply.condMispreds, expect.condMispreds);
+        // Bit-identical, not approximately equal.
+        EXPECT_EQ(reply.accuracyBits, expect.accuracyBits);
+    }
+}
+
+TEST_F(ServeTest, ConcurrentClientsAllMatchDirectRuns)
+{
+    startServer(/*workers=*/3, /*queue_depth=*/64, /*max_batch=*/4);
+    setTraceCacheDir(scratch->file("cache"));
+    const DirectResult gshare = directRun("gshare");
+    const DirectResult bimodal = directRun("bimodal");
+
+    // N concurrent clients mixing two predictors over the same trace:
+    // the server batches same-slice requests into shared replay
+    // passes, and every reply must still be bit-identical to the
+    // direct run.
+    constexpr unsigned kClients = 6;
+    constexpr unsigned kRequestsEach = 3;
+    std::atomic<unsigned> failures{0};
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            ServeClient client;
+            if (!client.connectUnix(socketPath()).ok()) {
+                ++failures;
+                return;
+            }
+            for (unsigned i = 0; i < kRequestsEach; ++i) {
+                const bool useGshare = (c + i) % 2 == 0;
+                const DirectResult &expect =
+                    useGshare ? gshare : bimodal;
+                ServeReply reply;
+                if (!client
+                         .call(simulateRequest(useGshare ? "gshare"
+                                                         : "bimodal"),
+                               &reply)
+                         .ok() ||
+                    reply.code != WireCode::Ok ||
+                    reply.condExecs != expect.condExecs ||
+                    reply.condMispreds != expect.condMispreds ||
+                    reply.accuracyBits != expect.accuracyBits) {
+                    ++failures;
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(failures.load(), 0u);
+    // Drain first: workers bump serve.completed after sending the
+    // reply, so the counter settles only once in-flight work is done.
+    server->drain();
+    EXPECT_GE(counterValue("serve.completed"),
+              kClients * kRequestsEach);
+}
+
+TEST_F(ServeTest, SlicedSimulateMatchesDirectSlice)
+{
+    startServer();
+    setTraceCacheDir(scratch->file("cache"));
+    // Materialize, then compute the expected slice result directly.
+    directRun("gshare");
+    const Workload workload = findWorkload("mcf_like");
+    const uint64_t first = 30000, count = 50000;
+
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+    ServeReply reply;
+    ASSERT_TRUE(
+        client.call(simulateRequest("gshare", first, count), &reply)
+            .ok());
+    ASSERT_EQ(reply.code, WireCode::Ok) << reply.message;
+    EXPECT_EQ(reply.delivered, count);
+
+    const TraceCacheKey key{workload.name,
+                            workload.inputs.at(0).label,
+                            workload.inputs.at(0).seed, kTraceLen};
+    const TraceCache cache(scratch->file("cache"));
+    Status st;
+    auto reader = TraceStoreReader::open(cache.entryPath(key), &st);
+    ASSERT_NE(reader, nullptr) << st.str();
+    auto bp = makePredictor("gshare");
+    PredictorSim sim(*bp, false);
+    ASSERT_TRUE(reader->replayRange(first, count, sim).ok());
+    EXPECT_EQ(reply.condExecs, sim.condExecs());
+    EXPECT_EQ(reply.condMispreds, sim.condMispreds());
+    EXPECT_EQ(reply.accuracyBits, doubleBits(sim.accuracy()));
+}
+
+TEST_F(ServeTest, InvalidRequestsGetCleanErrorsAndConnectionSurvives)
+{
+    startServer();
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+
+    ServeRequest request = simulateRequest("gshare");
+    request.workload = "no_such_workload";
+    ServeReply reply;
+    ASSERT_TRUE(client.call(request, &reply).ok());
+    EXPECT_EQ(reply.code, WireCode::InvalidArgument);
+
+    request = simulateRequest("no_such_predictor");
+    ASSERT_TRUE(client.call(request, &reply).ok());
+    EXPECT_EQ(reply.code, WireCode::InvalidArgument);
+
+    request = simulateRequest("gshare");
+    request.inputIdx = 999;
+    ASSERT_TRUE(client.call(request, &reply).ok());
+    EXPECT_EQ(reply.code, WireCode::InvalidArgument);
+
+    request = simulateRequest("gshare", kTraceLen + 1, 0);
+    ASSERT_TRUE(client.call(request, &reply).ok());
+    EXPECT_EQ(reply.code, WireCode::InvalidArgument);
+
+    request = simulateRequest("gshare");
+    request.instructions = 0;
+    ASSERT_TRUE(client.call(request, &reply).ok());
+    EXPECT_EQ(reply.code, WireCode::InvalidArgument);
+
+    // After all that abuse the connection still serves real work.
+    std::string info;
+    EXPECT_TRUE(client.ping(&info).ok());
+}
+
+TEST_F(ServeTest, BranchStatsAndH2pReplies)
+{
+    startServer();
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+
+    ServeRequest request;
+    request.type = MessageType::BranchStats;
+    request.workload = "mcf_like";
+    request.instructions = kTraceLen;
+    request.predictor = "gshare";
+    request.topK = 5;
+    ServeReply reply;
+    ASSERT_TRUE(client.call(request, &reply).ok());
+    ASSERT_EQ(reply.code, WireCode::Ok) << reply.message;
+    EXPECT_EQ(reply.delivered, kTraceLen);
+    EXPECT_GT(reply.condExecs, 0u);
+    ASSERT_LE(reply.branches.size(), 5u);
+    ASSERT_FALSE(reply.branches.empty());
+    // Rows arrive most-mispredicted first.
+    for (size_t i = 1; i < reply.branches.size(); ++i)
+        EXPECT_GE(reply.branches[i - 1].mispreds,
+                  reply.branches[i].mispreds);
+
+    request.type = MessageType::H2p;
+    request.predictor = "tage-sc-l-8KB";
+    request.sliceLength = 30000;
+    ASSERT_TRUE(client.call(request, &reply).ok());
+    ASSERT_EQ(reply.code, WireCode::Ok) << reply.message;
+    EXPECT_EQ(reply.slices, 4u);   // 120000 / 30000
+    // IPs arrive sorted ascending.
+    for (size_t i = 1; i < reply.h2pIps.size(); ++i)
+        EXPECT_LT(reply.h2pIps[i - 1], reply.h2pIps[i]);
+}
+
+TEST_F(ServeTest, MaterializePublishesIntoTheCorpus)
+{
+    startServer();
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+    ServeRequest request;
+    request.type = MessageType::Materialize;
+    request.workload = "xz_like";
+    request.instructions = 60000;
+    ServeReply reply;
+    ASSERT_TRUE(client.call(request, &reply).ok());
+    ASSERT_EQ(reply.code, WireCode::Ok) << reply.message;
+    EXPECT_EQ(reply.records, 60000u);
+    EXPECT_FALSE(reply.digest.empty());
+    EXPECT_TRUE(std::filesystem::exists(reply.path));
+}
+
+TEST_F(ServeTest, BackpressureRejectsWithResourceExhausted)
+{
+    // One stalled worker, a queue of one: a burst must overflow the
+    // admission queue and be rejected, not buffered without bound.
+    startServer(/*workers=*/1, /*queue_depth=*/1);
+    ASSERT_TRUE(faultsim::configure("serve.worker.stall").ok());
+
+    const uint64_t rejectedBefore = counterValue("serve.rejected");
+    constexpr unsigned kBurst = 12;
+    std::atomic<unsigned> rejected{0}, okOrOther{0};
+    std::vector<std::thread> threads;
+    for (unsigned c = 0; c < kBurst; ++c) {
+        threads.emplace_back([&] {
+            ServeClient client;
+            if (!client.connectUnix(socketPath()).ok())
+                return;
+            ServeReply reply;
+            if (!client.call(simulateRequest("gshare"), &reply).ok())
+                return;
+            if (reply.code == WireCode::ResourceExhausted)
+                ++rejected;
+            else
+                ++okOrOther;
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_GT(rejected.load(), 0u);
+    EXPECT_GT(okOrOther.load(), 0u);   // the queue still served some
+    EXPECT_GT(counterValue("serve.rejected"), rejectedBefore);
+}
+
+TEST_F(ServeTest, DeadlineExceededOnSlowRequest)
+{
+    startServer();
+    setTraceCacheDir(scratch->file("cache"));
+    directRun("gshare");   // materialize so the deadline hits replay
+
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+    ServeRequest request = simulateRequest("tage-sc-l-64KB");
+    request.deadlineMs = 1;
+    ServeReply reply;
+    ASSERT_TRUE(client.call(request, &reply).ok());
+    EXPECT_EQ(reply.code, WireCode::DeadlineExceeded)
+        << wireCodeName(reply.code) << ": " << reply.message;
+}
+
+TEST_F(ServeTest, MidFrameDisconnectIsHandledCleanly)
+{
+    startServer();
+    const uint64_t resetsBefore = counterValue("serve.conn_resets");
+    {
+        RawConn raw(socketPath());
+        ASSERT_TRUE(raw.ok());
+        std::vector<uint8_t> frame;
+        ASSERT_TRUE(encodeFrame(MessageType::Simulate, 9,
+                                encodeRequestPayload(
+                                    simulateRequest("gshare")),
+                                &frame)
+                        .ok());
+        frame.resize(kFrameHeaderBytes + 3);   // truncate mid-frame
+        raw.send(frame);
+        // Destructor closes the socket: a disconnect mid-frame.
+    }
+    // The server must survive and keep serving.
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+    std::string info;
+    EXPECT_TRUE(client.ping(&info).ok());
+    EXPECT_GT(counterValue("serve.conn_resets"), resetsBefore);
+}
+
+TEST_F(ServeTest, GarbageBytesGetErrorReplyAndClose)
+{
+    startServer();
+    RawConn raw(socketPath());
+    ASSERT_TRUE(raw.ok());
+    std::vector<uint8_t> garbage(kFrameHeaderBytes, 0x5A);
+    raw.send(garbage);
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(raw.recvFrame(&header, &payload));
+    EXPECT_EQ(static_cast<MessageType>(header.type),
+              MessageType::Error);
+    EXPECT_TRUE(raw.closedByPeer());
+
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+    std::string info;
+    EXPECT_TRUE(client.ping(&info).ok());
+}
+
+TEST_F(ServeTest, CorruptChecksumOnWireGetsCorruptDataAndClose)
+{
+    startServer();
+    const uint64_t corruptBefore = counterValue("serve.frames_corrupt");
+    RawConn raw(socketPath());
+    ASSERT_TRUE(raw.ok());
+    std::vector<uint8_t> frame;
+    ASSERT_TRUE(encodeFrame(MessageType::Simulate, 11,
+                            encodeRequestPayload(
+                                simulateRequest("gshare")),
+                            &frame)
+                    .ok());
+    frame[kFrameHeaderBytes] ^= 0x40;   // corrupt payload, stale crc
+    raw.send(frame);
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(raw.recvFrame(&header, &payload));
+    EXPECT_EQ(static_cast<MessageType>(header.type),
+              MessageType::Error);
+    ServeReply reply;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::Error, payload.data(),
+                                   payload.size(), &reply)
+                    .ok());
+    EXPECT_EQ(reply.code, WireCode::CorruptData);
+    EXPECT_TRUE(raw.closedByPeer());
+    EXPECT_GT(counterValue("serve.frames_corrupt"), corruptBefore);
+}
+
+TEST_F(ServeTest, FrameCorruptFailpointFiresTheSamePath)
+{
+    startServer();
+    ASSERT_TRUE(faultsim::configure("serve.frame.corrupt*1").ok());
+    const uint64_t corruptBefore = counterValue("serve.frames_corrupt");
+
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+    ServeReply reply;
+    const Status st = client.call(simulateRequest("gshare"), &reply);
+    // The injected flip surfaces as a CorruptData error reply (and the
+    // server closes the connection afterwards).
+    if (st.ok()) {
+        EXPECT_EQ(reply.code, WireCode::CorruptData);
+    }
+    EXPECT_GT(counterValue("serve.frames_corrupt"), corruptBefore);
+
+    // One fire only: a fresh connection works.
+    ServeClient again;
+    ASSERT_TRUE(again.connectUnix(socketPath()).ok());
+    std::string info;
+    EXPECT_TRUE(again.ping(&info).ok());
+}
+
+TEST_F(ServeTest, AcceptFailpointDropsOneConnection)
+{
+    startServer();
+    ASSERT_TRUE(faultsim::configure("serve.accept.fail*1").ok());
+    // The first connection is accepted then immediately closed.
+    {
+        RawConn raw(socketPath());
+        ASSERT_TRUE(raw.ok());
+        EXPECT_TRUE(raw.closedByPeer());
+    }
+    EXPECT_GE(counterValue("serve.accept_failures"), 1u);
+    // The next one is served normally.
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+    std::string info;
+    EXPECT_TRUE(client.ping(&info).ok());
+}
+
+TEST_F(ServeTest, DrainFinishesInFlightThenRefusesNewConnections)
+{
+    startServer(/*workers=*/1);
+    ASSERT_TRUE(faultsim::configure("serve.worker.stall*1").ok());
+
+    // An in-flight (stalled) request issued before the drain...
+    std::atomic<bool> gotReply{false};
+    std::atomic<bool> replyOk{false};
+    std::thread inflight([&] {
+        ServeClient client;
+        if (!client.connectUnix(socketPath()).ok())
+            return;
+        ServeReply reply;
+        if (client.call(simulateRequest("gshare"), &reply).ok()) {
+            gotReply.store(true);
+            replyOk.store(reply.code == WireCode::Ok);
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+    // ...must complete during the graceful drain.
+    server->drain();
+    inflight.join();
+    EXPECT_TRUE(gotReply.load());
+    EXPECT_TRUE(replyOk.load());
+
+    // And the drained server refuses new connections.
+    ServeClient late;
+    EXPECT_FALSE(late.connectUnix(socketPath()).ok());
+    server.reset();   // already drained; destructor is a no-op
+}
+
+TEST_F(ServeTest, LoadGenClosedLoopWithKillsAndVerify)
+{
+    startServer(/*workers=*/3);
+    setTraceCacheDir(scratch->file("cache"));
+    LoadGenConfig cfg;
+    cfg.socketPath = socketPath();
+    cfg.clients = 4;
+    cfg.requestsPerClient = 8;
+    cfg.workload = "mcf_like";
+    cfg.instructions = kTraceLen;
+    cfg.predictors = {"gshare", "bimodal"};
+    cfg.sliceRecords = 40000;
+    cfg.killProb = 0.15;
+    cfg.verify = true;
+    const LoadGenResult result = runLoadGen(cfg);
+    EXPECT_GT(result.ok, 0u);
+    EXPECT_EQ(result.mismatches, 0u);
+    EXPECT_GT(result.killed, 0u);
+    // The server survived the kills and still serves.
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+    std::string info;
+    EXPECT_TRUE(client.ping(&info).ok());
+}
+
+TEST_F(ServeTest, DecodedChunkCacheServesRepeatedReplays)
+{
+    DecodedChunkCache::instance().setCapacityBytes(32 * 1024 * 1024);
+    startServer();
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+
+    ServeReply first;
+    ASSERT_TRUE(
+        client.call(simulateRequest("gshare"), &first).ok());
+    ASSERT_EQ(first.code, WireCode::Ok) << first.message;
+    const uint64_t hitsBefore =
+        counterValue("tracestore.chunk_cache.hits");
+
+    ServeReply second;
+    ASSERT_TRUE(
+        client.call(simulateRequest("bimodal"), &second).ok());
+    ASSERT_EQ(second.code, WireCode::Ok) << second.message;
+    // The second replay of the same store decodes nothing: every
+    // chunk comes from the in-memory LRU.
+    EXPECT_GT(counterValue("tracestore.chunk_cache.hits"),
+              hitsBefore);
+    // And the cached decode changes no results.
+    EXPECT_EQ(first.delivered, second.delivered);
+}
+
+} // namespace
