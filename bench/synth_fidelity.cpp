@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Synthesis-fidelity bench: for every SPEC-like seed workload, fit a
+ * branch-behavior profile, synthesize a seeded program from it, and
+ * measure how closely the synthetic clone tracks its source — MPKI
+ * under the baseline predictor, H2P count under the paper's screening
+ * criteria, and the taken-rate / history-entropy distribution
+ * distances between the source profile and a profile refitted from
+ * the synthesized trace.
+ *
+ * Two trace passes per workload (source and clone), each carrying the
+ * fitter, a TAGE-SC-L 8KB PredictorSim, and the sliced H2P screen as
+ * parallel sinks. Results land in a table and in
+ * bench.synth_fidelity.* gauges, so a --metrics-out run report
+ * (BENCH_synth_fidelity.json) doubles as a perf-trajectory data
+ * point.
+ */
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "synth/fitter.hpp"
+#include "synth/generator.hpp"
+#include "synth/profile.hpp"
+#include "synth/workload.hpp"
+
+using namespace bpnsp;
+using namespace bpnsp::bench;
+
+namespace {
+
+struct FidelityRow
+{
+    std::string workload;
+    double mpkiSrc = 0.0;
+    double mpkiSynth = 0.0;
+    uint64_t h2pSrc = 0;
+    uint64_t h2pSynth = 0;
+    uint64_t staticSrc = 0;
+    uint64_t staticSynth = 0;
+    double takenTvd = 0.0;
+    double entropyTvd = 0.0;
+};
+
+/** One measured pass: profile + MPKI + H2P count for one workload. */
+struct PassResult
+{
+    synth::SynthProfile profile;
+    double mpki = 0.0;
+    uint64_t h2ps = 0;
+};
+
+PassResult
+measure(const Workload &workload, uint64_t instructions,
+        const std::string &profile_name)
+{
+    PassResult out;
+    auto bp = makePredictor("tage-sc-l-8KB");
+    auto screenBp = makePredictor("tage-sc-l-8KB");
+    const uint64_t slice = instructions / 4;
+
+    synth::ProfileFitter fitter;
+    PredictorSim sim(*bp, /*collect_per_branch=*/false);
+    SlicedBranchStats sliced(*screenBp, slice);
+    runWorkloadTrace(workload, 0, {&fitter, &sim, &sliced},
+                     instructions);
+
+    out.profile = fitter.profile(profile_name);
+    out.mpki = sim.mpki();
+    const H2pCriteria criteria = H2pCriteria{}.scaledTo(slice);
+    out.h2ps = summarizeH2ps(sliced, criteria).allH2ps.size();
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    OptionParser opts(
+        "Fitted-vs-synthesized fidelity across the SPEC-like suite.");
+    opts.addInt("instructions", 2000000,
+                "instructions per trace pass (pre-scale)");
+    opts.addInt("seed", 1, "generation seed for the clones");
+    const double scale = parseScale(opts, argc, argv);
+    const uint64_t instructions = static_cast<uint64_t>(
+        static_cast<double>(opts.getInt("instructions")) * scale);
+    const uint64_t seed =
+        static_cast<uint64_t>(opts.getInt("seed"));
+
+    banner("Synthesis fidelity: seed workloads vs their clones",
+           "the Sec. 3 workload characterization methodology");
+
+    std::vector<FidelityRow> rows;
+    for (const Workload &workload : specSuite()) {
+        const PassResult src =
+            measure(workload, instructions, workload.name);
+
+        synth::SynthProfile profile = src.profile;
+        profile.sourceWorkload = workload.name;
+        profile.sourceInput = workload.inputs.front().label;
+        profile.sourceInstructions = instructions;
+
+        const std::string synthName =
+            "synth:" + workload.name + ":" + std::to_string(seed);
+        Workload clone;
+        clone.name = synthName;
+        clone.lcf = workload.lcf;
+        clone.inputs.push_back({"seed-" + std::to_string(seed), seed});
+        const Program program =
+            synth::generateProgram(profile, seed, synthName);
+        clone.builder = [program](uint64_t) { return program; };
+
+        const PassResult synth =
+            measure(clone, instructions, synthName);
+
+        FidelityRow row;
+        row.workload = workload.name;
+        row.mpkiSrc = src.mpki;
+        row.mpkiSynth = synth.mpki;
+        row.h2pSrc = src.h2ps;
+        row.h2pSynth = synth.h2ps;
+        row.staticSrc = src.profile.staticCondBranches;
+        row.staticSynth = synth.profile.staticCondBranches;
+        row.takenTvd = synth::distSpecDistance(src.profile.takenRate,
+                                               synth.profile.takenRate);
+        row.entropyTvd = synth::distSpecDistance(
+            src.profile.historyEntropy, synth.profile.historyEntropy);
+        rows.push_back(row);
+
+        const std::string prefix =
+            "bench.synth_fidelity." + workload.name + ".";
+        obs::gauge(prefix + "mpki_src").set(row.mpkiSrc);
+        obs::gauge(prefix + "mpki_synth").set(row.mpkiSynth);
+        obs::gauge(prefix + "mpki_delta")
+            .set(row.mpkiSynth - row.mpkiSrc);
+        obs::gauge(prefix + "h2p_src")
+            .set(static_cast<double>(row.h2pSrc));
+        obs::gauge(prefix + "h2p_synth")
+            .set(static_cast<double>(row.h2pSynth));
+        obs::gauge(prefix + "taken_tvd").set(row.takenTvd);
+        obs::gauge(prefix + "entropy_tvd").set(row.entropyTvd);
+    }
+
+    TextTable table("Fitted vs synthesized (seed " +
+                    std::to_string(seed) + ", tage-sc-l-8KB)");
+    table.setHeader({"workload", "mpki src", "mpki synth", "h2p src",
+                     "h2p synth", "static src/synth", "taken tvd",
+                     "entropy tvd"});
+    for (const FidelityRow &row : rows) {
+        table.beginRow();
+        table.cell(row.workload);
+        table.cell(row.mpkiSrc, 2);
+        table.cell(row.mpkiSynth, 2);
+        table.cell(std::to_string(row.h2pSrc));
+        table.cell(std::to_string(row.h2pSynth));
+        table.cell(std::to_string(row.staticSrc) + "/" +
+                   std::to_string(row.staticSynth));
+        table.cell(row.takenTvd, 3);
+        table.cell(row.entropyTvd, 3);
+    }
+    emit(table, opts.getFlag("csv"));
+    return 0;
+}

@@ -18,7 +18,15 @@ their accounting invariant: once a campaign drains
 must equal cells_total, and — from schema_rev 4 — the serving
 counters (serve.requests, serve.accepted, serve.rejected,
 serve.completed, serve.frames_corrupt) with their admission
-invariants: accepted + rejected <= requests and completed <= accepted.
+invariants: accepted + rejected <= requests and completed <= accepted,
+and — from schema_rev 5 — the synthesis counters
+(synth.profiles_fitted, synth.branches_fitted,
+synth.programs_generated, synth.validate_failures) with their
+invariants: no branches fitted without a fitted profile, and no
+validation failure without a generated program. Every counter in the
+report (contract or not) must be a non-negative integer, and synth.*
+is a closed namespace: a key outside the contract is a typo in an
+instrumentation site, not a new feature, and fails validation.
 Exits non-zero on the first violation.
 """
 
@@ -65,7 +73,16 @@ REQUIRED_COUNTERS_REV4 = (
     "serve.completed",
     "serve.frames_corrupt",
 )
-MAX_KNOWN_SCHEMA_REV = 4
+# Added in schema_rev 5: the synthesis contract. Every report proves
+# whether the run fitted profiles, generated programs, or failed a
+# generation validation.
+REQUIRED_COUNTERS_REV5 = (
+    "synth.profiles_fitted",
+    "synth.branches_fitted",
+    "synth.programs_generated",
+    "synth.validate_failures",
+)
+MAX_KNOWN_SCHEMA_REV = 5
 
 
 def check(path):
@@ -98,6 +115,17 @@ def check(path):
     counters = report.get("counters")
     if not isinstance(counters, dict):
         raise ValueError("missing 'counters' object")
+    # Every counter — contract or not — is a monotonic event count; a
+    # negative or non-integer value means a serialization bug, not a
+    # measurement.
+    for name, value in counters.items():
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            raise ValueError(f"counter {name} not a count: {value!r}")
+    # synth.* is a closed namespace: a key outside the rev-5 contract
+    # is a typo at an instrumentation site, not a new feature.
+    for name in counters:
+        if name.startswith("synth.") and name not in REQUIRED_COUNTERS_REV5:
+            raise ValueError(f"unknown synth.* counter {name}")
     required = REQUIRED_COUNTERS
     if rev >= 2:
         required = required + REQUIRED_COUNTERS_REV2
@@ -105,11 +133,11 @@ def check(path):
         required = required + REQUIRED_COUNTERS_REV3
     if rev >= 4:
         required = required + REQUIRED_COUNTERS_REV4
+    if rev >= 5:
+        required = required + REQUIRED_COUNTERS_REV5
     for name in required:
         if name not in counters:
             raise ValueError(f"missing counter {name}")
-        if not isinstance(counters[name], int) or counters[name] < 0:
-            raise ValueError(f"counter {name} not a count: {counters[name]!r}")
 
     if rev >= 3:
         total = counters["campaign.cells_total"]
@@ -150,6 +178,26 @@ def check(path):
                 f"serve completion accounting broken: completed = "
                 f"{counters['serve.completed']} > accepted = "
                 f"{counters['serve.accepted']}"
+            )
+
+    if rev >= 5:
+        # Synthesis bookkeeping: branches are only fitted as part of a
+        # fitted profile, and a validation can only fail against a
+        # program generated in the same run.
+        if counters["synth.profiles_fitted"] == 0 and counters[
+            "synth.branches_fitted"
+        ] > 0:
+            raise ValueError(
+                f"synth fitting accounting broken: branches_fitted = "
+                f"{counters['synth.branches_fitted']} with no fitted profile"
+            )
+        if counters["synth.validate_failures"] > counters[
+            "synth.programs_generated"
+        ]:
+            raise ValueError(
+                f"synth validation accounting broken: validate_failures = "
+                f"{counters['synth.validate_failures']} > programs_generated "
+                f"= {counters['synth.programs_generated']}"
             )
 
     for section in ("gauges", "histograms"):

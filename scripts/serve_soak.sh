@@ -3,7 +3,7 @@
 # bpnsp_served with every serve.* failpoint active, randomized client
 # kills, a deliberately tiny admission queue (so backpressure actually
 # fires), and a SIGTERM mid-load to prove the graceful drain. The
-# daemon's run report must validate as schema_rev 4 and carry the
+# daemon's run report must validate as schema_rev 5 and carry the
 # serve.* contract counters.
 #
 # Usage: scripts/serve_soak.sh [BUILD_DIR]
@@ -95,7 +95,7 @@ wait "$LOAD_PID" 2>/dev/null || true
     exit 1
 }
 
-# Phase 3: the drained daemon's report must be a valid schema_rev 4
+# Phase 3: the drained daemon's report must be a valid schema_rev 5
 # run report whose serve.* counters prove the soak exercised every
 # path: admission, rejection, corruption, completion.
 echo "== phase 3: report validation"
@@ -106,7 +106,7 @@ import sys
 
 with open(sys.argv[1]) as f:
     report = json.load(f)
-assert report["schema_rev"] == 4, report["schema_rev"]
+assert report["schema_rev"] == 5, report["schema_rev"]
 c = report["counters"]
 assert c["serve.requests"] > 0, c
 assert c["serve.completed"] > 0, c

@@ -14,6 +14,7 @@
 #include "core/runner.hpp"
 #include "faultsim/faultsim.hpp"
 #include "obs/metrics.hpp"
+#include "synth/workload.hpp"
 #include "tracestore/cache.hpp"
 #include "tracestore/format.hpp"
 #include "tracestore/shard.hpp"
@@ -491,8 +492,17 @@ buildCells(const std::string &workloads, unsigned inputs,
     if (workloads == "all") {
         selected = allWorkloads();
     } else {
-        for (const std::string &name : splitList(workloads))
-            selected.push_back(findWorkload(name));   // fatal() if bad
+        for (const std::string &spec : splitList(workloads)) {
+            // A spec entry may be a synth population
+            // (synth:<profile>:<base>+<count>), which expands to one
+            // cell row per seed; anything else passes through as-is.
+            std::vector<std::string> names;
+            if (Status st = synth::expandPopulation(spec, &names);
+                !st.ok())
+                fatal(st.str());
+            for (const std::string &name : names)
+                selected.push_back(findWorkload(name));  // fatal() if bad
+        }
     }
 
     const std::vector<std::string> predictorNames =

@@ -22,18 +22,6 @@ namespace {
 
 constexpr uint64_t kDefaultSeed = 0xfa017u;
 
-/** FNV-1a over the point name, to decorrelate per-point RNG streams. */
-uint64_t
-nameHash(const std::string &name)
-{
-    uint64_t hash = 0xcbf29ce484222325ull;
-    for (const char c : name) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 0x100000001b3ull;
-    }
-    return hash;
-}
-
 /** Firing rules and runtime state of one configured failpoint. */
 struct Point
 {
@@ -148,8 +136,12 @@ installLocked(const std::string &spec, uint64_t seed,
 {
     gSpec = spec;
     gPoints = std::move(points);
+    // Per-point streams derive from (seed, point name) through the
+    // shared audited scheme (util/rng.hpp), so a given (seed, spec)
+    // reproduces the exact same failure schedule regardless of how
+    // other points interleave.
     for (auto &[name, point] : gPoints)
-        point.rng = Rng(seed ^ nameHash(name));
+        point.rng = Rng::stream(seed, name);
     gConfigured = true;
     detail::gActive.store(!gPoints.empty(),
                           std::memory_order_relaxed);

@@ -178,18 +178,24 @@ renderRunReport()
           // serve.requests once a server drains, and serve.completed
           // never exceeds serve.accepted.
           "serve.requests", "serve.accepted", "serve.rejected",
-          "serve.completed", "serve.frames_corrupt"}) {
+          "serve.completed", "serve.frames_corrupt",
+          // Synthesis counters (schema_rev 5): every report proves
+          // whether the run fitted profiles or generated programs,
+          // and whether any generated program failed validation.
+          "synth.profiles_fitted", "synth.branches_fitted",
+          "synth.programs_generated", "synth.validate_failures"}) {
         reg.counter(name);
     }
 
     // schema_rev bumps additively within the v1 schema: rev 2 added
     // the robustness counter contract, rev 3 the campaign /
-    // cancellation contract, rev 4 adds the serving contract above —
-    // nothing is ever renamed, so v1 consumers keep parsing and
-    // rev-aware consumers know the new keys are guaranteed present.
+    // cancellation contract, rev 4 the serving contract, rev 5 adds
+    // the synthesis contract above — nothing is ever renamed, so v1
+    // consumers keep parsing and rev-aware consumers know the new
+    // keys are guaranteed present.
     std::ostringstream oss;
     oss << "{\n  \"schema\": \"bpnsp-run-report-v1\",\n"
-        << "  \"schema_rev\": 4,\n  \"run\": {\n";
+        << "  \"schema_rev\": 5,\n  \"run\": {\n";
     for (const auto &[key, value] : reg.runFields())
         oss << "    " << quoted(key) << ": " << quoted(value) << ",\n";
     oss << "    \"git\": " << quoted(gitDescribe()) << ",\n"

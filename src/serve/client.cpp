@@ -256,7 +256,9 @@ ClientTally
 clientLoop(const LoadGenConfig &cfg, unsigned index)
 {
     ClientTally tally;
-    Rng rng(cfg.seed * 0x9e3779b97f4a7c15ull + index);
+    // Per-client stream from the loadgen seed via the shared audited
+    // derivation, so nearby client indices stay decorrelated.
+    Rng rng = Rng::stream(cfg.seed, index);
     ServeClient client;
 
     for (unsigned i = 0; i < cfg.requestsPerClient; ++i) {

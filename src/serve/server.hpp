@@ -195,6 +195,12 @@ class ServeServer
 
     std::unique_ptr<TraceCache> cache;
     std::vector<Workload> workloadsCatalog;       ///< loaded at start
+
+    // Resolved synth:<profile>:<seed> workloads, cached by name.
+    // std::map gives pointer stability across inserts, which is what
+    // lets findServableWorkload hand out long-lived Workload*.
+    std::mutex synthMu;
+    std::map<std::string, Workload> synthCatalog;
 };
 
 } // namespace bpnsp::serve

@@ -1,0 +1,164 @@
+#include "synth/fitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/distributions.hpp"
+#include "bp/sim.hpp"
+#include "core/runner.hpp"
+#include "obs/metrics.hpp"
+#include "util/histogram.hpp"
+
+namespace bpnsp::synth {
+
+namespace {
+
+/** Binary entropy of p, in bits (0 at p=0 and p=1). */
+double
+binaryEntropy(double p)
+{
+    if (p <= 0.0 || p >= 1.0)
+        return 0.0;
+    return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+} // namespace
+
+double
+conditionalEntropy(const uint32_t ctx[16][2])
+{
+    uint64_t total = 0;
+    for (size_t h = 0; h < 16; ++h)
+        total += ctx[h][0] + ctx[h][1];
+    if (total == 0)
+        return 0.0;
+    double entropy = 0.0;
+    for (size_t h = 0; h < 16; ++h) {
+        const uint64_t n = ctx[h][0] + ctx[h][1];
+        if (n == 0)
+            continue;
+        const double pTaken =
+            static_cast<double>(ctx[h][1]) / static_cast<double>(n);
+        entropy += static_cast<double>(n) / static_cast<double>(total) *
+                   binaryEntropy(pTaken);
+    }
+    return entropy;
+}
+
+ProfileFitter::ProfileFitter() = default;
+
+void
+ProfileFitter::onRecord(const TraceRecord &rec)
+{
+    ++instrCount;
+    ++classCounts[static_cast<size_t>(rec.cls)];
+    if (rec.cls == InstrClass::Call) {
+        ++callCount;
+        callTargets.insert(rec.target);
+    }
+    if (rec.isCondBranch()) {
+        ++condExecs;
+        condTaken += rec.taken ? 1 : 0;
+        BranchState &b = perBranch[rec.ip];
+        ++b.execs;
+        b.taken += rec.taken ? 1 : 0;
+        // The context table only counts outcomes with a full 4-deep
+        // history behind them; the first four executions just warm the
+        // shift register. For branches executing thousands of times
+        // (the ones that matter) the bias is negligible, and it keeps
+        // cold-start noise out of the entropy estimate.
+        if (b.execs > 4)
+            ++b.ctx[b.history][rec.taken ? 1 : 0];
+        b.history = static_cast<uint8_t>(((b.history << 1) |
+                                          (rec.taken ? 1u : 0u)) &
+                                         0xfu);
+    }
+    recurrence.onRecord(rec);
+}
+
+void
+ProfileFitter::onEnd()
+{
+    recurrence.onEnd();
+}
+
+std::vector<ProfileFitter::BranchSummary>
+ProfileFitter::branchSummaries() const
+{
+    std::vector<BranchSummary> out;
+    out.reserve(perBranch.size());
+    for (const auto &[ip, b] : perBranch)
+        out.push_back({ip, b.execs, b.taken, conditionalEntropy(b.ctx)});
+    std::sort(out.begin(), out.end(),
+              [](const BranchSummary &a, const BranchSummary &b) {
+                  return a.ip < b.ip;
+              });
+    return out;
+}
+
+SynthProfile
+ProfileFitter::profile(const std::string &name) const
+{
+    SynthProfile out;
+    out.name = name;
+    out.instructions = instrCount;
+    out.condExecs = condExecs;
+    out.condTaken = condTaken;
+    out.staticCondBranches = perBranch.size();
+    out.staticCallTargets = callTargets.size();
+    out.calls = callCount;
+    for (size_t i = 0; i < out.classMix.size(); ++i)
+        out.classMix[i] =
+            instrCount == 0
+                ? 0.0
+                : static_cast<double>(classCounts[i]) /
+                      static_cast<double>(instrCount);
+
+    Histogram takenHist = Histogram::linear(0.0, 1.0, 0.1);
+    Histogram entropyHist = Histogram::linear(0.0, 1.0, 0.1);
+    Histogram execHist = Histogram::linear(0.0, 26.0, 2.0);
+    Histogram recurHist = Histogram::linear(0.0, 26.0, 2.0);
+    std::unordered_map<uint64_t, BranchCounters> totals;
+    totals.reserve(perBranch.size());
+    for (const auto &[ip, b] : perBranch) {
+        takenHist.add(static_cast<double>(b.taken) /
+                      static_cast<double>(b.execs));
+        entropyHist.add(conditionalEntropy(b.ctx));
+        execHist.add(std::log2(static_cast<double>(b.execs) + 1.0));
+        BranchCounters &c = totals[ip];
+        c.execs = b.execs;
+        c.taken = b.taken;
+    }
+    for (const auto &[ip, median] : recurrence.medians())
+        recurHist.add(std::log2(static_cast<double>(median) + 1.0));
+
+    out.takenRate = DistSpec::fromHistogram(takenHist);
+    out.historyEntropy = DistSpec::fromHistogram(entropyHist);
+    out.execLog2 = DistSpec::fromHistogram(execHist);
+    out.recurrenceLog2 = DistSpec::fromHistogram(recurHist);
+    out.fig3Executions = DistSpec::fromHistogram(
+        computeBranchDistributions(totals).executions);
+    return out;
+}
+
+SynthProfile
+fitWorkloadProfile(const Workload &workload, size_t input_idx,
+                   uint64_t instructions,
+                   const std::string &profile_name)
+{
+    static obs::Counter &fitted = obs::counter("synth.profiles_fitted");
+    static obs::Counter &branches =
+        obs::counter("synth.branches_fitted");
+
+    ProfileFitter fitter;
+    runWorkloadTrace(workload, input_idx, {&fitter}, instructions);
+    SynthProfile profile = fitter.profile(profile_name);
+    profile.sourceWorkload = workload.name;
+    profile.sourceInput = workload.inputs.at(input_idx).label;
+    profile.sourceInstructions = fitter.instructions();
+    fitted.inc();
+    branches.add(profile.staticCondBranches);
+    return profile;
+}
+
+} // namespace bpnsp::synth

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Seeded program synthesis: sample a SynthProfile's distributions and
+ * emit a fresh micro-ISA program through the assembler and the
+ * workload-suite scaffolding (ProgramBuilder, dispatch trees, Zipf
+ * call sequences, phase structure).
+ *
+ * Determinism contract: generation is a pure function of
+ * (profile canonical rendering, seed). The same profile document and
+ * seed produce a bit-identical program — same instructions, same
+ * initial data image — across processes and machines. That is what
+ * makes `synth:<profile>:<seed>` a legitimate workload name: every
+ * subsystem that resolves it (campaigns, the serving daemon, benches)
+ * reconstructs the exact same trace.
+ *
+ * Each sampled static branch is mapped to the emitter that reproduces
+ * its (taken-rate, history-entropy) point:
+ *   - high entropy        -> the builder's `chance` primitive (fresh
+ *                            PRNG data decides; systematically hard)
+ *   - strong bias, low H  -> a counted loop whose back edge matches
+ *                            the taken rate (trivially predictable)
+ *   - otherwise           -> a data-table threshold branch; table size
+ *                            scales with entropy (small table = short
+ *                            learnable pattern)
+ * The static footprint tail comes from a generated function library
+ * sized by the profile's call-target count, dispatched over a
+ * Zipf-distributed call sequence whose exponent tracks the profile's
+ * execution-count skew.
+ */
+
+#ifndef BPNSP_SYNTH_GENERATOR_HPP
+#define BPNSP_SYNTH_GENERATOR_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "synth/profile.hpp"
+#include "vm/program.hpp"
+
+namespace bpnsp::synth {
+
+/**
+ * Generate a program from a profile and seed (see the determinism
+ * contract above). Bumps synth.programs_generated.
+ */
+Program generateProgram(const SynthProfile &profile, uint64_t seed,
+                        const std::string &program_name);
+
+/**
+ * Deterministic text listing of a program's instructions and initial
+ * data image (excludes the display name). Two programs are
+ * bit-identical exactly when their listings match.
+ */
+std::string renderProgramListing(const Program &program);
+
+/** 16-hex-digit digest of the listing; the bit-identity witness. */
+std::string programDigest(const Program &program);
+
+} // namespace bpnsp::synth
+
+#endif // BPNSP_SYNTH_GENERATOR_HPP

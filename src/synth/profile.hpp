@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Versioned branch-behavior profiles: the `bpnsp-synth-profile-v1`
+ * JSON document that the fitter extracts from any trace and the
+ * generator samples to synthesize fresh micro-ISA programs.
+ *
+ * A profile captures the per-branch characterization axes of the
+ * workload-predictability literature (arXiv:2512.15827) as *bin
+ * fractions*, not raw branch lists: per-static-branch taken-rate,
+ * history-entropy, execution-count, and median-recurrence-interval
+ * distributions, plus the instruction-class mix and the static
+ * call/branch footprint. That makes a profile a few kilobytes no
+ * matter how large the source trace was, and makes sampling it a
+ * constant-time draw.
+ *
+ * Document layout (all fractions in [0,1]; see DESIGN.md "Synthesis"):
+ *
+ *   {
+ *     "schema": "bpnsp-synth-profile-v1",
+ *     "name": "...",                       // profile identifier
+ *     "source": { "workload", "input", "instructions" },
+ *     "global": {
+ *       "instructions", "cond_execs", "cond_taken",
+ *       "static_cond_branches", "static_call_targets", "calls",
+ *       "class_mix": { "alu": f, ..., "ret": f }
+ *     },
+ *     "branch": {
+ *       "taken_rate":      { "edges": [...], "fractions": [...],
+ *                            "samples": n },
+ *       "history_entropy": { ... },        // H(outcome | last 4) in [0,1]
+ *       "exec_log2":       { ... },        // log2(execs + 1)
+ *       "recurrence_log2": { ... },        // log2(median interval + 1)
+ *       "fig3_executions": { ... }         // paper Fig. 3 exec bins
+ *     }
+ *   }
+ *
+ * Rendering is canonical (fixed key order, exact number formatting),
+ * so render -> parse -> render is byte-identical and a profile digest
+ * is stable — which is what lets same-profile-same-seed generation be
+ * bit-identical across processes and machines.
+ */
+
+#ifndef BPNSP_SYNTH_PROFILE_HPP
+#define BPNSP_SYNTH_PROFILE_HPP
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/record.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace bpnsp {
+
+class Histogram;
+
+namespace synth {
+
+/**
+ * One fitted distribution: explicit bin edges plus the fraction of
+ * observations per bin. The sampling side of a Histogram, detached
+ * from its counts so it can round-trip through JSON.
+ */
+struct DistSpec
+{
+    std::vector<double> edges;       ///< N+1 strictly increasing edges
+    std::vector<double> fractions;   ///< N fractions, summing to ~1
+    uint64_t samples = 0;            ///< observations behind the fit
+
+    /** Convert a populated Histogram into its sampling spec. */
+    static DistSpec fromHistogram(const Histogram &hist);
+
+    /**
+     * Draw one value: pick a bin by its fraction, then uniform within
+     * the bin. With no samples behind the fit, returns the range
+     * midpoint (a degenerate profile still generates).
+     */
+    double sample(Rng &rng) const;
+
+    /**
+     * Draw `n` values by quota: each bin gets floor(fraction * n)
+     * values at its midpoint, remainders go to the largest fractional
+     * quotas (random tie-break), and the result is shuffled. For
+     * small n this reproduces the histogram far more faithfully than
+     * n independent draws — a 4-branch profile stays a 4-bin profile
+     * instead of a binomial accident.
+     */
+    std::vector<double> stratified(size_t n, Rng &rng) const;
+
+    /** Mean of the fitted distribution (bin midpoints x fractions). */
+    double mean() const;
+
+    /** Fraction mass at or above `value` (by bin lower edge). */
+    double massAbove(double value) const;
+
+    /** Structural validity: edges increasing, one fraction per bin. */
+    bool valid() const;
+};
+
+/** Total variation distance between two same-shaped specs, in [0,1]. */
+double distSpecDistance(const DistSpec &a, const DistSpec &b);
+
+/** A fitted branch-behavior profile (see file comment for layout). */
+struct SynthProfile
+{
+    static constexpr const char *kSchema = "bpnsp-synth-profile-v1";
+
+    std::string name = "profile";        ///< used in program names
+    std::string sourceWorkload;          ///< provenance only
+    std::string sourceInput;
+    uint64_t sourceInstructions = 0;
+
+    uint64_t instructions = 0;           ///< instructions observed
+    uint64_t condExecs = 0;              ///< conditional executions
+    uint64_t condTaken = 0;              ///< taken outcomes
+    uint64_t staticCondBranches = 0;     ///< static branch footprint
+    uint64_t staticCallTargets = 0;      ///< distinct call targets
+    uint64_t calls = 0;                  ///< dynamic calls
+
+    /** Fraction of instructions per class, indexed by InstrClass. */
+    std::array<double, 10> classMix{};
+
+    DistSpec takenRate;        ///< per-branch taken rate in [0,1]
+    DistSpec historyEntropy;   ///< per-branch conditional entropy [0,1]
+    DistSpec execLog2;         ///< per-branch log2(execs + 1)
+    DistSpec recurrenceLog2;   ///< per-branch log2(median interval + 1)
+    DistSpec fig3Executions;   ///< analysis/distributions Fig. 3 bins
+
+    /** Fraction of observed instructions in the given class. */
+    double
+    classFraction(InstrClass cls) const
+    {
+        return classMix[static_cast<size_t>(cls)];
+    }
+
+    /** Canonical JSON rendering (byte-stable across round trips). */
+    std::string render() const;
+
+    /** 16-hex-digit digest of the canonical rendering. */
+    std::string digest() const;
+
+    /** Parse a profile document; InvalidArgument names the defect. */
+    static Status fromJson(const std::string &text, SynthProfile *out);
+
+    /** Load + parse a profile file. */
+    static Status load(const std::string &path, SynthProfile *out);
+
+    /** Write the canonical rendering to `path` (atomic publish). */
+    Status save(const std::string &path) const;
+};
+
+} // namespace synth
+} // namespace bpnsp
+
+#endif // BPNSP_SYNTH_PROFILE_HPP

@@ -1,0 +1,144 @@
+#include "synth/workload.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "synth/generator.hpp"
+
+namespace bpnsp::synth {
+
+namespace {
+
+constexpr const char *kPrefix = "synth:";
+
+/** Strict decimal uint64 parse; false on junk, empty, or overflow. */
+bool
+parseUint(const std::string &text, uint64_t *value)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (errno != 0 || end != text.c_str() + text.size())
+        return false;
+    *value = v;
+    return true;
+}
+
+/** True when the reference is a literal file path. */
+bool
+refIsPath(const std::string &ref)
+{
+    if (ref.find('/') != std::string::npos)
+        return true;
+    return ref.size() > 5 &&
+           ref.compare(ref.size() - 5, 5, ".json") == 0;
+}
+
+} // namespace
+
+bool
+isSynthName(const std::string &name)
+{
+    return name.rfind(kPrefix, 0) == 0;
+}
+
+Status
+parseSynthName(const std::string &name, SynthName *out)
+{
+    if (!isSynthName(name))
+        return Status::invalidArgument("not a synth workload name: " +
+                                       name);
+    const std::string body = name.substr(std::string(kPrefix).size());
+    // The profile reference may itself contain ':' (rare, but paths
+    // can); the seed is always the suffix after the LAST colon.
+    const size_t colon = body.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == body.size())
+        return Status::invalidArgument(
+            "synth name needs 'synth:<profile>:<seed>': " + name);
+    out->profileRef = body.substr(0, colon);
+    if (!parseUint(body.substr(colon + 1), &out->seed))
+        return Status::invalidArgument("bad seed in synth name: " +
+                                       name);
+    return Status();
+}
+
+Status
+resolveProfileRef(const std::string &ref, SynthProfile *out,
+                  std::string *path_out)
+{
+    if (ref.empty())
+        return Status::invalidArgument("empty synth profile reference");
+    std::string path;
+    if (refIsPath(ref)) {
+        path = ref;
+    } else {
+        const char *dir = std::getenv("BPNSP_SYNTH_PROFILES");
+        if (dir == nullptr || dir[0] == '\0')
+            return Status::invalidArgument(
+                "profile reference '" + ref +
+                "' is not a path and BPNSP_SYNTH_PROFILES is not set");
+        path = std::string(dir) + "/" + ref + ".json";
+    }
+    if (path_out != nullptr)
+        *path_out = path;
+    return SynthProfile::load(path, out);
+}
+
+Status
+makeSynthWorkload(const std::string &name, Workload *out)
+{
+    SynthName parsed;
+    if (Status st = parseSynthName(name, &parsed); !st.ok())
+        return st;
+    SynthProfile profile;
+    if (Status st = resolveProfileRef(parsed.profileRef, &profile);
+        !st.ok())
+        return st;
+    *out = Workload();
+    out->name = name;
+    out->lcf = profile.staticCallTargets >= 64;
+    out->inputs = {
+        {"seed-" + std::to_string(parsed.seed), parsed.seed}};
+    // The builder captures the profile by value: the workload stays
+    // valid after the profile file changes on disk (a given Workload
+    // object always regenerates the program it was resolved to).
+    out->builder = [profile, name](uint64_t seed) {
+        return generateProgram(profile, seed, name);
+    };
+    return Status();
+}
+
+Status
+expandPopulation(const std::string &spec,
+                 std::vector<std::string> *names)
+{
+    if (!isSynthName(spec)) {
+        names->push_back(spec);
+        return Status();
+    }
+    const size_t plus = spec.rfind('+');
+    const size_t colon = spec.rfind(':');
+    if (plus == std::string::npos || colon == std::string::npos ||
+        plus < colon) {
+        names->push_back(spec);
+        return Status();
+    }
+    const std::string head = spec.substr(0, plus);   // synth:ref:base
+    uint64_t count = 0;
+    if (!parseUint(spec.substr(plus + 1), &count) || count == 0)
+        return Status::invalidArgument(
+            "bad population count in '" + spec +
+            "' (want synth:<profile>:<base>+<count>)");
+    SynthName base;
+    if (Status st = parseSynthName(head, &base); !st.ok())
+        return st;
+    for (uint64_t i = 0; i < count; ++i)
+        names->push_back(std::string(kPrefix) + base.profileRef + ":" +
+                         std::to_string(base.seed + i));
+    return Status();
+}
+
+} // namespace bpnsp::synth

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal JSON document model and recursive-descent parser.
+ *
+ * The repository renders all of its JSON by hand (run reports, campaign
+ * results) but until now never had to *read* any back. The synth
+ * subsystem does: fitted workload profiles are versioned JSON documents
+ * that `bpnsp_synth generate` and the synth workload resolver load from
+ * disk. This parser covers the full JSON grammar (objects, arrays,
+ * strings with escapes, numbers, booleans, null) with strict error
+ * reporting and no dependencies, and is small enough to audit.
+ *
+ * Numbers are held as doubles; integral values up to 2^53 round-trip
+ * exactly, which covers every counter and histogram edge the profiles
+ * carry.
+ */
+
+#ifndef BPNSP_UTIL_JSON_HPP
+#define BPNSP_UTIL_JSON_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace bpnsp {
+
+/** One JSON value (object, array, string, number, bool, or null). */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    Kind kind() const { return kindTag; }
+    bool isNull() const { return kindTag == Kind::Null; }
+    bool isBool() const { return kindTag == Kind::Bool; }
+    bool isNumber() const { return kindTag == Kind::Number; }
+    bool isString() const { return kindTag == Kind::String; }
+    bool isArray() const { return kindTag == Kind::Array; }
+    bool isObject() const { return kindTag == Kind::Object; }
+
+    /** Value accessors; fatal-free, return the default on kind mismatch. */
+    bool asBool(bool def = false) const;
+    double asDouble(double def = 0.0) const;
+    uint64_t asUint(uint64_t def = 0) const;
+    const std::string &asString() const;   ///< "" on mismatch
+
+    /** Array access ([] of a non-array is empty). */
+    const std::vector<JsonValue> &items() const;
+
+    /** Object member lookup; null-kind sentinel when absent. */
+    const JsonValue &get(const std::string &key) const;
+    bool has(const std::string &key) const;
+
+    /** Object members in key order (objects only). */
+    const std::map<std::string, JsonValue> &members() const;
+
+    /** @name Construction helpers (for tests) */
+    /// @{
+    static JsonValue makeString(std::string s);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeBool(bool v);
+    /// @}
+
+    /**
+     * Parse a complete JSON document. On grammar violations returns
+     * InvalidArgument naming the byte offset and what was expected;
+     * trailing non-whitespace after the document is an error too.
+     */
+    static Status parse(const std::string &text, JsonValue *out);
+
+  private:
+    Kind kindTag = Kind::Null;
+    bool boolVal = false;
+    double numVal = 0.0;
+    std::string strVal;
+    std::vector<JsonValue> arrVal;
+    std::map<std::string, JsonValue> objVal;
+
+    friend class JsonParser;
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_UTIL_JSON_HPP

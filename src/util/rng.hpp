@@ -2,18 +2,51 @@
  * @file
  * Deterministic pseudo-random number generation.
  *
- * All stochastic behavior in the repository (workload synthesis, data
- * tables, clustering initialization) flows through Rng so that every
- * experiment is reproducible from a single seed. The generator is
- * xoshiro256**, which is fast, high quality, and trivially seedable.
+ * All stochastic behavior in the repository (workload synthesis, fault
+ * injection, load generation, data tables, clustering initialization)
+ * flows through Rng so that every experiment is reproducible from a
+ * single seed. The generator is xoshiro256**, which is fast, high
+ * quality, and trivially seedable; seeds expand through splitmix64.
+ *
+ * Subsystems that need many decorrelated streams from one master seed
+ * (faultsim's per-failpoint streams, the serve load generator's
+ * per-client streams, synth's per-program streams) derive them through
+ * Rng::stream() rather than ad-hoc seed arithmetic, so the whole
+ * repository draws from one audited derivation scheme: the master seed
+ * and the stream label (a name or an index) are mixed through
+ * splitmix64/FNV-1a before seeding the child generator, which keeps
+ * nearby seeds and nearby indices statistically independent.
  */
 
 #ifndef BPNSP_UTIL_RNG_HPP
 #define BPNSP_UTIL_RNG_HPP
 
 #include <cstdint>
+#include <string_view>
 
 namespace bpnsp {
+
+/** One splitmix64 mixing step (also usable as a 64-bit hash finisher). */
+inline uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a over a byte string, for deriving streams from names. */
+inline uint64_t
+fnv1a64(std::string_view bytes)
+{
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : bytes) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
 
 /** xoshiro256** PRNG with splitmix64 seeding. */
 class Rng
@@ -84,6 +117,30 @@ class Rng
     fork()
     {
         return Rng(next() ^ 0xd1b54a32d192ed03ull);
+    }
+
+    /**
+     * Derive the numbered substream of a master seed. Equal
+     * (seed, index) pairs give equal streams; distinct indices give
+     * statistically independent ones even when consecutive.
+     */
+    static Rng
+    stream(uint64_t seed, uint64_t index)
+    {
+        return Rng(splitmix64(seed) ^ splitmix64(index ^
+                                                 0xa0761d6478bd642full));
+    }
+
+    /**
+     * Derive the named substream of a master seed. The per-failpoint
+     * and per-phase streams use this so a given (seed, name) pair
+     * reproduces the same draws regardless of how other streams
+     * interleave.
+     */
+    static Rng
+    stream(uint64_t seed, std::string_view name)
+    {
+        return Rng(splitmix64(seed) ^ fnv1a64(name));
     }
 
   private:

@@ -1,5 +1,6 @@
 #include "workloads/suite.hpp"
 
+#include "synth/workload.hpp"
 #include "util/logging.hpp"
 
 namespace bpnsp {
@@ -17,6 +18,15 @@ allWorkloads()
 Workload
 findWorkload(const std::string &name)
 {
+    // synth:<profile>:<seed> names resolve to generated workloads
+    // (synth/workload.hpp); they are first-class everywhere a suite
+    // name is.
+    if (synth::isSynthName(name)) {
+        Workload w;
+        if (Status st = synth::makeSynthWorkload(name, &w); !st.ok())
+            fatal(st.str());
+        return w;
+    }
     for (auto &w : allWorkloads()) {
         if (w.name == name)
             return w;
@@ -24,7 +34,8 @@ findWorkload(const std::string &name)
     std::string known;
     for (const auto &w : allWorkloads())
         known += " " + w.name;
-    fatal("unknown workload: ", name, "; known:", known);
+    fatal("unknown workload: ", name, "; known:", known,
+          " (or synth:<profile>:<seed>)");
 }
 
 } // namespace bpnsp

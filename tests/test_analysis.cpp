@@ -211,6 +211,47 @@ TEST(Distributions, AccuracySpreadShrinksWithExecs)
     EXPECT_GT(bins[0].stddevAccuracy, bins[9].stddevAccuracy + 0.05);
 }
 
+TEST(Distributions, EmptyPopulation)
+{
+    // An empty trace (no static branches) must produce empty, not
+    // crashing, histograms.
+    const std::unordered_map<uint64_t, BranchCounters> totals;
+    const BranchDistributions d = computeBranchDistributions(totals);
+    EXPECT_EQ(d.executions.total(), 0u);
+    EXPECT_EQ(d.mispredictions.total(), 0u);
+    EXPECT_EQ(d.accuracy.total(), 0u);
+    EXPECT_TRUE(accuracyScatter(totals).empty());
+    for (const auto &bin : accuracySpread(totals, 100, 1000))
+        EXPECT_EQ(bin.branchCount, 0u);
+}
+
+TEST(Distributions, SingleBranch)
+{
+    std::unordered_map<uint64_t, BranchCounters> totals;
+    totals[0x40] = {1000, 10, 900};
+    const BranchDistributions d = computeBranchDistributions(totals);
+    EXPECT_EQ(d.executions.total(), 1u);
+    EXPECT_EQ(d.accuracy.total(), 1u);
+    const auto scatter = accuracyScatter(totals);
+    ASSERT_EQ(scatter.size(), 1u);
+    EXPECT_EQ(scatter[0].ip, 0x40u);
+    EXPECT_EQ(scatter[0].execs, 1000u);
+    EXPECT_NEAR(scatter[0].accuracy, 0.99, 1e-9);
+}
+
+TEST(Distributions, PerfectAndPathologicalAccuracyBinning)
+{
+    // A never-mispredicted branch and an always-mispredicted branch
+    // must land at the opposite extremes of the accuracy histogram.
+    std::unordered_map<uint64_t, BranchCounters> totals;
+    totals[1] = {500, 0, 500};     // all taken, never mispredicted
+    totals[2] = {500, 500, 0};     // never taken, always mispredicted
+    const BranchDistributions d = computeBranchDistributions(totals);
+    ASSERT_EQ(d.accuracy.total(), 2u);
+    EXPECT_EQ(d.accuracy.count(0), 1u);
+    EXPECT_EQ(d.accuracy.count(d.accuracy.numBins() - 1), 1u);
+}
+
 // ------------------------------------------------------------ kmeans
 
 TEST(KMeans, SeparatesObviousClusters)
@@ -312,6 +353,42 @@ TEST(Recurrence, HistogramBinsMatchFig9)
     EXPECT_EQ(h.numBins(), 11u);
     EXPECT_DOUBLE_EQ(h.binLo(0), 0.0);
     EXPECT_DOUBLE_EQ(h.binHi(10), 32e6);
+}
+
+TEST(Recurrence, EmptyTrace)
+{
+    // A collector that never saw a record (or only non-branches) has
+    // no medians and an empty histogram — and onEnd is harmless.
+    RecurrenceCollector rec;
+    rec.onEnd();
+    EXPECT_TRUE(rec.medians().empty());
+    EXPECT_EQ(rec.medianHistogram().total(), 0u);
+
+    RecurrenceCollector onlyAlu;
+    for (int i = 0; i < 100; ++i)
+        onlyAlu.onRecord(aluRec(i));
+    onlyAlu.onEnd();
+    EXPECT_TRUE(onlyAlu.medians().empty());
+}
+
+TEST(Recurrence, OutcomeDoesNotAffectIntervals)
+{
+    // Recurrence is about when a branch executes, not which way it
+    // goes: an always-taken and a never-taken branch at the same
+    // cadence report the same median interval.
+    RecurrenceCollector rec;
+    for (int i = 0; i < 400; ++i) {
+        if (i % 8 == 0)
+            rec.onRecord(branchRec(0x100, true));
+        else if (i % 8 == 4)
+            rec.onRecord(branchRec(0x200, false));
+        else
+            rec.onRecord(aluRec(i));
+    }
+    rec.onEnd();
+    const auto medians = rec.medians();
+    ASSERT_EQ(medians.size(), 2u);
+    EXPECT_EQ(medians.at(0x100), medians.at(0x200));
 }
 
 // ---------------------------------------------------------- regvalues

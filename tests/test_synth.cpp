@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Tests for the synthesis subsystem: profile fitting from traces,
+ * canonical JSON round-trips, deterministic (bit-identical) program
+ * generation, the synth: workload-name grammar, population expansion,
+ * and end-to-end fidelity of a generated clone.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "synth/fitter.hpp"
+#include "synth/generator.hpp"
+#include "synth/profile.hpp"
+#include "synth/workload.hpp"
+#include "util/rng.hpp"
+#include "workloads/suite.hpp"
+
+using namespace bpnsp;
+using namespace bpnsp::synth;
+
+namespace {
+
+TraceRecord
+branchRec(uint64_t ip, bool taken)
+{
+    TraceRecord r;
+    r.ip = ip;
+    r.cls = InstrClass::CondBranch;
+    r.taken = taken;
+    r.target = ip - 64;
+    r.fallthrough = ip + 4;
+    return r;
+}
+
+TraceRecord
+classRec(uint64_t ip, InstrClass cls)
+{
+    TraceRecord r;
+    r.ip = ip;
+    r.cls = cls;
+    r.target = cls == InstrClass::Call ? 0x9000 : 0;
+    return r;
+}
+
+/** A small in-memory trace: one biased and one alternating branch. */
+SynthProfile
+fitToyProfile()
+{
+    ProfileFitter fitter;
+    for (int i = 0; i < 1000; ++i) {
+        fitter.onRecord(classRec(0x10 + (i % 3) * 4, InstrClass::Alu));
+        fitter.onRecord(branchRec(0x100, i % 10 != 0));   // 90% taken
+        fitter.onRecord(branchRec(0x200, i % 2 == 0));    // alternating
+        if (i % 50 == 0)
+            fitter.onRecord(classRec(0x300, InstrClass::Call));
+    }
+    fitter.onEnd();
+    return fitter.profile("toy");
+}
+
+} // namespace
+
+// --------------------------------------------------------------- fitter
+
+TEST(SynthFitter, CountsAndDistributions)
+{
+    const SynthProfile p = fitToyProfile();
+    EXPECT_EQ(p.staticCondBranches, 2u);
+    EXPECT_EQ(p.condExecs, 2000u);
+    EXPECT_EQ(p.condTaken, 900u + 500u);
+    EXPECT_EQ(p.staticCallTargets, 1u);
+    EXPECT_EQ(p.calls, 20u);
+    EXPECT_GT(p.classFraction(InstrClass::Alu), 0.2);
+    EXPECT_GT(p.classFraction(InstrClass::CondBranch), 0.2);
+    // Two branches -> two taken-rate samples: one in [0.9, 1.0), one
+    // in [0.5, 0.6).
+    EXPECT_EQ(p.takenRate.samples, 2u);
+    EXPECT_TRUE(p.takenRate.valid());
+    EXPECT_TRUE(p.historyEntropy.valid());
+}
+
+TEST(SynthFitter, EmptyTraceDegenerateProfile)
+{
+    ProfileFitter fitter;
+    fitter.onEnd();
+    const SynthProfile p = fitter.profile("empty");
+    EXPECT_EQ(p.staticCondBranches, 0u);
+    EXPECT_EQ(p.instructions, 0u);
+    EXPECT_EQ(p.takenRate.samples, 0u);
+    // A degenerate profile must still render and generate.
+    const Program prog = generateProgram(p, 1, "synth:empty:1");
+    EXPECT_GT(prog.size(), 0u);
+    EXPECT_GT(prog.staticCondBranches(), 0u);
+}
+
+TEST(SynthFitter, ConditionalEntropyExtremes)
+{
+    // All-taken: zero conditional entropy.
+    ProfileFitter always;
+    for (int i = 0; i < 500; ++i)
+        always.onRecord(branchRec(0x100, true));
+    always.onEnd();
+    const SynthProfile pa = always.profile("always");
+    EXPECT_EQ(pa.condTaken, 500u);
+
+    uint32_t ctx[16][2] = {};
+    EXPECT_DOUBLE_EQ(conditionalEntropy(ctx), 0.0);
+    ctx[0][1] = 100;   // one context, always taken
+    EXPECT_DOUBLE_EQ(conditionalEntropy(ctx), 0.0);
+    ctx[0][0] = 100;   // now 50/50 in that context
+    EXPECT_NEAR(conditionalEntropy(ctx), 1.0, 1e-9);
+}
+
+TEST(SynthFitter, AlternatingBranchHasLowEntropyHighForRandom)
+{
+    // Alternating outcomes are fully determined by their own history;
+    // PRNG outcomes are not.
+    ProfileFitter fitter;
+    Rng rng(3);
+    for (int i = 0; i < 4000; ++i) {
+        fitter.onRecord(branchRec(0x100, i % 2 == 0));
+        fitter.onRecord(branchRec(0x200, rng.chance(0.5)));
+    }
+    fitter.onEnd();
+    const auto branches = fitter.branchSummaries();
+    ASSERT_EQ(branches.size(), 2u);
+    EXPECT_LT(branches[0].entropy, 0.05);   // ip 0x100: alternating
+    EXPECT_GT(branches[1].entropy, 0.9);    // ip 0x200: coin flips
+}
+
+// -------------------------------------------------------------- profile
+
+TEST(SynthProfile, JsonRoundTripIsByteIdentical)
+{
+    SynthProfile p = fitToyProfile();
+    p.sourceWorkload = "toy_workload";
+    p.sourceInput = "input-0";
+    p.sourceInstructions = 4020;
+    const std::string doc = p.render();
+    SynthProfile back;
+    ASSERT_TRUE(SynthProfile::fromJson(doc, &back).ok());
+    EXPECT_EQ(back.render(), doc);
+    EXPECT_EQ(back.digest(), p.digest());
+}
+
+TEST(SynthProfile, EscapesHostileNames)
+{
+    SynthProfile p = fitToyProfile();
+    p.name = "quo\"te\\back\nline";
+    SynthProfile back;
+    ASSERT_TRUE(SynthProfile::fromJson(p.render(), &back).ok());
+    EXPECT_EQ(back.name, p.name);
+}
+
+TEST(SynthProfile, SaveLoadRoundTrip)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "bpnsp-test-prof.json")
+            .string();
+    SynthProfile p = fitToyProfile();
+    ASSERT_TRUE(p.save(path).ok());
+    SynthProfile back;
+    ASSERT_TRUE(SynthProfile::load(path, &back).ok());
+    EXPECT_EQ(back.render(), p.render());
+    std::remove(path.c_str());
+}
+
+TEST(SynthProfile, FromJsonRejectsGarbage)
+{
+    SynthProfile out;
+    EXPECT_FALSE(SynthProfile::fromJson("not json", &out).ok());
+    EXPECT_FALSE(SynthProfile::fromJson("{\"schema\":\"wrong\"}", &out)
+                     .ok());
+}
+
+TEST(SynthProfile, StratifiedQuotasReproduceFractions)
+{
+    DistSpec spec;
+    spec.edges = {0.0, 0.25, 0.5, 0.75, 1.0};
+    spec.fractions = {0.5, 0.25, 0.25, 0.0};
+    spec.samples = 100;
+    Rng rng(11);
+    const std::vector<double> values = spec.stratified(8, rng);
+    ASSERT_EQ(values.size(), 8u);
+    size_t perBin[4] = {};
+    for (const double v : values)
+        for (size_t b = 0; b < 4; ++b)
+            if (v >= spec.edges[b] && v < spec.edges[b + 1])
+                ++perBin[b];
+    EXPECT_EQ(perBin[0], 4u);
+    EXPECT_EQ(perBin[1], 2u);
+    EXPECT_EQ(perBin[2], 2u);
+    EXPECT_EQ(perBin[3], 0u);
+}
+
+// ------------------------------------------------------------ generator
+
+TEST(SynthGenerator, SameSeedBitIdentical)
+{
+    const SynthProfile p = fitToyProfile();
+    const Program a = generateProgram(p, 7, "synth:toy:7");
+    const Program b = generateProgram(p, 7, "synth:toy:7");
+    EXPECT_EQ(renderProgramListing(a), renderProgramListing(b));
+    EXPECT_EQ(programDigest(a), programDigest(b));
+}
+
+TEST(SynthGenerator, DifferentSeedsDiffer)
+{
+    const SynthProfile p = fitToyProfile();
+    const Program a = generateProgram(p, 1, "synth:toy:1");
+    const Program b = generateProgram(p, 2, "synth:toy:2");
+    EXPECT_NE(programDigest(a), programDigest(b));
+}
+
+TEST(SynthGenerator, ProfileEditChangesProgram)
+{
+    // The structure stream is keyed on the profile document, so any
+    // profile change must change the generated program even at the
+    // same seed.
+    SynthProfile p = fitToyProfile();
+    const Program a = generateProgram(p, 7, "synth:toy:7");
+    p.staticCondBranches += 10;
+    const Program b = generateProgram(p, 7, "synth:toy:7");
+    EXPECT_NE(programDigest(a), programDigest(b));
+}
+
+TEST(SynthGenerator, StaticFootprintTracksProfile)
+{
+    SynthProfile p = fitToyProfile();
+    p.staticCondBranches = 24;
+    const Program prog = generateProgram(p, 3, "synth:toy:3");
+    const uint64_t got = prog.staticCondBranches();
+    EXPECT_GE(got, 12u);
+    EXPECT_LE(got, 48u);
+}
+
+// ----------------------------------------------------- workload grammar
+
+TEST(SynthWorkloadName, ParseAndClassify)
+{
+    EXPECT_TRUE(isSynthName("synth:foo:1"));
+    EXPECT_FALSE(isSynthName("mcf_like"));
+
+    SynthName parsed;
+    ASSERT_TRUE(parseSynthName("synth:/tmp/p.json:42", &parsed).ok());
+    EXPECT_EQ(parsed.profileRef, "/tmp/p.json");
+    EXPECT_EQ(parsed.seed, 42u);
+
+    // Profile refs may themselves contain colons (paths); the seed is
+    // everything after the last colon.
+    ASSERT_TRUE(parseSynthName("synth:a:b:7", &parsed).ok());
+    EXPECT_EQ(parsed.profileRef, "a:b");
+    EXPECT_EQ(parsed.seed, 7u);
+
+    EXPECT_FALSE(parseSynthName("synth:", &parsed).ok());
+    EXPECT_FALSE(parseSynthName("synth:p", &parsed).ok());
+    EXPECT_FALSE(parseSynthName("synth:p:notanumber", &parsed).ok());
+    EXPECT_FALSE(parseSynthName("synth::3", &parsed).ok());
+}
+
+TEST(SynthWorkloadName, ExpandPopulation)
+{
+    std::vector<std::string> names;
+    ASSERT_TRUE(expandPopulation("synth:p:5+3", &names).ok());
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "synth:p:5");
+    EXPECT_EQ(names[2], "synth:p:7");
+
+    names.clear();
+    ASSERT_TRUE(expandPopulation("mcf_like", &names).ok());
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "mcf_like");
+
+    names.clear();
+    ASSERT_TRUE(expandPopulation("synth:p:9", &names).ok());
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "synth:p:9");
+
+    EXPECT_FALSE(expandPopulation("synth:p:1+0", &names).ok());
+    EXPECT_FALSE(expandPopulation("synth:p:1+x", &names).ok());
+}
+
+TEST(SynthWorkload, ResolveAndRunFromProfileFile)
+{
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "bpnsp-test-workload-prof.json")
+            .string();
+    SynthProfile p = fitToyProfile();
+    ASSERT_TRUE(p.save(path).ok());
+
+    const std::string name = "synth:" + path + ":3";
+    Workload w;
+    ASSERT_TRUE(makeSynthWorkload(name, &w).ok());
+    EXPECT_EQ(w.name, name);
+    ASSERT_EQ(w.inputs.size(), 1u);
+    EXPECT_EQ(w.inputs[0].seed, 3u);
+
+    // The workload registry resolves synth names too.
+    const Workload viaSuite = findWorkload(name);
+    EXPECT_EQ(viaSuite.name, name);
+
+    // And the generated program actually executes.
+    ProfileFitter refitter;
+    const uint64_t delivered = runWorkloadTrace(w, 0, {&refitter}, 50000);
+    EXPECT_EQ(refitter.instructions(), delivered);
+    EXPECT_GE(delivered, 10000u);
+    EXPECT_GT(refitter.staticBranches(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(SynthWorkload, BadNamesNeverFatal)
+{
+    Workload w;
+    EXPECT_FALSE(makeSynthWorkload("synth:/nonexistent/p.json:1", &w)
+                     .ok());
+    EXPECT_FALSE(makeSynthWorkload("synth:bad", &w).ok());
+}
+
+// ------------------------------------------------------------- fidelity
+
+TEST(SynthFidelity, CloneTracksSourceTakenDistribution)
+{
+    // End to end on a real seed workload, kept small for test budget:
+    // fit, generate, execute the clone, refit, and require the
+    // taken-rate distributions to be close (the bpnsp_synth validate
+    // tolerance is 0.35; this is a coarser smoke bound).
+    const Workload src = findWorkload("mcf_like");
+    const SynthProfile profile =
+        fitWorkloadProfile(src, 0, 300000, "mcf-fid");
+
+    const std::string name = "synth:mcf-fid:2";
+    const Program prog = generateProgram(profile, 2, name);
+    Workload clone;
+    clone.name = name;
+    clone.inputs.push_back({"seed-2", 2});
+    clone.builder = [prog](uint64_t) { return prog; };
+
+    ProfileFitter refitter;
+    runWorkloadTrace(clone, 0, {&refitter}, 300000);
+    const SynthProfile refit = refitter.profile(name);
+    EXPECT_EQ(refit.staticCondBranches, prog.staticCondBranches());
+    EXPECT_LE(distSpecDistance(profile.takenRate, refit.takenRate),
+              0.5);
+}
