@@ -14,6 +14,11 @@
  * req/sec, both as a table and as bench.serve_latency.* gauges so a
  * --metrics-out report (BENCH_serve_latency.json) doubles as a perf
  * trajectory data point.
+ *
+ * A final A/B stage reruns one fixed level with span recording off
+ * then on (obs/trace.hpp) and reports the tracing overhead as
+ * bench.serve_latency.tracing.* gauges — the acceptance budget is
+ * <= 2% on this path, checked from the same report.
  */
 
 #include <cstdio>
@@ -22,6 +27,7 @@
 #include <vector>
 
 #include "common.hpp"
+#include "obs/trace.hpp"
 #include "serve/client.hpp"
 #include "util/logging.hpp"
 #include "serve/server.hpp"
@@ -157,6 +163,56 @@ main(int argc, char **argv)
                  " error reply(ies)");
     }
     emit(table, opts.getFlag("csv"));
+
+    // Tracing overhead A/B: the same closed loop at one fixed level,
+    // spans off then on. The recorder runs without an export sink —
+    // pure hot-path cost (one ring write per span), which is what a
+    // daemon pays with --trace-dir enabled.
+    {
+        const unsigned clients =
+            levels.size() > 1 ? levels[levels.size() / 2]
+                              : levels.front();
+        auto runLevel = [&](bool traced) {
+            obs::TraceRecorder::instance().setEnabled(traced);
+            LoadGenConfig cfg;
+            cfg.socketPath = socketPath;
+            cfg.clients = clients;
+            cfg.requestsPerClient =
+                static_cast<unsigned>(opts.getInt("requests"));
+            cfg.workload = w.name;
+            cfg.instructions = instructions;
+            cfg.sliceRecords = static_cast<uint64_t>(
+                static_cast<double>(opts.getInt("slice")) * scale);
+            cfg.seed = 99;   // same slices both sides of the A/B
+            return runLoadGen(cfg);
+        };
+        const LoadGenResult base = runLevel(false);
+        const LoadGenResult traced = runLevel(true);
+        obs::TraceRecorder::instance().setEnabled(false);
+
+        const double overheadPct =
+            base.requestsPerSecond() > 0.0
+                ? (base.requestsPerSecond() -
+                   traced.requestsPerSecond()) /
+                      base.requestsPerSecond() * 100.0
+                : 0.0;
+        std::printf("\ntracing overhead @ %u client(s): "
+                    "%.0f req/s off, %.0f req/s on (%+.2f%%), "
+                    "p50 %.2f -> %.2f ms\n",
+                    clients, base.requestsPerSecond(),
+                    traced.requestsPerSecond(), overheadPct,
+                    base.p50Ms, traced.p50Ms);
+        obs::gauge("bench.serve_latency.tracing.base_req_per_sec")
+            .set(base.requestsPerSecond());
+        obs::gauge("bench.serve_latency.tracing.traced_req_per_sec")
+            .set(traced.requestsPerSecond());
+        obs::gauge("bench.serve_latency.tracing.base_p50_ms")
+            .set(base.p50Ms);
+        obs::gauge("bench.serve_latency.tracing.traced_p50_ms")
+            .set(traced.p50Ms);
+        obs::gauge("bench.serve_latency.tracing.overhead_pct")
+            .set(overheadPct);
+    }
 
     server.drain();
     std::printf("drained; corpus retained at %s\n", cacheDir.c_str());

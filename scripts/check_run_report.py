@@ -23,7 +23,14 @@ and — from schema_rev 5 — the synthesis counters
 (synth.profiles_fitted, synth.branches_fitted,
 synth.programs_generated, synth.validate_failures) with their
 invariants: no branches fitted without a fitted profile, and no
-validation failure without a generated program. Every counter in the
+validation failure without a generated program, and — from schema_rev
+6 — the observability counters (obs.spans_recorded,
+obs.spans_dropped, serve.stats_requests) with their invariants: no
+span dropped unless spans were being recorded, and stats requests are
+a subset of serve.requests; the optional "snapshots" time-series
+section, when present, must be shaped like the sampler wrote it
+(period_ms, total, and a samples array of {t_s, counters, gauges,
+histograms} objects with non-decreasing t_s). Every counter in the
 report (contract or not) must be a non-negative integer, and synth.*
 is a closed namespace: a key outside the contract is a typo in an
 instrumentation site, not a new feature, and fails validation.
@@ -82,7 +89,15 @@ REQUIRED_COUNTERS_REV5 = (
     "synth.programs_generated",
     "synth.validate_failures",
 )
-MAX_KNOWN_SCHEMA_REV = 5
+# Added in schema_rev 6: the observability contract. Every report
+# proves whether span recording ran, whether the ring ever overflowed,
+# and whether the daemon answered live Stats pulls.
+REQUIRED_COUNTERS_REV6 = (
+    "obs.spans_recorded",
+    "obs.spans_dropped",
+    "serve.stats_requests",
+)
+MAX_KNOWN_SCHEMA_REV = 6
 
 
 def check(path):
@@ -135,6 +150,8 @@ def check(path):
         required = required + REQUIRED_COUNTERS_REV4
     if rev >= 5:
         required = required + REQUIRED_COUNTERS_REV5
+    if rev >= 6:
+        required = required + REQUIRED_COUNTERS_REV6
     for name in required:
         if name not in counters:
             raise ValueError(f"missing counter {name}")
@@ -200,9 +217,69 @@ def check(path):
                 f"= {counters['synth.programs_generated']}"
             )
 
+    if rev >= 6:
+        # Observability bookkeeping: the ring only drops spans while
+        # recording is on, and every Stats pull was first a request.
+        if counters["obs.spans_dropped"] > 0 and counters["obs.spans_recorded"] == 0:
+            raise ValueError(
+                f"span accounting broken: {counters['obs.spans_dropped']} "
+                f"span(s) dropped with none recorded"
+            )
+        if counters["serve.stats_requests"] > counters["serve.requests"]:
+            raise ValueError(
+                f"stats accounting broken: stats_requests = "
+                f"{counters['serve.stats_requests']} > requests = "
+                f"{counters['serve.requests']}"
+            )
+
     for section in ("gauges", "histograms"):
         if not isinstance(report.get(section), dict):
             raise ValueError(f"missing '{section}' object")
+
+    snapshots = report.get("snapshots")
+    if snapshots is not None:
+        if rev < 6:
+            raise ValueError(f"'snapshots' section in a rev-{rev} report")
+        if not isinstance(snapshots, dict):
+            raise ValueError("'snapshots' is not an object")
+        period = snapshots.get("period_ms")
+        if not isinstance(period, int) or isinstance(period, bool) or period <= 0:
+            raise ValueError(f"snapshots.period_ms not a period: {period!r}")
+        total = snapshots.get("total")
+        if not isinstance(total, int) or isinstance(total, bool) or total < 1:
+            raise ValueError(f"snapshots.total not a count: {total!r}")
+        samples = snapshots.get("samples")
+        if not isinstance(samples, list) or not samples:
+            raise ValueError("snapshots.samples missing or empty")
+        if len(samples) > total:
+            raise ValueError(
+                f"snapshots ring holds {len(samples)} samples but only "
+                f"{total} were ever taken"
+            )
+        prev_t = -1.0
+        for i, sample in enumerate(samples):
+            if not isinstance(sample, dict):
+                raise ValueError(f"snapshots.samples[{i}] is not an object")
+            t = sample.get("t_s")
+            if not isinstance(t, (int, float)) or t < 0:
+                raise ValueError(f"snapshots.samples[{i}].t_s bad: {t!r}")
+            if t < prev_t:
+                raise ValueError(
+                    f"snapshots.samples[{i}].t_s goes backwards "
+                    f"({t} after {prev_t}): ring unwrap broken"
+                )
+            prev_t = t
+            for section in ("counters", "gauges", "histograms"):
+                if not isinstance(sample.get(section), dict):
+                    raise ValueError(
+                        f"snapshots.samples[{i}] missing '{section}' object"
+                    )
+            for name, delta in sample["counters"].items():
+                if not isinstance(delta, int) or isinstance(delta, bool) or delta < 0:
+                    raise ValueError(
+                        f"snapshots.samples[{i}] counter {name} not a "
+                        f"delta: {delta!r}"
+                    )
 
 
 def main(argv):

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate bpnsp Chrome-trace span exports (--trace-out / --trace-dir).
+
+Usage: check_trace.py TRACE.json [TRACE.json ...]
+
+Checks that each file is a Chrome trace-event JSON document of the
+shape the obs::TraceRecorder writes and that Perfetto / chrome://tracing
+can load: a top-level object with a traceEvents array holding only "M"
+(metadata) and complete "X" (duration) events. For the X events it
+enforces the recorder's structural guarantees:
+
+  - every event carries name, pid, tid, a numeric ts and a
+    non-negative dur (microseconds);
+  - events within one (pid, tid) track are sorted by ts with the
+    longer event first on ties — the order Perfetto needs to nest
+    slices without heuristics;
+  - within a track, spans nest properly: each event is either disjoint
+    from, or fully contained in, the enclosing open event (no partial
+    overlap), checked with an explicit stack;
+  - args.trace_id, when present, is a decimal string (ids are 64-bit
+    and JSON numbers are not).
+
+A file that holds zero X events is valid (tracing enabled, nothing
+recorded yet) but reported as such. Exits non-zero on the first
+violation.
+"""
+
+import json
+import sys
+
+
+def check_track(path, key, events):
+    """Enforce sort order and proper nesting within one (pid, tid)."""
+    prev = None
+    stack = []  # (ts, end) of currently open enclosing spans
+    for ev in events:
+        ts, dur = ev["ts"], ev["dur"]
+        end = ts + dur
+        if prev is not None:
+            pts, pend = prev
+            if ts < pts:
+                raise ValueError(
+                    f"track {key}: events not sorted by ts ({ts} after {pts})"
+                )
+            if ts == pts and end > pend:
+                raise ValueError(
+                    f"track {key}: tie at ts={ts} not longest-first "
+                    f"(dur {dur} after {pend - pts})"
+                )
+        prev = (ts, end)
+        while stack and ts >= stack[-1][1]:
+            stack.pop()
+        if stack and end > stack[-1][1]:
+            raise ValueError(
+                f"track {key}: span [{ts}, {end}) partially overlaps "
+                f"enclosing [{stack[-1][0]}, {stack[-1][1]}): tree is "
+                f"malformed"
+            )
+        stack.append((ts, end))
+
+
+def check(path):
+    with open(path) as f:
+        doc = json.load(f)
+
+    if not isinstance(doc, dict):
+        raise ValueError("document is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("missing traceEvents array")
+
+    tracks = {}
+    spans = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        if ph != "X":
+            raise ValueError(
+                f"traceEvents[{i}]: unexpected phase {ph!r} (the recorder "
+                f"only writes complete X events and M metadata)"
+            )
+        for field in ("name", "pid", "tid", "ts", "dur"):
+            if field not in ev:
+                raise ValueError(f"traceEvents[{i}] missing {field!r}")
+        if not isinstance(ev["ts"], (int, float)):
+            raise ValueError(f"traceEvents[{i}].ts not numeric: {ev['ts']!r}")
+        if not isinstance(ev["dur"], (int, float)) or ev["dur"] < 0:
+            raise ValueError(
+                f"traceEvents[{i}].dur not a non-negative duration: "
+                f"{ev['dur']!r}"
+            )
+        trace_id = ev.get("args", {}).get("trace_id")
+        if trace_id is not None and (
+            not isinstance(trace_id, str) or not trace_id.isdigit()
+        ):
+            raise ValueError(
+                f"traceEvents[{i}].args.trace_id not a decimal string: "
+                f"{trace_id!r} (64-bit ids must not travel as JSON numbers)"
+            )
+        tracks.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+        spans += 1
+
+    for key, track in tracks.items():
+        check_track(path, key, track)
+    return spans
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        try:
+            spans = check(path)
+        except (OSError, ValueError, json.JSONDecodeError) as err:
+            print(f"{path}: FAIL: {err}", file=sys.stderr)
+            return 1
+        print(f"{path}: ok ({spans} span(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,8 +3,11 @@
 # bpnsp_served with every serve.* failpoint active, randomized client
 # kills, a deliberately tiny admission queue (so backpressure actually
 # fires), and a SIGTERM mid-load to prove the graceful drain. The
-# daemon's run report must validate as schema_rev 5 and carry the
-# serve.* contract counters.
+# daemon runs with span tracing, snapshot sampling, and slow-request
+# logging on; mid-soak a Stats request must answer from the io thread,
+# the rotated Perfetto traces must pass check_trace.py, and the run
+# report must validate as schema_rev 6 with the serve.* and obs.*
+# contract counters.
 #
 # Usage: scripts/serve_soak.sh [BUILD_DIR]
 #
@@ -17,6 +20,7 @@ BUILD_DIR="${1:-build}"
 SERVED="$BUILD_DIR/src/serve/bpnsp_served"
 CLIENT="$BUILD_DIR/src/serve/bpnsp_client"
 CHECKER="$(dirname "$0")/check_run_report.py"
+TRACECHECK="$(dirname "$0")/check_trace.py"
 
 WORK="$(mktemp -d /tmp/bpnsp-serve-soak.XXXXXX)"
 SOCKET="$WORK/served.sock"
@@ -40,6 +44,10 @@ echo "== serve soak: workdir $WORK"
     --queue-depth=2 \
     --batch=4 \
     --metrics-out="$REPORT" \
+    --trace-dir="$WORK/traces" \
+    --trace-rotate-ms=1000 \
+    --snapshot-ms=200 \
+    --slow-ms=50 \
     --faults="seed=9,serve.accept.fail@0.02,serve.frame.corrupt@0.01,serve.worker.stall@0.1" \
     &
 SERVED_PID=$!
@@ -76,6 +84,39 @@ echo "== phase 1: 32-client loadgen with kills + verify"
     --kill-prob=0.05 --seed=9 \
     --verify --trace-cache="$CACHE"
 
+# Phase 1b: live introspection under the load the soak just applied.
+# Stats answers from the io thread, so it must work right now even
+# though the worker pool is stall-prone and the queue is tiny. Retried
+# because the accept failpoint may drop the connection.
+echo "== phase 1b: Stats request under load"
+STATS_JSON="$WORK/stats.json"
+STATS_OK=0
+for _ in 1 2 3 4 5; do
+    if "$CLIENT" --socket="$SOCKET" --op=stats --raw \
+        >"$STATS_JSON" 2>/dev/null; then
+        STATS_OK=1
+        break
+    fi
+    sleep 0.2
+done
+[ "$STATS_OK" -eq 1 ] || { echo "Stats never answered" >&2; exit 1; }
+python3 - "$STATS_JSON" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["schema"] == "bpnsp-stats-v1", doc.get("schema")
+c = doc["counters"]
+assert c["serve.requests"] > 0, c
+assert c["serve.stats_requests"] >= 1, c
+assert "serve.request_ns" in doc["histograms"], sorted(doc["histograms"])
+print(
+    "stats snapshot ok: %d requests, %d completed so far"
+    % (c["serve.requests"], c["serve.completed"])
+)
+PY
+
 # Phase 2: SIGTERM mid-load. The background loadgen keeps the queue
 # busy while the daemon is told to drain; in-flight requests finish,
 # late ones are refused, and the daemon must exit 0 with a report.
@@ -95,9 +136,10 @@ wait "$LOAD_PID" 2>/dev/null || true
     exit 1
 }
 
-# Phase 3: the drained daemon's report must be a valid schema_rev 5
+# Phase 3: the drained daemon's report must be a valid schema_rev 6
 # run report whose serve.* counters prove the soak exercised every
-# path: admission, rejection, corruption, completion.
+# path: admission, rejection, corruption, completion, introspection —
+# and whose snapshots section carries the sampled time series.
 echo "== phase 3: report validation"
 python3 "$CHECKER" "$REPORT"
 python3 - "$REPORT" <<'PY'
@@ -106,24 +148,45 @@ import sys
 
 with open(sys.argv[1]) as f:
     report = json.load(f)
-assert report["schema_rev"] == 5, report["schema_rev"]
+assert report["schema_rev"] == 6, report["schema_rev"]
 c = report["counters"]
 assert c["serve.requests"] > 0, c
 assert c["serve.completed"] > 0, c
 assert c["serve.rejected"] > 0, "no backpressure observed: %r" % c
 assert c["serve.frames_corrupt"] > 0, "no corrupt frames observed: %r" % c
 assert c["serve.drains"] == 1, c
+assert c["serve.stats_requests"] >= 1, c
+assert c["obs.spans_recorded"] > 0, "tracing was on but recorded nothing"
+assert c["serve.slow_requests"] > 0, (
+    "50 ms threshold with stalled workers never fired: %r" % c
+)
+snaps = report["snapshots"]
+assert snaps["total"] >= 1, snaps
 print(
     "serve soak ok: %d requests, %d completed, %d rejected, "
-    "%d corrupt frame(s), %d worker stall(s)"
+    "%d corrupt frame(s), %d worker stall(s), %d slow, "
+    "%d span(s) in %d snapshot sample(s)"
     % (
         c["serve.requests"],
         c["serve.completed"],
         c["serve.rejected"],
         c["serve.frames_corrupt"],
         c["serve.worker_stalls"],
+        c["serve.slow_requests"],
+        c["obs.spans_recorded"],
+        snaps["total"],
     )
 )
 PY
+
+# Phase 4: every rotated Perfetto trace the daemon wrote must be a
+# structurally valid Chrome trace-event document.
+echo "== phase 4: trace validation"
+TRACES=("$WORK"/traces/*.json)
+[ -e "${TRACES[0]}" ] || {
+    echo "tracing was on under load but no trace files were written" >&2
+    exit 1
+}
+python3 "$TRACECHECK" "${TRACES[@]}"
 
 echo "== serve soak passed"

@@ -14,6 +14,7 @@
 #include "core/runner.hpp"
 #include "faultsim/faultsim.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "synth/workload.hpp"
 #include "tracestore/cache.hpp"
 #include "tracestore/format.hpp"
@@ -308,6 +309,12 @@ runCampaign(const CampaignConfig &config)
                 if (config.cellDeadlineMs > 0)
                     cellToken.setDeadlineAfterMs(config.cellDeadlineMs);
                 CancelScope cellScope(cellToken);
+                // Cell index + 1 as the trace id (0 means untraced):
+                // in a --trace-out export every span under one cell —
+                // vm.execute, trace.replay, chunk decodes — carries
+                // the id of the cell that drove it.
+                obs::ScopedTraceId cellTrace(i + 1);
+                obs::Span cellSpan("campaign.cell");
                 st = executeCell(config.cells[i], config, &cellResult);
             }
             cellResult.wallMs = elapsedMs(start);

@@ -12,6 +12,7 @@
 #include "bp/factory.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "tracestore/cache.hpp"
 #include "tracestore/store.hpp"
 #include "util/cancel.hpp"
@@ -124,6 +125,7 @@ runTrace(const Program &program, const std::vector<TraceSink *> &sinks,
         obs::counter("core.runner.cancelled");
     static obs::Histogram &executeNs = obs::histogram("vm.execute_ns");
     obs::ScopedTimer timer(executeNs);
+    obs::Span span("vm.execute");
 
     FanoutSink fanout;
     ProgressSink progress("vm");
@@ -214,6 +216,7 @@ replayFromCache(const TraceCache &cache, const TraceCacheKey &key,
         return st;
 
     obs::ScopedTimer timer(replayNs);
+    obs::Span span("trace.replay");
     FanoutSink fanout;
     ProgressSink progress("replay");
     if (obs::progressInterval() > 0)
@@ -273,6 +276,7 @@ runWorkloadTrace(const Workload &workload, size_t input_idx,
         obs::counter("tracestore.cache.misses");
     static obs::Counter &degraded =
         obs::counter("core.runner.degraded_runs");
+    obs::Span span("run.workload_trace");
 
     // Run-manifest identity: the last workload executed describes the
     // run (single-workload binaries, the common case, get exact

@@ -35,48 +35,66 @@ Histogram::reset()
     hi.store(0, std::memory_order_relaxed);
 }
 
+Histogram::BucketCounts
+Histogram::bucketCounts() const
+{
+    BucketCounts out;
+    for (size_t i = 0; i < kBuckets; ++i)
+        out[i] = buckets[i].load(std::memory_order_relaxed);
+    return out;
+}
+
+double
+Histogram::percentileFromBuckets(const BucketCounts &counts, double p)
+{
+    uint64_t cnt = 0;
+    for (uint64_t c : counts)
+        cnt += c;
+    if (cnt == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+
+    // Rank in [0, cnt); walk buckets until the cumulative count
+    // covers it, then interpolate linearly inside that bucket.
+    const double rank = p / 100.0 * static_cast<double>(cnt);
+    uint64_t seen = 0;
+    double last = 0.0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        const uint64_t in_bucket = counts[i];
+        if (in_bucket == 0)
+            continue;
+        const double bucket_lo =
+            i == 0 ? 0.0 : static_cast<double>(1ull << (i - 1));
+        const double bucket_hi =
+            i == 0 ? 0.0
+                   : (i >= 64 ? 2.0 * static_cast<double>(1ull << 63)
+                              : static_cast<double>(1ull << i));
+        if (static_cast<double>(seen + in_bucket) >= rank) {
+            const double frac =
+                (rank - static_cast<double>(seen)) /
+                static_cast<double>(in_bucket);
+            return bucket_lo + frac * (bucket_hi - bucket_lo);
+        }
+        seen += in_bucket;
+        last = bucket_hi;
+    }
+    return last;
+}
+
 double
 Histogram::percentile(double p) const
 {
     const uint64_t cnt = count();
     if (cnt == 0)
         return 0.0;
-    p = std::clamp(p, 0.0, 100.0);
     const uint64_t vmin = lo.load(std::memory_order_relaxed);
     const uint64_t vmax = hi.load(std::memory_order_relaxed);
-
-    // Rank in [0, cnt); walk buckets until the cumulative count
-    // covers it, then interpolate linearly inside that bucket.
-    const double rank = p / 100.0 * static_cast<double>(cnt);
-    uint64_t seen = 0;
-    for (size_t i = 0; i < kBuckets; ++i) {
-        const uint64_t in_bucket =
-            buckets[i].load(std::memory_order_relaxed);
-        if (in_bucket == 0)
-            continue;
-        if (static_cast<double>(seen + in_bucket) >= rank) {
-            const double bucket_lo =
-                i == 0 ? 0.0 : static_cast<double>(1ull << (i - 1));
-            const double bucket_hi =
-                i == 0 ? 0.0
-                       : (i >= 64 ? 2.0 * static_cast<double>(
-                                              1ull << 63)
-                                  : static_cast<double>(1ull << i));
-            const double frac =
-                in_bucket == 0
-                    ? 0.0
-                    : (rank - static_cast<double>(seen)) /
-                          static_cast<double>(in_bucket);
-            double v = bucket_lo + frac * (bucket_hi - bucket_lo);
-            // The observed extremes always bound the estimate, which
-            // makes single-valued histograms exact.
-            v = std::max(v, static_cast<double>(vmin));
-            v = std::min(v, static_cast<double>(vmax));
-            return v;
-        }
-        seen += in_bucket;
-    }
-    return static_cast<double>(vmax);
+    double v = percentileFromBuckets(bucketCounts(), p);
+    // The observed extremes always bound the estimate, which makes
+    // single-valued histograms exact.
+    v = std::max(v, static_cast<double>(vmin));
+    v = std::min(v, static_cast<double>(vmax));
+    return v;
 }
 
 HistogramSnapshot
@@ -93,6 +111,7 @@ Histogram::snapshot() const
     s.p50 = percentile(50.0);
     s.p90 = percentile(90.0);
     s.p99 = percentile(99.0);
+    s.p999 = percentile(99.9);
     return s;
 }
 
@@ -203,6 +222,17 @@ Registry::histograms() const
     out.reserve(histogramMap.size());
     for (const auto &[name, h] : histogramMap)
         out.emplace_back(name, h->snapshot());
+    return out;
+}
+
+std::vector<std::pair<std::string, const Histogram *>>
+Registry::histogramRefs() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::pair<std::string, const Histogram *>> out;
+    out.reserve(histogramMap.size());
+    for (const auto &[name, h] : histogramMap)
+        out.emplace_back(name, h.get());
     return out;
 }
 

@@ -89,6 +89,7 @@ struct HistogramSnapshot
     double p50 = 0.0;
     double p90 = 0.0;
     double p99 = 0.0;
+    double p999 = 0.0;
 
     bool empty() const { return count == 0; }
 };
@@ -109,6 +110,9 @@ class Histogram
   public:
     static constexpr size_t kBuckets = 65;   // value 0 + bit widths 1..64
 
+    /** Plain copy of the per-bucket counts (relaxed reads). */
+    using BucketCounts = std::array<uint64_t, kBuckets>;
+
     void
     observe(uint64_t v)
     {
@@ -127,6 +131,24 @@ class Histogram
 
     /** Approximate p-th percentile (0 <= p <= 100); 0 when empty. */
     double percentile(double p) const;
+
+    /**
+     * Copy of the raw bucket counts, the substrate for *interval*
+     * quantiles: subtracting two copies taken at different instants
+     * gives the bucket counts of just the events in between (counts
+     * are monotonic), which percentileFromBuckets() turns into a
+     * windowed percentile. Used by the snapshot sampler.
+     */
+    BucketCounts bucketCounts() const;
+
+    /**
+     * Percentile estimate over a standalone bucket-count array (e.g.
+     * the delta of two bucketCounts() copies). Same interpolation as
+     * percentile(), but clamped only to the bucket bounds — min/max
+     * of the window are not known.
+     */
+    static double percentileFromBuckets(const BucketCounts &counts,
+                                        double p);
 
   private:
     friend class Registry;
@@ -188,6 +210,14 @@ class Registry
     std::vector<std::pair<std::string, double>> gauges() const;
     std::vector<std::pair<std::string, HistogramSnapshot>>
     histograms() const;
+
+    /**
+     * Stable pointers to every registered histogram (metric objects
+     * are never destroyed). The snapshot sampler keys its previous
+     * bucket copies off these identities.
+     */
+    std::vector<std::pair<std::string, const Histogram *>>
+    histogramRefs() const;
     /// @}
 
     /**
@@ -229,11 +259,10 @@ class ScopedTimer
     {
     }
 
-    /** Convenience: resolves the histogram by name (not hot-path). */
-    explicit ScopedTimer(const std::string &name)
-        : ScopedTimer(histogram(name))
-    {
-    }
+    // Deliberately no ScopedTimer(const std::string&) convenience:
+    // it hid a mutex-guarded map lookup inside what looks like a
+    // cheap RAII guard, inviting per-call registry lookups on hot
+    // paths. Resolve the handle once (static reference) instead.
 
     ScopedTimer(const ScopedTimer &) = delete;
     ScopedTimer &operator=(const ScopedTimer &) = delete;

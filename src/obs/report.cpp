@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
 #include "util/cancel.hpp"
 #include "util/logging.hpp"
 #include "util/options.hpp"
@@ -20,13 +22,16 @@ namespace {
 
 std::mutex gReportMutex;
 std::string gReportPath;
+std::string gTraceOutPath;
 bool gAtExitInstalled = false;
+bool gTraceAtExitInstalled = false;
 std::atomic<uint64_t> gProgressInterval{0};
 
 // Signal-hook state. The hook cannot take gReportMutex (the
 // interrupted thread might hold it), so the report path is mirrored
 // into a fixed buffer it can read lock-free.
 char gSignalReportPath[4096] = {};
+char gSignalTracePath[4096] = {};
 
 /** JSON string escaping (quotes, backslash, control characters). */
 std::string
@@ -95,6 +100,21 @@ writeReportAtExit()
         writeRunReport(path);
 }
 
+void
+writeTraceAtExit()
+{
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(gReportMutex);
+        path = gTraceOutPath;
+    }
+    if (path.empty())
+        return;
+    if (Status st = TraceRecorder::instance().exportChromeTrace(path);
+        !st.ok())
+        warn("cannot write trace: ", st.str());
+}
+
 /**
  * First-signal hook registered with util/signals: flush the pending
  * run report before the shared handler re-raises with the default
@@ -113,6 +133,63 @@ reportFlushHook(int /*sig*/)
 {
     if (gSignalReportPath[0] != '\0')
         writeRunReport(gSignalReportPath);
+    if (gSignalTracePath[0] != '\0')
+        (void)TraceRecorder::instance().exportChromeTrace(
+            gSignalTracePath);
+}
+
+/**
+ * Emit the "counters"/"gauges"/"histograms" sections shared by the
+ * run report and the live Stats snapshot (no trailing comma or
+ * newline — the caller closes the document). Histograms carry the
+ * exact quantile contract: p50/p90/p99/p999 computed by the
+ * histogram itself, so no consumer ever re-derives quantiles from
+ * raw log2 buckets.
+ */
+void
+appendRegistrySections(std::ostringstream &oss)
+{
+    Registry &reg = Registry::instance();
+
+    oss << "  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : reg.counters()) {
+        oss << (first ? "\n" : ",\n") << "    " << quoted(name) << ": "
+            << value;
+        first = false;
+    }
+    oss << "\n  },\n";
+
+    oss << "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : reg.gauges()) {
+        oss << (first ? "\n" : ",\n") << "    " << quoted(name) << ": "
+            << jsonNumber(value);
+        first = false;
+    }
+    oss << (first ? "" : "\n  ") << "},\n";
+
+    oss << "  \"histograms\": {";
+    first = true;
+    for (const auto &[name, s] : reg.histograms()) {
+        oss << (first ? "\n" : ",\n") << "    " << quoted(name) << ": ";
+        if (s.empty()) {
+            // An empty histogram is not one that observed zeros.
+            oss << "{\"count\":0,\"sum\":0,\"min\":null,\"max\":null,"
+                   "\"mean\":null,\"p50\":null,\"p90\":null,"
+                   "\"p99\":null,\"p999\":null}";
+        } else {
+            oss << "{\"count\":" << s.count << ",\"sum\":" << s.sum
+                << ",\"min\":" << s.min << ",\"max\":" << s.max
+                << ",\"mean\":" << jsonNumber(s.mean)
+                << ",\"p50\":" << jsonNumber(s.p50)
+                << ",\"p90\":" << jsonNumber(s.p90)
+                << ",\"p99\":" << jsonNumber(s.p99)
+                << ",\"p999\":" << jsonNumber(s.p999) << "}";
+        }
+        first = false;
+    }
+    oss << (first ? "" : "\n  ") << "}";
 }
 
 } // namespace
@@ -183,19 +260,27 @@ renderRunReport()
           // whether the run fitted profiles or generated programs,
           // and whether any generated program failed validation.
           "synth.profiles_fitted", "synth.branches_fitted",
-          "synth.programs_generated", "synth.validate_failures"}) {
+          "synth.programs_generated", "synth.validate_failures",
+          // Observability counters (schema_rev 6): every report
+          // proves whether tracing was on (and how lossy the span
+          // rings were) and whether the daemon answered live Stats
+          // requests.
+          "obs.spans_recorded", "obs.spans_dropped",
+          "serve.stats_requests"}) {
         reg.counter(name);
     }
 
     // schema_rev bumps additively within the v1 schema: rev 2 added
     // the robustness counter contract, rev 3 the campaign /
-    // cancellation contract, rev 4 the serving contract, rev 5 adds
-    // the synthesis contract above — nothing is ever renamed, so v1
-    // consumers keep parsing and rev-aware consumers know the new
-    // keys are guaranteed present.
+    // cancellation contract, rev 4 the serving contract, rev 5 the
+    // synthesis contract, rev 6 adds the tracing/introspection
+    // contract above plus the optional "snapshots" time-series
+    // section and exact histogram quantiles (p999) — nothing is ever
+    // renamed, so v1 consumers keep parsing and rev-aware consumers
+    // know the new keys are guaranteed present.
     std::ostringstream oss;
     oss << "{\n  \"schema\": \"bpnsp-run-report-v1\",\n"
-        << "  \"schema_rev\": 5,\n  \"run\": {\n";
+        << "  \"schema_rev\": 6,\n  \"run\": {\n";
     for (const auto &[key, value] : reg.runFields())
         oss << "    " << quoted(key) << ": " << quoted(value) << ",\n";
     oss << "    \"git\": " << quoted(gitDescribe()) << ",\n"
@@ -210,44 +295,72 @@ renderRunReport()
         << "    \"wall_seconds\": " << jsonNumber(reg.wallSeconds())
         << "\n  },\n";
 
-    oss << "  \"counters\": {";
+    appendRegistrySections(oss);
+
+    // Time-series section (schema_rev 6), present only when the
+    // snapshot sampler ran: the ring of interval samples that turns
+    // one aggregate p99 into a p99-over-time curve.
+    SnapshotSampler &sampler = SnapshotSampler::instance();
+    if (sampler.totalSamples() > 0) {
+        oss << ",\n  \"snapshots\": {\n"
+            << "    \"period_ms\": " << sampler.periodMs() << ",\n"
+            << "    \"total\": " << sampler.totalSamples() << ",\n"
+            << "    \"samples\": [";
+        bool firstSample = true;
+        for (const Snapshot &s : sampler.samples()) {
+            oss << (firstSample ? "\n" : ",\n") << "      "
+                << snapshotJson(s);
+            firstSample = false;
+        }
+        oss << "\n    ]\n  }";
+    }
+    oss << "\n}\n";
+    return oss.str();
+}
+
+std::string
+snapshotJson(const Snapshot &s)
+{
+    std::ostringstream oss;
+    oss << "{\"t_s\":" << jsonNumber(s.tSeconds) << ",\"counters\":{";
     bool first = true;
-    for (const auto &[name, value] : reg.counters()) {
-        oss << (first ? "\n" : ",\n") << "    " << quoted(name) << ": "
-            << value;
+    for (const auto &[name, delta] : s.counterDeltas) {
+        oss << (first ? "" : ",") << quoted(name) << ":" << delta;
         first = false;
     }
-    oss << "\n  },\n";
-
-    oss << "  \"gauges\": {";
+    oss << "},\"gauges\":{";
     first = true;
-    for (const auto &[name, value] : reg.gauges()) {
-        oss << (first ? "\n" : ",\n") << "    " << quoted(name) << ": "
+    for (const auto &[name, value] : s.gauges) {
+        oss << (first ? "" : ",") << quoted(name) << ":"
             << jsonNumber(value);
         first = false;
     }
-    oss << (first ? "" : "\n  ") << "},\n";
-
-    oss << "  \"histograms\": {";
+    oss << "},\"histograms\":{";
     first = true;
-    for (const auto &[name, s] : reg.histograms()) {
-        oss << (first ? "\n" : ",\n") << "    " << quoted(name) << ": ";
-        if (s.empty()) {
-            // An empty histogram is not one that observed zeros.
-            oss << "{\"count\":0,\"sum\":0,\"min\":null,\"max\":null,"
-                   "\"mean\":null,\"p50\":null,\"p90\":null,"
-                   "\"p99\":null}";
-        } else {
-            oss << "{\"count\":" << s.count << ",\"sum\":" << s.sum
-                << ",\"min\":" << s.min << ",\"max\":" << s.max
-                << ",\"mean\":" << jsonNumber(s.mean)
-                << ",\"p50\":" << jsonNumber(s.p50)
-                << ",\"p90\":" << jsonNumber(s.p90)
-                << ",\"p99\":" << jsonNumber(s.p99) << "}";
-        }
+    for (const Snapshot::HistWindow &w : s.histograms) {
+        oss << (first ? "" : ",") << quoted(w.name)
+            << ":{\"count\":" << w.count
+            << ",\"p50\":" << jsonNumber(w.p50)
+            << ",\"p90\":" << jsonNumber(w.p90)
+            << ",\"p99\":" << jsonNumber(w.p99)
+            << ",\"p999\":" << jsonNumber(w.p999) << "}";
         first = false;
     }
-    oss << (first ? "" : "\n  ") << "}\n}\n";
+    oss << "}}";
+    return oss.str();
+}
+
+std::string
+renderStatsSnapshotJson()
+{
+    Registry &reg = Registry::instance();
+    std::ostringstream oss;
+    oss << "{\n  \"schema\": \"bpnsp-stats-v1\",\n"
+        << "  \"git\": " << quoted(gitDescribe()) << ",\n"
+        << "  \"wall_seconds\": " << jsonNumber(reg.wallSeconds())
+        << ",\n";
+    appendRegistrySections(oss);
+    oss << "\n}\n";
     return oss.str();
 }
 
@@ -279,6 +392,20 @@ setReportPath(const std::string &path)
     if (!path.empty() && !gAtExitInstalled) {
         gAtExitInstalled = true;
         std::atexit(writeReportAtExit);
+    }
+}
+
+void
+setTracePath(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(gReportMutex);
+    gTraceOutPath = path;
+    std::snprintf(gSignalTracePath, sizeof(gSignalTracePath), "%s",
+                  path.c_str());
+    TraceRecorder::instance().setEnabled(!path.empty());
+    if (!path.empty() && !gTraceAtExitInstalled) {
+        gTraceAtExitInstalled = true;
+        std::atexit(writeTraceAtExit);
     }
 }
 
@@ -326,6 +453,14 @@ configureFromOptions(const OptionParser &opts)
     }
     if (opts.getFlag("progress"))
         setProgressInterval(kDefaultProgressInterval);
+    if (const std::string &path = opts.getString("trace-out");
+        !path.empty()) {
+        setTracePath(path);
+        // Like the run report: a Ctrl-C'd run keeps its trace.
+        installSignalHandlers();
+    }
+    if (const int64_t ms = opts.getInt("snapshot-ms"); ms > 0)
+        SnapshotSampler::instance().start(static_cast<uint64_t>(ms));
 }
 
 } // namespace bpnsp::obs

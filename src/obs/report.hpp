@@ -12,6 +12,10 @@
  * Every binary that parses options through OptionParser accepts:
  *   --metrics-out=FILE   write the run report on exit
  *   --progress           instr/sec heartbeat to stderr (inform level)
+ *   --trace-out=FILE     record spans; write a Chrome/Perfetto trace
+ *                        (obs/trace.hpp) on exit
+ *   --snapshot-ms=N      sample the registry every N ms into the
+ *                        report's "snapshots" ring (obs/snapshot.hpp)
  * after calling obs::configureFromOptions(opts) once after parse().
  */
 
@@ -28,6 +32,8 @@ class OptionParser;
 
 namespace obs {
 
+struct Snapshot;
+
 /**
  * Render the full run report as a JSON document. Always contains the
  * keys `run.instructions`, `run.wall_seconds`, `run.git`,
@@ -37,6 +43,19 @@ namespace obs {
  */
 std::string renderRunReport();
 
+/**
+ * Render the live-introspection snapshot served over the wire by the
+ * Stats request (`bpnsp-stats-v1`): the full metric registry —
+ * counters, gauges, histograms with the exact p50/p90/p99/p999
+ * quantile contract — plus uptime and git identity. Same section
+ * format as the run report, minus the run manifest and time series:
+ * cheap enough to build on a server's io thread.
+ */
+std::string renderStatsSnapshotJson();
+
+/** One snapshot-sampler interval sample as a JSON object. */
+std::string snapshotJson(const Snapshot &s);
+
 /** Write renderRunReport() to `path`; warn() and false on failure. */
 bool writeRunReport(const std::string &path);
 
@@ -45,6 +64,13 @@ bool writeRunReport(const std::string &path);
  * (std::atexit). An empty path cancels a pending exit report.
  */
 void setReportPath(const std::string &path);
+
+/**
+ * Enable span recording and arrange for a Chrome/Perfetto trace to
+ * be written to `path` at process exit. An empty path disables
+ * recording and cancels a pending exit trace.
+ */
+void setTracePath(const std::string &path);
 
 /**
  * Install SIGINT/SIGTERM handlers (idempotent). The first signal

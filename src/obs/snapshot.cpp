@@ -1,0 +1,181 @@
+#include "obs/snapshot.hpp"
+
+#include <chrono>
+
+namespace bpnsp::obs {
+
+SnapshotSampler &
+SnapshotSampler::instance()
+{
+    // Leaked like the registry: the exit-time report renderer may
+    // read samples after static destruction has begun elsewhere.
+    static SnapshotSampler *sampler = new SnapshotSampler();
+    return *sampler;
+}
+
+void
+SnapshotSampler::sampleLocked()
+{
+    Registry &reg = Registry::instance();
+
+    Snapshot s;
+    s.tSeconds = reg.wallSeconds();
+
+    for (const auto &[name, value] : reg.counters()) {
+        auto it = prevCounters.find(name);
+        const uint64_t prev = it == prevCounters.end() ? 0 : it->second;
+        // Counters are monotonic; a smaller current value means a
+        // test reset the registry, so restart the baseline.
+        const uint64_t delta = value >= prev ? value - prev : value;
+        prevCounters[name] = value;
+        if (delta != 0)
+            s.counterDeltas.emplace_back(name, delta);
+    }
+
+    s.gauges = reg.gauges();
+
+    for (const auto &[name, hist] : reg.histogramRefs()) {
+        Histogram::BucketCounts cur = hist->bucketCounts();
+        auto it = prevBuckets.find(hist);
+        Histogram::BucketCounts delta{};
+        uint64_t events = 0;
+        for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+            const uint64_t prev =
+                it == prevBuckets.end() ? 0 : it->second[i];
+            delta[i] = cur[i] >= prev ? cur[i] - prev : cur[i];
+            events += delta[i];
+        }
+        prevBuckets[hist] = cur;
+        if (events == 0)
+            continue;
+        Snapshot::HistWindow w;
+        w.name = name;
+        w.count = events;
+        w.p50 = Histogram::percentileFromBuckets(delta, 50.0);
+        w.p90 = Histogram::percentileFromBuckets(delta, 90.0);
+        w.p99 = Histogram::percentileFromBuckets(delta, 99.0);
+        w.p999 = Histogram::percentileFromBuckets(delta, 99.9);
+        s.histograms.push_back(std::move(w));
+    }
+
+    if (ring.size() < cap)
+        ring.push_back(std::move(s));
+    else
+        ring[taken % cap] = std::move(s);
+    ++taken;
+}
+
+void
+SnapshotSampler::sampleOnce()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    sampleLocked();
+}
+
+void
+SnapshotSampler::start(uint64_t period_ms, size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (threadRunning)
+        return;
+    period = period_ms == 0 ? 1 : period_ms;
+    cap = capacity == 0 ? 1 : capacity;
+    ring.clear();
+    ring.reserve(cap);
+    taken = 0;
+    stopFlag.store(false, std::memory_order_relaxed);
+    threadRunning = true;
+    worker = std::thread([this] {
+        while (!stopFlag.load(std::memory_order_relaxed)) {
+            uint64_t waited = 0;
+            const uint64_t target = period;
+            while (waited < target &&
+                   !stopFlag.load(std::memory_order_relaxed)) {
+                const uint64_t step =
+                    target - waited < 50 ? target - waited : 50;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(step));
+                waited += step;
+            }
+            if (stopFlag.load(std::memory_order_relaxed))
+                break;
+            sampleOnce();
+        }
+    });
+}
+
+void
+SnapshotSampler::stop()
+{
+    std::thread toJoin;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!threadRunning)
+            return;
+        stopFlag.store(true, std::memory_order_relaxed);
+        toJoin = std::move(worker);
+        threadRunning = false;
+    }
+    toJoin.join();
+    sampleOnce();
+}
+
+std::vector<Snapshot>
+SnapshotSampler::samples() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<Snapshot> out;
+    if (taken <= ring.size()) {
+        out = ring;
+    } else {
+        out.reserve(ring.size());
+        for (size_t i = 0; i < ring.size(); ++i)
+            out.push_back(ring[(taken + i) % ring.size()]);
+    }
+    return out;
+}
+
+uint64_t
+SnapshotSampler::totalSamples() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return taken;
+}
+
+uint64_t
+SnapshotSampler::periodMs() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return period;
+}
+
+bool
+SnapshotSampler::running() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return threadRunning;
+}
+
+void
+SnapshotSampler::setCapacityForTest(size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    ring.clear();
+    taken = 0;
+    cap = capacity == 0 ? 1 : capacity;
+}
+
+void
+SnapshotSampler::resetForTest()
+{
+    stop();
+    std::lock_guard<std::mutex> lock(mu);
+    ring.clear();
+    cap = kDefaultCapacity;
+    taken = 0;
+    period = 0;
+    prevCounters.clear();
+    prevBuckets.clear();
+}
+
+} // namespace bpnsp::obs

@@ -1,0 +1,441 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace bpnsp::obs {
+
+namespace {
+
+// Per-thread tracing state. Depth is maintained even while the
+// recorder is disabled mid-span so nesting stays consistent across
+// enable/disable flips.
+thread_local uint64_t tlsTraceId = 0;
+thread_local uint32_t tlsDepth = 0;
+
+Counter &
+spansRecordedCounter()
+{
+    static Counter &c = counter("obs.spans_recorded");
+    return c;
+}
+
+Counter &
+spansDroppedCounter()
+{
+    static Counter &c = counter("obs.spans_dropped");
+    return c;
+}
+
+void
+appendEscaped(std::string &out, const char *s)
+{
+    for (; *s; ++s) {
+        char ch = *s;
+        if (ch == '"' || ch == '\\') {
+            out.push_back('\\');
+            out.push_back(ch);
+        } else if (static_cast<unsigned char>(ch) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(
+                              static_cast<unsigned char>(ch)));
+            out.append(buf);
+        } else {
+            out.push_back(ch);
+        }
+    }
+}
+
+} // namespace
+
+/**
+ * A bounded single-producer/single-consumer ring. The owning thread
+ * is the only writer (advances head); consumers serialize on the
+ * recorder's registry mutex and advance tail. head/tail are
+ * monotonically increasing event counts, so slot index is
+ * `count % capacity` and the ring is full when head - tail ==
+ * capacity. Full means drop-newest: slots in [tail, head) are never
+ * overwritten, which is what makes concurrent peeking safe.
+ */
+struct TraceRecorder::ThreadRing
+{
+    explicit ThreadRing(size_t cap, uint32_t tid_)
+        : slots(cap), tid(tid_)
+    {
+    }
+
+    std::vector<SpanEvent> slots;
+    uint32_t tid;
+    std::atomic<uint64_t> head{0};
+    std::atomic<uint64_t> tail{0};
+};
+
+TraceRecorder &
+TraceRecorder::instance()
+{
+    // Leaked, like the metric registry: spans may be recorded from
+    // destructors of static-duration objects.
+    static TraceRecorder *recorder = new TraceRecorder();
+    return *recorder;
+}
+
+void
+TraceRecorder::setEnabled(bool on)
+{
+    onFlag.store(on, std::memory_order_relaxed);
+}
+
+void
+TraceRecorder::setRingCapacity(size_t events)
+{
+    capacity.store(events == 0 ? 1 : events,
+                   std::memory_order_relaxed);
+}
+
+TraceRecorder::ThreadRing &
+TraceRecorder::ringForThisThread()
+{
+    thread_local std::shared_ptr<ThreadRing> tls;
+    if (!tls) {
+        std::lock_guard<std::mutex> lock(ringsMu);
+        tls = std::make_shared<ThreadRing>(
+            capacity.load(std::memory_order_relaxed),
+            static_cast<uint32_t>(rings.size()));
+        rings.push_back(tls);
+    }
+    return *tls;
+}
+
+void
+TraceRecorder::record(const SpanEvent &event)
+{
+    if (!enabled())
+        return;
+    ThreadRing &ring = ringForThisThread();
+    uint64_t head = ring.head.load(std::memory_order_relaxed);
+    uint64_t tail = ring.tail.load(std::memory_order_acquire);
+    if (head - tail >= ring.slots.size()) {
+        spansDroppedCounter().inc();
+        return;
+    }
+    SpanEvent &slot = ring.slots[head % ring.slots.size()];
+    slot = event;
+    slot.tid = ring.tid;
+    ring.head.store(head + 1, std::memory_order_release);
+    spansRecordedCounter().inc();
+}
+
+std::vector<SpanEvent>
+TraceRecorder::drain()
+{
+    std::vector<SpanEvent> out;
+    std::lock_guard<std::mutex> lock(ringsMu);
+    for (auto &ring : rings) {
+        uint64_t tail = ring->tail.load(std::memory_order_relaxed);
+        uint64_t head = ring->head.load(std::memory_order_acquire);
+        for (; tail < head; ++tail)
+            out.push_back(ring->slots[tail % ring->slots.size()]);
+        ring->tail.store(tail, std::memory_order_release);
+    }
+    return out;
+}
+
+std::vector<SpanEvent>
+TraceRecorder::spansFor(uint64_t trace_id) const
+{
+    std::vector<SpanEvent> out;
+    std::lock_guard<std::mutex> lock(ringsMu);
+    for (const auto &ring : rings) {
+        uint64_t tail = ring->tail.load(std::memory_order_relaxed);
+        uint64_t head = ring->head.load(std::memory_order_acquire);
+        for (; tail < head; ++tail) {
+            const SpanEvent &ev =
+                ring->slots[tail % ring->slots.size()];
+            if (ev.traceId == trace_id)
+                out.push_back(ev);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SpanEvent &a, const SpanEvent &b) {
+                  return a.startNs < b.startNs;
+              });
+    return out;
+}
+
+size_t
+TraceRecorder::bufferedEvents() const
+{
+    size_t n = 0;
+    std::lock_guard<std::mutex> lock(ringsMu);
+    for (const auto &ring : rings)
+        n += ring->head.load(std::memory_order_acquire) -
+             ring->tail.load(std::memory_order_relaxed);
+    return n;
+}
+
+void
+TraceRecorder::resetForTest()
+{
+    std::lock_guard<std::mutex> lock(ringsMu);
+    for (auto &ring : rings)
+        ring->tail.store(ring->head.load(std::memory_order_acquire),
+                         std::memory_order_release);
+}
+
+std::string
+TraceRecorder::chromeTraceJson(const std::vector<SpanEvent> &events)
+{
+    // Synchronous spans go on their recording thread's track, where
+    // the per-thread span stack guarantees proper nesting. A
+    // retroactive span's interval was measured across threads, so on
+    // a thread track it could partially overlap the worker's own
+    // stack; each gets a per-request `req <id>` track instead —
+    // Perfetto then shows one admission-to-reply row per request.
+    std::vector<std::pair<const SpanEvent *, uint32_t>> sorted;
+    sorted.reserve(events.size());
+    uint32_t maxTid = 0;
+    for (const SpanEvent &ev : events)
+        if (!ev.retro)
+            maxTid = std::max(maxTid, ev.tid);
+    uint32_t nextTrack = maxTid + 1;
+    std::map<uint64_t, uint32_t> requestTracks;   // traceId -> tid
+    for (const SpanEvent &ev : events) {
+        uint32_t tid = ev.tid;
+        if (ev.retro) {
+            auto [it, fresh] =
+                requestTracks.emplace(ev.traceId, nextTrack);
+            if (fresh)
+                ++nextTrack;
+            tid = it->second;
+        }
+        sorted.emplace_back(&ev, tid);
+    }
+    // Sort per track by start time (ties: longer span first so a
+    // parent precedes a same-start child) — what both Perfetto and
+    // scripts/check_trace.py expect.
+    std::sort(sorted.begin(), sorted.end(),
+              [](const std::pair<const SpanEvent *, uint32_t> &a,
+                 const std::pair<const SpanEvent *, uint32_t> &b) {
+                  if (a.second != b.second)
+                      return a.second < b.second;
+                  if (a.first->startNs != b.first->startNs)
+                      return a.first->startNs < b.first->startNs;
+                  return a.first->durNs > b.first->durNs;
+              });
+
+    const long pid = static_cast<long>(::getpid());
+    std::string out;
+    out.reserve(128 + sorted.size() * 160);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%ld,"
+                  "\"tid\":0,\"args\":{\"name\":\"bpnsp\"}}",
+                  pid);
+    out += buf;
+    if (!sorted.empty()) {
+        for (uint32_t tid = 0; tid <= maxTid; ++tid) {
+            std::snprintf(
+                buf, sizeof(buf),
+                ",\n{\"name\":\"thread_name\",\"ph\":\"M\","
+                "\"pid\":%ld,\"tid\":%u,"
+                "\"args\":{\"name\":\"bpnsp-thread-%u\"}}",
+                pid, tid, tid);
+            out += buf;
+        }
+        for (const auto &[traceId, tid] : requestTracks) {
+            std::snprintf(
+                buf, sizeof(buf),
+                ",\n{\"name\":\"thread_name\",\"ph\":\"M\","
+                "\"pid\":%ld,\"tid\":%u,"
+                "\"args\":{\"name\":\"req %llu\"}}",
+                pid, tid,
+                static_cast<unsigned long long>(traceId));
+            out += buf;
+        }
+    }
+    for (const auto &[ev, tid] : sorted) {
+        std::snprintf(buf, sizeof(buf),
+                      ",\n{\"name\":\"");
+        out += buf;
+        appendEscaped(out, ev->name != nullptr ? ev->name : "?");
+        std::snprintf(
+            buf, sizeof(buf),
+            "\",\"ph\":\"X\",\"pid\":%ld,\"tid\":%u,"
+            "\"ts\":%.3f,\"dur\":%.3f,"
+            "\"args\":{\"trace_id\":\"%llu\",\"depth\":%u}}",
+            pid, tid, static_cast<double>(ev->startNs) / 1000.0,
+            static_cast<double>(ev->durNs) / 1000.0,
+            static_cast<unsigned long long>(ev->traceId), ev->depth);
+        out += buf;
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+namespace {
+
+Status
+writeWholeFile(const std::string &path, const std::string &body)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr)
+        return Status::ioError("trace export: cannot open " + path +
+                               ": " + std::strerror(errno));
+    size_t written = std::fwrite(body.data(), 1, body.size(), file);
+    int closeRc = std::fclose(file);
+    if (written != body.size() || closeRc != 0)
+        return Status::ioError("trace export: short write to " +
+                               path);
+    return Status();
+}
+
+} // namespace
+
+Status
+TraceRecorder::exportChromeTrace(const std::string &path)
+{
+    return writeWholeFile(path, chromeTraceJson(drain()));
+}
+
+void
+TraceRecorder::rotateOnce()
+{
+    std::vector<SpanEvent> events = drain();
+    if (events.empty())
+        return;
+    std::string path;
+    {
+        std::lock_guard<std::mutex> lock(rotMu);
+        path = rotDir + "/trace-" + std::to_string(rotSeq++) +
+               ".json";
+    }
+    Status st = writeWholeFile(path, chromeTraceJson(events));
+    if (!st.ok()) {
+        warn("obs trace rotation: ", st.str());
+        return;
+    }
+    std::lock_guard<std::mutex> lock(rotMu);
+    rotFiles.push_back(path);
+    while (rotFiles.size() > rotMaxFiles) {
+        std::error_code ec;
+        std::filesystem::remove(rotFiles.front(), ec);
+        rotFiles.erase(rotFiles.begin());
+    }
+}
+
+void
+TraceRecorder::startRotation(const std::string &dir,
+                             size_t max_files, uint64_t period_ms)
+{
+    {
+        std::lock_guard<std::mutex> lock(rotMu);
+        if (rotThread.joinable())
+            return;
+        std::error_code ec;
+        std::filesystem::create_directories(dir, ec);
+        rotDir = dir;
+        rotMaxFiles = max_files == 0 ? 1 : max_files;
+        rotPeriodMs = period_ms == 0 ? 1 : period_ms;
+        rotStop.store(false, std::memory_order_relaxed);
+    }
+    rotThread = std::thread([this] {
+        while (!rotStop.load(std::memory_order_relaxed)) {
+            uint64_t waited = 0;
+            while (waited < rotPeriodMs &&
+                   !rotStop.load(std::memory_order_relaxed)) {
+                uint64_t step = std::min<uint64_t>(
+                    50, rotPeriodMs - waited);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(step));
+                waited += step;
+            }
+            if (rotStop.load(std::memory_order_relaxed))
+                break;
+            rotateOnce();
+        }
+    });
+}
+
+void
+TraceRecorder::stopRotation()
+{
+    std::thread toJoin;
+    {
+        std::lock_guard<std::mutex> lock(rotMu);
+        if (!rotThread.joinable())
+            return;
+        rotStop.store(true, std::memory_order_relaxed);
+        toJoin = std::move(rotThread);
+    }
+    toJoin.join();
+    rotateOnce();
+}
+
+uint64_t
+currentTraceId()
+{
+    return tlsTraceId;
+}
+
+ScopedTraceId::ScopedTraceId(uint64_t trace_id) : prev(tlsTraceId)
+{
+    tlsTraceId = trace_id;
+}
+
+ScopedTraceId::~ScopedTraceId()
+{
+    tlsTraceId = prev;
+}
+
+void
+Span::begin(const char *name)
+{
+    spanName = name;
+    startNs = spanClockNs();
+    depth = tlsDepth++;
+    active = true;
+}
+
+void
+Span::end()
+{
+    --tlsDepth;
+    SpanEvent ev;
+    ev.name = spanName;
+    ev.traceId = tlsTraceId;
+    ev.startNs = startNs;
+    ev.durNs = spanClockNs() - startNs;
+    ev.depth = depth;
+    TraceRecorder::instance().record(ev);
+}
+
+void
+emitSpan(const char *name, uint64_t trace_id, uint64_t start_ns,
+         uint64_t dur_ns)
+{
+    TraceRecorder &recorder = TraceRecorder::instance();
+    if (!recorder.enabled())
+        return;
+    SpanEvent ev;
+    ev.name = name;
+    ev.traceId = trace_id;
+    ev.startNs = start_ns;
+    ev.durNs = dur_ns;
+    ev.depth = tlsDepth;
+    ev.retro = true;
+    recorder.record(ev);
+}
+
+} // namespace bpnsp::obs

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Request-scoped tracing: lightweight spans recorded into lock-free
+ * per-thread ring buffers, exported as Chrome trace-event / Perfetto
+ * JSON.
+ *
+ * Design rules (the hot-path discipline of obs/metrics.hpp, applied
+ * to causality):
+ *  - A disabled recorder costs exactly one relaxed atomic load per
+ *    Span construction — nothing else. All binaries link this; only
+ *    runs that pass --trace-out / --trace-dir pay for it.
+ *  - An enabled Span costs two steady_clock reads plus one SPSC ring
+ *    append (~hundreds of ns), never a lock and never an allocation:
+ *    span names must be static-lifetime strings (string literals),
+ *    the ring slots are preallocated, and each ring is written only
+ *    by its owning thread.
+ *  - Events are recorded at span *end* as complete intervals
+ *    (start + duration), so a recorded stream is balanced by
+ *    construction; nesting depth is tracked per thread so exporters
+ *    and validators can check the tree shape without a begin/end
+ *    pairing pass.
+ *  - When a ring fills, new spans are dropped (never the old ones
+ *    overwritten): `obs.spans_dropped` counts the loss, and a
+ *    concurrent reader can always safely copy the published range.
+ *
+ * Spans carry a per-thread *trace id* — a request id, campaign cell
+ * id, or any other causality key — installed with ScopedTraceId.
+ * Everything recorded under that scope (replay, chunk decode, ...)
+ * inherits the id, which is what lets a slow-request log pull the
+ * whole span tree for one request out of the shared rings.
+ *
+ * Export is Chrome trace-event JSON ("X" complete events,
+ * microsecond timestamps) — the format ui.perfetto.dev and
+ * chrome://tracing open directly. scripts/check_trace.py validates
+ * the schema and nesting invariants in CI.
+ */
+
+#ifndef BPNSP_OBS_TRACE_HPP
+#define BPNSP_OBS_TRACE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace bpnsp::obs {
+
+/** One completed span, as stored in a ring slot. */
+struct SpanEvent
+{
+    const char *name = nullptr;   ///< static-lifetime string
+    uint64_t traceId = 0;         ///< causality key (0 = unscoped)
+    uint64_t startNs = 0;         ///< steady-clock, process-relative
+    uint64_t durNs = 0;
+    uint32_t tid = 0;             ///< stable per-thread track index
+    uint32_t depth = 0;           ///< nesting depth at record time
+
+    /**
+     * Cross-thread retroactive span (emitSpan): its interval was
+     * measured across threads, so it may legitimately overlap the
+     * recording thread's own synchronous span stack. The exporter
+     * places these on per-request tracks instead of thread tracks so
+     * every exported track still nests properly.
+     */
+    bool retro = false;
+};
+
+/**
+ * The process-wide span recorder: a registry of per-thread SPSC
+ * rings plus the export/rotation machinery. Like the metric
+ * registry, the instance is created on first use and deliberately
+ * leaked so Span destructors in static-duration objects stay safe.
+ */
+class TraceRecorder
+{
+  public:
+    static TraceRecorder &instance();
+
+    /** Turn recording on/off (a relaxed store; safe any time). */
+    void setEnabled(bool on);
+
+    bool
+    enabled() const
+    {
+        return onFlag.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Ring capacity (events per thread) used for rings created
+     * *after* the call. Rings already registered keep their size.
+     */
+    void setRingCapacity(size_t events);
+
+    /**
+     * Move every published event out of every ring (oldest first per
+     * thread). Safe concurrently with recording threads: only the
+     * published range is consumed.
+     */
+    std::vector<SpanEvent> drain();
+
+    /**
+     * Copy (without consuming) every published event whose trace id
+     * matches. The slow path behind slow-request span dumps — cost
+     * is proportional to the buffered event count, paid only when a
+     * request already blew its latency budget.
+     */
+    std::vector<SpanEvent> spansFor(uint64_t trace_id) const;
+
+    /** Buffered (published, unconsumed) events across all rings. */
+    size_t bufferedEvents() const;
+
+    /**
+     * Render events as a Chrome trace-event JSON document
+     * (traceEvents array of "X" complete events, ts/dur in
+     * microseconds): one tid track per recording thread for
+     * synchronous spans, plus one `req <trace id>` track per request
+     * for retroactive cross-thread spans (queue wait, request root),
+     * which would otherwise partially overlap the worker's own stack.
+     */
+    static std::string chromeTraceJson(
+        const std::vector<SpanEvent> &events);
+
+    /** drain() + write chromeTraceJson to `path`. */
+    Status exportChromeTrace(const std::string &path);
+
+    /**
+     * Start the rotating background exporter: every `period_ms` the
+     * rings are drained and, when non-empty, written to
+     * `dir/trace-<seq>.json`; only the newest `max_files` files are
+     * kept, so a long-lived daemon's trace disk footprint stays
+     * bounded. Idempotent (a second call is ignored).
+     */
+    void startRotation(const std::string &dir, size_t max_files,
+                       uint64_t period_ms);
+
+    /** Stop the exporter, flushing one final rotation file. */
+    void stopRotation();
+
+    /** Tests only: drop all buffered events and reset drop counts. */
+    void resetForTest();
+
+    // Internal: called by Span/emitSpan on the recording thread.
+    void record(const SpanEvent &event);
+
+  private:
+    struct ThreadRing;
+
+    TraceRecorder() = default;
+
+    ThreadRing &ringForThisThread();
+    void rotateOnce();
+
+    std::atomic<bool> onFlag{false};
+    std::atomic<size_t> capacity{8192};
+
+    mutable std::mutex ringsMu;   ///< protects the registry only
+    std::vector<std::shared_ptr<ThreadRing>> rings;
+
+    std::mutex rotMu;
+    std::thread rotThread;
+    std::atomic<bool> rotStop{false};
+    std::string rotDir;
+    size_t rotMaxFiles = 8;
+    uint64_t rotPeriodMs = 2000;
+    uint64_t rotSeq = 0;
+    std::vector<std::string> rotFiles;
+};
+
+/** Monotonic (steady-clock) nanoseconds, the span time base. */
+inline uint64_t
+spanClockNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** The calling thread's current trace id (0 = unscoped). */
+uint64_t currentTraceId();
+
+/**
+ * RAII trace-id scope: spans recorded on this thread while the scope
+ * is alive carry `trace_id`. Nests (the previous id is restored).
+ */
+class ScopedTraceId
+{
+  public:
+    explicit ScopedTraceId(uint64_t trace_id);
+    ~ScopedTraceId();
+
+    ScopedTraceId(const ScopedTraceId &) = delete;
+    ScopedTraceId &operator=(const ScopedTraceId &) = delete;
+
+  private:
+    uint64_t prev;
+};
+
+/**
+ * RAII span. `name` must be a static-lifetime string (a literal):
+ * the recorder stores the pointer, not a copy.
+ *
+ *   obs::Span span("tracestore.replay");
+ */
+class Span
+{
+  public:
+    explicit Span(const char *name)
+    {
+        if (TraceRecorder::instance().enabled())
+            begin(name);
+    }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    ~Span()
+    {
+        if (active)
+            end();
+    }
+
+  private:
+    void begin(const char *name);
+    void end();
+
+    const char *spanName = nullptr;
+    uint64_t startNs = 0;
+    uint32_t depth = 0;
+    bool active = false;
+};
+
+/**
+ * Record an already-measured interval as a span on the calling
+ * thread's ring — for durations whose endpoints lived on different
+ * threads (admission-queue wait: enqueued on the io thread, popped
+ * on a worker). Depth is taken from the calling thread's current
+ * nesting level.
+ */
+void emitSpan(const char *name, uint64_t trace_id, uint64_t start_ns,
+              uint64_t dur_ns);
+
+} // namespace bpnsp::obs
+
+#endif // BPNSP_OBS_TRACE_HPP

@@ -2,16 +2,19 @@
  * @file
  * bpnsp_client: command-line client for a running bpnsp_served.
  *
- * Single-request mode (--op=ping|simulate|stats|h2p|materialize)
- * prints one human-readable result; --op=loadgen runs the closed-loop
- * load generator (N concurrent clients, optional randomized kills and
- * reply verification) and prints its aggregate tally.
+ * Single-request mode (--op=ping|simulate|branch-stats|h2p|
+ * materialize) prints one human-readable result; --op=stats pulls the
+ * server's live metric-registry snapshot (add --watch to poll it);
+ * --op=loadgen runs the closed-loop load generator (N concurrent
+ * clients, optional randomized kills and reply verification) and
+ * prints its aggregate tally.
  *
  * Examples:
  *   bpnsp_client --socket=/tmp/b.sock --op=ping
  *   bpnsp_client --socket=/tmp/b.sock --op=simulate \
  *       --workload=mcf_like --predictor=gshare \
  *       --instructions=200000 --first=50000 --count=100000
+ *   bpnsp_client --socket=/tmp/b.sock --op=stats --watch
  *   bpnsp_client --socket=/tmp/b.sock --op=loadgen --clients=32 \
  *       --requests=64 --kill-prob=0.05 --verify
  *
@@ -19,8 +22,12 @@
  * verify mismatches), 1 otherwise.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <sstream>
+#include <thread>
+
+#include "util/json.hpp"
 
 #include "core/runner.hpp"
 #include "serve/client.hpp"
@@ -77,7 +84,7 @@ runOne(const OptionParser &opts, const std::string &op)
         request.type = MessageType::Ping;
     } else if (op == "simulate") {
         request.type = MessageType::Simulate;
-    } else if (op == "stats") {
+    } else if (op == "branch-stats") {
         request.type = MessageType::BranchStats;
     } else if (op == "h2p") {
         request.type = MessageType::H2p;
@@ -85,7 +92,8 @@ runOne(const OptionParser &opts, const std::string &op)
         request.type = MessageType::Materialize;
     } else {
         fatal("unknown --op \"", op,
-              "\" (want ping|simulate|stats|h2p|materialize|loadgen)");
+              "\" (want ping|simulate|branch-stats|h2p|materialize|"
+              "stats|loadgen)");
     }
 
     ServeReply reply;
@@ -161,6 +169,129 @@ runOne(const OptionParser &opts, const std::string &op)
     return 0;
 }
 
+/** "123456789" -> "123,456,789" (stats tables only). */
+std::string
+withThousands(uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    const size_t n = digits.size();
+    for (size_t i = 0; i < n; ++i) {
+        if (i != 0 && (n - i) % 3 == 0)
+            out += ',';
+        out += digits[i];
+    }
+    return out;
+}
+
+/** One quantile cell: ns as a human latency, "-" when null. */
+std::string
+quantileCell(const JsonValue &hist, const char *key)
+{
+    const JsonValue &v = hist.get(key);
+    if (!v.isNumber())
+        return "-";
+    const double ns = v.asDouble();
+    char buf[32];
+    if (ns >= 1e9)
+        std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+    else if (ns >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+    else if (ns >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+    return buf;
+}
+
+/**
+ * Render one bpnsp-stats-v1 document for a terminal. Parse failures
+ * degrade to printing the raw JSON: a newer server must stay
+ * inspectable from an older client.
+ */
+void
+printStatsPretty(const std::string &json, uint64_t trace_id)
+{
+    JsonValue doc;
+    if (!JsonValue::parse(json, &doc).ok() || !doc.isObject()) {
+        std::fputs(json.c_str(), stdout);
+        return;
+    }
+    std::printf("%s  git %s  wall %.1fs  (stats trace id %llu)\n",
+                doc.get("schema").asString().c_str(),
+                doc.get("git").asString().c_str(),
+                doc.get("wall_seconds").asDouble(),
+                static_cast<unsigned long long>(trace_id));
+
+    std::printf("counters:\n");
+    for (const auto &[name, value] : doc.get("counters").members())
+        std::printf("  %-32s %s\n", name.c_str(),
+                    withThousands(value.asUint()).c_str());
+
+    if (!doc.get("gauges").members().empty()) {
+        std::printf("gauges:\n");
+        for (const auto &[name, value] : doc.get("gauges").members())
+            std::printf("  %-32s %.6g\n", name.c_str(),
+                        value.asDouble());
+    }
+
+    if (!doc.get("histograms").members().empty()) {
+        std::printf("histograms:%*s count      p50      p90      p99"
+                    "     p999\n",
+                    24, "");
+        for (const auto &[name, h] : doc.get("histograms").members())
+            std::printf("  %-32s %7llu %8s %8s %8s %8s\n", name.c_str(),
+                        static_cast<unsigned long long>(
+                            h.get("count").asUint()),
+                        quantileCell(h, "p50").c_str(),
+                        quantileCell(h, "p90").c_str(),
+                        quantileCell(h, "p99").c_str(),
+                        quantileCell(h, "p999").c_str());
+    }
+}
+
+/**
+ * --op=stats: pull the live snapshot once, or poll it with --watch.
+ * --raw prints the JSON document verbatim for scripts.
+ */
+int
+runStats(const OptionParser &opts)
+{
+    ServeClient client;
+    Status st;
+    if (const int64_t port = opts.getInt("tcp-port"); port > 0)
+        st = client.connectTcp(static_cast<int>(port));
+    else
+        st = client.connectUnix(opts.getString("socket"));
+    if (!st.ok()) {
+        warn("bpnsp_client: ", st.str());
+        return 1;
+    }
+
+    const bool raw = opts.getFlag("raw");
+    const bool watch = opts.getFlag("watch");
+    const int64_t watchMs = opts.getInt("watch-ms");
+    for (;;) {
+        std::string json;
+        uint64_t traceId = 0;
+        st = client.stats(&json, &traceId);
+        if (!st.ok()) {
+            warn("bpnsp_client: ", st.str());
+            return 1;
+        }
+        if (raw)
+            std::fputs(json.c_str(), stdout);
+        else
+            printStatsPretty(json, traceId);
+        std::fflush(stdout);
+        if (!watch)
+            return 0;
+        std::printf("\n");
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(watchMs > 0 ? watchMs : 1000));
+    }
+}
+
 int
 runLoad(const OptionParser &opts)
 {
@@ -217,7 +348,8 @@ main(int argc, char **argv)
     opts.addInt("tcp-port", 0,
                 "connect to 127.0.0.1:PORT instead of the socket");
     opts.addString("op", "ping",
-                   "ping|simulate|stats|h2p|materialize|loadgen");
+                   "ping|simulate|branch-stats|h2p|materialize|stats|"
+                   "loadgen");
     opts.addString("workload", "mcf_like", "workload name");
     opts.addInt("input", 0, "workload input index");
     opts.addInt("instructions", 200000, "trace length (cache key)");
@@ -228,8 +360,11 @@ main(int argc, char **argv)
                 "simulate: slice record count (0 = to end; loadgen: "
                 "random slice width, 0 = whole trace)");
     opts.addInt("slice", 0,
-                "stats/h2p: slice length (0 = whole trace)");
-    opts.addInt("top", 0, "stats: top-K rows (0 = all)");
+                "branch-stats/h2p: slice length (0 = whole trace)");
+    opts.addInt("top", 0, "branch-stats: top-K rows (0 = all)");
+    opts.addFlag("watch", "stats: poll the snapshot until killed");
+    opts.addInt("watch-ms", 1000, "stats: --watch poll period");
+    opts.addFlag("raw", "stats: print the JSON document verbatim");
     opts.addInt("deadline-ms", 0, "per-request deadline (0 = none)");
     opts.addInt("clients", 4, "loadgen: concurrent clients");
     opts.addInt("requests", 32, "loadgen: requests per client");
@@ -251,5 +386,7 @@ main(int argc, char **argv)
     const std::string op = opts.getString("op");
     if (op == "loadgen")
         return runLoad(opts);
+    if (op == "stats")
+        return runStats(opts);
     return runOne(opts, op);
 }

@@ -24,6 +24,7 @@
 #include "faultsim/faultsim.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 #include "tracestore/chunk_cache.hpp"
 #include "util/cancel.hpp"
@@ -58,6 +59,14 @@ main(int argc, char **argv)
     opts.addInt("max-seconds", 0,
                 "self-terminate (drain) after N seconds (0 = run "
                 "until signalled)");
+    opts.addString("trace-dir", "",
+                   "write rotating Chrome-trace span exports into this "
+                   "directory (trace-<seq>.json, size-bounded)");
+    opts.addInt("trace-files", 8, "rotated trace files kept");
+    opts.addInt("trace-rotate-ms", 2000, "trace rotation period");
+    opts.addInt("slow-ms", 0,
+                "log requests slower than N ms with their span tree "
+                "(0 = off)");
     opts.parse(argc, argv);
     obs::configureFromOptions(opts);
     faultsim::configureFromOptions(opts);
@@ -90,6 +99,18 @@ main(int argc, char **argv)
     config.traceCacheDir = cacheDir;
     config.maxOpenReaders =
         static_cast<size_t>(opts.getInt("max-open-readers"));
+    config.slowMs = static_cast<uint32_t>(opts.getInt("slow-ms"));
+
+    // Continuous span capture for a long-lived daemon: --trace-dir
+    // rotates bounded exports (newest N kept) instead of the one-shot
+    // at-exit file --trace-out writes.
+    const std::string traceDir = opts.getString("trace-dir");
+    if (!traceDir.empty()) {
+        obs::TraceRecorder::instance().setEnabled(true);
+        obs::TraceRecorder::instance().startRotation(
+            traceDir, static_cast<size_t>(opts.getInt("trace-files")),
+            static_cast<uint64_t>(opts.getInt("trace-rotate-ms")));
+    }
 
     serve::ServeServer server(std::move(config));
     if (const Status st = server.start(); !st.ok()) {
@@ -114,6 +135,8 @@ main(int argc, char **argv)
     inform("bpnsp_served: draining (in-flight requests finish, "
            "listener closed)");
     server.drain();
+    if (!traceDir.empty())
+        obs::TraceRecorder::instance().stopRotation();
 
     // The run report flushes through the --metrics-out atexit hook
     // (obs::configureFromOptions), after the drain has settled every

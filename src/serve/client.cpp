@@ -208,6 +208,24 @@ ServeClient::ping(std::string *info)
     return Status();
 }
 
+Status
+ServeClient::stats(std::string *json, uint64_t *trace_id_out)
+{
+    ServeRequest request;
+    request.type = MessageType::Stats;
+    ServeReply reply;
+    const Status st = call(request, &reply);
+    if (!st.ok())
+        return st;
+    if (reply.code != WireCode::Ok)
+        return statusFromWire(reply.code, reply.message);
+    if (json != nullptr)
+        *json = reply.statsJson;
+    if (trace_id_out != nullptr)
+        *trace_id_out = reply.traceId;
+    return Status();
+}
+
 // --- load generator --------------------------------------------------
 
 namespace {

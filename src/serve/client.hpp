@@ -55,6 +55,15 @@ class ServeClient
     Status ping(std::string *info);
 
     /**
+     * Live metric snapshot: a bpnsp-stats-v1 JSON document rendered by
+     * the server's io thread (never queued behind workers, so it works
+     * under full load and during a drain). `trace_id_out` (optional)
+     * receives the server-assigned trace id — 0 from a pre-tracing
+     * server.
+     */
+    Status stats(std::string *json, uint64_t *trace_id_out = nullptr);
+
+    /**
      * Send a request and do NOT wait for the reply. Used by the load
      * generator's randomized client kills (send, vanish) to prove the
      * server shrugs off peers that disappear mid-request.

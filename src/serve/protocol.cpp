@@ -34,6 +34,10 @@ messageTypeName(MessageType type)
         return "materialize-reply";
       case MessageType::Error:
         return "error";
+      case MessageType::Stats:
+        return "stats";
+      case MessageType::StatsReply:
+        return "stats-reply";
     }
     return "unknown";
 }
@@ -47,6 +51,7 @@ isRequestType(MessageType type)
       case MessageType::BranchStats:
       case MessageType::H2p:
       case MessageType::Materialize:
+      case MessageType::Stats:
         return true;
       default:
         return false;
@@ -306,6 +311,7 @@ encodeRequestPayload(const ServeRequest &request)
     WireWriter w;
     switch (request.type) {
       case MessageType::Ping:
+      case MessageType::Stats:   // carries nothing, like Ping
         break;
       case MessageType::Simulate:
         w.str(request.workload);
@@ -347,6 +353,7 @@ decodeRequestPayload(MessageType type, const uint8_t *payload,
     WireReader r(payload, len);
     switch (type) {
       case MessageType::Ping:
+      case MessageType::Stats:
         break;
       case MessageType::Simulate:
         r.str(&req.workload);
@@ -431,11 +438,18 @@ encodeReplyPayload(const ServeReply &reply)
         w.u64(reply.records);
         w.str(reply.path);
         break;
+      case MessageType::StatsReply:
+        w.str(reply.statsJson);
+        break;
       case MessageType::Error:
         break;
       default:
         break;
     }
+    // The trace id is the trailing field of *every* reply type —
+    // appended under the v1 grow-at-the-end rule, so pre-tracing
+    // peers decode the shorter payload and simply never see it.
+    w.u64(reply.traceId);
     return w.take();
 }
 
@@ -502,6 +516,9 @@ decodeReplyPayload(MessageType type, const uint8_t *payload,
         r.u64(&reply.records);
         r.str(&reply.path);
         break;
+      case MessageType::StatsReply:
+        r.str(&reply.statsJson);
+        break;
       case MessageType::Error:
         break;
       default:
@@ -509,6 +526,10 @@ decodeReplyPayload(MessageType type, const uint8_t *payload,
             std::string("not a reply type: ") +
             messageTypeName(type));
     }
+    // Trailing trace id: present when the server is tracing-aware,
+    // absent (traceId stays 0) from an older peer's shorter payload.
+    if (r.ok() && r.remaining() >= 8)
+        r.u64(&reply.traceId);
     if (!r.ok())
         return Status::corruptData(
             std::string("malformed ") + messageTypeName(type) +

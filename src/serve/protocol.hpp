@@ -83,6 +83,8 @@ enum class MessageType : uint16_t
     Materialize = 9,
     MaterializeReply = 10,
     Error = 11,   ///< generic failure reply (any request type)
+    Stats = 12,   ///< live metric-registry snapshot (io-thread fast path)
+    StatsReply = 13,
 };
 
 /** Stable name of a message type ("simulate", ...). */
@@ -154,6 +156,16 @@ struct ServeReply
     WireCode code = WireCode::Ok;
     std::string message;
 
+    /**
+     * Server-assigned trace id, stamped into every reply (including
+     * errors) as the trailing payload field. Correlates a reply with
+     * the server-side span tree: the same id appears in --trace-out /
+     * --trace-dir exports and in `serve.slow_request` log lines.
+     * 0 means "unassigned" — a pre-tracing v1 server whose shorter
+     * payload simply lacks the field (the v1 grow-at-the-end rule).
+     */
+    uint64_t traceId = 0;
+
     // SimulateReply
     uint64_t delivered = 0;
     uint64_t condExecs = 0;
@@ -176,6 +188,9 @@ struct ServeReply
 
     // PingReply
     std::string serverInfo;
+
+    // StatsReply: a bpnsp-stats-v1 JSON document (obs/report.hpp)
+    std::string statsJson;
 };
 
 /** Bit-cast helpers for the double-as-u64 reply fields. */

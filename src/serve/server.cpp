@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <iomanip>
 #include <utility>
 
 #include <fcntl.h>
@@ -13,6 +14,8 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <sstream>
+
 #include "analysis/branch_stats.hpp"
 #include "analysis/h2p.hpp"
 #include "bp/factory.hpp"
@@ -20,6 +23,8 @@
 #include "core/runner.hpp"
 #include "faultsim/faultsim.hpp"
 #include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "synth/workload.hpp"
 #include "util/logging.hpp"
 #include "workloads/suite.hpp"
@@ -77,6 +82,50 @@ queueDepthGauge()
 {
     static obs::Gauge &g = obs::gauge("serve.queue_depth");
     return g;
+}
+
+/**
+ * Per-request-type latency histograms (accept-to-reply), alongside
+ * the aggregate serve.request_ns: a slow BranchStats must not hide
+ * inside a million fast Simulates. Handles resolved once.
+ */
+obs::Histogram &
+requestNsForType(MessageType type)
+{
+    static obs::Histogram &sim =
+        obs::histogram("serve.request_ns.simulate");
+    static obs::Histogram &branchStats =
+        obs::histogram("serve.request_ns.branch_stats");
+    static obs::Histogram &h2p = obs::histogram("serve.request_ns.h2p");
+    static obs::Histogram &materialize =
+        obs::histogram("serve.request_ns.materialize");
+    static obs::Histogram &other =
+        obs::histogram("serve.request_ns.other");
+    switch (type) {
+      case MessageType::Simulate:
+        return sim;
+      case MessageType::BranchStats:
+        return branchStats;
+      case MessageType::H2p:
+        return h2p;
+      case MessageType::Materialize:
+        return materialize;
+      default:
+        return other;
+    }
+}
+
+/**
+ * Server-assigned trace ids: unique within the process, monotonically
+ * increasing, never 0 (0 means "unassigned" on the wire). Every
+ * request gets one — even rejected ones, so a RESOURCE_EXHAUSTED
+ * reply is still correlatable with the admission decision.
+ */
+uint64_t
+allocTraceId()
+{
+    static std::atomic<uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 uint64_t
@@ -147,6 +196,7 @@ struct ServeServer::Pending
     uint64_t requestId = 0;
     ServeRequest request;
     uint64_t enqueuedNs = 0;
+    uint64_t traceId = 0;
 };
 
 ServeServer::ServeServer(ServeConfig config)
@@ -414,6 +464,7 @@ ServeServer::acceptOne(int listen_fd)
         obs::counter("serve.accept_failures");
     static uint64_t nextConnId = 1;
 
+    obs::Span span("serve.accept");
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
         if (errno != EAGAIN && errno != EWOULDBLOCK &&
@@ -554,10 +605,35 @@ ServeServer::parseFrames(const std::shared_ptr<Conn> &conn)
             serveAccepted().inc();
             ServeReply reply;
             reply.type = MessageType::PingReply;
+            reply.traceId = allocTraceId();
             reply.serverInfo =
                 "bpnsp-serve-v1 workers=" +
                 std::to_string(cfg.workers) +
                 " queue=" + std::to_string(cfg.queueDepth);
+            sendReply(conn, header.requestId, reply);
+            serveCompleted().inc();
+            continue;
+        }
+
+        if (type == MessageType::Stats) {
+            // Live introspection answers from the io thread, exactly
+            // like Ping: it never queues behind real work, never
+            // touches the worker pool, and keeps answering while a
+            // drain waits for in-flight requests — which is precisely
+            // when an operator wants to watch the queue empty.
+            static obs::Counter &statsRequests =
+                obs::counter("serve.stats_requests");
+            serveRequests().inc();
+            serveAccepted().inc();
+            statsRequests.inc();
+            ServeReply reply;
+            reply.type = MessageType::StatsReply;
+            reply.traceId = allocTraceId();
+            {
+                obs::ScopedTraceId traceScope(reply.traceId);
+                obs::Span span("serve.stats");
+                reply.statsJson = obs::renderStatsSnapshotJson();
+            }
             sendReply(conn, header.requestId, reply);
             serveCompleted().inc();
             continue;
@@ -572,11 +648,12 @@ ServeServer::admit(const std::shared_ptr<Conn> &conn,
                    const FrameHeader &header, ServeRequest request)
 {
     serveRequests().inc();
+    const uint64_t traceId = allocTraceId();
 
     if (!acceptingFlag.load()) {
         serveRejected().inc();
         sendError(conn, header.requestId, WireCode::Busy,
-                  "server is draining");
+                  "server is draining", traceId);
         return;
     }
 
@@ -588,7 +665,8 @@ ServeServer::admit(const std::shared_ptr<Conn> &conn,
                       WireCode::ResourceExhausted,
                       "admission queue full (" +
                           std::to_string(cfg.queueDepth) +
-                          " requests); retry with backoff");
+                          " requests); retry with backoff",
+                      traceId);
             return;
         }
         Pending p;
@@ -596,6 +674,7 @@ ServeServer::admit(const std::shared_ptr<Conn> &conn,
         p.requestId = header.requestId;
         p.request = std::move(request);
         p.enqueuedNs = nowNs();
+        p.traceId = traceId;
         queue.push_back(std::move(p));
         queueDepthGauge().set(static_cast<double>(queue.size()));
     }
@@ -637,6 +716,7 @@ ServeServer::popBatch()
     if (queue.empty())
         return batch;   // quitting
 
+    const uint64_t formStartNs = nowNs();
     batch.push_back(std::move(queue.front()));
     queue.pop_front();
 
@@ -668,8 +748,18 @@ ServeServer::popBatch()
 
     batchSize.observe(batch.size());
     const uint64_t now = nowNs();
-    for (const Pending &p : batch)
-        queueWait.observe(now > p.enqueuedNs ? now - p.enqueuedNs : 0);
+    for (const Pending &p : batch) {
+        const uint64_t wait =
+            now > p.enqueuedNs ? now - p.enqueuedNs : 0;
+        queueWait.observe(wait);
+        // Retroactive span: the wait started on the io thread, ended
+        // here. Recorded explicitly since no scope lived across both.
+        obs::emitSpan("serve.queue_wait", p.traceId, p.enqueuedNs,
+                      wait);
+    }
+    if (batch.size() > 1)
+        obs::emitSpan("serve.batch_form", batch.front().traceId,
+                      formStartNs, now - formStartNs);
     return batch;
 }
 
@@ -693,6 +783,12 @@ ServeServer::execute(std::vector<Pending> batch)
 
     {
         obs::ScopedTimer timer(execNs);
+        // The batch executes under the head's trace id; spans from
+        // the shared replay (chunk decode, cache lookups) attach
+        // there, and each member still gets its own root
+        // serve.request span below.
+        obs::ScopedTraceId traceScope(batch.front().traceId);
+        obs::Span span("serve.execute");
         if (batch.front().request.type == MessageType::Simulate) {
             executeSimulateBatch(batch);
         } else {
@@ -721,13 +817,22 @@ ServeServer::execute(std::vector<Pending> batch)
                     messageTypeName(p.request.type);
                 break;
             }
+            reply.traceId = p.traceId;
             sendReply(p.conn, p.requestId, reply);
         }
     }
 
     const uint64_t now = nowNs();
     for (const Pending &p : batch) {
-        requestNs.observe(now > p.enqueuedNs ? now - p.enqueuedNs : 0);
+        const uint64_t wall =
+            now > p.enqueuedNs ? now - p.enqueuedNs : 0;
+        requestNs.observe(wall);
+        requestNsForType(p.request.type).observe(wall);
+        // The root of each request's span tree: admission to reply.
+        obs::emitSpan("serve.request", p.traceId, p.enqueuedNs, wall);
+        if (cfg.slowMs != 0 &&
+            wall >= static_cast<uint64_t>(cfg.slowMs) * 1000000ull)
+            logSlowRequest(p, wall);
         serveCompleted().inc();
     }
 
@@ -750,7 +855,8 @@ ServeServer::executeSimulateBatch(std::vector<Pending> &batch)
     for (Pending &p : batch) {
         const Status st = validateRequest(p.request, &workload);
         if (!st.ok()) {
-            sendError(p.conn, p.requestId, wireCodeFor(st), st.str());
+            sendError(p.conn, p.requestId, wireCodeFor(st), st.str(),
+                      p.traceId);
             continue;
         }
         live.push_back(&p);
@@ -768,12 +874,15 @@ ServeServer::executeSimulateBatch(std::vector<Pending> &batch)
 
     const ServeRequest &head = live[0]->request;
     Status st;
-    std::shared_ptr<TraceStoreReader> reader =
-        ensureReader(*workload, head, &st);
+    std::shared_ptr<TraceStoreReader> reader;
+    {
+        obs::Span span("serve.ensure_reader");
+        reader = ensureReader(*workload, head, &st);
+    }
     if (reader == nullptr) {
         for (Pending *p : live)
             sendError(p->conn, p->requestId, wireCodeFor(st),
-                      st.str());
+                      st.str(), p->traceId);
         return;
     }
 
@@ -794,7 +903,10 @@ ServeServer::executeSimulateBatch(std::vector<Pending> &batch)
         fanout.add(sims.back().get());
     }
 
-    st = reader->replayRange(first, count, fanout);
+    {
+        obs::Span span("serve.replay");
+        st = reader->replayRange(first, count, fanout);
+    }
     if (!st.ok()) {
         if (st.code() == StatusCode::CorruptData) {
             // The store changed under us (or a fault spec fired):
@@ -809,14 +921,16 @@ ServeServer::executeSimulateBatch(std::vector<Pending> &batch)
         }
         for (Pending *p : live)
             sendError(p->conn, p->requestId, wireCodeFor(st),
-                      st.str());
+                      st.str(), p->traceId);
         return;
     }
     fanout.onEnd();   // flush sim deltas into the bp.* counters
 
+    obs::Span replySpan("serve.reply");
     for (size_t i = 0; i < live.size(); ++i) {
         ServeReply reply;
         reply.type = MessageType::SimulateReply;
+        reply.traceId = live[i]->traceId;
         reply.delivered = count;
         reply.condExecs = sims[i]->condExecs();
         reply.condMispreds = sims[i]->condMispreds();
@@ -972,7 +1086,7 @@ ServeServer::sendReply(const std::shared_ptr<Conn> &conn,
 void
 ServeServer::sendError(const std::shared_ptr<Conn> &conn,
                        uint64_t request_id, WireCode code,
-                       const std::string &message)
+                       const std::string &message, uint64_t trace_id)
 {
     if (!conn->open.load())
         return;
@@ -980,6 +1094,7 @@ ServeServer::sendError(const std::shared_ptr<Conn> &conn,
     reply.type = MessageType::Error;
     reply.code = code;
     reply.message = message;
+    reply.traceId = trace_id;
     const std::vector<uint8_t> payload = encodeReplyPayload(reply);
     std::vector<uint8_t> frame;
     if (!encodeFrame(MessageType::Error, request_id, payload, &frame)
@@ -988,6 +1103,37 @@ ServeServer::sendError(const std::shared_ptr<Conn> &conn,
     std::lock_guard<std::mutex> lock(conn->writeMu);
     if (!sendAll(conn->fd, frame.data(), frame.size()))
         conn->open.store(false);
+}
+
+void
+ServeServer::logSlowRequest(const Pending &pending, uint64_t wall_ns)
+{
+    static obs::Counter &slow = obs::counter("serve.slow_requests");
+    slow.inc();
+
+    // Structured single-line record: greppable key=value pairs, span
+    // offsets relative to admission so the line reads as a timeline.
+    std::ostringstream os;
+    os << "serve.slow_request trace_id=" << pending.traceId
+       << " type=" << messageTypeName(pending.request.type)
+       << " workload=" << pending.request.workload
+       << " wall_ms=" << wall_ns / 1000000 << "." << std::setw(3)
+       << std::setfill('0') << (wall_ns / 1000) % 1000;
+    if (obs::TraceRecorder::instance().enabled()) {
+        const std::vector<obs::SpanEvent> spans =
+            obs::TraceRecorder::instance().spansFor(pending.traceId);
+        os << " spans=[";
+        for (size_t i = 0; i < spans.size(); ++i) {
+            const obs::SpanEvent &e = spans[i];
+            const uint64_t off = e.startNs >= pending.enqueuedNs
+                                     ? e.startNs - pending.enqueuedNs
+                                     : 0;
+            os << (i != 0 ? " " : "") << e.name << "@+" << off / 1000
+               << "us/" << e.durNs / 1000 << "us";
+        }
+        os << "]";
+    }
+    warn(os.str());
 }
 
 void

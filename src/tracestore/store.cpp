@@ -12,6 +12,7 @@
 
 #include "faultsim/faultsim.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cancel.hpp"
 #include "util/fsutil.hpp"
 #include "util/logging.hpp"
@@ -420,6 +421,7 @@ TraceStoreReader::decodeChunkAt(uint64_t index,
     static obs::Histogram &decodeNs =
         obs::histogram("tracestore.store.chunk_decode_ns");
     obs::ScopedTimer timer(decodeNs);
+    obs::Span span("trace.chunk_decode");
 
     const ChunkInfo &info = chunks.at(index);
     chunksDecoded.inc();
@@ -527,6 +529,7 @@ TraceStoreReader::replayRange(uint64_t first, uint64_t n,
     }
     if (n == 0)
         return Status();
+    obs::Span span("trace.replay_range");
 
     // Locate the chunk containing `first` (the index is sorted).
     uint64_t lo = 0;

@@ -24,6 +24,14 @@ OptionParser::OptionParser(std::string description)
               "deterministic fault-injection spec (also BPNSP_FAULTS), "
               "e.g. seed=7,tracestore.read.bitflip@0.01*2; see "
               "DESIGN.md \"Robustness\"");
+    addString("trace-out", "",
+              "record request/phase spans and write a Chrome "
+              "trace-event JSON file (opens in ui.perfetto.dev) on "
+              "exit");
+    addInt("snapshot-ms", 0,
+           "sample the metric registry every N ms into a bounded "
+           "ring exported as the run report's \"snapshots\" "
+           "time-series (0 = off)");
 }
 
 void

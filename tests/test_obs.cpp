@@ -2,9 +2,11 @@
  * @file
  * Tests for the obs telemetry subsystem: exact counting under
  * concurrency, histogram percentile math, JSON run-report round-trips
- * through a small in-test parser, empty-stats serialization, and the
+ * through a small in-test parser, empty-stats serialization, the
  * trace-cache hit/miss counters observed through the real
- * runWorkloadTrace() path.
+ * runWorkloadTrace() path, span recording (tree shape, trace-id
+ * scoping, ring overflow accounting, Chrome-trace export), and the
+ * snapshot sampler's interval deltas and ring wraparound.
  */
 
 #include <gtest/gtest.h>
@@ -22,6 +24,8 @@
 #include "core/runner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/snapshot.hpp"
+#include "obs/trace.hpp"
 #include "util/stats.hpp"
 #include "workloads/suite.hpp"
 
@@ -30,19 +34,19 @@ using namespace bpnsp;
 namespace {
 
 /**
- * Minimal JSON reader covering exactly what the run report emits:
- * objects, strings, numbers, booleans, and null. Arrays are
- * intentionally unsupported — the report schema has none, and hitting
- * one here should fail loudly.
+ * Minimal JSON reader covering exactly what the run report and the
+ * Chrome-trace export emit: objects, arrays, strings, numbers,
+ * booleans, and null.
  */
 struct JsonValue
 {
-    enum class Kind { Null, Bool, Number, String, Object };
+    enum class Kind { Null, Bool, Number, String, Array, Object };
 
     Kind kind = Kind::Null;
     bool boolean = false;
     double number = 0.0;
     std::string string;
+    std::vector<JsonValue> array;
     std::map<std::string, JsonValue> object;
 
     const JsonValue &
@@ -104,6 +108,8 @@ class JsonParser
         switch (peek()) {
           case '{':
             return parseObject();
+          case '[':
+            return parseArray();
           case '"':
             return parseString();
           case 't':
@@ -182,6 +188,28 @@ class JsonParser
         v.number = std::strtod(s.substr(start, pos - start).c_str(),
                                nullptr);
         EXPECT_GT(pos, start) << "not a number at offset " << start;
+        return v;
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parseValue());
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            break;
+        }
+        expect(']');
         return v;
     }
 
@@ -504,4 +532,396 @@ TEST(ObsIntegration, UncachedRunsTouchNeitherHitNorMiss)
               kInstructions);
     EXPECT_EQ(counterValue("tracestore.cache.misses"), missBefore);
     EXPECT_EQ(counterValue("tracestore.cache.hits"), hitBefore);
+}
+
+// --- span tracing ----------------------------------------------------
+
+namespace {
+
+/** Enable the recorder for one test; restore + drain on exit. */
+class TracingGuard
+{
+  public:
+    TracingGuard()
+    {
+        obs::TraceRecorder::instance().resetForTest();
+        obs::TraceRecorder::instance().setEnabled(true);
+    }
+
+    ~TracingGuard()
+    {
+        obs::TraceRecorder::instance().setEnabled(false);
+        obs::TraceRecorder::instance().resetForTest();
+    }
+};
+
+} // namespace
+
+TEST(ObsTrace, DisabledRecorderRecordsNothing)
+{
+    obs::TraceRecorder &rec = obs::TraceRecorder::instance();
+    rec.setEnabled(false);
+    rec.resetForTest();
+    const uint64_t recordedBefore = counterValue("obs.spans_recorded");
+    {
+        obs::Span outer("test.obs.disabled_outer");
+        obs::Span inner("test.obs.disabled_inner");
+    }
+    EXPECT_EQ(rec.bufferedEvents(), 0u);
+    EXPECT_TRUE(rec.drain().empty());
+    EXPECT_EQ(counterValue("obs.spans_recorded"), recordedBefore);
+}
+
+TEST(ObsTrace, SpanTreeIsBalancedAndProperlyNested)
+{
+    TracingGuard guard;
+    {
+        obs::Span parent("test.obs.parent");
+        {
+            obs::Span child("test.obs.child");
+            obs::Span grandchild("test.obs.grandchild");
+        }
+        obs::Span sibling("test.obs.sibling");
+    }
+
+    const std::vector<obs::SpanEvent> events =
+        obs::TraceRecorder::instance().drain();
+    ASSERT_EQ(events.size(), 4u);
+
+    // Events are recorded at span end, so they arrive innermost-first;
+    // find them by name to assert on the tree shape.
+    auto find = [&](const char *name) -> const obs::SpanEvent & {
+        for (const obs::SpanEvent &e : events) {
+            if (std::string(e.name) == name)
+                return e;
+        }
+        ADD_FAILURE() << "span not recorded: " << name;
+        static obs::SpanEvent missing;
+        return missing;
+    };
+    const obs::SpanEvent &parent = find("test.obs.parent");
+    const obs::SpanEvent &child = find("test.obs.child");
+    const obs::SpanEvent &grandchild = find("test.obs.grandchild");
+    const obs::SpanEvent &sibling = find("test.obs.sibling");
+
+    EXPECT_EQ(parent.depth, 0u);
+    EXPECT_EQ(child.depth, 1u);
+    EXPECT_EQ(grandchild.depth, 2u);
+    EXPECT_EQ(sibling.depth, 1u);
+
+    // Containment: every child interval sits inside its parent's.
+    auto contains = [](const obs::SpanEvent &outer,
+                       const obs::SpanEvent &inner) {
+        return outer.startNs <= inner.startNs &&
+               inner.startNs + inner.durNs <=
+                   outer.startNs + outer.durNs;
+    };
+    EXPECT_TRUE(contains(parent, child));
+    EXPECT_TRUE(contains(child, grandchild));
+    EXPECT_TRUE(contains(parent, sibling));
+    // Siblings are disjoint: child ended before sibling began.
+    EXPECT_LE(child.startNs + child.durNs, sibling.startNs);
+
+    // All on the calling thread's track.
+    EXPECT_EQ(parent.tid, child.tid);
+    EXPECT_EQ(parent.tid, sibling.tid);
+}
+
+TEST(ObsTrace, ScopedTraceIdTagsSpansAndRestores)
+{
+    TracingGuard guard;
+    EXPECT_EQ(obs::currentTraceId(), 0u);
+    {
+        obs::ScopedTraceId outer(42);
+        EXPECT_EQ(obs::currentTraceId(), 42u);
+        obs::Span a("test.obs.tagged_a");
+        {
+            obs::ScopedTraceId inner(43);
+            EXPECT_EQ(obs::currentTraceId(), 43u);
+            obs::Span b("test.obs.tagged_b");
+        }
+        EXPECT_EQ(obs::currentTraceId(), 42u);
+    }
+    EXPECT_EQ(obs::currentTraceId(), 0u);
+
+    obs::TraceRecorder &rec = obs::TraceRecorder::instance();
+    const std::vector<obs::SpanEvent> for42 = rec.spansFor(42);
+    ASSERT_EQ(for42.size(), 1u);
+    EXPECT_EQ(std::string(for42[0].name), "test.obs.tagged_a");
+    const std::vector<obs::SpanEvent> for43 = rec.spansFor(43);
+    ASSERT_EQ(for43.size(), 1u);
+    EXPECT_EQ(std::string(for43[0].name), "test.obs.tagged_b");
+    // spansFor copies without consuming: a drain still sees both.
+    EXPECT_EQ(rec.drain().size(), 2u);
+}
+
+TEST(ObsTrace, FullRingDropsNewestAndCountsTheLoss)
+{
+    TracingGuard guard;
+    obs::TraceRecorder &rec = obs::TraceRecorder::instance();
+    constexpr size_t kCapacity = 16;
+    constexpr size_t kOverflow = 5;
+    rec.setRingCapacity(kCapacity);
+
+    const uint64_t recordedBefore = counterValue("obs.spans_recorded");
+    const uint64_t droppedBefore = counterValue("obs.spans_dropped");
+
+    // A fresh thread gets a fresh ring at the small capacity (the
+    // main-thread ring was created earlier at the default size).
+    std::thread recorder([] {
+        for (size_t i = 0; i < kCapacity + kOverflow; ++i)
+            obs::Span span("test.obs.overflow");
+    });
+    recorder.join();
+
+    EXPECT_EQ(counterValue("obs.spans_recorded"),
+              recordedBefore + kCapacity);
+    EXPECT_EQ(counterValue("obs.spans_dropped"),
+              droppedBefore + kOverflow);
+    // The oldest events survive (drop-newest, never overwrite).
+    EXPECT_EQ(rec.drain().size(), kCapacity);
+
+    // Draining frees the slots: the same ring records again.
+    std::thread again([] { obs::Span span("test.obs.refilled"); });
+    again.join();
+    const std::vector<obs::SpanEvent> refilled = rec.drain();
+    ASSERT_EQ(refilled.size(), 1u);
+    EXPECT_EQ(std::string(refilled[0].name), "test.obs.refilled");
+
+    rec.setRingCapacity(8192);
+}
+
+TEST(ObsTrace, ChromeTraceExportIsValidJson)
+{
+    TracingGuard guard;
+    {
+        obs::ScopedTraceId trace(7);
+        obs::Span outer("test.obs.export_outer");
+        obs::Span inner("test.obs.export_inner");
+    }
+
+    const std::string path =
+        std::string(::testing::TempDir()) + "bpnsp_obs_trace.json";
+    ASSERT_TRUE(
+        obs::TraceRecorder::instance().exportChromeTrace(path).ok());
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    JsonParser parser(text);
+    const JsonValue doc = parser.parse();
+
+    const JsonValue &events = doc.at("traceEvents");
+    ASSERT_EQ(events.kind, JsonValue::Kind::Array);
+    size_t spans = 0;
+    for (const JsonValue &ev : events.array) {
+        if (ev.at("ph").string == "M")
+            continue;   // process/thread name metadata
+        EXPECT_EQ(ev.at("ph").string, "X");
+        EXPECT_FALSE(ev.at("name").string.empty());
+        EXPECT_GE(ev.at("dur").number, 0.0);
+        // 64-bit ids travel as decimal strings, not JSON numbers.
+        EXPECT_EQ(ev.at("args").at("trace_id").string, "7");
+        ++spans;
+    }
+    EXPECT_EQ(spans, 2u);
+    std::filesystem::remove(path);
+}
+
+// --- snapshot sampler ------------------------------------------------
+
+TEST(ObsSnapshot, CounterDeltasAreIntervalsNotTotals)
+{
+    obs::SnapshotSampler &sampler = obs::SnapshotSampler::instance();
+    sampler.resetForTest();
+    obs::Counter &c = obs::counter("test.obs.snap_events");
+
+    sampler.sampleOnce();   // baseline: whatever state the run is in
+    c.add(5);
+    sampler.sampleOnce();
+    c.add(3);
+    sampler.sampleOnce();
+
+    const std::vector<obs::Snapshot> samples = sampler.samples();
+    ASSERT_EQ(samples.size(), 3u);
+
+    auto deltaOf = [](const obs::Snapshot &s, const std::string &name,
+                      uint64_t *out) {
+        for (const auto &[n, d] : s.counterDeltas) {
+            if (n == name) {
+                *out = d;
+                return true;
+            }
+        }
+        return false;
+    };
+    uint64_t delta = 0;
+    ASSERT_TRUE(deltaOf(samples[1], "test.obs.snap_events", &delta));
+    EXPECT_EQ(delta, 5u);
+    ASSERT_TRUE(deltaOf(samples[2], "test.obs.snap_events", &delta));
+    EXPECT_EQ(delta, 3u);
+    // Zero-delta counters are omitted from the sample entirely.
+    EXPECT_FALSE(
+        deltaOf(samples[2], "tracestore.cache.quarantined", &delta));
+
+    sampler.resetForTest();
+}
+
+TEST(ObsSnapshot, RingWrapsKeepingTheNewestOldestFirst)
+{
+    obs::SnapshotSampler &sampler = obs::SnapshotSampler::instance();
+    sampler.resetForTest();
+    sampler.setCapacityForTest(4);
+    obs::Counter &c = obs::counter("test.obs.snap_wrap");
+
+    // Ten samples whose deltas are 1..10: after wrapping, the ring
+    // must hold exactly 7, 8, 9, 10 in that order.
+    for (uint64_t i = 1; i <= 10; ++i) {
+        c.add(i);
+        sampler.sampleOnce();
+    }
+    EXPECT_EQ(sampler.totalSamples(), 10u);
+
+    const std::vector<obs::Snapshot> samples = sampler.samples();
+    ASSERT_EQ(samples.size(), 4u);
+    for (size_t i = 0; i < samples.size(); ++i) {
+        uint64_t delta = 0;
+        bool found = false;
+        for (const auto &[n, d] : samples[i].counterDeltas) {
+            if (n == "test.obs.snap_wrap") {
+                delta = d;
+                found = true;
+            }
+        }
+        ASSERT_TRUE(found) << "sample " << i;
+        EXPECT_EQ(delta, 7 + i) << "sample " << i;
+        if (i > 0) {
+            EXPECT_GE(samples[i].tSeconds, samples[i - 1].tSeconds);
+        }
+    }
+
+    sampler.resetForTest();
+}
+
+TEST(ObsSnapshot, HistogramWindowsSeeOnlyTheirInterval)
+{
+    obs::SnapshotSampler &sampler = obs::SnapshotSampler::instance();
+    sampler.resetForTest();
+    obs::Histogram &h = obs::histogram("test.obs.snap_hist");
+
+    for (int i = 0; i < 100; ++i)
+        h.observe(100);      // bucket [64, 128)
+    sampler.sampleOnce();
+    for (int i = 0; i < 100; ++i)
+        h.observe(100000);   // bucket [65536, 131072)
+    sampler.sampleOnce();
+
+    const std::vector<obs::Snapshot> samples = sampler.samples();
+    ASSERT_EQ(samples.size(), 2u);
+
+    auto windowOf = [](const obs::Snapshot &s, const std::string &name)
+        -> const obs::Snapshot::HistWindow * {
+        for (const obs::Snapshot::HistWindow &w : s.histograms) {
+            if (w.name == name)
+                return &w;
+        }
+        return nullptr;
+    };
+    const obs::Snapshot::HistWindow *w0 =
+        windowOf(samples[0], "test.obs.snap_hist");
+    ASSERT_NE(w0, nullptr);
+    EXPECT_EQ(w0->count, 100u);
+    EXPECT_LT(w0->p99, 128.0);
+
+    // The second window's quantiles reflect ONLY the second burst —
+    // a cumulative view would put its p50 down among the 100s.
+    const obs::Snapshot::HistWindow *w1 =
+        windowOf(samples[1], "test.obs.snap_hist");
+    ASSERT_NE(w1, nullptr);
+    EXPECT_EQ(w1->count, 100u);
+    EXPECT_GE(w1->p50, 65536.0);
+    EXPECT_LE(w1->p999, 131072.0);
+
+    sampler.resetForTest();
+}
+
+TEST(ObsHistogram, P999TracksTheExtremeTail)
+{
+    obs::Histogram &h = obs::histogram("test.obs.hist_p999");
+    for (int i = 0; i < 500; ++i)
+        h.observe(100);
+    h.observe(1000000);
+    const obs::HistogramSnapshot snap = h.snapshot();
+    // p99 sits in the bulk (rank 495.99 of 501); p999 must reach into
+    // the single outlier's bucket (rank 500.499 passes the 500 bulk
+    // events).
+    EXPECT_LT(snap.p99, 128.0);
+    EXPECT_GE(snap.p999, 128.0);
+    EXPECT_LE(snap.p999, 1000000.0);
+    EXPECT_LE(snap.p50, snap.p90);
+    EXPECT_LE(snap.p90, snap.p99);
+    EXPECT_LE(snap.p99, snap.p999);
+}
+
+TEST(ObsReport, SnapshotsSectionOnlyWhenSamplerRan)
+{
+    obs::Registry &reg = obs::Registry::instance();
+    obs::SnapshotSampler &sampler = obs::SnapshotSampler::instance();
+    reg.resetForTest();
+    sampler.resetForTest();
+
+    {
+        JsonParser parser(obs::renderRunReport());
+        const JsonValue doc = parser.parse();
+        EXPECT_DOUBLE_EQ(doc.at("schema_rev").number, 6.0);
+        EXPECT_FALSE(doc.has("snapshots"));
+        // The rev-6 contract counters are present even untouched.
+        const JsonValue &counters = doc.at("counters");
+        EXPECT_TRUE(counters.has("obs.spans_recorded"));
+        EXPECT_TRUE(counters.has("obs.spans_dropped"));
+        EXPECT_TRUE(counters.has("serve.stats_requests"));
+    }
+
+    obs::counter("test.obs.report_snap").add(9);
+    sampler.sampleOnce();
+    {
+        JsonParser parser(obs::renderRunReport());
+        const JsonValue doc = parser.parse();
+        ASSERT_TRUE(doc.has("snapshots"));
+        const JsonValue &snaps = doc.at("snapshots");
+        EXPECT_DOUBLE_EQ(snaps.at("total").number, 1.0);
+        const JsonValue &samples = snaps.at("samples");
+        ASSERT_EQ(samples.kind, JsonValue::Kind::Array);
+        ASSERT_EQ(samples.array.size(), 1u);
+        const JsonValue &sample = samples.array[0];
+        EXPECT_GE(sample.at("t_s").number, 0.0);
+        EXPECT_DOUBLE_EQ(
+            sample.at("counters").at("test.obs.report_snap").number,
+            9.0);
+    }
+
+    sampler.resetForTest();
+    reg.resetForTest();
+}
+
+TEST(ObsReport, StatsSnapshotDocumentIsSelfContained)
+{
+    obs::Registry &reg = obs::Registry::instance();
+    reg.resetForTest();
+    obs::counter("test.obs.stats_doc").add(11);
+    obs::histogram("test.obs.stats_doc_ns").observe(500);
+
+    JsonParser parser(obs::renderStatsSnapshotJson());
+    const JsonValue doc = parser.parse();
+    EXPECT_EQ(doc.at("schema").string, "bpnsp-stats-v1");
+    EXPECT_FALSE(doc.at("git").string.empty());
+    EXPECT_GE(doc.at("wall_seconds").number, 0.0);
+    EXPECT_DOUBLE_EQ(
+        doc.at("counters").at("test.obs.stats_doc").number, 11.0);
+    const JsonValue &hist =
+        doc.at("histograms").at("test.obs.stats_doc_ns");
+    EXPECT_DOUBLE_EQ(hist.at("count").number, 1.0);
+    EXPECT_DOUBLE_EQ(hist.at("p999").number, 500.0);
+
+    reg.resetForTest();
 }

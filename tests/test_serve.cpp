@@ -30,6 +30,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "tracestore/chunk_cache.hpp"
+#include "util/json.hpp"
 #include "util/status.hpp"
 #include "workloads/suite.hpp"
 
@@ -109,7 +110,7 @@ class ServeTest : public ::testing::Test
   protected:
     void
     startServer(unsigned workers = 2, size_t queue_depth = 32,
-                unsigned max_batch = 8)
+                unsigned max_batch = 8, uint32_t slow_ms = 0)
     {
         scratch = std::make_unique<ScratchDir>(
             ::testing::UnitTest::GetInstance()
@@ -121,6 +122,7 @@ class ServeTest : public ::testing::Test
         config.queueDepth = queue_depth;
         config.maxBatch = max_batch;
         config.traceCacheDir = scratch->file("cache");
+        config.slowMs = slow_ms;
         server = std::make_unique<ServeServer>(std::move(config));
         ASSERT_TRUE(server->start().ok());
     }
@@ -381,18 +383,46 @@ TEST(ServeProtocol, MalformedPayloadNeverCrashesDecoder)
             decodeRequestPayload(type, junk.data(), len, &out);
     }
     // A reply whose row count claims more than the payload holds is
-    // refused without allocating for the claimed count.
+    // refused without allocating for the claimed count. The row count
+    // sits before the trailing trace id (u32 + u64 from the end).
     ServeReply reply;
     reply.type = MessageType::BranchStatsReply;
     std::vector<uint8_t> payload = encodeReplyPayload(reply);
     const uint32_t lying = 0x00FFFFFF;
-    std::memcpy(payload.data() + payload.size() - 4, &lying, 4);
+    std::memcpy(payload.data() + payload.size() - 12, &lying, 4);
     ServeReply out;
     const Status st =
         decodeReplyPayload(MessageType::BranchStatsReply,
                            payload.data(), payload.size(), &out);
     EXPECT_EQ(st.code(), StatusCode::CorruptData);
     EXPECT_TRUE(out.branches.empty());
+}
+
+TEST(ServeProtocol, ReplyCarriesTraceIdAndToleratesItsAbsence)
+{
+    // Every reply type carries a trailing trace id...
+    ServeReply reply;
+    reply.type = MessageType::PingReply;
+    reply.serverInfo = "info";
+    reply.traceId = 0xDEADBEEFCAFEF00Dull;
+    std::vector<uint8_t> payload = encodeReplyPayload(reply);
+    ServeReply out;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::PingReply,
+                                   payload.data(), payload.size(),
+                                   &out)
+                    .ok());
+    EXPECT_EQ(out.traceId, reply.traceId);
+
+    // ...and a pre-tracing peer that omits the trailer (v1 compat:
+    // payloads grow at the end) still decodes, with id 0 = unassigned.
+    payload.resize(payload.size() - sizeof(uint64_t));
+    ServeReply legacy;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::PingReply,
+                                   payload.data(), payload.size(),
+                                   &legacy)
+                    .ok());
+    EXPECT_EQ(legacy.serverInfo, "info");
+    EXPECT_EQ(legacy.traceId, 0u);
 }
 
 // --- server behavior -------------------------------------------------
@@ -848,6 +878,172 @@ TEST_F(ServeTest, DecodedChunkCacheServesRepeatedReplays)
               hitsBefore);
     // And the cached decode changes no results.
     EXPECT_EQ(first.delivered, second.delivered);
+}
+
+// --- tracing & live introspection ------------------------------------
+
+TEST_F(ServeTest, EveryReplyCarriesADistinctMonotonicTraceId)
+{
+    startServer();
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+
+    // Success, error, and io-thread replies all get server-assigned
+    // ids, strictly increasing across sequential requests.
+    std::vector<uint64_t> ids;
+
+    ServeReply reply;
+    ASSERT_TRUE(client.call(simulateRequest("gshare"), &reply).ok());
+    ASSERT_EQ(reply.code, WireCode::Ok) << reply.message;
+    ids.push_back(reply.traceId);
+
+    ServeRequest bad = simulateRequest("gshare");
+    bad.workload = "no_such_workload";
+    ASSERT_TRUE(client.call(bad, &reply).ok());
+    EXPECT_EQ(reply.code, WireCode::InvalidArgument);
+    ids.push_back(reply.traceId);   // rejected, still traced
+
+    std::string json;
+    uint64_t statsId = 0;
+    ASSERT_TRUE(client.stats(&json, &statsId).ok());
+    ids.push_back(statsId);
+
+    ASSERT_TRUE(client.call(simulateRequest("bimodal"), &reply).ok());
+    ASSERT_EQ(reply.code, WireCode::Ok) << reply.message;
+    ids.push_back(reply.traceId);
+
+    for (size_t i = 0; i < ids.size(); ++i) {
+        EXPECT_NE(ids[i], 0u) << "reply " << i << " untagged";
+        if (i > 0) {
+            EXPECT_GT(ids[i], ids[i - 1]);
+        }
+    }
+}
+
+TEST_F(ServeTest, StatsReturnsALiveSelfContainedSnapshot)
+{
+    startServer();
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+
+    // Work first, so the snapshot has something to show.
+    ServeReply reply;
+    ASSERT_TRUE(client.call(simulateRequest("gshare"), &reply).ok());
+    ASSERT_EQ(reply.code, WireCode::Ok) << reply.message;
+
+    const uint64_t statsBefore = counterValue("serve.stats_requests");
+    std::string json;
+    uint64_t traceId = 0;
+    ASSERT_TRUE(client.stats(&json, &traceId).ok());
+    EXPECT_NE(traceId, 0u);
+    EXPECT_GT(counterValue("serve.stats_requests"), statsBefore);
+
+    JsonValue doc;
+    ASSERT_TRUE(JsonValue::parse(json, &doc).ok()) << json;
+    EXPECT_EQ(doc.get("schema").asString(), "bpnsp-stats-v1");
+    ASSERT_TRUE(doc.get("counters").isObject());
+    // The Simulate above and this very Stats request are visible in
+    // the live counters (serve.requests bumps before the render;
+    // serve.completed would race — workers bump it after replying).
+    EXPECT_GE(doc.get("counters").get("serve.requests").asUint(), 2u);
+    EXPECT_GE(doc.get("counters").get("serve.stats_requests").asUint(),
+              1u);
+    ASSERT_TRUE(doc.get("histograms").isObject());
+    EXPECT_TRUE(doc.get("histograms").has("serve.request_ns"));
+}
+
+TEST_F(ServeTest, StatsIsAnsweredUnderFullLoad)
+{
+    // Stats lives on the io thread: even with every worker busy and
+    // the queue churning, introspection answers promptly.
+    startServer(/*workers=*/2, /*queue_depth=*/16);
+    std::atomic<bool> stopLoad{false};
+    std::vector<std::thread> load;
+    for (unsigned c = 0; c < 3; ++c) {
+        load.emplace_back([&] {
+            ServeClient client;
+            if (!client.connectUnix(socketPath()).ok())
+                return;
+            while (!stopLoad.load()) {
+                ServeReply reply;
+                if (!client.call(simulateRequest("gshare"), &reply)
+                         .ok())
+                    return;
+            }
+        });
+    }
+
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+    for (int i = 0; i < 5; ++i) {
+        std::string json;
+        ASSERT_TRUE(client.stats(&json).ok()) << "stats call " << i;
+        JsonValue doc;
+        ASSERT_TRUE(JsonValue::parse(json, &doc).ok());
+        EXPECT_EQ(doc.get("schema").asString(), "bpnsp-stats-v1");
+    }
+
+    stopLoad.store(true);
+    for (std::thread &t : load)
+        t.join();
+}
+
+TEST_F(ServeTest, StatsIsAnsweredWhileDrainWaitsForInFlightWork)
+{
+    startServer(/*workers=*/1);
+    ASSERT_TRUE(faultsim::configure("serve.worker.stall*1").ok());
+
+    // Connect the introspection client while the listener is open;
+    // the drain closes the listener but keeps polling live conns.
+    ServeClient statsClient;
+    ASSERT_TRUE(statsClient.connectUnix(socketPath()).ok());
+
+    std::atomic<bool> replyOk{false};
+    std::thread inflight([&] {
+        ServeClient client;
+        if (!client.connectUnix(socketPath()).ok())
+            return;
+        ServeReply reply;
+        if (client.call(simulateRequest("tage-sc-l-8KB"), &reply)
+                .ok())
+            replyOk.store(reply.code == WireCode::Ok);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+
+    std::thread drainer([&] { server->drain(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+    // The in-flight request is stalled in the single worker, the
+    // drain is waiting on it — and Stats still answers.
+    std::string json;
+    uint64_t traceId = 0;
+    EXPECT_TRUE(statsClient.stats(&json, &traceId).ok());
+    EXPECT_NE(traceId, 0u);
+    JsonValue doc;
+    ASSERT_TRUE(JsonValue::parse(json, &doc).ok());
+    EXPECT_EQ(doc.get("schema").asString(), "bpnsp-stats-v1");
+
+    drainer.join();
+    inflight.join();
+    EXPECT_TRUE(replyOk.load());
+    server.reset();   // already drained
+}
+
+TEST_F(ServeTest, SlowRequestThresholdCountsCrossings)
+{
+    // 1 ms threshold: a 120k-record simulate always crosses it.
+    startServer(/*workers=*/2, /*queue_depth=*/32, /*max_batch=*/8,
+                /*slow_ms=*/1);
+    const uint64_t slowBefore = counterValue("serve.slow_requests");
+
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+    ServeReply reply;
+    ASSERT_TRUE(client.call(simulateRequest("gshare"), &reply).ok());
+    ASSERT_EQ(reply.code, WireCode::Ok) << reply.message;
+
+    server->drain();   // settle the worker-side accounting
+    EXPECT_GT(counterValue("serve.slow_requests"), slowBefore);
 }
 
 } // namespace
