@@ -27,7 +27,12 @@ validation failure without a generated program, and — from schema_rev
 6 — the observability counters (obs.spans_recorded,
 obs.spans_dropped, serve.stats_requests) with their invariants: no
 span dropped unless spans were being recorded, and stats requests are
-a subset of serve.requests; the optional "snapshots" time-series
+a subset of serve.requests, and — from schema_rev 7 — the
+fleet-supervision / client-retry counters
+(serve.fleet.{worker_deaths,respawns,breaker_trips},
+serve.client.{retries,gave_up}) with their invariant: respawns never
+exceed worker deaths, since a respawn only ever answers a death; the
+optional "snapshots" time-series
 section, when present, must be shaped like the sampler wrote it
 (period_ms, total, and a samples array of {t_s, counters, gauges,
 histograms} objects with non-decreasing t_s). Every counter in the
@@ -97,7 +102,18 @@ REQUIRED_COUNTERS_REV6 = (
     "obs.spans_dropped",
     "serve.stats_requests",
 )
-MAX_KNOWN_SCHEMA_REV = 6
+# Added in schema_rev 7: the fleet-supervision / client-retry
+# contract. Every report proves whether the run supervised a worker
+# fleet, how many workers died and came back, whether any shard's
+# circuit breaker tripped, and whether clients needed retries.
+REQUIRED_COUNTERS_REV7 = (
+    "serve.fleet.worker_deaths",
+    "serve.fleet.respawns",
+    "serve.fleet.breaker_trips",
+    "serve.client.retries",
+    "serve.client.gave_up",
+)
+MAX_KNOWN_SCHEMA_REV = 7
 
 
 def check(path):
@@ -152,6 +168,8 @@ def check(path):
         required = required + REQUIRED_COUNTERS_REV5
     if rev >= 6:
         required = required + REQUIRED_COUNTERS_REV6
+    if rev >= 7:
+        required = required + REQUIRED_COUNTERS_REV7
     for name in required:
         if name not in counters:
             raise ValueError(f"missing counter {name}")
@@ -230,6 +248,18 @@ def check(path):
                 f"stats accounting broken: stats_requests = "
                 f"{counters['serve.stats_requests']} > requests = "
                 f"{counters['serve.requests']}"
+            )
+
+    if rev >= 7:
+        # Fleet bookkeeping: a respawn only ever answers a death, so
+        # the supervisor can never claim more revivals than losses.
+        if counters["serve.fleet.respawns"] > counters[
+            "serve.fleet.worker_deaths"
+        ]:
+            raise ValueError(
+                f"fleet accounting broken: respawns = "
+                f"{counters['serve.fleet.respawns']} > worker_deaths = "
+                f"{counters['serve.fleet.worker_deaths']}"
             )
 
     for section in ("gauges", "histograms"):

@@ -1,0 +1,235 @@
+#!/usr/bin/env bash
+# Fleet chaos soak: a 4-worker supervised fleet under sustained
+# verified load while a chaos killer SIGKILLs a random worker every
+# few seconds. Retry-aware clients must ride out every outage with
+# zero wrong answers and zero hard failures; the drained supervisor's
+# rev-7 report must show every death matched by a respawn. A second
+# phase crash-loops one shard on purpose (serve.worker.crash.w0
+# failpoint) and proves the circuit breaker degrades only that shard
+# while the rest of the fleet keeps serving.
+#
+# Usage: scripts/fleet_chaos_soak.sh [BUILD_DIR]
+#
+# Env knobs (CI uses short values):
+#   CHAOS_SECONDS   total kill window, default 60
+#   KILL_EVERY      seconds between kills, default 2
+#   CHAOS_CLIENTS   concurrent clients, default 32
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVED="$BUILD_DIR/src/serve/bpnsp_served"
+CLIENT="$BUILD_DIR/src/serve/bpnsp_client"
+CHECKER="$(dirname "$0")/check_run_report.py"
+
+CHAOS_SECONDS="${CHAOS_SECONDS:-60}"
+KILL_EVERY="${KILL_EVERY:-2}"
+CHAOS_CLIENTS="${CHAOS_CLIENTS:-32}"
+
+WORK="$(mktemp -d /tmp/bpnsp-fleet-chaos.XXXXXX)"
+SOCKET="$WORK/fleet.sock"
+CACHE="$WORK/trace-cache"
+REPORT="$WORK/report.json"
+FLEET_PID=""
+BREAKER_PID=""
+trap 'for p in "$FLEET_PID" "$BREAKER_PID"; do
+          [ -n "$p" ] && kill "$p" 2>/dev/null || true
+      done
+      rm -rf "$WORK"' EXIT
+
+for bin in "$SERVED" "$CLIENT"; do
+    [ -x "$bin" ] || { echo "missing binary: $bin" >&2; exit 2; }
+done
+
+echo "== fleet chaos soak: workdir $WORK" \
+     "(${CHAOS_SECONDS}s, kill every ${KILL_EVERY}s," \
+     "$CHAOS_CLIENTS clients)"
+
+"$SERVED" \
+    --socket="$SOCKET" \
+    --trace-cache="$CACHE" \
+    --workers=4 \
+    --threads=2 \
+    --heartbeat-ms=100 \
+    --respawn-backoff-ms=100 \
+    --respawn-backoff-cap-ms=1000 \
+    --breaker-deaths=1000 \
+    --metrics-out="$REPORT" \
+    &
+FLEET_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$SOCKET" ] && break
+    sleep 0.1
+done
+[ -S "$SOCKET" ] || { echo "fleet never bound $SOCKET" >&2; exit 1; }
+
+# Warm every shard's corpus so the chaos phase measures serving. Four
+# inputs spread across the digest space hit all shards in practice.
+for input in 0 1 2 3; do
+    "$CLIENT" --socket="$SOCKET" --op=materialize \
+        --workload=mcf_like --input="$input" \
+        --instructions=200000 --retries=4
+done
+
+# Phase 1: verified load with a chaos killer. The killer stops a few
+# seconds before the drain so every in-flight respawn completes and
+# respawns == worker_deaths is assertable from the report.
+echo "== phase 1: chaos killer + $CHAOS_CLIENTS verifying clients"
+END_AT=$(( $(date +%s) + CHAOS_SECONDS ))
+KILLS=0
+(
+    while [ "$(date +%s)" -lt "$END_AT" ]; do
+        sleep "$KILL_EVERY"
+        mapfile -t WORKERS < <(pgrep -P "$FLEET_PID" || true)
+        [ "${#WORKERS[@]}" -gt 0 ] || continue
+        VICTIM="${WORKERS[RANDOM % ${#WORKERS[@]}]}"
+        kill -KILL "$VICTIM" 2>/dev/null || true
+        KILLS=$((KILLS + 1))
+        echo "chaos: killed worker pid $VICTIM (kill #$KILLS)"
+    done
+    echo "chaos: killer done after $KILLS kill(s)"
+) &
+KILLER_PID=$!
+
+LOAD_STATUS=0
+while [ "$(date +%s)" -lt "$END_AT" ]; do
+    "$CLIENT" --socket="$SOCKET" --op=loadgen \
+        --clients="$CHAOS_CLIENTS" --requests=8 \
+        --workload=mcf_like --input=$((RANDOM % 4)) \
+        --instructions=200000 --count=50000 \
+        --predictor=gshare --seed=$((RANDOM)) \
+        --retries=8 --retry-base-ms=50 \
+        --verify --trace-cache="$CACHE" \
+        | tee -a "$WORK/load.log" || { LOAD_STATUS=$?; break; }
+done
+wait "$KILLER_PID" || true
+[ "$LOAD_STATUS" -eq 0 ] || {
+    echo "chaos loadgen failed (exit $LOAD_STATUS)" >&2
+    exit 1
+}
+if grep -vq " 0 mismatch(es)" "$WORK/load.log"; then
+    echo "chaos loadgen returned wrong answers" >&2
+    grep -v " 0 mismatch(es)" "$WORK/load.log" >&2
+    exit 1
+fi
+
+# Quiet period: let the last respawn land before draining.
+sleep 5
+"$CLIENT" --socket="$SOCKET" --op=health || {
+    echo "fleet not fully healthy after quiet period" >&2
+    exit 1
+}
+
+echo "== phase 2: drain + report audit"
+kill -TERM "$FLEET_PID"
+FLEET_STATUS=0
+wait "$FLEET_PID" || FLEET_STATUS=$?
+FLEET_PID=""
+[ "$FLEET_STATUS" -eq 0 ] || {
+    echo "fleet exited $FLEET_STATUS after SIGTERM" >&2
+    exit 1
+}
+python3 "$CHECKER" "$REPORT"
+python3 - "$REPORT" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+assert report["schema_rev"] == 7, report["schema_rev"]
+c = report["counters"]
+assert c["serve.fleet.worker_deaths"] >= 1, "no chaos kills landed: %r" % c
+assert c["serve.fleet.respawns"] == c["serve.fleet.worker_deaths"], (
+    "a killed worker was never respawned: %r" % c
+)
+assert c["serve.fleet.routed"] > 0, c
+print(
+    "chaos soak ok: %d routed, %d death(s), every one respawned, "
+    "%d momentarily unavailable"
+    % (
+        c["serve.fleet.routed"],
+        c["serve.fleet.worker_deaths"],
+        c.get("serve.fleet.unavailable", 0),
+    )
+)
+PY
+
+# Phase 3: circuit breaker. Shard 0's worker crashes on its first
+# heartbeat (serve.worker.crash.w0@1); two deaths inside the window
+# must trip the breaker and degrade shard 0 only. Requests for the
+# degraded shard get a retryable UNAVAILABLE; the other shards serve.
+echo "== phase 3: crash-loop breaker isolates one shard"
+BREAKER_SOCKET="$WORK/breaker.sock"
+"$SERVED" \
+    --socket="$BREAKER_SOCKET" \
+    --trace-cache="$CACHE" \
+    --workers=2 \
+    --threads=2 \
+    --heartbeat-ms=50 \
+    --respawn-backoff-ms=50 \
+    --respawn-backoff-cap-ms=100 \
+    --breaker-deaths=2 \
+    --breaker-window-ms=10000 \
+    --breaker-cooldown-ms=60000 \
+    --faults="serve.worker.crash.w0@1" \
+    &
+BREAKER_PID=$!
+for _ in $(seq 1 100); do
+    [ -S "$BREAKER_SOCKET" ] && break
+    sleep 0.1
+done
+[ -S "$BREAKER_SOCKET" ] || {
+    echo "breaker fleet never bound $BREAKER_SOCKET" >&2; exit 1; }
+
+# Wait for the breaker to trip (health shows a degraded shard).
+# NB: --op=health deliberately exits non-zero while any shard is
+# unhealthy, so capture the output instead of piping the exit status.
+DEGRADED=0
+for _ in $(seq 1 100); do
+    PROBE="$("$CLIENT" --socket="$BREAKER_SOCKET" --op=health \
+        2>/dev/null || true)"
+    if echo "$PROBE" | grep -q "degraded"; then
+        DEGRADED=1
+        break
+    fi
+    sleep 0.2
+done
+[ "$DEGRADED" -eq 1 ] || {
+    echo "breaker never degraded the crash-looping shard" >&2
+    "$CLIENT" --socket="$BREAKER_SOCKET" --op=health >&2 || true
+    exit 1
+}
+HEALTH_OUT="$("$CLIENT" --socket="$BREAKER_SOCKET" --op=health || true)"
+echo "$HEALTH_OUT"
+echo "$HEALTH_OUT" | grep -q "ready" || {
+    echo "healthy shard is not ready while shard 0 is degraded" >&2
+    exit 1
+}
+
+# The healthy shard must still serve: scan inputs until one routes to
+# a ready shard and completes with zero retries left over.
+SERVED_OK=0
+for input in 0 1 2 3 4 5 6 7; do
+    if "$CLIENT" --socket="$BREAKER_SOCKET" --op=simulate \
+        --workload=mcf_like --input="$input" \
+        --instructions=200000 --predictor=gshare \
+        --retries=0 >/dev/null 2>&1; then
+        SERVED_OK=1
+        break
+    fi
+done
+[ "$SERVED_OK" -eq 1 ] || {
+    echo "no request succeeded while one shard was degraded" >&2
+    exit 1
+}
+
+kill -TERM "$BREAKER_PID"
+BREAKER_STATUS=0
+wait "$BREAKER_PID" || BREAKER_STATUS=$?
+BREAKER_PID=""
+[ "$BREAKER_STATUS" -eq 0 ] || {
+    echo "breaker fleet exited $BREAKER_STATUS after SIGTERM" >&2
+    exit 1
+}
+
+echo "== fleet chaos soak passed"

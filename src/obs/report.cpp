@@ -266,21 +266,31 @@ renderRunReport()
           // rings were) and whether the daemon answered live Stats
           // requests.
           "obs.spans_recorded", "obs.spans_dropped",
-          "serve.stats_requests"}) {
+          "serve.stats_requests",
+          // Fleet/retry counters (schema_rev 7): every report proves
+          // whether the run supervised a worker fleet (and how it
+          // fared) and whether its clients needed retries. Invariant
+          // checked downstream: serve.fleet.respawns never exceeds
+          // serve.fleet.worker_deaths — a respawn only ever answers a
+          // death.
+          "serve.fleet.worker_deaths", "serve.fleet.respawns",
+          "serve.fleet.breaker_trips", "serve.client.retries",
+          "serve.client.gave_up"}) {
         reg.counter(name);
     }
 
     // schema_rev bumps additively within the v1 schema: rev 2 added
     // the robustness counter contract, rev 3 the campaign /
     // cancellation contract, rev 4 the serving contract, rev 5 the
-    // synthesis contract, rev 6 adds the tracing/introspection
-    // contract above plus the optional "snapshots" time-series
-    // section and exact histogram quantiles (p999) — nothing is ever
-    // renamed, so v1 consumers keep parsing and rev-aware consumers
-    // know the new keys are guaranteed present.
+    // synthesis contract, rev 6 the tracing/introspection contract
+    // plus the optional "snapshots" time-series section and exact
+    // histogram quantiles (p999), rev 7 adds the fleet-supervision /
+    // client-retry contract above — nothing is ever renamed, so v1
+    // consumers keep parsing and rev-aware consumers know the new
+    // keys are guaranteed present.
     std::ostringstream oss;
     oss << "{\n  \"schema\": \"bpnsp-run-report-v1\",\n"
-        << "  \"schema_rev\": 6,\n  \"run\": {\n";
+        << "  \"schema_rev\": 7,\n  \"run\": {\n";
     for (const auto &[key, value] : reg.runFields())
         oss << "    " << quoted(key) << ": " << quoted(value) << ",\n";
     oss << "    \"git\": " << quoted(gitDescribe()) << ",\n"

@@ -3,25 +3,35 @@
  * bpnsp_client: command-line client for a running bpnsp_served.
  *
  * Single-request mode (--op=ping|simulate|branch-stats|h2p|
- * materialize) prints one human-readable result; --op=stats pulls the
- * server's live metric-registry snapshot (add --watch to poll it);
- * --op=loadgen runs the closed-loop load generator (N concurrent
- * clients, optional randomized kills and reply verification) and
- * prints its aggregate tally.
+ * materialize|health) prints one human-readable result; --op=stats
+ * pulls the server's live metric-registry snapshot (add --watch to
+ * poll it; the watch survives daemon restarts by reconnecting with
+ * backoff); --op=loadgen runs the closed-loop load generator (N
+ * concurrent clients, optional randomized kills and reply
+ * verification) and prints its aggregate tally.
+ *
+ * --retries=N arms the client-side retry policy (serve/client.hpp):
+ * idempotent requests that fail retryably — UNAVAILABLE from a
+ * respawning fleet shard, BUSY, admission rejection, a dropped
+ * connection — are retried up to N extra times with jittered
+ * exponential backoff. This is how a client rides out fleet worker
+ * crashes without scripting a loop.
  *
  * Examples:
  *   bpnsp_client --socket=/tmp/b.sock --op=ping
  *   bpnsp_client --socket=/tmp/b.sock --op=simulate \
  *       --workload=mcf_like --predictor=gshare \
  *       --instructions=200000 --first=50000 --count=100000
+ *   bpnsp_client --socket=/tmp/b.sock --op=health
  *   bpnsp_client --socket=/tmp/b.sock --op=stats --watch
  *   bpnsp_client --socket=/tmp/b.sock --op=loadgen --clients=32 \
- *       --requests=64 --kill-prob=0.05 --verify
+ *       --requests=64 --kill-prob=0.05 --verify --retries=4
  *
  * Exit status: 0 on an Ok reply (loadgen: no transport errors and no
  * verify mismatches), 1 otherwise.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <sstream>
@@ -38,6 +48,21 @@ using namespace bpnsp;
 using namespace bpnsp::serve;
 
 namespace {
+
+/** The --retries/--retry-*-ms knobs as a RetryPolicy. */
+RetryPolicy
+retryPolicyFromOptions(const OptionParser &opts)
+{
+    RetryPolicy policy;
+    policy.maxAttempts =
+        1 + static_cast<unsigned>(opts.getInt("retries"));
+    policy.baseBackoffMs =
+        static_cast<uint64_t>(opts.getInt("retry-base-ms"));
+    policy.maxBackoffMs =
+        static_cast<uint64_t>(opts.getInt("retry-cap-ms"));
+    policy.seed = static_cast<uint64_t>(opts.getInt("seed"));
+    return policy;
+}
 
 std::vector<std::string>
 splitCsv(const std::string &csv)
@@ -64,6 +89,28 @@ runOne(const OptionParser &opts, const std::string &op)
     if (!st.ok()) {
         warn("bpnsp_client: ", st.str());
         return 1;
+    }
+    client.setRetryPolicy(retryPolicyFromOptions(opts));
+
+    if (op == "health") {
+        std::vector<ShardHealth> shards;
+        st = client.health(&shards);
+        if (!st.ok()) {
+            warn("bpnsp_client: ", st.str());
+            return 1;
+        }
+        std::printf("health: %zu shard(s)\n", shards.size());
+        bool allReady = true;
+        for (const ShardHealth &row : shards) {
+            std::printf("  shard %u: %-10s pid=%llu restarts=%u "
+                        "deaths=%u\n",
+                        row.shard, shardStateName(row.state),
+                        static_cast<unsigned long long>(row.pid),
+                        row.restarts, row.deaths);
+            if (row.state != ShardHealth::Ready)
+                allReady = false;
+        }
+        return allReady ? 0 : 1;
     }
 
     ServeRequest request;
@@ -93,7 +140,7 @@ runOne(const OptionParser &opts, const std::string &op)
     } else {
         fatal("unknown --op \"", op,
               "\" (want ping|simulate|branch-stats|h2p|materialize|"
-              "stats|loadgen)");
+              "health|stats|loadgen)");
     }
 
     ServeReply reply;
@@ -253,6 +300,11 @@ printStatsPretty(const std::string &json, uint64_t trace_id)
 /**
  * --op=stats: pull the live snapshot once, or poll it with --watch.
  * --raw prints the JSON document verbatim for scripts.
+ *
+ * A watch is a monitoring loop, so a daemon restart mid-watch must
+ * not kill it: on a dropped connection the watch reconnects with
+ * capped backoff and keeps polling. One-shot mode (no --watch) keeps
+ * strict fail-fast semantics for scripts.
  */
 int
 runStats(const OptionParser &opts)
@@ -263,22 +315,42 @@ runStats(const OptionParser &opts)
         st = client.connectTcp(static_cast<int>(port));
     else
         st = client.connectUnix(opts.getString("socket"));
-    if (!st.ok()) {
-        warn("bpnsp_client: ", st.str());
-        return 1;
-    }
 
     const bool raw = opts.getFlag("raw");
     const bool watch = opts.getFlag("watch");
     const int64_t watchMs = opts.getInt("watch-ms");
+    if (!st.ok()) {
+        warn("bpnsp_client: ", st.str());
+        if (!watch)
+            return 1;
+    }
+
+    uint64_t reconnectBackoffMs = 0;
     for (;;) {
         std::string json;
         uint64_t traceId = 0;
-        st = client.stats(&json, &traceId);
+        st = client.connected() ? client.stats(&json, &traceId)
+                                : Status::unavailable("not connected");
         if (!st.ok()) {
-            warn("bpnsp_client: ", st.str());
-            return 1;
+            if (!watch) {
+                warn("bpnsp_client: ", st.str());
+                return 1;
+            }
+            // Daemon gone (restart, crash, drain): back off, then try
+            // the endpoint again. The watch outlives the daemon.
+            client.close();
+            reconnectBackoffMs =
+                reconnectBackoffMs == 0
+                    ? 100
+                    : std::min<uint64_t>(reconnectBackoffMs * 2, 2000);
+            warn("bpnsp_client: ", st.str(), "; reconnecting in ",
+                 reconnectBackoffMs, " ms");
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(reconnectBackoffMs));
+            client.reconnect();
+            continue;
         }
+        reconnectBackoffMs = 0;
         if (raw)
             std::fputs(json.c_str(), stdout);
         else
@@ -311,12 +383,14 @@ runLoad(const OptionParser &opts)
     cfg.killProb = opts.getDouble("kill-prob");
     cfg.seed = static_cast<uint64_t>(opts.getInt("seed"));
     cfg.verify = opts.getFlag("verify");
+    cfg.retry = retryPolicyFromOptions(opts);
 
     const LoadGenResult result = runLoadGen(cfg);
     std::printf(
         "loadgen: %u client(s) x %u request(s): %llu ok, %llu "
         "rejected, %llu error(s), %llu transport, %llu killed, %llu "
-        "mismatch(es) in %.2fs (%.0f req/s, p50 %.2fms, p99 "
+        "mismatch(es), %llu retried (%llu retries, %llu gave up, "
+        "first-try %.4f) in %.2fs (%.0f req/s, p50 %.2fms, p99 "
         "%.2fms)\n",
         cfg.clients, cfg.requestsPerClient,
         static_cast<unsigned long long>(result.ok),
@@ -325,8 +399,11 @@ runLoad(const OptionParser &opts)
         static_cast<unsigned long long>(result.transport),
         static_cast<unsigned long long>(result.killed),
         static_cast<unsigned long long>(result.mismatches),
-        result.elapsedSeconds, result.requestsPerSecond(),
-        result.p50Ms, result.p99Ms);
+        static_cast<unsigned long long>(result.retried),
+        static_cast<unsigned long long>(result.retries),
+        static_cast<unsigned long long>(result.gaveUp),
+        result.firstTryFraction(), result.elapsedSeconds,
+        result.requestsPerSecond(), result.p50Ms, result.p99Ms);
 
     if (result.mismatches != 0)
         return 1;
@@ -348,8 +425,8 @@ main(int argc, char **argv)
     opts.addInt("tcp-port", 0,
                 "connect to 127.0.0.1:PORT instead of the socket");
     opts.addString("op", "ping",
-                   "ping|simulate|branch-stats|h2p|materialize|stats|"
-                   "loadgen");
+                   "ping|simulate|branch-stats|h2p|materialize|health|"
+                   "stats|loadgen");
     opts.addString("workload", "mcf_like", "workload name");
     opts.addInt("input", 0, "workload input index");
     opts.addInt("instructions", 200000, "trace length (cache key)");
@@ -371,6 +448,11 @@ main(int argc, char **argv)
     opts.addDouble("kill-prob", 0.0,
                    "loadgen: P(vanish before reading the reply)");
     opts.addInt("seed", 1, "loadgen: randomization seed");
+    opts.addInt("retries", 0,
+                "extra attempts for retryable failures of idempotent "
+                "requests (0 = single-shot)");
+    opts.addInt("retry-base-ms", 10, "first retry's backoff scale");
+    opts.addInt("retry-cap-ms", 1000, "retry backoff cap");
     opts.addFlag("verify",
                  "loadgen: check every Ok reply bit-for-bit against "
                  "a direct in-process run (needs BPNSP_TRACE_CACHE "

@@ -15,12 +15,47 @@
 #include "bp/factory.hpp"
 #include "bp/sim.hpp"
 #include "core/runner.hpp"
+#include "obs/metrics.hpp"
 #include "tracestore/cache.hpp"
 #include "tracestore/store.hpp"
 #include "util/rng.hpp"
 #include "workloads/suite.hpp"
 
 namespace bpnsp::serve {
+
+bool
+isIdempotentRequest(MessageType type)
+{
+    switch (type) {
+      case MessageType::Ping:
+      case MessageType::Simulate:
+      case MessageType::BranchStats:
+      case MessageType::H2p:
+      case MessageType::Stats:
+      case MessageType::Health:
+        // Pure reads: re-sending can never double-apply anything.
+        return true;
+      case MessageType::Materialize:
+        // Content-addressed: generating the same trace twice publishes
+        // the same digest to the same path.
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isRetryableCode(WireCode code)
+{
+    switch (code) {
+      case WireCode::Unavailable:       // shard down; respawn coming
+      case WireCode::Busy:              // draining / lock contention
+      case WireCode::ResourceExhausted: // admission queue full
+        return true;
+      default:
+        return false;
+    }
+}
 
 // --- ServeClient -----------------------------------------------------
 
@@ -54,6 +89,8 @@ ServeClient::connectUnix(const std::string &socket_path)
     addr.sun_family = AF_UNIX;
     std::strncpy(addr.sun_path, socket_path.c_str(),
                  sizeof(addr.sun_path) - 1);
+    endpoint = Endpoint::Unix;
+    endpointPath = socket_path;
     if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
         const Status st = Status::ioError("connect(" + socket_path +
@@ -77,6 +114,8 @@ ServeClient::connectTcp(int port)
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(static_cast<uint16_t>(port));
+    endpoint = Endpoint::Tcp;
+    endpointPort = port;
     if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
                   sizeof(addr)) != 0) {
         const Status st =
@@ -90,55 +129,46 @@ ServeClient::connectTcp(int port)
 }
 
 Status
+ServeClient::reconnect()
+{
+    switch (endpoint) {
+      case Endpoint::Unix:
+        return connectUnix(endpointPath);
+      case Endpoint::Tcp:
+        return connectTcp(endpointPort);
+      case Endpoint::None:
+        break;
+    }
+    return Status::invalidArgument("client was never connected");
+}
+
+void
+ServeClient::setRetryPolicy(const RetryPolicy &p)
+{
+    policy = p;
+    if (policy.maxAttempts == 0)
+        policy.maxAttempts = 1;
+    jitterState = 0;   // re-seed from the new policy on next draw
+}
+
+Status
 ServeClient::sendFrame(MessageType type, uint64_t request_id,
                        const std::vector<uint8_t> &payload)
 {
     std::vector<uint8_t> frame;
-    Status st = encodeFrame(type, request_id, payload, &frame);
+    const Status st = encodeFrame(type, request_id, payload, &frame);
     if (!st.ok())
         return st;
-    size_t off = 0;
-    while (off < frame.size()) {
-        const ssize_t n = ::send(fd, frame.data() + off,
-                                 frame.size() - off, MSG_NOSIGNAL);
-        if (n > 0) {
-            off += static_cast<size_t>(n);
-            continue;
-        }
-        if (n < 0 && errno == EINTR)
-            continue;
-        return Status::ioError(std::string("send(): ") +
-                               std::strerror(errno));
-    }
-    return Status();
-}
-
-Status
-ServeClient::readExact(uint8_t *out, size_t n)
-{
-    size_t off = 0;
-    while (off < n) {
-        const ssize_t got = ::recv(fd, out + off, n - off, 0);
-        if (got > 0) {
-            off += static_cast<size_t>(got);
-            continue;
-        }
-        if (got < 0 && errno == EINTR)
-            continue;
-        if (got == 0)
-            return Status::ioError(
-                "server closed the connection mid-reply");
-        return Status::ioError(std::string("recv(): ") +
-                               std::strerror(errno));
-    }
-    return Status();
+    // Shared EINTR-audited write loop (protocol.hpp): partial sends
+    // resume, signals restart, bytes are never dropped or recounted.
+    return writeAllFd(fd, frame.data(), frame.size());
 }
 
 Status
 ServeClient::recvReply(uint64_t expect_id, ServeReply *reply)
 {
     uint8_t headerBytes[kFrameHeaderBytes];
-    Status st = readExact(headerBytes, sizeof(headerBytes));
+    Status st = readExactFd(fd, headerBytes, sizeof(headerBytes));
     if (!st.ok())
         return st;
     FrameHeader header;
@@ -147,7 +177,7 @@ ServeClient::recvReply(uint64_t expect_id, ServeReply *reply)
         return st;
     std::vector<uint8_t> payload(header.payloadLen);
     if (header.payloadLen > 0) {
-        st = readExact(payload.data(), payload.size());
+        st = readExactFd(fd, payload.data(), payload.size());
         if (!st.ok())
             return st;
     }
@@ -163,15 +193,17 @@ ServeClient::recvReply(uint64_t expect_id, ServeReply *reply)
 }
 
 Status
-ServeClient::call(const ServeRequest &request, ServeReply *reply)
+ServeClient::callOnce(const ServeRequest &request, ServeReply *reply)
 {
     if (fd < 0)
         return Status::invalidArgument("client is not connected");
     const uint64_t id = nextRequestId++;
     Status st = sendFrame(request.type, id,
                           encodeRequestPayload(request));
-    if (!st.ok())
+    if (!st.ok()) {
+        close();   // a half-sent frame desynchronizes the stream
         return st;
+    }
     st = recvReply(id, reply);
     if (!st.ok())
         close();   // the stream may be desynchronized; start fresh
@@ -181,6 +213,79 @@ ServeClient::call(const ServeRequest &request, ServeReply *reply)
         reply->code = reply->code == WireCode::Ok ? WireCode::Internal
                                                   : reply->code;
     return st;
+}
+
+namespace {
+
+/** xorshift64*: one cheap, seedable jitter stream per client. */
+uint64_t
+jitterNext(uint64_t *state)
+{
+    uint64_t x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    return x * 0x2545f4914f6cdd1dull;
+}
+
+} // namespace
+
+Status
+ServeClient::call(const ServeRequest &request, ServeReply *reply)
+{
+    static obs::Counter &retriesCounter =
+        obs::counter("serve.client.retries");
+    static obs::Counter &gaveUpCounter =
+        obs::counter("serve.client.gave_up");
+
+    for (unsigned attempt = 1;; ++attempt) {
+        Status st;
+        if (fd < 0 && endpoint != Endpoint::None)
+            st = reconnect();   // a respawned worker = a fresh socket
+        if (st.ok())
+            st = callOnce(request, reply);
+
+        // Classify the outcome. A transport failure is retryable for
+        // idempotent requests: the reply (if any) was never seen, and
+        // re-sending a pure read cannot double-apply anything.
+        uint32_t hintMs = 0;
+        bool retryable = false;
+        if (!st.ok()) {
+            retryable = st.code() != StatusCode::InvalidArgument;
+        } else if (isRetryableCode(reply->code)) {
+            retryable = true;
+            hintMs = reply->retryAfterMs;
+        } else {
+            return st;   // success, or a non-retryable app error
+        }
+
+        if (!retryable || !isIdempotentRequest(request.type) ||
+            attempt >= policy.maxAttempts) {
+            if (retryable && policy.maxAttempts > 1 &&
+                isIdempotentRequest(request.type)) {
+                gaveUpCounter.inc();
+                ++gaveUpTally;
+            }
+            return st;
+        }
+
+        // Jittered exponential backoff, floored by the server's
+        // retry-after hint: the hint knows when the shard could be
+        // back; the jitter keeps a retrying herd from stampeding it.
+        if (jitterState == 0)
+            jitterState = policy.seed * 0x9e3779b97f4a7c15ull | 1;
+        uint64_t backoffMs =
+            policy.baseBackoffMs << std::min(attempt - 1, 20u);
+        backoffMs = std::min(backoffMs, policy.maxBackoffMs);
+        backoffMs = backoffMs / 2 +
+                    jitterNext(&jitterState) % (backoffMs + 1);
+        backoffMs = std::max<uint64_t>(backoffMs, hintMs);
+        retriesCounter.inc();
+        ++retriesTally;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(backoffMs));
+    }
 }
 
 Status
@@ -226,6 +331,22 @@ ServeClient::stats(std::string *json, uint64_t *trace_id_out)
     return Status();
 }
 
+Status
+ServeClient::health(std::vector<ShardHealth> *shards)
+{
+    ServeRequest request;
+    request.type = MessageType::Health;
+    ServeReply reply;
+    const Status st = call(request, &reply);
+    if (!st.ok())
+        return st;
+    if (reply.code != WireCode::Ok)
+        return statusFromWire(reply.code, reply.message);
+    if (shards != nullptr)
+        *shards = reply.shards;
+    return Status();
+}
+
 // --- load generator --------------------------------------------------
 
 namespace {
@@ -240,6 +361,9 @@ struct ClientTally
     uint64_t transport = 0;
     uint64_t killed = 0;
     uint64_t mismatches = 0;
+    uint64_t retried = 0;
+    uint64_t retries = 0;
+    uint64_t gaveUp = 0;
     std::vector<double> latenciesMs;
 };
 
@@ -278,6 +402,9 @@ clientLoop(const LoadGenConfig &cfg, unsigned index)
     // derivation, so nearby client indices stay decorrelated.
     Rng rng = Rng::stream(cfg.seed, index);
     ServeClient client;
+    RetryPolicy retry = cfg.retry;
+    retry.seed = cfg.retry.seed + index;   // decorrelate the jitter
+    client.setRetryPolicy(retry);
 
     for (unsigned i = 0; i < cfg.requestsPerClient; ++i) {
         if (!client.connected()) {
@@ -315,9 +442,16 @@ clientLoop(const LoadGenConfig &cfg, unsigned index)
         }
 
         const auto t0 = std::chrono::steady_clock::now();
+        const uint64_t retriesBefore = client.retriesObserved();
         ServeReply reply;
         const Status st = client.call(request, &reply);
         const auto t1 = std::chrono::steady_clock::now();
+        const uint64_t retriesDelta =
+            client.retriesObserved() - retriesBefore;
+        if (retriesDelta > 0) {
+            ++tally.retried;
+            tally.retries += retriesDelta;
+        }
         if (!st.ok()) {
             ++tally.transport;
             continue;
@@ -347,6 +481,7 @@ clientLoop(const LoadGenConfig &cfg, unsigned index)
             ++tally.errors;
         }
     }
+    tally.gaveUp = client.gaveUpObserved();
     return tally;
 }
 
@@ -391,6 +526,9 @@ runLoadGen(const LoadGenConfig &cfg)
         result.transport += t.transport;
         result.killed += t.killed;
         result.mismatches += t.mismatches;
+        result.retried += t.retried;
+        result.retries += t.retries;
+        result.gaveUp += t.gaveUp;
         all.insert(all.end(), t.latenciesMs.begin(),
                    t.latenciesMs.end());
     }

@@ -9,6 +9,19 @@
  * bench workers) wants request/reply semantics; concurrency comes from
  * running many clients, which is also what the server's batching is
  * designed to exploit.
+ *
+ * Retry contract (fleet mode): a RetryPolicy makes call() retry — with
+ * bounded, jittered exponential backoff — when the failure is
+ * *retryable* (UNAVAILABLE from a respawning/degraded shard, BUSY,
+ * RESOURCE_EXHAUSTED admission rejection, or a transport error on a
+ * request the client never saw answered) AND the request type is
+ * idempotent. Every request this repo serves is a pure read or a
+ * content-addressed materialization, so all request types qualify —
+ * but the gate is structural (isIdempotentRequest), so a future
+ * mutating type is excluded by default, not by vigilance. The server's
+ * retry-after hint (reply.retryAfterMs) is a floor on the backoff.
+ * serve.client.retries / serve.client.gave_up count what the policy
+ * did.
  */
 
 #ifndef BPNSP_SERVE_CLIENT_HPP
@@ -22,6 +35,26 @@
 #include "util/status.hpp"
 
 namespace bpnsp::serve {
+
+/**
+ * True for request types a client may safely re-send when it cannot
+ * know whether the server executed the first attempt: pure reads and
+ * content-addressed idempotent writes. The retry policy refuses to
+ * retry anything else.
+ */
+bool isIdempotentRequest(MessageType type);
+
+/** True for the reply codes that mean "retry later, it may clear". */
+bool isRetryableCode(WireCode code);
+
+/** Bounded, jittered exponential backoff for retryable failures. */
+struct RetryPolicy
+{
+    unsigned maxAttempts = 1;    ///< total tries; 1 = never retry
+    uint64_t baseBackoffMs = 10; ///< first retry's backoff scale
+    uint64_t maxBackoffMs = 1000; ///< backoff cap
+    uint64_t seed = 1;           ///< jitter stream seed
+};
 
 /** Blocking request/reply client over one connection. */
 class ServeClient
@@ -39,15 +72,40 @@ class ServeClient
     /** Connect to the loopback TCP listener. */
     Status connectTcp(int port);
 
+    /**
+     * Re-establish the last connectUnix/connectTcp endpoint (retry
+     * path: a respawned worker means a fresh socket).
+     */
+    Status reconnect();
+
     bool connected() const { return fd >= 0; }
 
     void close();
 
     /**
-     * Send `request` and block for the reply. Protocol-level failures
-     * (connection loss, malformed reply, id mismatch) come back as a
-     * Status; application-level failures arrive as an Ok Status with
-     * reply->code != WireCode::Ok.
+     * Retry discipline for call() and the probes built on it. The
+     * default policy (maxAttempts = 1) never retries, preserving
+     * strict single-shot semantics for callers that do their own
+     * failure handling.
+     */
+    void setRetryPolicy(const RetryPolicy &policy);
+    const RetryPolicy &retryPolicy() const { return policy; }
+
+    /**
+     * Attempts beyond the first across this client's lifetime, and
+     * calls abandoned with a retryable failure after the budget
+     * (mirrors the serve.client.{retries,gave_up} counters).
+     */
+    uint64_t retriesObserved() const { return retriesTally; }
+    uint64_t gaveUpObserved() const { return gaveUpTally; }
+
+    /**
+     * Send `request` and block for the reply, retrying per the policy
+     * when the request is idempotent and the failure retryable
+     * (reconnecting first if the transport dropped). Protocol-level
+     * failures (connection loss, malformed reply, id mismatch) come
+     * back as a Status; application-level failures arrive as an Ok
+     * Status with reply->code != WireCode::Ok.
      */
     Status call(const ServeRequest &request, ServeReply *reply);
 
@@ -64,6 +122,14 @@ class ServeClient
     Status stats(std::string *json, uint64_t *trace_id_out = nullptr);
 
     /**
+     * Per-shard readiness probe (Health/HealthReply). A single-process
+     * server answers one ready row; a fleet supervisor answers one row
+     * per shard. Answered from the io thread, so it works under full
+     * load and mid-drain.
+     */
+    Status health(std::vector<ShardHealth> *shards);
+
+    /**
      * Send a request and do NOT wait for the reply. Used by the load
      * generator's randomized client kills (send, vanish) to prove the
      * server shrugs off peers that disappear mid-request.
@@ -71,13 +137,24 @@ class ServeClient
     Status fireAndForget(const ServeRequest &request);
 
   private:
+    Status callOnce(const ServeRequest &request, ServeReply *reply);
     Status sendFrame(MessageType type, uint64_t request_id,
                      const std::vector<uint8_t> &payload);
     Status recvReply(uint64_t expect_id, ServeReply *reply);
-    Status readExact(uint8_t *out, size_t n);
 
     int fd = -1;
     uint64_t nextRequestId = 1;
+
+    RetryPolicy policy;
+    uint64_t jitterState = 0;   ///< lazily seeded from policy.seed
+    uint64_t retriesTally = 0;
+    uint64_t gaveUpTally = 0;
+
+    // Remembered endpoint for reconnect() (kUnset = never connected).
+    enum class Endpoint { None, Unix, Tcp };
+    Endpoint endpoint = Endpoint::None;
+    std::string endpointPath;
+    int endpointPort = 0;
 };
 
 /** Knobs of one closed-loop load-generation run. */
@@ -94,6 +171,7 @@ struct LoadGenConfig
     double killProb = 0.0;          ///< P(disconnect before reply)
     uint64_t seed = 1;              ///< drives slice + kill draws
     bool verify = false;            ///< check replies vs direct runs
+    RetryPolicy retry;              ///< per-client retry discipline
 };
 
 /** What the closed loop observed. */
@@ -106,9 +184,22 @@ struct LoadGenResult
     uint64_t transport = 0;  ///< connection-level failures
     uint64_t killed = 0;     ///< deliberate client-side disconnects
     uint64_t mismatches = 0; ///< verify failures (must stay 0)
+    uint64_t retried = 0;    ///< requests that needed >= 1 retry
+    uint64_t retries = 0;    ///< total extra attempts
+    uint64_t gaveUp = 0;     ///< retry budget exhausted, still failing
     double elapsedSeconds = 0.0;
     double p50Ms = 0.0;      ///< exact percentiles over all replies
     double p99Ms = 0.0;
+
+    /** 1.0 = every request answered on its first attempt. */
+    double
+    firstTryFraction() const
+    {
+        if (attempted == 0)
+            return 1.0;
+        return 1.0 - static_cast<double>(retried) /
+                         static_cast<double>(attempted);
+    }
 
     double
     requestsPerSecond() const

@@ -1,5 +1,11 @@
 #include "serve/protocol.hpp"
 
+#include <cerrno>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "tracestore/format.hpp"   // fnv1a, the repo's one checksum
 
 namespace bpnsp::serve {
@@ -38,6 +44,24 @@ messageTypeName(MessageType type)
         return "stats";
       case MessageType::StatsReply:
         return "stats-reply";
+      case MessageType::Health:
+        return "health";
+      case MessageType::HealthReply:
+        return "health-reply";
+    }
+    return "unknown";
+}
+
+const char *
+shardStateName(uint8_t state)
+{
+    switch (state) {
+      case ShardHealth::Ready:
+        return "ready";
+      case ShardHealth::Respawning:
+        return "respawning";
+      case ShardHealth::Degraded:
+        return "degraded";
     }
     return "unknown";
 }
@@ -52,6 +76,7 @@ isRequestType(MessageType type)
       case MessageType::H2p:
       case MessageType::Materialize:
       case MessageType::Stats:
+      case MessageType::Health:
         return true;
       default:
         return false;
@@ -82,6 +107,8 @@ wireCodeName(WireCode code)
         return "INTERNAL";
       case WireCode::Unimplemented:
         return "UNIMPLEMENTED";
+      case WireCode::Unavailable:
+        return "UNAVAILABLE";
     }
     return "UNKNOWN";
 }
@@ -104,6 +131,8 @@ wireCodeFor(const Status &status)
         return WireCode::DeadlineExceeded;
       case StatusCode::InvalidArgument:
         return WireCode::InvalidArgument;
+      case StatusCode::Unavailable:
+        return WireCode::Unavailable;
     }
     return WireCode::Internal;
 }
@@ -130,6 +159,8 @@ statusFromWire(WireCode code, const std::string &message)
       case WireCode::Internal:
       case WireCode::Unimplemented:
         return Status::ioError(message);
+      case WireCode::Unavailable:
+        return Status::unavailable(message);
     }
     return Status::ioError(message);
 }
@@ -219,6 +250,97 @@ WireWriter::str(const std::string &s)
 {
     u32(static_cast<uint32_t>(s.size()));
     buf.insert(buf.end(), s.begin(), s.end());
+}
+
+// --- EINTR-safe fd I/O -----------------------------------------------
+
+namespace {
+
+/**
+ * Park until `fd` is ready for `events`, restarting on EINTR without
+ * double-counting the wait budget (a signal storm extends the wait, it
+ * never shortens it into a spurious timeout-failure). Returns false
+ * only on a genuine timeout or poll error.
+ */
+bool
+pollReady(int fd, short events, int timeout_ms)
+{
+    for (;;) {
+        struct pollfd pfd = {fd, events, 0};
+        const int rc = ::poll(&pfd, 1, timeout_ms);
+        if (rc > 0)
+            return true;
+        if (rc == 0)
+            return false;   // timeout
+        if (errno == EINTR)
+            continue;
+        return false;
+    }
+}
+
+} // namespace
+
+Status
+writeAllFd(int fd, const uint8_t *bytes, size_t len,
+           int poll_timeout_ms)
+{
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n =
+            ::send(fd, bytes + off, len - off, MSG_NOSIGNAL);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (!pollReady(fd, POLLOUT, poll_timeout_ms))
+                return Status::ioError(
+                    "send(): peer not writable within the wait bound");
+            continue;
+        }
+        if (n < 0 && errno == ENOTSOCK) {
+            // Plain fd (pipe, regular file): fall back to write().
+            const ssize_t w = ::write(fd, bytes + off, len - off);
+            if (w > 0) {
+                off += static_cast<size_t>(w);
+                continue;
+            }
+            if (w < 0 && errno == EINTR)
+                continue;
+        }
+        return Status::ioError(std::string("send(): ") +
+                               std::strerror(errno));
+    }
+    return Status();
+}
+
+Status
+readExactFd(int fd, uint8_t *out, size_t len, int poll_timeout_ms)
+{
+    size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::recv(fd, out + off, len - off, 0);
+        if (n > 0) {
+            off += static_cast<size_t>(n);
+            continue;
+        }
+        if (n == 0)
+            return Status::ioError(
+                "peer closed the connection mid-message");
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            if (!pollReady(fd, POLLIN, poll_timeout_ms))
+                return Status::ioError(
+                    "recv(): no data within the wait bound");
+            continue;
+        }
+        return Status::ioError(std::string("recv(): ") +
+                               std::strerror(errno));
+    }
+    return Status();
 }
 
 // --- frames ----------------------------------------------------------
@@ -311,7 +433,8 @@ encodeRequestPayload(const ServeRequest &request)
     WireWriter w;
     switch (request.type) {
       case MessageType::Ping:
-      case MessageType::Stats:   // carries nothing, like Ping
+      case MessageType::Stats:    // carries nothing, like Ping
+      case MessageType::Health:   // carries nothing, like Ping
         break;
       case MessageType::Simulate:
         w.str(request.workload);
@@ -354,6 +477,7 @@ decodeRequestPayload(MessageType type, const uint8_t *payload,
     switch (type) {
       case MessageType::Ping:
       case MessageType::Stats:
+      case MessageType::Health:
         break;
       case MessageType::Simulate:
         r.str(&req.workload);
@@ -441,6 +565,16 @@ encodeReplyPayload(const ServeReply &reply)
       case MessageType::StatsReply:
         w.str(reply.statsJson);
         break;
+      case MessageType::HealthReply:
+        w.u32(static_cast<uint32_t>(reply.shards.size()));
+        for (const ShardHealth &row : reply.shards) {
+            w.u32(row.shard);
+            w.u8(row.state);
+            w.u64(row.pid);
+            w.u32(row.restarts);
+            w.u32(row.deaths);
+        }
+        break;
       case MessageType::Error:
         break;
       default:
@@ -448,8 +582,12 @@ encodeReplyPayload(const ServeReply &reply)
     }
     // The trace id is the trailing field of *every* reply type —
     // appended under the v1 grow-at-the-end rule, so pre-tracing
-    // peers decode the shorter payload and simply never see it.
+    // peers decode the shorter payload and simply never see it. The
+    // retry-after hint rides behind it under the same rule: peers
+    // that predate the fleet decode up to the trace id and ignore
+    // the rest.
     w.u64(reply.traceId);
+    w.u32(reply.retryAfterMs);
     return w.take();
 }
 
@@ -519,6 +657,23 @@ decodeReplyPayload(MessageType type, const uint8_t *payload,
       case MessageType::StatsReply:
         r.str(&reply.statsJson);
         break;
+      case MessageType::HealthReply: {
+        uint32_t rows = 0;
+        r.u32(&rows);
+        if (r.ok() && static_cast<uint64_t>(rows) * 21 > r.remaining())
+            return Status::corruptData(
+                "health reply shard count exceeds payload");
+        for (uint32_t i = 0; i < rows && r.ok(); ++i) {
+            ShardHealth row;
+            r.u32(&row.shard);
+            r.u8(&row.state);
+            r.u64(&row.pid);
+            r.u32(&row.restarts);
+            r.u32(&row.deaths);
+            reply.shards.push_back(row);
+        }
+        break;
+      }
       case MessageType::Error:
         break;
       default:
@@ -530,6 +685,10 @@ decodeReplyPayload(MessageType type, const uint8_t *payload,
     // absent (traceId stays 0) from an older peer's shorter payload.
     if (r.ok() && r.remaining() >= 8)
         r.u64(&reply.traceId);
+    // Trailing retry-after hint, appended behind the trace id by
+    // fleet-aware servers (stays 0 from older peers).
+    if (r.ok() && r.remaining() >= 4)
+        r.u32(&reply.retryAfterMs);
     if (!r.ok())
         return Status::corruptData(
             std::string("malformed ") + messageTypeName(type) +

@@ -85,6 +85,8 @@ enum class MessageType : uint16_t
     Error = 11,   ///< generic failure reply (any request type)
     Stats = 12,   ///< live metric-registry snapshot (io-thread fast path)
     StatsReply = 13,
+    Health = 14,  ///< per-shard readiness probe (io-thread fast path)
+    HealthReply = 15,
 };
 
 /** Stable name of a message type ("simulate", ...). */
@@ -106,6 +108,7 @@ enum class WireCode : uint16_t
     ResourceExhausted = 7,   ///< bounded-queue admission rejection
     Internal = 8,
     Unimplemented = 9,
+    Unavailable = 10,        ///< shard down / respawning; retryable
 };
 
 /** Stable name of a wire code ("RESOURCE_EXHAUSTED", ...). */
@@ -144,6 +147,27 @@ struct BranchRow
     uint64_t mispreds = 0;
     uint64_t taken = 0;
 };
+
+/** Readiness of one fleet shard (HealthReply row). */
+struct ShardHealth
+{
+    /** Shard readiness on the wire (u8). */
+    enum State : uint8_t
+    {
+        Ready = 0,       ///< worker alive and heartbeating
+        Respawning = 1,  ///< worker died; respawn pending/backing off
+        Degraded = 2,    ///< crash-loop breaker open; cooling down
+    };
+
+    uint32_t shard = 0;
+    uint8_t state = Ready;
+    uint64_t pid = 0;       ///< live worker pid (0 when down)
+    uint32_t restarts = 0;  ///< respawns since fleet start
+    uint32_t deaths = 0;    ///< deaths since fleet start
+};
+
+/** Stable name of a shard state ("ready", ...). */
+const char *shardStateName(uint8_t state);
 
 /**
  * One reply, any type: code/message always; the rest by type. Numeric
@@ -191,6 +215,19 @@ struct ServeReply
 
     // StatsReply: a bpnsp-stats-v1 JSON document (obs/report.hpp)
     std::string statsJson;
+
+    // HealthReply
+    std::vector<ShardHealth> shards;
+
+    /**
+     * Retry-after hint in milliseconds, the trailing field of every
+     * reply (appended after traceId under the v1 grow-at-the-end
+     * rule). Non-zero only on retryable errors — UNAVAILABLE from a
+     * degraded or respawning shard — where it tells the client the
+     * earliest moment a retry could plausibly succeed. Clients treat
+     * it as a floor on their backoff, never a guarantee.
+     */
+    uint32_t retryAfterMs = 0;
 };
 
 /** Bit-cast helpers for the double-as-u64 reply fields. */
@@ -209,6 +246,36 @@ bitsDouble(uint64_t bits)
     std::memcpy(&v, &bits, sizeof(v));
     return v;
 }
+
+/** @name EINTR-safe blocking fd I/O
+ *
+ * Shared by the client, the fleet router, and the server's reply
+ * path, so there is exactly one partial-read/partial-write loop to
+ * audit. Signals fire routinely in fleet mode (SIGCHLD in the
+ * supervisor, SIGTERM fan-out, test SIGUSR1); both helpers restart on
+ * EINTR — including EINTR from the poll() they park in when a
+ * non-blocking fd would block — and never drop or double-count bytes.
+ */
+/// @{
+
+/**
+ * Write all `len` bytes to `fd` (blocking or non-blocking; sends use
+ * MSG_NOSIGNAL on sockets so a vanished peer is EPIPE, not SIGPIPE).
+ * `poll_timeout_ms` bounds each individual wait for writability (-1 =
+ * wait forever); a wait that times out fails with IoError, which for
+ * the server means "wedged peer: give up on the connection".
+ */
+Status writeAllFd(int fd, const uint8_t *bytes, size_t len,
+                  int poll_timeout_ms = -1);
+
+/**
+ * Read exactly `len` bytes from `fd`. EOF mid-read is an IoError
+ * ("peer closed"); `poll_timeout_ms` bounds each individual wait for
+ * readability (-1 = wait forever).
+ */
+Status readExactFd(int fd, uint8_t *out, size_t len,
+                   int poll_timeout_ms = -1);
+/// @}
 
 /** @name Frame assembly / parsing */
 /// @{

@@ -138,33 +138,18 @@ nowNs()
 }
 
 /**
- * Write all of `len` bytes to a non-blocking socket, parking in
- * poll(POLLOUT) when the send buffer fills. MSG_NOSIGNAL everywhere: a
- * peer that vanished mid-reply surfaces as EPIPE, never as a
- * process-killing SIGPIPE.
+ * Write all of `len` bytes to a non-blocking socket through the
+ * shared EINTR-audited helper (protocol.hpp). The 5 s bound is per
+ * wait-for-writability: a peer that stays unwritable that long is
+ * wedged and the connection is abandoned — but a signal interrupting
+ * the wait (SIGCHLD fires routinely in fleet mode) restarts it
+ * instead of being mistaken for a wedge, which used to drop the
+ * connection.
  */
 bool
 sendAll(int fd, const uint8_t *bytes, size_t len)
 {
-    size_t off = 0;
-    while (off < len) {
-        const ssize_t n =
-            ::send(fd, bytes + off, len - off, MSG_NOSIGNAL);
-        if (n > 0) {
-            off += static_cast<size_t>(n);
-            continue;
-        }
-        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-            struct pollfd pfd = {fd, POLLOUT, 0};
-            if (::poll(&pfd, 1, 5000) <= 0)
-                return false;   // wedged peer: give up on the conn
-            continue;
-        }
-        if (n < 0 && errno == EINTR)
-            continue;
-        return false;
-    }
-    return true;
+    return writeAllFd(fd, bytes, len, /*poll_timeout_ms=*/5000).ok();
 }
 
 void
@@ -610,6 +595,30 @@ ServeServer::parseFrames(const std::shared_ptr<Conn> &conn)
                 "bpnsp-serve-v1 workers=" +
                 std::to_string(cfg.workers) +
                 " queue=" + std::to_string(cfg.queueDepth);
+            sendReply(conn, header.requestId, reply);
+            serveCompleted().inc();
+            continue;
+        }
+
+        if (type == MessageType::Health) {
+            // Health answers from the io thread like Ping: it is the
+            // probe a router or operator uses to decide whether this
+            // endpoint can take traffic, so it must work under full
+            // load and mid-drain. A single-process server is its own
+            // one-shard fleet: one row, ready, never restarted.
+            static obs::Counter &healthRequests =
+                obs::counter("serve.health_requests");
+            serveRequests().inc();
+            serveAccepted().inc();
+            healthRequests.inc();
+            ServeReply reply;
+            reply.type = MessageType::HealthReply;
+            reply.traceId = allocTraceId();
+            ShardHealth row;
+            row.shard = 0;
+            row.state = ShardHealth::Ready;
+            row.pid = static_cast<uint64_t>(::getpid());
+            reply.shards.push_back(row);
             sendReply(conn, header.requestId, reply);
             serveCompleted().inc();
             continue;

@@ -20,6 +20,8 @@ statusCodeName(StatusCode code)
         return "DeadlineExceeded";
       case StatusCode::InvalidArgument:
         return "InvalidArgument";
+      case StatusCode::Unavailable:
+        return "Unavailable";
     }
     return "Unknown";
 }

@@ -26,6 +26,10 @@
  *                   watchdog stall detection).
  *  - InvalidArgument — the caller asked for something impossible
  *                   (range past end of store, malformed fault spec).
+ *  - Unavailable  — the serving endpoint for this request is down
+ *                   right now (crashed worker being respawned, shard
+ *                   degraded by the crash-loop breaker); retry after
+ *                   a backoff, the condition is expected to clear.
  */
 
 #ifndef BPNSP_UTIL_STATUS_HPP
@@ -47,6 +51,7 @@ enum class StatusCode : uint8_t
     Cancelled,
     DeadlineExceeded,
     InvalidArgument,
+    Unavailable,
 };
 
 /** Stable human-readable name of a code ("CorruptData", ...). */
@@ -107,6 +112,12 @@ class Status
     invalidArgument(std::string message)
     {
         return make(StatusCode::InvalidArgument, std::move(message));
+    }
+
+    static Status
+    unavailable(std::string message)
+    {
+        return make(StatusCode::Unavailable, std::move(message));
     }
     /// @}
 

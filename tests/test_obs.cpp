@@ -873,13 +873,16 @@ TEST(ObsReport, SnapshotsSectionOnlyWhenSamplerRan)
     {
         JsonParser parser(obs::renderRunReport());
         const JsonValue doc = parser.parse();
-        EXPECT_DOUBLE_EQ(doc.at("schema_rev").number, 6.0);
+        EXPECT_DOUBLE_EQ(doc.at("schema_rev").number, 7.0);
         EXPECT_FALSE(doc.has("snapshots"));
-        // The rev-6 contract counters are present even untouched.
+        // The rev-6/7 contract counters are present even untouched.
         const JsonValue &counters = doc.at("counters");
         EXPECT_TRUE(counters.has("obs.spans_recorded"));
         EXPECT_TRUE(counters.has("obs.spans_dropped"));
         EXPECT_TRUE(counters.has("serve.stats_requests"));
+        EXPECT_TRUE(counters.has("serve.fleet.worker_deaths"));
+        EXPECT_TRUE(counters.has("serve.fleet.respawns"));
+        EXPECT_TRUE(counters.has("serve.client.retries"));
     }
 
     obs::counter("test.obs.report_snap").add(9);

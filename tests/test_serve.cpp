@@ -11,14 +11,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <pthread.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include "bp/factory.hpp"
@@ -27,6 +31,7 @@
 #include "faultsim/faultsim.hpp"
 #include "obs/metrics.hpp"
 #include "serve/client.hpp"
+#include "serve/fleet.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "tracestore/chunk_cache.hpp"
@@ -384,12 +389,13 @@ TEST(ServeProtocol, MalformedPayloadNeverCrashesDecoder)
     }
     // A reply whose row count claims more than the payload holds is
     // refused without allocating for the claimed count. The row count
-    // sits before the trailing trace id (u32 + u64 from the end).
+    // sits before the trailing trace id + retry-after hint (u32 count,
+    // then u64 + u32 of trailer, from the end).
     ServeReply reply;
     reply.type = MessageType::BranchStatsReply;
     std::vector<uint8_t> payload = encodeReplyPayload(reply);
     const uint32_t lying = 0x00FFFFFF;
-    std::memcpy(payload.data() + payload.size() - 12, &lying, 4);
+    std::memcpy(payload.data() + payload.size() - 16, &lying, 4);
     ServeReply out;
     const Status st =
         decodeReplyPayload(MessageType::BranchStatsReply,
@@ -413,9 +419,11 @@ TEST(ServeProtocol, ReplyCarriesTraceIdAndToleratesItsAbsence)
                     .ok());
     EXPECT_EQ(out.traceId, reply.traceId);
 
-    // ...and a pre-tracing peer that omits the trailer (v1 compat:
-    // payloads grow at the end) still decodes, with id 0 = unassigned.
-    payload.resize(payload.size() - sizeof(uint64_t));
+    // ...and a pre-tracing peer that omits the whole trailer (v1
+    // compat: payloads grow at the end) still decodes, with id 0 =
+    // unassigned and no retry-after hint.
+    payload.resize(payload.size() -
+                   (sizeof(uint64_t) + sizeof(uint32_t)));
     ServeReply legacy;
     ASSERT_TRUE(decodeReplyPayload(MessageType::PingReply,
                                    payload.data(), payload.size(),
@@ -423,6 +431,23 @@ TEST(ServeProtocol, ReplyCarriesTraceIdAndToleratesItsAbsence)
                     .ok());
     EXPECT_EQ(legacy.serverInfo, "info");
     EXPECT_EQ(legacy.traceId, 0u);
+    EXPECT_EQ(legacy.retryAfterMs, 0u);
+
+    // A traceId-era peer (trailer ends at the trace id) also decodes:
+    // the id is read, the missing hint defaults to 0.
+    ServeReply midEra;
+    midEra.type = MessageType::PingReply;
+    midEra.serverInfo = "info";
+    midEra.traceId = 42;
+    std::vector<uint8_t> midPayload = encodeReplyPayload(midEra);
+    midPayload.resize(midPayload.size() - sizeof(uint32_t));
+    ServeReply decoded;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::PingReply,
+                                   midPayload.data(),
+                                   midPayload.size(), &decoded)
+                    .ok());
+    EXPECT_EQ(decoded.traceId, 42u);
+    EXPECT_EQ(decoded.retryAfterMs, 0u);
 }
 
 // --- server behavior -------------------------------------------------
@@ -1044,6 +1069,578 @@ TEST_F(ServeTest, SlowRequestThresholdCountsCrossings)
 
     server->drain();   // settle the worker-side accounting
     EXPECT_GT(counterValue("serve.slow_requests"), slowBefore);
+}
+
+// --- health probe, retry policy, EINTR hardening ---------------------
+
+TEST(ServeProtocol, HealthReplyRoundTripsShardRows)
+{
+    ServeReply reply;
+    reply.type = MessageType::HealthReply;
+    ShardHealth a;
+    a.shard = 0;
+    a.state = ShardHealth::Ready;
+    a.pid = 4242;
+    a.restarts = 1;
+    a.deaths = 2;
+    ShardHealth b;
+    b.shard = 1;
+    b.state = ShardHealth::Degraded;
+    b.pid = 0;
+    b.restarts = 7;
+    b.deaths = 12;
+    reply.shards = {a, b};
+    reply.retryAfterMs = 350;
+
+    const std::vector<uint8_t> payload = encodeReplyPayload(reply);
+    ServeReply out;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::HealthReply,
+                                   payload.data(), payload.size(),
+                                   &out)
+                    .ok());
+    ASSERT_EQ(out.shards.size(), 2u);
+    EXPECT_EQ(out.shards[0].state, ShardHealth::Ready);
+    EXPECT_EQ(out.shards[0].pid, 4242u);
+    EXPECT_EQ(out.shards[1].state, ShardHealth::Degraded);
+    EXPECT_EQ(out.shards[1].deaths, 12u);
+    EXPECT_EQ(out.retryAfterMs, 350u);
+
+    // A row count claiming more rows than the payload holds is
+    // refused, not allocated for.
+    std::vector<uint8_t> lying = payload;
+    const uint32_t bogus = 0x00FFFFFF;
+    std::memcpy(lying.data(), &bogus, 4);
+    ServeReply refused;
+    EXPECT_EQ(decodeReplyPayload(MessageType::HealthReply,
+                                 lying.data(), lying.size(), &refused)
+                  .code(),
+              StatusCode::CorruptData);
+}
+
+TEST(ServeProtocol, UnavailableMapsAcrossTheWireBothWays)
+{
+    EXPECT_EQ(wireCodeFor(Status::unavailable("down")),
+              WireCode::Unavailable);
+    const Status st =
+        statusFromWire(WireCode::Unavailable, "shard 3 down");
+    EXPECT_EQ(st.code(), StatusCode::Unavailable);
+    EXPECT_NE(st.str().find("shard 3 down"), std::string::npos);
+}
+
+TEST(ServeClientPolicy, RetryGatesOnIdempotencyAndCode)
+{
+    // Every current request type is a pure read or content-addressed
+    // write, so all retry; the gate exists so a future mutating type
+    // is excluded by default.
+    for (const MessageType type :
+         {MessageType::Ping, MessageType::Simulate,
+          MessageType::BranchStats, MessageType::H2p,
+          MessageType::Materialize, MessageType::Stats,
+          MessageType::Health})
+        EXPECT_TRUE(isIdempotentRequest(type))
+            << messageTypeName(type);
+
+    EXPECT_TRUE(isRetryableCode(WireCode::Unavailable));
+    EXPECT_TRUE(isRetryableCode(WireCode::Busy));
+    EXPECT_TRUE(isRetryableCode(WireCode::ResourceExhausted));
+    EXPECT_FALSE(isRetryableCode(WireCode::Ok));
+    EXPECT_FALSE(isRetryableCode(WireCode::InvalidArgument));
+    EXPECT_FALSE(isRetryableCode(WireCode::IoError));
+    EXPECT_FALSE(isRetryableCode(WireCode::Internal));
+    EXPECT_FALSE(isRetryableCode(WireCode::CorruptData));
+}
+
+TEST_F(ServeTest, HealthProbeAnswersOneReadyRowSingleProcess)
+{
+    startServer();
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+    std::vector<ShardHealth> shards;
+    ASSERT_TRUE(client.health(&shards).ok());
+    ASSERT_EQ(shards.size(), 1u);
+    EXPECT_EQ(shards[0].shard, 0u);
+    EXPECT_EQ(shards[0].state, ShardHealth::Ready);
+    EXPECT_EQ(shards[0].pid, static_cast<uint64_t>(::getpid()));
+    EXPECT_EQ(shards[0].restarts, 0u);
+}
+
+namespace {
+
+/**
+ * A scripted one-connection server: answers each Ping with the next
+ * scripted wire code (Ok = a real PingReply, anything else = an Error
+ * frame carrying that code and a retry-after hint). After the script
+ * runs dry, every request gets Ok.
+ */
+class ScriptedServer
+{
+  public:
+    ScriptedServer(const std::string &path,
+                   std::vector<WireCode> script)
+        : socketPath(path), replies(std::move(script))
+    {
+        listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        struct sockaddr_un addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ::unlink(path.c_str());
+        EXPECT_EQ(::bind(listenFd,
+                         reinterpret_cast<struct sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        EXPECT_EQ(::listen(listenFd, 4), 0);
+        serverThread = std::thread([this] { serve(); });
+    }
+
+    ~ScriptedServer()
+    {
+        ::shutdown(listenFd, SHUT_RDWR);
+        ::close(listenFd);
+        serverThread.join();
+        ::unlink(socketPath.c_str());
+    }
+
+    int served() const { return servedCount.load(); }
+
+  private:
+    void
+    serve()
+    {
+        size_t next = 0;
+        for (;;) {
+            const int fd = ::accept(listenFd, nullptr, nullptr);
+            if (fd < 0)
+                return;
+            for (;;) {
+                uint8_t head[kFrameHeaderBytes];
+                if (!readExactFd(fd, head, sizeof(head), 2000).ok())
+                    break;
+                FrameHeader header;
+                if (!parseFrameHeader(head, sizeof(head), &header)
+                         .ok())
+                    break;
+                std::vector<uint8_t> payload(header.payloadLen);
+                if (header.payloadLen > 0 &&
+                    !readExactFd(fd, payload.data(), payload.size(),
+                                 2000)
+                         .ok())
+                    break;
+                servedCount.fetch_add(1);
+                const WireCode code = next < replies.size()
+                                          ? replies[next++]
+                                          : WireCode::Ok;
+                ServeReply reply;
+                if (code == WireCode::Ok) {
+                    reply.type = MessageType::PingReply;
+                    reply.serverInfo = "scripted";
+                } else {
+                    reply.type = MessageType::Error;
+                    reply.code = code;
+                    reply.message = "scripted failure";
+                    reply.retryAfterMs = 5;
+                }
+                std::vector<uint8_t> frame;
+                ASSERT_TRUE(encodeFrame(reply.type, header.requestId,
+                                        encodeReplyPayload(reply),
+                                        &frame)
+                                .ok());
+                if (!writeAllFd(fd, frame.data(), frame.size(), 2000)
+                         .ok())
+                    break;
+            }
+            ::close(fd);
+        }
+    }
+
+    std::string socketPath;
+    std::vector<WireCode> replies;
+    int listenFd = -1;
+    std::thread serverThread;
+    std::atomic<int> servedCount{0};
+};
+
+} // namespace
+
+TEST(ServeClientRetry, RetriesRetryableFailuresThenSucceeds)
+{
+    ScratchDir dir("retry_ok");
+    ScriptedServer server(dir.file("s.sock"),
+                          {WireCode::Unavailable, WireCode::Busy});
+
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(dir.file("s.sock")).ok());
+    RetryPolicy policy;
+    policy.maxAttempts = 5;
+    policy.baseBackoffMs = 1;
+    policy.maxBackoffMs = 10;
+    client.setRetryPolicy(policy);
+
+    ServeRequest request;
+    request.type = MessageType::Ping;
+    ServeReply reply;
+    ASSERT_TRUE(client.call(request, &reply).ok());
+    EXPECT_EQ(reply.code, WireCode::Ok);
+    EXPECT_EQ(reply.serverInfo, "scripted");
+    EXPECT_EQ(client.retriesObserved(), 2u);
+    EXPECT_EQ(client.gaveUpObserved(), 0u);
+    EXPECT_EQ(server.served(), 3);
+}
+
+TEST(ServeClientRetry, GivesUpAfterBudgetAndCountsIt)
+{
+    ScratchDir dir("retry_giveup");
+    ScriptedServer server(
+        dir.file("s.sock"),
+        std::vector<WireCode>(8, WireCode::Unavailable));
+
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(dir.file("s.sock")).ok());
+    RetryPolicy policy;
+    policy.maxAttempts = 3;
+    policy.baseBackoffMs = 1;
+    policy.maxBackoffMs = 10;
+    client.setRetryPolicy(policy);
+
+    ServeRequest request;
+    request.type = MessageType::Ping;
+    ServeReply reply;
+    ASSERT_TRUE(client.call(request, &reply).ok());
+    EXPECT_EQ(reply.code, WireCode::Unavailable);
+    EXPECT_EQ(client.retriesObserved(), 2u);   // 3 attempts total
+    EXPECT_EQ(client.gaveUpObserved(), 1u);
+    EXPECT_EQ(server.served(), 3);
+}
+
+TEST(ServeClientRetry, NonRetryableCodeIsNeverRetried)
+{
+    ScratchDir dir("retry_invalid");
+    ScriptedServer server(dir.file("s.sock"),
+                          {WireCode::InvalidArgument});
+
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(dir.file("s.sock")).ok());
+    RetryPolicy policy;
+    policy.maxAttempts = 5;
+    policy.baseBackoffMs = 1;
+    client.setRetryPolicy(policy);
+
+    ServeRequest request;
+    request.type = MessageType::Ping;
+    ServeReply reply;
+    ASSERT_TRUE(client.call(request, &reply).ok());
+    EXPECT_EQ(reply.code, WireCode::InvalidArgument);
+    EXPECT_EQ(client.retriesObserved(), 0u);
+    EXPECT_EQ(client.gaveUpObserved(), 0u);
+    EXPECT_EQ(server.served(), 1);
+}
+
+namespace {
+
+void
+sigusr1Noop(int)
+{
+    // Present only so SIGUSR1 interrupts blocking syscalls (no
+    // SA_RESTART) instead of killing the process.
+}
+
+} // namespace
+
+TEST(ServeEintr, SignalStormMidTransferDropsNoBytes)
+{
+    // Regression for the framed-socket EINTR audit: writeAllFd /
+    // readExactFd must neither drop nor double-count bytes when
+    // signals interrupt send/recv/poll mid-transfer. Before the
+    // audit, an EINTR from poll() was treated as a wedged peer.
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = sigusr1Noop;
+    sa.sa_flags = 0;   // deliberately NOT SA_RESTART
+    struct sigaction old;
+    ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+    constexpr size_t kBytes = 4 << 20;
+    std::vector<uint8_t> sent(kBytes);
+    for (size_t i = 0; i < kBytes; ++i)
+        sent[i] = static_cast<uint8_t>(i * 131 + 17);
+
+    std::atomic<bool> done{false};
+    std::thread writer([&] {
+        EXPECT_TRUE(
+            writeAllFd(fds[1], sent.data(), sent.size(), 10000).ok());
+    });
+    const pthread_t writerHandle = writer.native_handle();
+    const pthread_t readerHandle = pthread_self();
+    std::thread pummel([&] {
+        while (!done.load()) {
+            ::pthread_kill(writerHandle, SIGUSR1);
+            ::pthread_kill(readerHandle, SIGUSR1);
+            std::this_thread::sleep_for(
+                std::chrono::microseconds(200));
+        }
+    });
+
+    std::vector<uint8_t> got(kBytes);
+    const Status st = readExactFd(fds[0], got.data(), got.size());
+    done.store(true);
+    pummel.join();
+    writer.join();
+    ::close(fds[0]);
+    ::close(fds[1]);
+    ::sigaction(SIGUSR1, &old, nullptr);
+
+    ASSERT_TRUE(st.ok()) << st.str();
+    EXPECT_EQ(got, sent);   // bit-for-bit: nothing dropped or doubled
+}
+
+// --- fleet: sharding, supervision, breaker, drain --------------------
+
+TEST(FleetShard, MappingIsDeterministicAndInRange)
+{
+    const unsigned a = fleetShardFor("mcf_like", 0, kTraceLen, 4);
+    EXPECT_EQ(a, fleetShardFor("mcf_like", 0, kTraceLen, 4));
+    EXPECT_LT(a, 4u);
+    EXPECT_EQ(fleetShardFor("mcf_like", 0, kTraceLen, 1), 0u);
+
+    // The hash keys on the full trace-cache identity, and spreads
+    // distinct traces across shards rather than piling on one.
+    std::set<unsigned> hit;
+    for (uint32_t input = 0; input < 32; ++input)
+        hit.insert(fleetShardFor("mcf_like", input, kTraceLen, 4));
+    EXPECT_GT(hit.size(), 1u);
+}
+
+namespace {
+
+/** Supervisor + scratch corpus fixture for fleet tests. */
+class FleetTest : public ::testing::Test
+{
+  protected:
+    void
+    startFleet(unsigned workers, const std::string &faults = "",
+               unsigned breaker_deaths = 5,
+               uint64_t breaker_cooldown_ms = 60000)
+    {
+        scratch = std::make_unique<ScratchDir>(
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()
+                ->name());
+        FleetConfig config;
+        config.socketPath = scratch->file("f.sock");
+        config.workers = workers;
+        config.workerCommand = {BPNSP_SERVED_BIN,
+                                "--trace-cache=" +
+                                    scratch->file("cache"),
+                                "--threads=2", "--heartbeat-ms=50"};
+        if (!faults.empty())
+            config.workerCommand.push_back("--faults=" + faults);
+        config.heartbeatMs = 50;
+        config.backoffBaseMs = 50;
+        config.backoffCapMs = 200;
+        config.breakerDeaths = breaker_deaths;
+        config.breakerCooldownMs = breaker_cooldown_ms;
+        config.drainGraceMs = 2000;
+        fleet = std::make_unique<FleetSupervisor>(std::move(config));
+        ASSERT_TRUE(fleet->start().ok());
+    }
+
+    /** Wait until every shard reports the wanted state (or fail). */
+    bool
+    waitForShardState(uint32_t shard, uint8_t state,
+                      int timeout_ms = 15000)
+    {
+        for (int waited = 0; waited < timeout_ms; waited += 50) {
+            const auto statuses = fleet->shardStatuses();
+            if (shard < statuses.size() &&
+                statuses[shard].state == state)
+                return true;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(50));
+        }
+        return false;
+    }
+
+    void
+    TearDown() override
+    {
+        if (fleet != nullptr)
+            fleet->drain();
+        faultsim::reset();
+    }
+
+    std::unique_ptr<ScratchDir> scratch;
+    std::unique_ptr<FleetSupervisor> fleet;
+};
+
+} // namespace
+
+TEST_F(FleetTest, RoutesVerifiedRequestsAcrossWorkers)
+{
+    startFleet(2);
+    setTraceCacheDir(scratch->file("cache"));
+    const DirectResult expect = directRun("gshare");
+
+    ServeClient client;
+    ASSERT_TRUE(
+        client.connectUnix(fleet->config().socketPath).ok());
+    std::string info;
+    ASSERT_TRUE(client.ping(&info).ok());
+    EXPECT_NE(info.find("fleet workers=2"), std::string::npos);
+
+    ServeReply reply;
+    ASSERT_TRUE(client.call(simulateRequest("gshare"), &reply).ok());
+    ASSERT_EQ(reply.code, WireCode::Ok) << reply.message;
+    EXPECT_EQ(reply.condExecs, expect.condExecs);
+    EXPECT_EQ(reply.condMispreds, expect.condMispreds);
+    EXPECT_EQ(reply.accuracyBits, expect.accuracyBits);
+
+    std::vector<ShardHealth> shards;
+    ASSERT_TRUE(client.health(&shards).ok());
+    ASSERT_EQ(shards.size(), 2u);
+    for (const ShardHealth &row : shards) {
+        EXPECT_EQ(row.state, ShardHealth::Ready);
+        EXPECT_NE(row.pid, 0u);
+    }
+    setTraceCacheDir("");
+}
+
+TEST_F(FleetTest, KilledWorkerIsRespawnedAndRequestsRideItOut)
+{
+    startFleet(2);
+    const uint64_t deathsBefore =
+        counterValue("serve.fleet.worker_deaths");
+    const uint64_t respawnsBefore =
+        counterValue("serve.fleet.respawns");
+
+    ServeClient client;
+    ASSERT_TRUE(
+        client.connectUnix(fleet->config().socketPath).ok());
+    RetryPolicy policy;
+    policy.maxAttempts = 10;
+    policy.baseBackoffMs = 50;
+    policy.maxBackoffMs = 500;
+    client.setRetryPolicy(policy);
+
+    // Warm the owning worker (cold trace generation happens once),
+    // then SIGKILL it and immediately re-ask: the retry policy must
+    // ride out the UNAVAILABLE window until the respawn lands.
+    ServeReply first;
+    ASSERT_TRUE(client.call(simulateRequest("gshare"), &first).ok());
+    ASSERT_EQ(first.code, WireCode::Ok) << first.message;
+
+    const unsigned owner =
+        fleetShardFor("mcf_like", 0, kTraceLen, 2);
+    const auto before = fleet->shardStatuses();
+    ASSERT_GT(before[owner].pid, 0);
+    ASSERT_EQ(::kill(before[owner].pid, SIGKILL), 0);
+
+    ServeReply second;
+    ASSERT_TRUE(
+        client.call(simulateRequest("gshare"), &second).ok());
+    ASSERT_EQ(second.code, WireCode::Ok) << second.message;
+    EXPECT_EQ(second.condMispreds, first.condMispreds);
+    EXPECT_GT(client.retriesObserved(), 0u);
+    EXPECT_EQ(client.gaveUpObserved(), 0u);
+
+    ASSERT_TRUE(waitForShardState(owner, ShardHealth::Ready));
+    const auto after = fleet->shardStatuses();
+    EXPECT_GE(after[owner].deaths, 1u);
+    EXPECT_GE(after[owner].restarts, 1u);
+    EXPECT_NE(after[owner].pid, before[owner].pid);
+    EXPECT_GT(counterValue("serve.fleet.worker_deaths"),
+              deathsBefore);
+    EXPECT_GT(counterValue("serve.fleet.respawns"), respawnsBefore);
+}
+
+TEST_F(FleetTest, CrashLoopTripsBreakerAndDegradesOnlyThatShard)
+{
+    // serve.worker.crash.w0@1 kills shard 0's worker on its first
+    // heartbeat tick, every time: a crash loop. Two rapid deaths trip
+    // the breaker; the cooldown is long so the shard stays degraded
+    // for the rest of the test while shard 1 serves on.
+    const uint64_t tripsBefore =
+        counterValue("serve.fleet.breaker_trips");
+    startFleet(2, "serve.worker.crash.w0@1", /*breaker_deaths=*/2);
+    ASSERT_TRUE(waitForShardState(0, ShardHealth::Degraded));
+    EXPECT_GT(counterValue("serve.fleet.breaker_trips"),
+              tripsBefore);
+
+    const auto statuses = fleet->shardStatuses();
+    EXPECT_GE(statuses[0].deaths, 2u);
+    EXPECT_EQ(statuses[1].state, ShardHealth::Ready);
+
+    // A request owned by the degraded shard answers retryable
+    // UNAVAILABLE with a retry-after hint — it must not hang — while
+    // one owned by the healthy shard still succeeds.
+    uint32_t degradedInput = UINT32_MAX;
+    uint32_t healthyInput = UINT32_MAX;
+    for (uint32_t input = 0; input < 64; ++input) {
+        const unsigned shard =
+            fleetShardFor("mcf_like", input, kTraceLen, 2);
+        if (shard == 0 && degradedInput == UINT32_MAX)
+            degradedInput = input;
+        if (shard == 1 && healthyInput == UINT32_MAX)
+            healthyInput = input;
+    }
+    ASSERT_NE(degradedInput, UINT32_MAX);
+    ASSERT_NE(healthyInput, UINT32_MAX);
+
+    ServeClient client;
+    ASSERT_TRUE(
+        client.connectUnix(fleet->config().socketPath).ok());
+
+    ServeRequest degradedReq = simulateRequest("gshare");
+    degradedReq.inputIdx = degradedInput;
+    ServeReply degradedReply;
+    ASSERT_TRUE(client.call(degradedReq, &degradedReply).ok());
+    EXPECT_EQ(degradedReply.code, WireCode::Unavailable);
+    EXPECT_GT(degradedReply.retryAfterMs, 0u);
+
+    ServeRequest healthyReq = simulateRequest("gshare");
+    healthyReq.inputIdx = healthyInput;
+    ServeReply healthyReply;
+    ASSERT_TRUE(client.call(healthyReq, &healthyReply).ok());
+    EXPECT_EQ(healthyReply.code, WireCode::Ok)
+        << healthyReply.message;
+
+    std::vector<ShardHealth> shards;
+    ASSERT_TRUE(client.health(&shards).ok());
+    ASSERT_EQ(shards.size(), 2u);
+    EXPECT_EQ(shards[0].state, ShardHealth::Degraded);
+    EXPECT_EQ(shards[1].state, ShardHealth::Ready);
+}
+
+TEST_F(FleetTest, DrainWhileRespawnInFlightStopsEverything)
+{
+    startFleet(2);
+    const auto statuses = fleet->shardStatuses();
+    std::vector<int> pids;
+    for (const ShardStatus &s : statuses) {
+        ASSERT_GT(s.pid, 0);
+        pids.push_back(s.pid);
+    }
+
+    // Kill a worker and drain before the respawn backoff elapses: the
+    // pending respawn must be abandoned, not leaked.
+    ASSERT_EQ(::kill(pids[0], SIGKILL), 0);
+    fleet->drain();
+    EXPECT_FALSE(fleet->running());
+
+    // Every worker is gone (the killed one and its never-respawned
+    // replacement included) and the public socket is unlinked.
+    const auto drained = fleet->shardStatuses();
+    for (const ShardStatus &s : drained)
+        EXPECT_EQ(s.pid, 0);
+    EXPECT_FALSE(
+        std::filesystem::exists(fleet->config().socketPath));
+    for (unsigned i = 0; i < 2; ++i)
+        EXPECT_FALSE(std::filesystem::exists(
+            fleet->workerSocketPath(i)));
+    fleet.reset();   // already drained; TearDown's drain is a no-op
 }
 
 } // namespace

@@ -5,10 +5,25 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
+#include <chrono>
 #include <cmath>
+#include <csignal>
+#include <filesystem>
 #include <set>
+#include <thread>
 
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "bp/factory.hpp"
+#include "bp/sim.hpp"
+#include "core/runner.hpp"
 #include "util/bitops.hpp"
+#include "util/cancel.hpp"
+#include "util/signals.hpp"
+#include "workloads/suite.hpp"
 #include "util/folded_history.hpp"
 #include "util/histogram.hpp"
 #include "util/logging.hpp"
@@ -587,4 +602,104 @@ TEST(Logging, LevelGatesWarnAndInform)
     EXPECT_TRUE(out.empty()) << out;
 
     setLogLevel(saved);
+}
+
+// ----------------------------------------------------------- signals
+
+TEST(Signals, FirstSigtermDrainsSecondForceExits)
+{
+    // Fork so the handler installation and the signals stay out of
+    // the gtest process. First SIGTERM in drain mode only fires the
+    // cancel token; the second force-exits with 128+SIGTERM.
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        signals::installGracefulDrain();
+        ::raise(SIGTERM);
+        if (!globalCancelToken().cancelled())
+            ::_exit(90);   // first signal must fire the token
+        if (signals::firedCount() != 1 ||
+            signals::lastSignal() != SIGTERM)
+            ::_exit(91);
+        ::raise(SIGTERM);   // second signal: never returns
+        ::_exit(92);
+    }
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus));
+    EXPECT_EQ(WEXITSTATUS(wstatus), 128 + SIGTERM);
+}
+
+TEST(Signals, SigtermDuringColdTraceGenerationDrainsPromptly)
+{
+    // A supervisor's drain depends on cold trace generation honoring
+    // the cancel token: SIGTERM mid-generation must cut the run short
+    // (fewer records than asked) instead of blocking the drain until
+    // the trace completes.
+    const std::string dir =
+        std::string(::testing::TempDir()) + "bpnsp_sig_coldgen";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        signals::installGracefulDrain();
+        setTraceCacheDir(dir);
+        const Workload workload = findWorkload("mcf_like");
+        // Fresh instruction counts keep every iteration a cold
+        // generation; the loop ends only via the token.
+        uint64_t instructions = 4000000;
+        while (!globalCancelToken().cancelled()) {
+            auto bp = makePredictor("gshare");
+            PredictorSim sim(*bp, /*collect_per_branch=*/false);
+            const uint64_t got = runWorkloadTrace(
+                workload, 0, {&sim}, instructions);
+            if (globalCancelToken().cancelled() &&
+                got >= instructions)
+                ::_exit(93);   // cancelled yet ran to completion
+            ++instructions;
+        }
+        ::_exit(0);
+    }
+    // Let the child get into a generation, then ask it to drain.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    ASSERT_EQ(::kill(pid, SIGTERM), 0);
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus));
+    EXPECT_EQ(WEXITSTATUS(wstatus), 0);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Signals, ChildNotifyPipeWakesOnChildDeath)
+{
+    // The SIGCHLD self-pipe is how the fleet supervisor learns of
+    // worker deaths promptly. Repeat calls return the same fd.
+    const int fd = signals::installChildNotifyPipe();
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(signals::installChildNotifyPipe(), fd);
+
+    // Drain anything stale, then fork a child that dies immediately.
+    uint8_t sink[64];
+    while (::read(fd, sink, sizeof(sink)) > 0) {
+    }
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0)
+        ::_exit(0);
+
+    struct pollfd pfd = {fd, POLLIN, 0};
+    int rc = 0;
+    do {
+        rc = ::poll(&pfd, 1, 5000);
+    } while (rc < 0 && errno == EINTR);
+    ASSERT_EQ(rc, 1);
+    EXPECT_NE(pfd.revents & POLLIN, 0);
+    EXPECT_GT(::read(fd, sink, sizeof(sink)), 0);
+
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(pid, &wstatus, 0), pid);
+    ASSERT_TRUE(WIFEXITED(wstatus));
+    EXPECT_EQ(WEXITSTATUS(wstatus), 0);
 }
