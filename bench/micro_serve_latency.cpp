@@ -31,6 +31,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -231,6 +232,121 @@ main(int argc, char **argv)
     }
 
     server.drain();
+
+    // Overload stage: a fresh server with the cost-budget admission
+    // engaged, driven open-loop at 1x/4x/10x of its measured
+    // closed-loop capacity. Offered load does not slow down when the
+    // server does, so past 1x the queue is structurally oversubscribed
+    // and the numbers that matter are the per-class tails (does the
+    // interactive class stay flat while batch degrades?) and the shed
+    // rate (how much the admission layer refuses instead of queueing).
+    {
+        const std::string overloadSocket =
+            "/tmp/bpnsp-serve-bench-overload.sock";
+        // Each level (and the probe) gets a fresh server so the
+        // online cost model starts from its priors every time —
+        // otherwise later levels inherit a better-calibrated model
+        // and the levels stop being comparable.
+        auto makeServer = [&] {
+            ServeConfig oc;
+            oc.socketPath = overloadSocket;
+            oc.workers =
+                static_cast<unsigned>(opts.getInt("workers"));
+            oc.queueDepth = 256;
+            oc.maxBatch =
+                static_cast<unsigned>(opts.getInt("batch"));
+            oc.traceCacheDir = cacheDir;
+            oc.maxInflightCostMs = 200;
+            auto server =
+                std::make_unique<ServeServer>(std::move(oc));
+            if (const Status st = server->start(); !st.ok())
+                fatal("cannot start overload server: ", st.str());
+            return server;
+        };
+
+        // Request count scales with the offered-load multiplier so
+        // every level spans a comparable wall-clock window (a fixed
+        // count at 10x would finish sending in a blink and sample
+        // almost nothing).
+        auto mixedLevel = [&](double hzPerClient, unsigned mult) {
+            auto server = makeServer();
+            LoadGenConfig cfg;
+            cfg.socketPath = overloadSocket;
+            cfg.clients = 4;
+            cfg.requestsPerClient =
+                static_cast<unsigned>(opts.getInt("requests")) * mult;
+            cfg.workload = w.name;
+            cfg.instructions = instructions;
+            cfg.sliceRecords = static_cast<uint64_t>(
+                static_cast<double>(opts.getInt("slice")) * scale);
+            cfg.seed = 7;
+            cfg.openLoopHz = hzPerClient;
+            cfg.interactiveFraction = 0.5;
+            cfg.deadlineMs = 2000;
+            const LoadGenResult r = runLoadGen(cfg);
+            server->drain();
+            return r;
+        };
+
+        // Closed-loop first (openLoopHz = 0): the *served* rate it
+        // sustains — Ok replies over the wall clock, not attempts,
+        // since instantly-shed requests would inflate the number —
+        // is the capacity the open-loop levels are scaled to.
+        const LoadGenResult cap = mixedLevel(0.0, 1);
+        const double capacityHz =
+            cap.elapsedSeconds > 0.0
+                ? static_cast<double>(cap.ok) / cap.elapsedSeconds
+                : 0.0;
+        if (capacityHz <= 0.0)
+            fatal("overload capacity probe served nothing");
+
+        TextTable overloadTable(
+            "Overload: offered load vs per-class tails (" + w.name +
+            ")");
+        overloadTable.setHeader({"offered", "ok", "shed", "expired",
+                                 "int p50", "int p99", "batch p99",
+                                 "shed rate"});
+        for (const unsigned mult : {1u, 4u, 10u}) {
+            const LoadGenResult r =
+                mixedLevel(capacityHz * mult / 4.0, mult);
+            const double shedRate =
+                r.attempted != 0 ? static_cast<double>(r.rejected) /
+                                       static_cast<double>(r.attempted)
+                                 : 0.0;
+
+            overloadTable.beginRow();
+            overloadTable.cell(std::to_string(mult) + "x");
+            overloadTable.cell(r.ok);
+            overloadTable.cell(r.rejected);
+            overloadTable.cell(r.expired);
+            overloadTable.cell(r.interactiveP50Ms, 2);
+            overloadTable.cell(r.interactiveP99Ms, 2);
+            overloadTable.cell(r.batchP99Ms, 2);
+            overloadTable.cell(shedRate, 4);
+
+            const std::string prefix =
+                "bench.serve_latency.overload.x" +
+                std::to_string(mult) + ".";
+            obs::gauge(prefix + "interactive_p50_ms")
+                .set(r.interactiveP50Ms);
+            obs::gauge(prefix + "interactive_p99_ms")
+                .set(r.interactiveP99Ms);
+            obs::gauge(prefix + "batch_p99_ms").set(r.batchP99Ms);
+            obs::gauge(prefix + "shed_rate").set(shedRate);
+            obs::gauge(prefix + "ok").set(static_cast<double>(r.ok));
+            obs::gauge(prefix + "expired")
+                .set(static_cast<double>(r.expired));
+            if (r.mismatches != 0)
+                warn("overload level ", mult, "x: ", r.mismatches,
+                     " mismatch(es)");
+        }
+        std::printf("\ncapacity probe: %.0f req/s closed-loop\n",
+                    capacityHz);
+        obs::gauge("bench.serve_latency.overload.capacity_req_per_sec")
+            .set(capacityHz);
+        std::printf("\n");
+        emit(overloadTable, opts.getFlag("csv"));
+    }
 
 #ifdef BPNSP_SERVED_BIN
     // Fleet-scale sweep: a real supervised multi-process fleet on the

@@ -31,7 +31,11 @@ a subset of serve.requests, and — from schema_rev 7 — the
 fleet-supervision / client-retry counters
 (serve.fleet.{worker_deaths,respawns,breaker_trips},
 serve.client.{retries,gave_up}) with their invariant: respawns never
-exceed worker deaths, since a respawn only ever answers a death; the
+exceed worker deaths, since a respawn only ever answers a death, and —
+from schema_rev 8 — the overload counters
+(serve.{shed,expired,hedges,hedge_wins}) with their invariants:
+hedge_wins never exceeds hedges, and shed + accepted never exceeds
+requests (a shed request is never also handed to a worker); the
 optional "snapshots" time-series
 section, when present, must be shaped like the sampler wrote it
 (period_ms, total, and a samples array of {t_s, counters, gauges,
@@ -113,7 +117,16 @@ REQUIRED_COUNTERS_REV7 = (
     "serve.client.retries",
     "serve.client.gave_up",
 )
-MAX_KNOWN_SCHEMA_REV = 7
+# Added in schema_rev 8: the overload contract. Every report proves
+# how the run behaved past saturation — fair-share sheds, deadline
+# expiries swept before execution, and hedged requests.
+REQUIRED_COUNTERS_REV8 = (
+    "serve.shed",
+    "serve.expired",
+    "serve.hedges",
+    "serve.hedge_wins",
+)
+MAX_KNOWN_SCHEMA_REV = 8
 
 
 def check(path):
@@ -170,6 +183,8 @@ def check(path):
         required = required + REQUIRED_COUNTERS_REV6
     if rev >= 7:
         required = required + REQUIRED_COUNTERS_REV7
+    if rev >= 8:
+        required = required + REQUIRED_COUNTERS_REV8
     for name in required:
         if name not in counters:
             raise ValueError(f"missing counter {name}")
@@ -260,6 +275,24 @@ def check(path):
                 f"fleet accounting broken: respawns = "
                 f"{counters['serve.fleet.respawns']} > worker_deaths = "
                 f"{counters['serve.fleet.worker_deaths']}"
+            )
+
+    if rev >= 8:
+        # Overload bookkeeping: a hedge win is one of the hedges, and
+        # a shed request was rejected, never also handed to a worker.
+        if counters["serve.hedge_wins"] > counters["serve.hedges"]:
+            raise ValueError(
+                f"hedge accounting broken: hedge_wins = "
+                f"{counters['serve.hedge_wins']} > hedges = "
+                f"{counters['serve.hedges']}"
+            )
+        if counters["serve.shed"] + counters["serve.accepted"] > counters[
+            "serve.requests"
+        ]:
+            raise ValueError(
+                f"shed accounting broken: shed + accepted = "
+                f"{counters['serve.shed'] + counters['serve.accepted']} > "
+                f"requests = {counters['serve.requests']}"
             )
 
     for section in ("gauges", "histograms"):

@@ -275,7 +275,17 @@ renderRunReport()
           // death.
           "serve.fleet.worker_deaths", "serve.fleet.respawns",
           "serve.fleet.breaker_trips", "serve.client.retries",
-          "serve.client.gave_up"}) {
+          "serve.client.gave_up",
+          // Overload counters (schema_rev 8): every report proves how
+          // the run behaved past saturation — fair-share sheds,
+          // deadline expiries swept before execution, and hedged
+          // requests (wins = the duplicate answered first).
+          // Invariants checked downstream: serve.hedge_wins never
+          // exceeds serve.hedges, and serve.shed + serve.accepted
+          // never exceeds serve.requests (a shed request is never
+          // also handed to a worker).
+          "serve.shed", "serve.expired", "serve.hedges",
+          "serve.hedge_wins"}) {
         reg.counter(name);
     }
 
@@ -285,12 +295,13 @@ renderRunReport()
     // synthesis contract, rev 6 the tracing/introspection contract
     // plus the optional "snapshots" time-series section and exact
     // histogram quantiles (p999), rev 7 adds the fleet-supervision /
-    // client-retry contract above — nothing is ever renamed, so v1
-    // consumers keep parsing and rev-aware consumers know the new
-    // keys are guaranteed present.
+    // client-retry contract, rev 8 the overload contract above
+    // (shed / expired / hedges / hedge_wins) — nothing is ever
+    // renamed, so v1 consumers keep parsing and rev-aware consumers
+    // know the new keys are guaranteed present.
     std::ostringstream oss;
     oss << "{\n  \"schema\": \"bpnsp-run-report-v1\",\n"
-        << "  \"schema_rev\": 7,\n  \"run\": {\n";
+        << "  \"schema_rev\": 8,\n  \"run\": {\n";
     for (const auto &[key, value] : reg.runFields())
         oss << "    " << quoted(key) << ": " << quoted(value) << ",\n";
     oss << "    \"git\": " << quoted(gitDescribe()) << ",\n"

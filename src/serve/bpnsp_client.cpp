@@ -91,6 +91,7 @@ runOne(const OptionParser &opts, const std::string &op)
         return 1;
     }
     client.setRetryPolicy(retryPolicyFromOptions(opts));
+    client.setHedgeMs(static_cast<uint64_t>(opts.getInt("hedge-ms")));
 
     if (op == "health") {
         std::vector<ShardHealth> shards;
@@ -103,10 +104,12 @@ runOne(const OptionParser &opts, const std::string &op)
         bool allReady = true;
         for (const ShardHealth &row : shards) {
             std::printf("  shard %u: %-10s pid=%llu restarts=%u "
-                        "deaths=%u\n",
+                        "deaths=%u queue=%u queued_cost_ms=%llu\n",
                         row.shard, shardStateName(row.state),
                         static_cast<unsigned long long>(row.pid),
-                        row.restarts, row.deaths);
+                        row.restarts, row.deaths, row.queueDepth,
+                        static_cast<unsigned long long>(
+                            row.queuedCostMs));
             if (row.state != ShardHealth::Ready)
                 allReady = false;
         }
@@ -384,6 +387,11 @@ runLoad(const OptionParser &opts)
     cfg.seed = static_cast<uint64_t>(opts.getInt("seed"));
     cfg.verify = opts.getFlag("verify");
     cfg.retry = retryPolicyFromOptions(opts);
+    cfg.openLoopHz = opts.getDouble("open-loop-hz");
+    cfg.interactiveFraction = opts.getDouble("interactive-frac");
+    cfg.deadlineMs =
+        static_cast<uint32_t>(opts.getInt("deadline-ms"));
+    cfg.hedgeMs = static_cast<uint64_t>(opts.getInt("hedge-ms"));
 
     const LoadGenResult result = runLoadGen(cfg);
     std::printf(
@@ -404,6 +412,21 @@ runLoad(const OptionParser &opts)
         static_cast<unsigned long long>(result.gaveUp),
         result.firstTryFraction(), result.elapsedSeconds,
         result.requestsPerSecond(), result.p50Ms, result.p99Ms);
+    // Machine-parsable overload line (one key=value row the soak
+    // script greps): per-class tails plus the shed/expire/hedge story.
+    std::printf(
+        "loadgen-overload: interactive_p50_ms=%.3f "
+        "interactive_p99_ms=%.3f batch_p50_ms=%.3f batch_p99_ms=%.3f "
+        "expired=%llu hedges=%llu hedge_wins=%llu rejected=%llu "
+        "ok=%llu mismatches=%llu\n",
+        result.interactiveP50Ms, result.interactiveP99Ms,
+        result.batchP50Ms, result.batchP99Ms,
+        static_cast<unsigned long long>(result.expired),
+        static_cast<unsigned long long>(result.hedges),
+        static_cast<unsigned long long>(result.hedgeWins),
+        static_cast<unsigned long long>(result.rejected),
+        static_cast<unsigned long long>(result.ok),
+        static_cast<unsigned long long>(result.mismatches));
 
     if (result.mismatches != 0)
         return 1;
@@ -443,8 +466,18 @@ main(int argc, char **argv)
     opts.addInt("watch-ms", 1000, "stats: --watch poll period");
     opts.addFlag("raw", "stats: print the JSON document verbatim");
     opts.addInt("deadline-ms", 0, "per-request deadline (0 = none)");
+    opts.addInt("hedge-ms", 0,
+                "hedge idempotent requests on a second connection "
+                "after N ms / the observed p95 (0 = off)");
     opts.addInt("clients", 4, "loadgen: concurrent clients");
     opts.addInt("requests", 32, "loadgen: requests per client");
+    opts.addDouble("open-loop-hz", 0.0,
+                   "loadgen: per-client open-loop send rate in req/s "
+                   "(0 = closed loop); offered load does not slow "
+                   "down when the server does");
+    opts.addDouble("interactive-frac", 0.0,
+                   "loadgen: fraction of requests sent as interactive "
+                   "BranchStats reads");
     opts.addDouble("kill-prob", 0.0,
                    "loadgen: P(vanish before reading the reply)");
     opts.addInt("seed", 1, "loadgen: randomization seed");

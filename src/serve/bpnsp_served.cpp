@@ -145,6 +145,21 @@ main(int argc, char **argv)
     opts.addInt("queue-depth", 64,
                 "admission queue bound; beyond it requests are "
                 "rejected with RESOURCE_EXHAUSTED");
+    opts.addInt("max-inflight-cost", 0,
+                "cost-aware admission bound: max estimated queued + "
+                "in-flight work in ms of predicted execute time "
+                "(0 = count-only admission)");
+    opts.addInt("client-weight", 1,
+                "fair-share quantum weight per client in the "
+                "deficit-round-robin scheduler");
+    opts.addString("shed-policy", "heaviest",
+                   "overflow victim selection: 'heaviest' sheds the "
+                   "newest work of the heaviest client; 'tail' always "
+                   "rejects the arriving request");
+    opts.addInt("hedge-ms", 0,
+                "fleet router: duplicate an idempotent request to the "
+                "next shard when the owning worker has not replied "
+                "after N ms (0 = off)");
     opts.addInt("batch", 8,
                 "max same-slice Simulate requests per replay pass");
     opts.addString("trace-cache", "",
@@ -236,6 +251,7 @@ main(int argc, char **argv)
             static_cast<uint64_t>(opts.getInt("breaker-cooldown-ms"));
         fleet.drainGraceMs =
             static_cast<uint64_t>(opts.getInt("drain-grace-ms"));
+        fleet.hedgeMs = static_cast<uint64_t>(opts.getInt("hedge-ms"));
 
         // Workers are fresh execs of this very binary; pass through
         // every per-process serving knob. The supervisor keeps
@@ -253,6 +269,11 @@ main(int argc, char **argv)
             "--max-open-readers=" +
                 std::to_string(opts.getInt("max-open-readers")),
             "--slow-ms=" + std::to_string(opts.getInt("slow-ms")),
+            "--max-inflight-cost=" +
+                std::to_string(opts.getInt("max-inflight-cost")),
+            "--client-weight=" +
+                std::to_string(opts.getInt("client-weight")),
+            "--shed-policy=" + opts.getString("shed-policy"),
         };
         if (!opts.getString("faults").empty())
             fleet.workerCommand.push_back(
@@ -300,6 +321,11 @@ main(int argc, char **argv)
     config.maxOpenReaders =
         static_cast<size_t>(opts.getInt("max-open-readers"));
     config.slowMs = static_cast<uint32_t>(opts.getInt("slow-ms"));
+    config.maxInflightCostMs =
+        static_cast<uint64_t>(opts.getInt("max-inflight-cost"));
+    config.clientWeight =
+        static_cast<unsigned>(opts.getInt("client-weight"));
+    config.shedPolicy = opts.getString("shed-policy");
 
     // Continuous span capture for a long-lived daemon: --trace-dir
     // rotates bounded exports (newest N kept) instead of the one-shot

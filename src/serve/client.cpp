@@ -1,6 +1,7 @@
 #include "serve/client.hpp"
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cmath>
@@ -8,6 +9,7 @@
 #include <thread>
 
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -16,6 +18,7 @@
 #include "bp/sim.hpp"
 #include "core/runner.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tracestore/cache.hpp"
 #include "tracestore/store.hpp"
 #include "util/rng.hpp"
@@ -38,6 +41,10 @@ isIdempotentRequest(MessageType type)
       case MessageType::Materialize:
         // Content-addressed: generating the same trace twice publishes
         // the same digest to the same path.
+        return true;
+      case MessageType::Cancel:
+        // Best-effort by contract: cancelling an already-finished (or
+        // already-cancelled) request is a no-op with cancelFound = 0.
         return true;
       default:
         return false;
@@ -152,8 +159,9 @@ ServeClient::setRetryPolicy(const RetryPolicy &p)
 }
 
 Status
-ServeClient::sendFrame(MessageType type, uint64_t request_id,
-                       const std::vector<uint8_t> &payload)
+ServeClient::sendFrameFd(int dst_fd, MessageType type,
+                         uint64_t request_id,
+                         const std::vector<uint8_t> &payload)
 {
     std::vector<uint8_t> frame;
     const Status st = encodeFrame(type, request_id, payload, &frame);
@@ -161,14 +169,22 @@ ServeClient::sendFrame(MessageType type, uint64_t request_id,
         return st;
     // Shared EINTR-audited write loop (protocol.hpp): partial sends
     // resume, signals restart, bytes are never dropped or recounted.
-    return writeAllFd(fd, frame.data(), frame.size());
+    return writeAllFd(dst_fd, frame.data(), frame.size());
 }
 
 Status
-ServeClient::recvReply(uint64_t expect_id, ServeReply *reply)
+ServeClient::sendFrame(MessageType type, uint64_t request_id,
+                       const std::vector<uint8_t> &payload)
+{
+    return sendFrameFd(fd, type, request_id, payload);
+}
+
+Status
+ServeClient::recvReplyFd(int src_fd, uint64_t expect_id,
+                         ServeReply *reply)
 {
     uint8_t headerBytes[kFrameHeaderBytes];
-    Status st = readExactFd(fd, headerBytes, sizeof(headerBytes));
+    Status st = readExactFd(src_fd, headerBytes, sizeof(headerBytes));
     if (!st.ok())
         return st;
     FrameHeader header;
@@ -177,7 +193,7 @@ ServeClient::recvReply(uint64_t expect_id, ServeReply *reply)
         return st;
     std::vector<uint8_t> payload(header.payloadLen);
     if (header.payloadLen > 0) {
-        st = readExactFd(fd, payload.data(), payload.size());
+        st = readExactFd(src_fd, payload.data(), payload.size());
         if (!st.ok())
             return st;
     }
@@ -190,6 +206,97 @@ ServeClient::recvReply(uint64_t expect_id, ServeReply *reply)
             " does not match request id " + std::to_string(expect_id));
     return decodeReplyPayload(static_cast<MessageType>(header.type),
                               payload.data(), payload.size(), reply);
+}
+
+Status
+ServeClient::recvReply(uint64_t expect_id, ServeReply *reply)
+{
+    return recvReplyFd(fd, expect_id, reply);
+}
+
+int
+ServeClient::openEndpointFd(Status *status)
+{
+    int nfd = -1;
+    if (endpoint == Endpoint::Unix) {
+        struct sockaddr_un addr;
+        if (endpointPath.size() >= sizeof(addr.sun_path)) {
+            *status = Status::invalidArgument("socket path too long: " +
+                                              endpointPath);
+            return -1;
+        }
+        nfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (nfd < 0) {
+            *status = Status::ioError(std::string("socket(): ") +
+                                      std::strerror(errno));
+            return -1;
+        }
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, endpointPath.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        if (::connect(nfd, reinterpret_cast<struct sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            *status = Status::ioError("connect(" + endpointPath +
+                                      "): " + std::strerror(errno));
+            ::close(nfd);
+            return -1;
+        }
+    } else if (endpoint == Endpoint::Tcp) {
+        nfd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (nfd < 0) {
+            *status = Status::ioError(std::string("socket(): ") +
+                                      std::strerror(errno));
+            return -1;
+        }
+        struct sockaddr_in addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(static_cast<uint16_t>(endpointPort));
+        if (::connect(nfd, reinterpret_cast<struct sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            *status = Status::ioError(
+                "connect(127.0.0.1:" + std::to_string(endpointPort) +
+                "): " + std::strerror(errno));
+            ::close(nfd);
+            return -1;
+        }
+    } else {
+        *status = Status::invalidArgument("client was never connected");
+        return -1;
+    }
+    *status = Status();
+    return nfd;
+}
+
+uint64_t
+ServeClient::hedgeDelayMs() const
+{
+    // Until the reservoir has a meaningful sample the configured floor
+    // stands in for the p95; afterwards the larger of the two governs,
+    // so hedging stays rare (~5% of calls) by construction.
+    if (recentMs.size() < 20)
+        return hedgeMs;
+    std::vector<double> sorted(recentMs);
+    std::sort(sorted.begin(), sorted.end());
+    const size_t idx =
+        static_cast<size_t>(0.95 * static_cast<double>(sorted.size() - 1));
+    const double p95 = sorted[idx];
+    return std::max<uint64_t>(
+        hedgeMs, static_cast<uint64_t>(std::ceil(p95)));
+}
+
+void
+ServeClient::recordLatencyMs(double ms)
+{
+    constexpr size_t kReservoir = 64;
+    if (recentMs.size() < kReservoir) {
+        recentMs.push_back(ms);
+        return;
+    }
+    recentMs[recentNext] = ms;
+    recentNext = (recentNext + 1) % kReservoir;
 }
 
 Status
@@ -213,6 +320,174 @@ ServeClient::callOnce(const ServeRequest &request, ServeReply *reply)
         reply->code = reply->code == WireCode::Ok ? WireCode::Internal
                                                   : reply->code;
     return st;
+}
+
+Status
+ServeClient::callHedged(const ServeRequest &request, ServeReply *reply)
+{
+    static obs::Counter &hedgesCounter = obs::counter("serve.hedges");
+    static obs::Counter &hedgeWinsCounter =
+        obs::counter("serve.hedge_wins");
+
+    if (fd < 0)
+        return Status::invalidArgument("client is not connected");
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t primaryId = nextRequestId++;
+    Status st = sendFrameFd(fd, request.type, primaryId,
+                            encodeRequestPayload(request));
+    if (!st.ok()) {
+        close();   // a half-sent frame desynchronizes the stream
+        return st;
+    }
+
+    const auto finish = [&](Status result) {
+        if (result.ok() && reply->type == MessageType::Error)
+            reply->code = reply->code == WireCode::Ok
+                              ? WireCode::Internal
+                              : reply->code;
+        return result;
+    };
+
+    // Give the primary its hedge-delay budget before spending a second
+    // connection on it.
+    const uint64_t delayMs = hedgeDelayMs();
+    struct pollfd one = {fd, POLLIN, 0};
+    int rc;
+    do {
+        rc = ::poll(&one, 1,
+                    static_cast<int>(std::min<uint64_t>(delayMs,
+                                                        3600 * 1000)));
+    } while (rc < 0 && errno == EINTR);
+    if (rc < 0) {
+        close();
+        return Status::ioError(std::string("poll(): ") +
+                               std::strerror(errno));
+    }
+    if (rc > 0) {
+        st = recvReplyFd(fd, primaryId, reply);
+        if (!st.ok()) {
+            close();
+            return st;
+        }
+        // Only un-hedged completions feed the p95 estimate: hedged
+        // ones are right-censored at the delay and would drag the
+        // estimate down into a hedge-everything feedback loop.
+        recordLatencyMs(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+        return finish(st);
+    }
+
+    // The primary is past its p95 — issue the hedge on a fresh
+    // connection. If the second connection cannot even be opened or
+    // written, fall back to blocking on the primary: hedging is an
+    // optimization, never a new failure mode.
+    Status hedgeSt;
+    const int hedgeFd = openEndpointFd(&hedgeSt);
+    uint64_t hedgeId = 0;
+    bool hedged = false;
+    if (hedgeFd >= 0) {
+        hedgeId = nextRequestId++;
+        hedgeSt = sendFrameFd(hedgeFd, request.type, hedgeId,
+                              encodeRequestPayload(request));
+        hedged = hedgeSt.ok();
+        if (!hedged)
+            ::close(hedgeFd);
+    }
+    if (!hedged) {
+        st = recvReplyFd(fd, primaryId, reply);
+        if (!st.ok())
+            close();
+        return finish(st);
+    }
+    hedgesCounter.inc();
+    ++hedgesTally;
+    const uint64_t hedgeSentNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+
+    // Race the two legs; the first readable connection that yields a
+    // well-formed reply wins. A leg whose stream breaks is closed and
+    // the other leg becomes the only hope.
+    bool primaryAlive = true;
+    bool hedgeAlive = true;
+    bool hedgeWon = false;
+    for (;;) {
+        struct pollfd legs[2];
+        nfds_t n = 0;
+        if (primaryAlive)
+            legs[n++] = {fd, POLLIN, 0};
+        if (hedgeAlive)
+            legs[n++] = {hedgeFd, POLLIN, 0};
+        do {
+            rc = ::poll(legs, n, -1);
+        } while (rc < 0 && errno == EINTR);
+        if (rc < 0) {
+            st = Status::ioError(std::string("poll(): ") +
+                                 std::strerror(errno));
+            break;
+        }
+        const bool tryPrimary =
+            primaryAlive && legs[0].fd == fd && legs[0].revents != 0;
+        const bool readHedge = !tryPrimary;
+        st = recvReplyFd(readHedge ? hedgeFd : fd,
+                         readHedge ? hedgeId : primaryId, reply);
+        if (st.ok()) {
+            hedgeWon = readHedge;
+            break;
+        }
+        if (readHedge) {
+            ::close(hedgeFd);
+            hedgeAlive = false;
+        } else {
+            close();
+            primaryAlive = false;
+        }
+        if (!primaryAlive && !hedgeAlive)
+            break;   // both streams broke; report the last Status
+    }
+    if (!primaryAlive && !hedgeAlive)
+        return st;
+    if (!st.ok()) {
+        // poll() itself failed: tear down whatever is still open.
+        if (hedgeAlive)
+            ::close(hedgeFd);
+        close();
+        return st;
+    }
+
+    // Tell the loser's server to stop working on the duplicate before
+    // closing its connection — the whole point of the Cancel message.
+    if (hedgeWon) {
+        hedgeWinsCounter.inc();
+        ++hedgeWinsTally;
+        if (primaryAlive) {
+            ServeRequest cancel;
+            cancel.type = MessageType::Cancel;
+            cancel.cancelTargetId = primaryId;
+            sendFrameFd(fd, MessageType::Cancel, nextRequestId++,
+                        encodeRequestPayload(cancel));
+            close();
+        }
+        fd = hedgeFd;   // adopt the winning connection
+    } else if (hedgeAlive) {
+        ServeRequest cancel;
+        cancel.type = MessageType::Cancel;
+        cancel.cancelTargetId = hedgeId;
+        sendFrameFd(hedgeFd, MessageType::Cancel, nextRequestId++,
+                    encodeRequestPayload(cancel));
+        ::close(hedgeFd);
+    }
+    const uint64_t winNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    obs::emitSpan(hedgeWon ? "serve.client.hedge_win"
+                           : "serve.client.hedge_lose",
+                  reply->traceId, hedgeSentNs, winNs - hedgeSentNs);
+    return finish(st);
 }
 
 namespace {
@@ -244,7 +519,9 @@ ServeClient::call(const ServeRequest &request, ServeReply *reply)
         if (fd < 0 && endpoint != Endpoint::None)
             st = reconnect();   // a respawned worker = a fresh socket
         if (st.ok())
-            st = callOnce(request, reply);
+            st = hedgeMs != 0 && isIdempotentRequest(request.type)
+                     ? callHedged(request, reply)
+                     : callOnce(request, reply);
 
         // Classify the outcome. A transport failure is retryable for
         // idempotent requests: the reply (if any) was never seen, and
@@ -266,6 +543,19 @@ ServeClient::call(const ServeRequest &request, ServeReply *reply)
                 isIdempotentRequest(request.type)) {
                 gaveUpCounter.inc();
                 ++gaveUpTally;
+                // Break the give-up down by terminal code so a soak
+                // can tell shed (resource_exhausted) from corrupt
+                // (corrupt_data) from timeout (deadline_exceeded). A
+                // transport-level Status maps through the same wire
+                // code table the server would have used.
+                const WireCode terminal =
+                    st.ok() ? reply->code : wireCodeFor(st);
+                std::string name = "serve.client.gave_up.";
+                for (const char *p = wireCodeName(terminal); *p != '\0';
+                     ++p)
+                    name += static_cast<char>(
+                        std::tolower(static_cast<unsigned char>(*p)));
+                obs::counter(name).inc();
             }
             return st;
         }
@@ -364,7 +654,12 @@ struct ClientTally
     uint64_t retried = 0;
     uint64_t retries = 0;
     uint64_t gaveUp = 0;
+    uint64_t expired = 0;
+    uint64_t hedges = 0;
+    uint64_t hedgeWins = 0;
     std::vector<double> latenciesMs;
+    std::vector<double> interactiveMs;   ///< BranchStats Ok replies
+    std::vector<double> batchMs;         ///< everything else Ok
 };
 
 /**
@@ -405,8 +700,23 @@ clientLoop(const LoadGenConfig &cfg, unsigned index)
     RetryPolicy retry = cfg.retry;
     retry.seed = cfg.retry.seed + index;   // decorrelate the jitter
     client.setRetryPolicy(retry);
+    client.setHedgeMs(cfg.hedgeMs);
 
+    const auto loopStart = std::chrono::steady_clock::now();
     for (unsigned i = 0; i < cfg.requestsPerClient; ++i) {
+        if (cfg.openLoopHz > 0.0) {
+            // Open-loop pacing: request i is *due* at start + i/Hz.
+            // Sleep only when ahead of schedule; when the server is
+            // slow we are behind and send immediately — the arrival
+            // process never slows down, the queue grows. That is what
+            // makes a 10x oversubscription test honest.
+            const auto due =
+                loopStart +
+                std::chrono::nanoseconds(static_cast<uint64_t>(
+                    1e9 * static_cast<double>(i) / cfg.openLoopHz));
+            if (due > std::chrono::steady_clock::now())
+                std::this_thread::sleep_until(due);
+        }
         if (!client.connected()) {
             if (!client.connectUnix(cfg.socketPath).ok()) {
                 ++tally.transport;
@@ -417,14 +727,23 @@ clientLoop(const LoadGenConfig &cfg, unsigned index)
         }
 
         ServeRequest request;
-        request.type = MessageType::Simulate;
+        const bool interactive =
+            cfg.interactiveFraction > 0.0 &&
+            rng.chance(cfg.interactiveFraction);
+        request.type = interactive ? MessageType::BranchStats
+                                   : MessageType::Simulate;
         request.workload = cfg.workload;
         request.inputIdx = cfg.inputIdx;
         request.instructions = cfg.instructions;
+        request.deadlineMs = cfg.deadlineMs;
         request.predictor =
             cfg.predictors[rng.below(cfg.predictors.size())];
-        if (cfg.sliceRecords != 0 &&
-            cfg.sliceRecords < cfg.instructions) {
+        if (interactive) {
+            // A small hot-branch read: the interactive class the
+            // scheduler is supposed to protect under overload.
+            request.topK = 4;
+        } else if (cfg.sliceRecords != 0 &&
+                   cfg.sliceRecords < cfg.instructions) {
             request.first =
                 rng.below(cfg.instructions - cfg.sliceRecords + 1);
             request.count = cfg.sliceRecords;
@@ -456,12 +775,14 @@ clientLoop(const LoadGenConfig &cfg, unsigned index)
             ++tally.transport;
             continue;
         }
-        tally.latenciesMs.push_back(
-            std::chrono::duration<double, std::milli>(t1 - t0)
-                .count());
+        const double latencyMs =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        tally.latenciesMs.push_back(latencyMs);
         if (reply.code == WireCode::Ok) {
             ++tally.ok;
-            if (cfg.verify) {
+            (interactive ? tally.interactiveMs : tally.batchMs)
+                .push_back(latencyMs);
+            if (cfg.verify && !interactive) {
                 const uint64_t first = request.first;
                 const uint64_t count =
                     request.count == 0
@@ -471,17 +792,24 @@ clientLoop(const LoadGenConfig &cfg, unsigned index)
                                  reply))
                     ++tally.mismatches;
             }
+        } else if (reply.code == WireCode::DeadlineExceeded) {
+            ++tally.expired;
         } else if (reply.code == WireCode::ResourceExhausted ||
                    reply.code == WireCode::Busy) {
             ++tally.rejected;
-            // Closed-loop backoff: the server asked for it.
-            std::this_thread::sleep_for(std::chrono::milliseconds(
-                1 + static_cast<long>(rng.below(5))));
+            // Closed-loop backoff: the server asked for it. Open loop
+            // must not back off — slowing the arrival process would
+            // falsify the offered load.
+            if (cfg.openLoopHz <= 0.0)
+                std::this_thread::sleep_for(std::chrono::milliseconds(
+                    1 + static_cast<long>(rng.below(5))));
         } else {
             ++tally.errors;
         }
     }
     tally.gaveUp = client.gaveUpObserved();
+    tally.hedges = client.hedgesObserved();
+    tally.hedgeWins = client.hedgeWinsObserved();
     return tally;
 }
 
@@ -518,6 +846,8 @@ runLoadGen(const LoadGenConfig &cfg)
 
     LoadGenResult result;
     std::vector<double> all;
+    std::vector<double> interactiveAll;
+    std::vector<double> batchAll;
     for (const ClientTally &t : tallies) {
         result.attempted += t.attempted;
         result.ok += t.ok;
@@ -529,14 +859,28 @@ runLoadGen(const LoadGenConfig &cfg)
         result.retried += t.retried;
         result.retries += t.retries;
         result.gaveUp += t.gaveUp;
+        result.expired += t.expired;
+        result.hedges += t.hedges;
+        result.hedgeWins += t.hedgeWins;
         all.insert(all.end(), t.latenciesMs.begin(),
                    t.latenciesMs.end());
+        interactiveAll.insert(interactiveAll.end(),
+                              t.interactiveMs.begin(),
+                              t.interactiveMs.end());
+        batchAll.insert(batchAll.end(), t.batchMs.begin(),
+                        t.batchMs.end());
     }
     result.elapsedSeconds =
         std::chrono::duration<double>(t1 - t0).count();
     std::sort(all.begin(), all.end());
     result.p50Ms = exactPercentile(all, 0.50);
     result.p99Ms = exactPercentile(all, 0.99);
+    std::sort(interactiveAll.begin(), interactiveAll.end());
+    result.interactiveP50Ms = exactPercentile(interactiveAll, 0.50);
+    result.interactiveP99Ms = exactPercentile(interactiveAll, 0.99);
+    std::sort(batchAll.begin(), batchAll.end());
+    result.batchP50Ms = exactPercentile(batchAll, 0.50);
+    result.batchP99Ms = exactPercentile(batchAll, 0.99);
     return result;
 }
 

@@ -21,7 +21,19 @@
  * mutating type is excluded by default, not by vigilance. The server's
  * retry-after hint (reply.retryAfterMs) is a floor on the backoff.
  * serve.client.retries / serve.client.gave_up count what the policy
- * did.
+ * did; each give-up also bumps serve.client.gave_up.<code> with the
+ * terminal wire code, so a soak can tell shed from corrupt from
+ * timeout.
+ *
+ * Hedge contract (tail tolerance): with setHedgeMs(ms != 0), an
+ * idempotent call that has not been answered after the observed p95
+ * latency (floored by `ms`; `ms` alone until enough samples exist)
+ * is re-sent on a *second* connection. The first reply wins; the
+ * loser's connection gets a Cancel frame for its request id — so the
+ * server can shed or cancel the duplicate before it costs more
+ * worker time — and is closed. serve.hedges / serve.hedge_wins count
+ * the decisions; both replies are bit-identical when they do race to
+ * completion, because every hedged op is a pure read.
  */
 
 #ifndef BPNSP_SERVE_CLIENT_HPP
@@ -100,6 +112,15 @@ class ServeClient
     uint64_t gaveUpObserved() const { return gaveUpTally; }
 
     /**
+     * Hedged-request policy: 0 (default) disables hedging; non-zero
+     * arms it for idempotent calls, as the floor (and cold-start
+     * value) of the observed-p95 hedge delay.
+     */
+    void setHedgeMs(uint64_t ms) { hedgeMs = ms; }
+    uint64_t hedgesObserved() const { return hedgesTally; }
+    uint64_t hedgeWinsObserved() const { return hedgeWinsTally; }
+
+    /**
      * Send `request` and block for the reply, retrying per the policy
      * when the request is idempotent and the failure retryable
      * (reconnecting first if the transport dropped). Protocol-level
@@ -138,9 +159,17 @@ class ServeClient
 
   private:
     Status callOnce(const ServeRequest &request, ServeReply *reply);
+    Status callHedged(const ServeRequest &request, ServeReply *reply);
     Status sendFrame(MessageType type, uint64_t request_id,
                      const std::vector<uint8_t> &payload);
     Status recvReply(uint64_t expect_id, ServeReply *reply);
+    Status sendFrameFd(int dst_fd, MessageType type, uint64_t request_id,
+                       const std::vector<uint8_t> &payload);
+    Status recvReplyFd(int src_fd, uint64_t expect_id,
+                       ServeReply *reply);
+    int openEndpointFd(Status *status);
+    uint64_t hedgeDelayMs() const;
+    void recordLatencyMs(double ms);
 
     int fd = -1;
     uint64_t nextRequestId = 1;
@@ -149,6 +178,15 @@ class ServeClient
     uint64_t jitterState = 0;   ///< lazily seeded from policy.seed
     uint64_t retriesTally = 0;
     uint64_t gaveUpTally = 0;
+
+    uint64_t hedgeMs = 0;        ///< 0 = hedging off
+    uint64_t hedgesTally = 0;
+    uint64_t hedgeWinsTally = 0;
+
+    // Sliding reservoir of recent reply latencies; once it has enough
+    // samples the hedge delay tracks its p95 instead of the floor.
+    std::vector<double> recentMs;
+    size_t recentNext = 0;
 
     // Remembered endpoint for reconnect() (kUnset = never connected).
     enum class Endpoint { None, Unix, Tcp };
@@ -172,6 +210,23 @@ struct LoadGenConfig
     uint64_t seed = 1;              ///< drives slice + kill draws
     bool verify = false;            ///< check replies vs direct runs
     RetryPolicy retry;              ///< per-client retry discipline
+
+    /**
+     * Open-loop send rate per client in requests/second (0 = closed
+     * loop: send, wait for the reply, send again). Open loop is what
+     * makes oversubscription honest — a slow server does not slow the
+     * arrival process, it grows the queue.
+     */
+    double openLoopHz = 0.0;
+
+    /** Fraction of requests sent as interactive BranchStats reads. */
+    double interactiveFraction = 0.0;
+
+    /** Per-request deadline stamped on the wire (0 = none). */
+    uint32_t deadlineMs = 0;
+
+    /** Client hedging floor in ms (0 = off); see setHedgeMs(). */
+    uint64_t hedgeMs = 0;
 };
 
 /** What the closed loop observed. */
@@ -187,9 +242,18 @@ struct LoadGenResult
     uint64_t retried = 0;    ///< requests that needed >= 1 retry
     uint64_t retries = 0;    ///< total extra attempts
     uint64_t gaveUp = 0;     ///< retry budget exhausted, still failing
+    uint64_t expired = 0;    ///< DEADLINE_EXCEEDED replies
+    uint64_t hedges = 0;     ///< hedge requests issued
+    uint64_t hedgeWins = 0;  ///< hedges that beat the primary
     double elapsedSeconds = 0.0;
     double p50Ms = 0.0;      ///< exact percentiles over all replies
     double p99Ms = 0.0;
+    // Per-priority-class percentiles (0 when the class saw no Ok
+    // reply): interactive = BranchStats, batch = everything else.
+    double interactiveP50Ms = 0.0;
+    double interactiveP99Ms = 0.0;
+    double batchP50Ms = 0.0;
+    double batchP99Ms = 0.0;
 
     /** 1.0 = every request answered on its first attempt. */
     double

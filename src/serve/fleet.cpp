@@ -17,6 +17,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "serve/client.hpp"        // isIdempotentRequest
 #include "tracestore/format.hpp"   // fnv1a
 #include "util/logging.hpp"
 #include "util/signals.hpp"
@@ -67,6 +68,27 @@ obs::Counter &
 fleetRouted()
 {
     static obs::Counter &c = obs::counter("serve.fleet.routed");
+    return c;
+}
+
+obs::Counter &
+fleetHedges()
+{
+    static obs::Counter &c = obs::counter("serve.hedges");
+    return c;
+}
+
+obs::Counter &
+fleetHedgeWins()
+{
+    static obs::Counter &c = obs::counter("serve.hedge_wins");
+    return c;
+}
+
+obs::Counter &
+fleetExpired()
+{
+    static obs::Counter &c = obs::counter("serve.expired");
     return c;
 }
 
@@ -124,6 +146,50 @@ connectWorker(const std::string &path)
         return -1;
     }
     return fd;
+}
+
+/**
+ * Read one whole reply frame (header + payload) from `fd` into
+ * `frame`, each wait bounded by `timeout_ms` (-1 = forever). False on
+ * any failure; the fd is left for the caller to close.
+ */
+bool
+readWholeFrame(int fd, std::vector<uint8_t> *frame, FrameHeader *header,
+               int timeout_ms)
+{
+    uint8_t head[kFrameHeaderBytes];
+    if (!readExactFd(fd, head, sizeof(head), timeout_ms).ok())
+        return false;
+    if (!parseFrameHeader(head, sizeof(head), header).ok())
+        return false;
+    frame->assign(kFrameHeaderBytes + header->payloadLen, 0);
+    std::memcpy(frame->data(), head, kFrameHeaderBytes);
+    if (header->payloadLen > 0 &&
+        !readExactFd(fd, frame->data() + kFrameHeaderBytes,
+                     header->payloadLen, timeout_ms)
+             .ok())
+        return false;
+    return true;
+}
+
+/**
+ * Best-effort Cancel for `target_request_id` on a worker connection
+ * that is about to be abandoned — the worker can drop the duplicate
+ * from its queue (or cancel it mid-run) instead of finishing it for
+ * nobody. The CancelReply is never read; the close that follows takes
+ * care of it.
+ */
+void
+sendCancelFrame(int fd, uint64_t target_request_id)
+{
+    ServeRequest cancel;
+    cancel.type = MessageType::Cancel;
+    cancel.cancelTargetId = target_request_id;
+    std::vector<uint8_t> frame;
+    if (encodeFrame(MessageType::Cancel, target_request_id,
+                    encodeRequestPayload(cancel), &frame)
+            .ok())
+        writeAllFd(fd, frame.data(), frame.size(), 1000);
 }
 
 } // namespace
@@ -488,7 +554,8 @@ bool
 FleetSupervisor::forwardToShard(unsigned shard_idx, int client_fd,
                                 const uint8_t *frame, size_t frame_len,
                                 std::vector<int> &upstreams,
-                                uint64_t request_id)
+                                uint64_t request_id,
+                                const ServeRequest &request)
 {
     // Routing decision against the shard table: a degraded or
     // down shard answers immediately with a retry-after hint sized to
@@ -531,6 +598,128 @@ FleetSupervisor::forwardToShard(unsigned shard_idx, int client_fd,
                 up = -1;
                 continue;   // stale cached conn: reconnect once
             }
+
+            // Hedge window: give the owning worker cfg.hedgeMs to
+            // start replying before duplicating an idempotent request
+            // to the next shard (any worker can serve any trace; only
+            // cache warmth is shard-local). The duplicate goes on a
+            // fresh connection so a hedge never desynchronizes the
+            // cached per-shard upstream.
+            if (cfg.hedgeMs != 0 && cfg.workers > 1 &&
+                isIdempotentRequest(request.type)) {
+                struct pollfd pfd = {up, POLLIN, 0};
+                int rc;
+                do {
+                    rc = ::poll(&pfd, 1,
+                                static_cast<int>(std::min<uint64_t>(
+                                    cfg.hedgeMs, 3600 * 1000)));
+                } while (rc < 0 && errno == EINTR);
+                if (rc == 0) {
+                    const unsigned hedgeShard =
+                        (shard_idx + 1) % cfg.workers;
+                    bool hedgeReady = false;
+                    {
+                        std::lock_guard<std::mutex> lock(shardsMu);
+                        hedgeReady = shards[hedgeShard].state ==
+                                         ShardHealth::Ready &&
+                                     shards[hedgeShard].pid > 0;
+                    }
+                    int hfd =
+                        hedgeReady
+                            ? connectWorker(workerSocketPath(hedgeShard))
+                            : -1;
+                    if (hfd >= 0 &&
+                        !writeAllFd(hfd, frame, frame_len, 5000).ok()) {
+                        ::close(hfd);
+                        hfd = -1;
+                    }
+                    if (hfd >= 0) {
+                        registerConnFd(hfd);
+                        fleetHedges().inc();
+                        // Race the two legs; the first whole reply
+                        // wins, a leg whose stream breaks drops out.
+                        std::vector<uint8_t> reply;
+                        FrameHeader rh;
+                        bool primaryAlive = true;
+                        bool hedgeAlive = true;
+                        bool hedgeWon = false;
+                        bool have = false;
+                        while (primaryAlive || hedgeAlive) {
+                            struct pollfd legs[2];
+                            nfds_t n = 0;
+                            if (primaryAlive)
+                                legs[n++] = {up, POLLIN, 0};
+                            if (hedgeAlive)
+                                legs[n++] = {hfd, POLLIN, 0};
+                            do {
+                                rc = ::poll(legs, n, -1);
+                            } while (rc < 0 && errno == EINTR);
+                            if (rc < 0)
+                                break;
+                            const bool fromPrimary =
+                                primaryAlive && legs[0].fd == up &&
+                                legs[0].revents != 0;
+                            if (readWholeFrame(fromPrimary ? up : hfd,
+                                               &reply, &rh, -1)) {
+                                have = true;
+                                hedgeWon = !fromPrimary;
+                                break;
+                            }
+                            if (fromPrimary) {
+                                unregisterConnFd(up);
+                                ::close(up);
+                                up = -1;
+                                primaryAlive = false;
+                            } else {
+                                unregisterConnFd(hfd);
+                                ::close(hfd);
+                                hfd = -1;
+                                hedgeAlive = false;
+                            }
+                        }
+                        if (have) {
+                            if (hedgeWon) {
+                                fleetHedgeWins().inc();
+                                if (primaryAlive) {
+                                    sendCancelFrame(up, request_id);
+                                    unregisterConnFd(up);
+                                    ::close(up);
+                                    up = -1;
+                                }
+                                // The winning hedge connection is
+                                // clean (its one request answered);
+                                // cache it for its own shard when the
+                                // slot is free.
+                                if (upstreams[hedgeShard] < 0) {
+                                    upstreams[hedgeShard] = hfd;
+                                } else {
+                                    unregisterConnFd(hfd);
+                                    ::close(hfd);
+                                }
+                            } else if (hedgeAlive) {
+                                sendCancelFrame(hfd, request_id);
+                                unregisterConnFd(hfd);
+                                ::close(hfd);
+                            }
+                            fleetRouted().inc();
+                            return writeAllFd(client_fd, reply.data(),
+                                              reply.size(), 5000)
+                                .ok();
+                        }
+                        if (hedgeAlive && hfd >= 0) {
+                            unregisterConnFd(hfd);
+                            ::close(hfd);
+                        }
+                        if (!primaryAlive)
+                            break;   // both legs died: UNAVAILABLE
+                        // Primary survived; fall through to the
+                        // normal blocking read below.
+                    }
+                }
+                // rc > 0: the primary started replying inside the
+                // hedge window — no hedge needed.
+            }
+
             uint8_t head[kFrameHeaderBytes];
             FrameHeader rh;
             if (!readExactFd(up, head, sizeof(head)).ok() ||
@@ -583,6 +772,9 @@ FleetSupervisor::serveConn(int client_fd, uint64_t conn_id)
         uint8_t head[kFrameHeaderBytes];
         if (!readExactFd(client_fd, head, sizeof(head)).ok())
             break;   // client done (EOF) or drain shutdown
+        // Deadline clock for this hop starts when the frame starts
+        // arriving; a slow-dribbling sender spends its own budget.
+        const auto recvT0 = std::chrono::steady_clock::now();
         FrameHeader header;
         Status st = parseFrameHeader(head, sizeof(head), &header);
         if (!st.ok()) {
@@ -660,6 +852,43 @@ FleetSupervisor::serveConn(int client_fd, uint64_t conn_id)
                 row.deaths = s.deaths;
                 reply.shards.push_back(row);
             }
+            // Enrich each ready row with the worker's own queue
+            // depth and estimated queued work, via a short bounded
+            // probe of its Health — a wedged worker times out and
+            // keeps its zeros rather than stalling the control plane.
+            for (ShardHealth &row : reply.shards) {
+                if (row.state != ShardHealth::Ready || row.pid == 0)
+                    continue;
+                const int wfd = connectWorker(
+                    workerSocketPath(row.shard));
+                if (wfd < 0)
+                    continue;
+                ServeRequest probe;
+                probe.type = MessageType::Health;
+                std::vector<uint8_t> pframe;
+                std::vector<uint8_t> rframe;
+                FrameHeader rh;
+                if (encodeFrame(MessageType::Health, 1,
+                                encodeRequestPayload(probe), &pframe)
+                        .ok() &&
+                    writeAllFd(wfd, pframe.data(), pframe.size(), 500)
+                        .ok() &&
+                    readWholeFrame(wfd, &rframe, &rh, 500)) {
+                    ServeReply wreply;
+                    if (decodeReplyPayload(
+                            static_cast<MessageType>(rh.type),
+                            rframe.data() + kFrameHeaderBytes,
+                            rh.payloadLen, &wreply)
+                            .ok() &&
+                        wreply.type == MessageType::HealthReply &&
+                        !wreply.shards.empty()) {
+                        row.queueDepth = wreply.shards[0].queueDepth;
+                        row.queuedCostMs =
+                            wreply.shards[0].queuedCostMs;
+                    }
+                }
+                ::close(wfd);
+            }
             if (!sendRouterReply(client_fd, reply, header.requestId))
                 break;
             continue;
@@ -683,9 +912,55 @@ FleetSupervisor::serveConn(int client_fd, uint64_t conn_id)
         const unsigned shard =
             fleetShardFor(request.workload, request.inputIdx,
                           request.instructions, cfg.workers);
-        if (!forwardToShard(shard, client_fd, frame.data(),
-                            frame.size(), upstreams,
-                            header.requestId))
+
+        // Deadline propagation: spend this hop's elapsed time out of
+        // the request's budget before the worker sees it. The
+        // decremented deadline lives in the payload and the frame
+        // checksum covers the payload, so a deadline-carrying frame
+        // is re-encoded; deadline-free frames keep the verbatim path,
+        // which also preserves trailing payload bytes a newer client
+        // may have appended.
+        const uint8_t *sendPtr = frame.data();
+        size_t sendLen = frame.size();
+        std::vector<uint8_t> reframed;
+        if (request.deadlineMs != 0) {
+            const uint64_t elapsedMs = static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::steady_clock::now() - recvT0)
+                    .count());
+            if (elapsedMs >= request.deadlineMs) {
+                fleetExpired().inc();
+                ServeReply err;
+                err.type = MessageType::Error;
+                err.code = WireCode::DeadlineExceeded;
+                err.message =
+                    "deadline expired at the router (budget spent "
+                    "before reaching a worker)";
+                if (!sendRouterReply(client_fd, err,
+                                     header.requestId))
+                    break;
+                continue;
+            }
+            request.deadlineMs -=
+                static_cast<uint32_t>(elapsedMs);
+            if (!encodeFrame(type, header.requestId,
+                             encodeRequestPayload(request), &reframed)
+                     .ok()) {
+                ServeReply err;
+                err.type = MessageType::Error;
+                err.code = WireCode::Internal;
+                err.message = "router failed to re-encode the "
+                              "deadline-carrying frame";
+                if (!sendRouterReply(client_fd, err,
+                                     header.requestId))
+                    break;
+                continue;
+            }
+            sendPtr = reframed.data();
+            sendLen = reframed.size();
+        }
+        if (!forwardToShard(shard, client_fd, sendPtr, sendLen,
+                            upstreams, header.requestId, request))
             break;
     }
 

@@ -18,7 +18,22 @@
  *  - The router accepts client connections on the public socket and
  *    forwards request frames *verbatim* to the owning worker (request
  *    ids and payloads untouched), relaying the reply frame back.
- *    Ping/Stats/Health answer from the supervisor itself.
+ *    Ping/Stats/Health answer from the supervisor itself; Health rows
+ *    are enriched with each live worker's queue depth and estimated
+ *    queued work via a bounded probe of the worker's own Health.
+ *  - Deadline propagation: a request carrying deadlineMs is
+ *    re-encoded with the deadline decremented by the time it spent
+ *    inside the router, and one that has already expired is answered
+ *    DEADLINE_EXCEEDED without costing worker time. Deadline-free
+ *    requests keep the verbatim forwarding path (which preserves
+ *    trailing payload bytes a newer client may have appended).
+ *  - Hedging (hedgeMs != 0): an idempotent request whose owning
+ *    worker has not started replying after hedgeMs is duplicated to
+ *    the next shard on a fresh connection — every worker shares one
+ *    on-disk corpus, so sharding is cache warmth, not correctness —
+ *    and the first full reply wins; the loser gets a Cancel frame for
+ *    the duplicate and its connection is closed
+ *    (serve.hedges / serve.hedge_wins).
  *  - The monitor learns of worker deaths via SIGCHLD (self-pipe,
  *    util/signals.hpp) and of wedged workers via an mtime heartbeat
  *    file each worker touches (the campaign stall-watchdog pattern):
@@ -81,6 +96,13 @@ struct FleetConfig
     uint64_t breakerWindowMs = 10000; ///< ...that trip the breaker
     uint64_t breakerCooldownMs = 3000; ///< degraded time before probe
     uint64_t drainGraceMs = 5000;     ///< in-flight conn grace on drain
+
+    /**
+     * Router-side hedged requests: duplicate an idempotent request to
+     * the next shard when the owning worker has not started replying
+     * after this many ms (0 = off). Needs >= 2 workers to do anything.
+     */
+    uint64_t hedgeMs = 0;
 };
 
 /** Point-in-time view of one shard (tests, Health replies). */
@@ -148,7 +170,8 @@ class FleetSupervisor
     bool forwardToShard(unsigned shard_idx, int client_fd,
                         const uint8_t *frame, size_t frame_len,
                         std::vector<int> &upstreams,
-                        uint64_t request_id);
+                        uint64_t request_id,
+                        const ServeRequest &request);
     bool sendRouterReply(int client_fd, const ServeReply &reply,
                          uint64_t request_id);
     void registerConnFd(int fd);

@@ -48,6 +48,10 @@ messageTypeName(MessageType type)
         return "health";
       case MessageType::HealthReply:
         return "health-reply";
+      case MessageType::Cancel:
+        return "cancel";
+      case MessageType::CancelReply:
+        return "cancel-reply";
     }
     return "unknown";
 }
@@ -77,6 +81,7 @@ isRequestType(MessageType type)
       case MessageType::Materialize:
       case MessageType::Stats:
       case MessageType::Health:
+      case MessageType::Cancel:
         return true;
       default:
         return false;
@@ -461,6 +466,9 @@ encodeRequestPayload(const ServeRequest &request)
         w.u64(request.instructions);
         w.u32(request.deadlineMs);
         break;
+      case MessageType::Cancel:
+        w.u64(request.cancelTargetId);
+        break;
       default:
         break;
     }
@@ -503,6 +511,9 @@ decodeRequestPayload(MessageType type, const uint8_t *payload,
         r.u32(&req.inputIdx);
         r.u64(&req.instructions);
         r.u32(&req.deadlineMs);
+        break;
+      case MessageType::Cancel:
+        r.u64(&req.cancelTargetId);
         break;
       default:
         return Status::invalidArgument(
@@ -575,6 +586,9 @@ encodeReplyPayload(const ServeReply &reply)
             w.u32(row.deaths);
         }
         break;
+      case MessageType::CancelReply:
+        w.u8(reply.cancelFound);
+        break;
       case MessageType::Error:
         break;
       default:
@@ -588,6 +602,18 @@ encodeReplyPayload(const ServeReply &reply)
     // the rest.
     w.u64(reply.traceId);
     w.u32(reply.retryAfterMs);
+    // HealthReply overload block: per-row queue depth / estimated
+    // queued work. The 21-byte row stride above is load-bearing for
+    // older decoders, so growing the rows themselves would misparse —
+    // instead the block rides behind the universal trailers as a
+    // parallel array, which pre-overload peers simply ignore.
+    if (reply.type == MessageType::HealthReply) {
+        w.u32(static_cast<uint32_t>(reply.shards.size()));
+        for (const ShardHealth &row : reply.shards) {
+            w.u32(row.queueDepth);
+            w.u64(row.queuedCostMs);
+        }
+    }
     return w.take();
 }
 
@@ -674,6 +700,9 @@ decodeReplyPayload(MessageType type, const uint8_t *payload,
         }
         break;
       }
+      case MessageType::CancelReply:
+        r.u8(&reply.cancelFound);
+        break;
       case MessageType::Error:
         break;
       default:
@@ -689,6 +718,27 @@ decodeReplyPayload(MessageType type, const uint8_t *payload,
     // fleet-aware servers (stays 0 from older peers).
     if (r.ok() && r.remaining() >= 4)
         r.u32(&reply.retryAfterMs);
+    // HealthReply overload block (parallel per-row arrays appended
+    // behind the trailers; see the encoder for why). Absent from
+    // pre-overload servers: depths stay 0.
+    if (type == MessageType::HealthReply && r.ok() &&
+        r.remaining() >= 4) {
+        uint32_t n = 0;
+        r.u32(&n);
+        if (r.ok() && static_cast<uint64_t>(n) * 12 > r.remaining())
+            return Status::corruptData(
+                "health reply overload block exceeds payload");
+        for (uint32_t i = 0; i < n && r.ok(); ++i) {
+            uint32_t depth = 0;
+            uint64_t costMs = 0;
+            r.u32(&depth);
+            r.u64(&costMs);
+            if (i < reply.shards.size()) {
+                reply.shards[i].queueDepth = depth;
+                reply.shards[i].queuedCostMs = costMs;
+            }
+        }
+    }
     if (!r.ok())
         return Status::corruptData(
             std::string("malformed ") + messageTypeName(type) +

@@ -87,6 +87,9 @@ enum class MessageType : uint16_t
     StatsReply = 13,
     Health = 14,  ///< per-shard readiness probe (io-thread fast path)
     HealthReply = 15,
+    Cancel = 16,  ///< best-effort cancel of an earlier request on the
+                  ///< same connection (hedge-loser reclamation)
+    CancelReply = 17,
 };
 
 /** Stable name of a message type ("simulate", ...). */
@@ -137,6 +140,14 @@ struct ServeRequest
     uint64_t sliceLength = 0;  ///< BranchStats / H2p slicing (0 = whole)
     uint32_t topK = 0;         ///< BranchStats: rows returned (0 = all)
     uint32_t deadlineMs = 0;   ///< per-request deadline (0 = none)
+
+    /**
+     * Cancel: the request id (on this same connection) to cancel.
+     * Cancellation is best-effort — a queued target is shed with
+     * CANCELLED before touching a worker, an in-flight target has its
+     * cancel token fired, an already-answered target is a no-op.
+     */
+    uint64_t cancelTargetId = 0;
 };
 
 /** One per-static-branch row of a BranchStats reply. */
@@ -164,6 +175,17 @@ struct ShardHealth
     uint64_t pid = 0;       ///< live worker pid (0 when down)
     uint32_t restarts = 0;  ///< respawns since fleet start
     uint32_t deaths = 0;    ///< deaths since fleet start
+
+    /**
+     * Overload view of the shard (0 when the server predates the
+     * overload layer, or when the supervisor could not probe the
+     * worker in time). These do NOT ride inside the fixed 21-byte row
+     * block — that stride is load-bearing for older decoders — they
+     * travel as a parallel per-row block appended *behind* the
+     * traceId/retryAfterMs trailers (see encodeReplyPayload).
+     */
+    uint32_t queueDepth = 0;    ///< queued requests right now
+    uint64_t queuedCostMs = 0;  ///< estimated queued+in-flight work, ms
 };
 
 /** Stable name of a shard state ("ready", ...). */
@@ -218,6 +240,11 @@ struct ServeReply
 
     // HealthReply
     std::vector<ShardHealth> shards;
+
+    // CancelReply: 1 when the target request was found (queued or
+    // in-flight) and cancellation was initiated, 0 when it had
+    // already completed (or was never seen).
+    uint8_t cancelFound = 0;
 
     /**
      * Retry-after hint in milliseconds, the trailing field of every

@@ -84,6 +84,70 @@ queueDepthGauge()
     return g;
 }
 
+obs::Counter &
+serveShed()
+{
+    static obs::Counter &c = obs::counter("serve.shed");
+    return c;
+}
+
+obs::Counter &
+serveExpired()
+{
+    static obs::Counter &c = obs::counter("serve.expired");
+    return c;
+}
+
+obs::Counter &
+serveCancels()
+{
+    static obs::Counter &c = obs::counter("serve.cancels");
+    return c;
+}
+
+/**
+ * Cost-model op classes. Ping/Stats/Health answer on the io thread
+ * and never reach the scheduler, so only the four queued types need a
+ * slot; anything unexpected shares the materialize slot (it is the
+ * most conservative prior).
+ */
+unsigned
+costClassFor(MessageType type)
+{
+    switch (type) {
+      case MessageType::Simulate:
+        return 0;
+      case MessageType::BranchStats:
+        return 1;
+      case MessageType::H2p:
+        return 2;
+      default:
+        return 3;   // Materialize and anything unexpected
+    }
+}
+
+/**
+ * The two scheduler priorities. BranchStats is the one interactive op
+ * that actually queues (Ping/Stats/Health answer inline): operators
+ * poll it while the batch classes grind, so it must not wait behind
+ * them.
+ */
+bool
+isInteractiveQueued(MessageType type)
+{
+    return type == MessageType::BranchStats;
+}
+
+/** Deficit-round-robin quantum (scaled by cfg.clientWeight). */
+constexpr uint64_t kDrrQuantumNs = 10ull * 1000 * 1000;
+
+/** Cold-path cost multipliers over the warm per-unit EWMA. */
+constexpr uint64_t kColdOpenFactor = 2;   ///< open + full verify pass
+constexpr uint64_t kColdGenFactor = 8;    ///< full trace generation
+
+/** EWMA refinement only kicks in once a class has real evidence. */
+constexpr uint64_t kCostModelMinSamples = 8;
+
 /**
  * Per-request-type latency histograms (accept-to-reply), alongside
  * the aggregate serve.request_ns: a slow BranchStats must not hide
@@ -169,6 +233,7 @@ struct ServeServer::Conn
 {
     int fd = -1;
     uint64_t id = 0;
+    uint64_t peer = 0;            ///< fair-share identity (see admit)
     std::vector<uint8_t> inbuf;   ///< unparsed bytes, frame-aligned
     std::mutex writeMu;           ///< serializes reply frames
     std::atomic<bool> open{true};
@@ -182,6 +247,27 @@ struct ServeServer::Pending
     ServeRequest request;
     uint64_t enqueuedNs = 0;
     uint64_t traceId = 0;
+
+    // Scheduler view, stamped at admission.
+    uint64_t peer = 0;
+    bool interactive = false;
+    uint64_t costNs = 0;      ///< estimated execute time
+    uint64_t costUnits = 1;   ///< work units behind the estimate
+    bool costWarm = true;     ///< reader was open (EWMA-grade sample)
+    uint64_t deadlineNs = 0;  ///< absolute expiry (0 = none)
+    std::shared_ptr<CancelToken> cancel;   ///< chained to stopToken
+};
+
+/** One client's slice of the admission queue (keyed by peer). */
+struct ServeServer::PeerQueue
+{
+    uint64_t peer = 0;
+    std::deque<Pending> interactive;
+    std::deque<Pending> batch;
+    uint64_t costNs = 0;      ///< estimated work queued here
+    uint64_t deficitNs = 0;   ///< DRR credit (batch class)
+
+    bool empty() const { return interactive.empty() && batch.empty(); }
 };
 
 ServeServer::ServeServer(ServeConfig config)
@@ -195,6 +281,18 @@ ServeServer::ServeServer(ServeConfig config)
         cfg.queueDepth = 1;
     if (cfg.maxOpenReaders == 0)
         cfg.maxOpenReaders = 1;
+    if (cfg.clientWeight == 0)
+        cfg.clientWeight = 1;
+    if (cfg.shedPolicy != "tail")
+        cfg.shedPolicy = "heaviest";
+    // Cost-model priors, ns per work unit (x16 fixed point): replay
+    // classes start near the observed ~10 ns/record of a warm mmap'd
+    // replay; materialize is bookkeeping once the reader is open.
+    // All refined online from warm executions.
+    costNsPerUnitX16[0].store(10 * 16);   // simulate
+    costNsPerUnitX16[1].store(14 * 16);   // branch-stats (per-branch map)
+    costNsPerUnitX16[2].store(14 * 16);   // h2p (sliced stats)
+    costNsPerUnitX16[3].store(2 * 16);    // materialize (reader ready)
 }
 
 ServeServer::~ServeServer()
@@ -331,8 +429,9 @@ ServeServer::drain()
     // finish — the whole point of a graceful drain.
     {
         std::unique_lock<std::mutex> lock(queueMu);
-        idleCv.wait(lock,
-                    [this] { return queue.empty() && inFlight == 0; });
+        idleCv.wait(lock, [this] {
+            return queuedCount == 0 && inFlight == 0;
+        });
     }
 
     // Phase 3: tear the machinery down.
@@ -469,6 +568,18 @@ ServeServer::acceptOne(int listen_fd)
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
     conn->id = nextConnId++;
+    // Fair-share identity: the peer *process* (SO_PEERCRED pid on
+    // UNIX-domain sockets), so one client opening many connections is
+    // still one client to the scheduler. TCP loopback peers (no
+    // credentials) fall back to per-connection identity.
+    struct ucred cred;
+    socklen_t credLen = sizeof(cred);
+    if (::getsockopt(fd, SOL_SOCKET, SO_PEERCRED, &cred, &credLen) ==
+            0 &&
+        cred.pid > 0)
+        conn->peer = static_cast<uint64_t>(cred.pid);
+    else
+        conn->peer = conn->id;
     conns.push_back(std::move(conn));
     connections.inc();
 }
@@ -618,8 +729,29 @@ ServeServer::parseFrames(const std::shared_ptr<Conn> &conn)
             row.shard = 0;
             row.state = ShardHealth::Ready;
             row.pid = static_cast<uint64_t>(::getpid());
+            {
+                // Overload view: what is queued plus what the workers
+                // hold, in estimated milliseconds of execute time —
+                // the number a router or operator needs to pick (or
+                // avoid) this worker.
+                std::lock_guard<std::mutex> lock(queueMu);
+                row.queueDepth = static_cast<uint32_t>(queuedCount);
+                row.queuedCostMs =
+                    (queuedCostNs + inflightCostNs) / 1000000ull;
+            }
             reply.shards.push_back(row);
             sendReply(conn, header.requestId, reply);
+            serveCompleted().inc();
+            continue;
+        }
+
+        if (type == MessageType::Cancel) {
+            // Cancel answers from the io thread: its whole purpose is
+            // to reclaim capacity (hedge losers), so it must not wait
+            // behind the very queue it is pruning.
+            serveRequests().inc();
+            serveAccepted().inc();
+            handleCancel(conn, header, request);
             serveCompleted().inc();
             continue;
         }
@@ -652,6 +784,160 @@ ServeServer::parseFrames(const std::shared_ptr<Conn> &conn)
     }
 }
 
+/**
+ * Estimate a request's execute cost: work units (trace records the
+ * handler will touch) × the op class's observed ns-per-unit EWMA × a
+ * cold/warm multiplier from the reader-cache state. The estimate is
+ * deliberately cheap (one map lookup, at worst one stat()) because it
+ * runs on the io thread for every request.
+ */
+void
+ServeServer::estimateCost(Pending *pending)
+{
+    const ServeRequest &r = pending->request;
+    uint64_t units = r.instructions;
+    if (r.type == MessageType::Simulate)
+        units = r.count != 0 ? r.count
+                             : (r.instructions > r.first
+                                    ? r.instructions - r.first
+                                    : 1);
+    if (units == 0)
+        units = 1;
+
+    // Cold/warm: an open reader replays immediately; an on-disk entry
+    // pays open + a full verify pass; a missing entry pays full trace
+    // generation. The digest needs the workload's input — resolvable
+    // only for known workloads, so unknown names (rejected later by
+    // validateRequest) just count as warm.
+    uint64_t mult = 1;
+    bool warm = true;
+    const Workload *w = findServableWorkload(r.workload);
+    if (w != nullptr && r.inputIdx < w->inputs.size()) {
+        const WorkloadInput &input = w->inputs.at(r.inputIdx);
+        const TraceCacheKey key{w->name, input.label, input.seed,
+                                r.instructions};
+        const std::string digest = traceCacheDigest(key);
+        bool open = false;
+        {
+            std::lock_guard<std::mutex> lock(readersMu);
+            open = readers.find(digest) != readers.end();
+        }
+        if (!open) {
+            warm = false;
+            mult = cache->contains(key) ? kColdOpenFactor
+                                        : kColdGenFactor;
+            // Cold cost scales with the whole trace (generation and
+            // verify read every record), not just the slice.
+            units = std::max(units, r.instructions);
+        }
+    }
+
+    const unsigned cls = costClassFor(r.type);
+    const uint64_t nsPerUnitX16 = costNsPerUnitX16[cls].load(
+        std::memory_order_relaxed);
+    pending->costUnits = units;
+    pending->costWarm = warm;
+    pending->costNs = units * nsPerUnitX16 / 16 * mult;
+    if (pending->costNs == 0)
+        pending->costNs = 1000;   // floor: nothing is free
+}
+
+/** Fold a warm observation into the op class's ns-per-unit EWMA. */
+void
+ServeServer::noteObservedCost(MessageType type, uint64_t units,
+                              uint64_t exec_ns, bool warm)
+{
+    if (!warm || units == 0)
+        return;   // cold samples measure generation, not the class
+    const unsigned cls = costClassFor(type);
+    const uint64_t obsX16 = exec_ns * 16 / units;
+    uint64_t cur = costNsPerUnitX16[cls].load(
+        std::memory_order_relaxed);
+    // alpha = 1/8: stable under noisy per-request timings but adapts
+    // within a few dozen requests. Lost races just drop a sample.
+    const uint64_t next = std::max<uint64_t>(
+        1, cur - cur / 8 + obsX16 / 8);
+    costNsPerUnitX16[cls].compare_exchange_weak(
+        cur, next, std::memory_order_relaxed);
+    costSamples[cls].fetch_add(1, std::memory_order_relaxed);
+}
+
+ServeServer::PeerQueue &
+ServeServer::peerQueueFor(uint64_t peer)
+{
+    for (PeerQueue &pq : peerQueues) {
+        if (pq.peer == peer)
+            return pq;
+    }
+    PeerQueue pq;
+    pq.peer = peer;
+    peerQueues.push_back(std::move(pq));
+    return peerQueues.back();
+}
+
+bool
+ServeServer::overCapacityLocked(uint64_t arriving_cost_ns) const
+{
+    if (queuedCount + 1 > cfg.queueDepth)
+        return true;
+    if (cfg.maxInflightCostMs != 0 &&
+        queuedCostNs + inflightCostNs + arriving_cost_ns >
+            cfg.maxInflightCostMs * 1000000ull)
+        return true;
+    return false;
+}
+
+/**
+ * Retry-after hint: the moment the backlog could plausibly have
+ * drained through the worker pool. A floor on client backoff, never a
+ * guarantee.
+ */
+uint32_t
+ServeServer::retryAfterMsLocked() const
+{
+    const uint64_t backlogNs =
+        (queuedCostNs + inflightCostNs) / cfg.workers;
+    uint64_t ms = backlogNs / 1000000ull;
+    if (ms < 1)
+        ms = 1;
+    if (ms > 30000)
+        ms = 30000;
+    return static_cast<uint32_t>(ms);
+}
+
+/** Undo one queued request's accounting (already out of its deque). */
+void
+ServeServer::removeQueuedLocked(const Pending &pending)
+{
+    PeerQueue &pq = peerQueueFor(pending.peer);
+    pq.costNs -= std::min(pq.costNs, pending.costNs);
+    queuedCostNs -= std::min(queuedCostNs, pending.costNs);
+    --queuedCount;
+}
+
+void
+ServeServer::updateQueueGaugesLocked()
+{
+    static obs::Gauge &interactiveDepth =
+        obs::gauge("serve.queue_depth.interactive");
+    static obs::Gauge &batchDepth =
+        obs::gauge("serve.queue_depth.batch");
+    static obs::Gauge &inflightCost =
+        obs::gauge("serve.inflight_cost_ms");
+    size_t ni = 0;
+    size_t nb = 0;
+    for (const PeerQueue &pq : peerQueues) {
+        ni += pq.interactive.size();
+        nb += pq.batch.size();
+    }
+    queueDepthGauge().set(static_cast<double>(queuedCount));
+    interactiveDepth.set(static_cast<double>(ni));
+    batchDepth.set(static_cast<double>(nb));
+    inflightCost.set(
+        static_cast<double>((queuedCostNs + inflightCostNs) /
+                            1000000ull));
+}
+
 void
 ServeServer::admit(const std::shared_ptr<Conn> &conn,
                    const FrameHeader &header, ServeRequest request)
@@ -666,29 +952,166 @@ ServeServer::admit(const std::shared_ptr<Conn> &conn,
         return;
     }
 
+    Pending p;
+    p.conn = conn;
+    p.requestId = header.requestId;
+    p.request = std::move(request);
+    p.enqueuedNs = nowNs();
+    p.traceId = traceId;
+    p.peer = conn->peer;
+    p.interactive = isInteractiveQueued(p.request.type);
+    p.cancel = std::make_shared<CancelToken>(&stopToken);
+    estimateCost(&p);
+    if (p.request.deadlineMs != 0)
+        p.deadlineNs =
+            p.enqueuedNs +
+            static_cast<uint64_t>(p.request.deadlineMs) * 1000000ull;
+
+    std::vector<Pending> shed;   // victims, replied to after unlock
+    bool shedSelf = false;
+    uint32_t retryAfterMs = 0;
     {
         std::lock_guard<std::mutex> lock(queueMu);
-        if (queue.size() >= cfg.queueDepth) {
-            serveRejected().inc();
-            sendError(conn, header.requestId,
-                      WireCode::ResourceExhausted,
-                      "admission queue full (" +
-                          std::to_string(cfg.queueDepth) +
-                          " requests); retry with backoff",
-                      traceId);
-            return;
+        retryAfterMs = retryAfterMsLocked();
+        while (overCapacityLocked(p.costNs)) {
+            if (cfg.shedPolicy == "tail") {
+                shedSelf = true;
+                break;
+            }
+            // Heaviest-first: the client holding the most estimated
+            // queued work absorbs the shed — counting the arrival as
+            // part of its own client's backlog, so a lone client
+            // overflowing the queue still sheds its own newest work
+            // (which is the arrival itself).
+            PeerQueue *heavy = nullptr;
+            uint64_t heavyCost = 0;
+            uint64_t ownCost = p.costNs;
+            for (PeerQueue &pq : peerQueues) {
+                if (pq.peer == p.peer) {
+                    ownCost += pq.costNs;
+                    continue;
+                }
+                if (!pq.empty() &&
+                    (heavy == nullptr || pq.costNs > heavyCost)) {
+                    heavy = &pq;
+                    heavyCost = pq.costNs;
+                }
+            }
+            if (heavy == nullptr || heavyCost <= ownCost) {
+                // The arriving client *is* the heaviest (or no other
+                // client holds anything): newest-first means the
+                // arrival itself is the victim.
+                shedSelf = true;
+                break;
+            }
+            // Shed the heaviest client's newest batch work first;
+            // its interactive tail only when it queued nothing else.
+            std::deque<Pending> &victims = heavy->batch.empty()
+                                               ? heavy->interactive
+                                               : heavy->batch;
+            Pending victim = std::move(victims.back());
+            victims.pop_back();
+            removeQueuedLocked(victim);
+            shed.push_back(std::move(victim));
         }
-        Pending p;
-        p.conn = conn;
-        p.requestId = header.requestId;
-        p.request = std::move(request);
-        p.enqueuedNs = nowNs();
-        p.traceId = traceId;
-        queue.push_back(std::move(p));
-        queueDepthGauge().set(static_cast<double>(queue.size()));
+        if (!shedSelf) {
+            PeerQueue &pq = peerQueueFor(p.peer);
+            pq.costNs += p.costNs;
+            queuedCostNs += p.costNs;
+            ++queuedCount;
+            (p.interactive ? pq.interactive : pq.batch)
+                .push_back(std::move(p));
+            updateQueueGaugesLocked();
+        }
     }
-    serveAccepted().inc();
+
+    for (const Pending &victim : shed) {
+        serveRejected().inc();
+        serveShed().inc();
+        sendError(victim.conn, victim.requestId,
+                  WireCode::ResourceExhausted,
+                  "shed under overload (heaviest client, newest "
+                  "work first); retry after the hint",
+                  victim.traceId, retryAfterMs);
+    }
+    if (shedSelf) {
+        serveRejected().inc();
+        serveShed().inc();
+        sendError(conn, header.requestId,
+                  WireCode::ResourceExhausted,
+                  "admission queue full (" +
+                      std::to_string(cfg.queueDepth) +
+                      " requests); retry with backoff",
+                  traceId, retryAfterMs);
+        return;
+    }
     queueCv.notify_one();
+}
+
+/**
+ * Best-effort cancellation of an earlier request on this connection.
+ * Queued target: shed before it costs a worker anything, CANCELLED
+ * reply to the original id. In-flight solo target: its token fires
+ * and the handler unwinds at its next poll. Batch members and
+ * already-answered ids report cancelFound = 0.
+ */
+void
+ServeServer::handleCancel(const std::shared_ptr<Conn> &conn,
+                          const FrameHeader &header,
+                          const ServeRequest &request)
+{
+    bool haveQueued = false;
+    bool found = false;
+    Pending victim;
+    {
+        std::lock_guard<std::mutex> lock(queueMu);
+        for (PeerQueue &pq : peerQueues) {
+            for (std::deque<Pending> *dq :
+                 {&pq.interactive, &pq.batch}) {
+                for (auto it = dq->begin(); it != dq->end(); ++it) {
+                    if (it->conn->id == conn->id &&
+                        it->requestId == request.cancelTargetId) {
+                        victim = std::move(*it);
+                        dq->erase(it);
+                        removeQueuedLocked(victim);
+                        updateQueueGaugesLocked();
+                        haveQueued = true;
+                        found = true;
+                        break;
+                    }
+                }
+                if (haveQueued)
+                    break;
+            }
+            if (haveQueued)
+                break;
+        }
+        if (!haveQueued) {
+            auto it = inflightTokens.find(
+                {conn->id, request.cancelTargetId});
+            if (it != inflightTokens.end()) {
+                it->second->requestCancel(CancelCause::User);
+                found = true;
+            }
+        }
+        if (haveQueued && queuedCount == 0 && inFlight == 0)
+            idleCv.notify_all();
+    }
+
+    if (haveQueued) {
+        serveRejected().inc();
+        sendError(victim.conn, victim.requestId, WireCode::Cancelled,
+                  "cancelled by the client before execution",
+                  victim.traceId);
+    }
+    if (found)
+        serveCancels().inc();
+
+    ServeReply reply;
+    reply.type = MessageType::CancelReply;
+    reply.traceId = allocTraceId();
+    reply.cancelFound = found ? 1 : 0;
+    sendReply(conn, header.requestId, reply);
 }
 
 // --- workers ---------------------------------------------------------
@@ -705,10 +1128,115 @@ ServeServer::workerLoop()
 }
 
 /**
- * Pop the next request plus — when it is a Simulate with no deadline —
- * every queued Simulate for the *same trace slice*, so one replay pass
- * serves them all. Requests with deadlines run solo: batching would
- * couple their cancellation.
+ * Deadline sweep (queueMu held): move every queued request that can
+ * no longer finish in time into `expired` — expiry replies go out
+ * before the request costs a worker anything. "Cannot finish" means
+ * the absolute deadline already passed, or (once the op class's cost
+ * model has real evidence) the remaining budget is smaller than the
+ * estimated execute time.
+ */
+void
+ServeServer::sweepExpiredLocked(std::vector<Pending> *expired)
+{
+    const uint64_t now = nowNs();
+    for (PeerQueue &pq : peerQueues) {
+        for (std::deque<Pending> *dq : {&pq.interactive, &pq.batch}) {
+            for (auto it = dq->begin(); it != dq->end();) {
+                bool late = false;
+                if (it->deadlineNs != 0) {
+                    if (now >= it->deadlineNs) {
+                        late = true;
+                    } else if (costSamples[costClassFor(
+                                   it->request.type)]
+                                       .load(
+                                           std::memory_order_relaxed) >=
+                                   kCostModelMinSamples &&
+                               it->deadlineNs - now < it->costNs) {
+                        late = true;
+                    }
+                }
+                if (!late) {
+                    ++it;
+                    continue;
+                }
+                Pending victim = std::move(*it);
+                it = dq->erase(it);
+                removeQueuedLocked(victim);
+                expired->push_back(std::move(victim));
+            }
+        }
+    }
+    if (!expired->empty())
+        updateQueueGaugesLocked();
+}
+
+/**
+ * Scheduler selection (queueMu held): any interactive request first
+ * (round-robin across clients), else batch work by weighted deficit
+ * round robin — a client may dequeue when its deficit covers the
+ * head's estimated cost; every pass over the rotation earns each
+ * waiting client one quantum × weight. Clients that go idle leave
+ * the rotation and their deficit resets.
+ */
+bool
+ServeServer::popNextLocked(Pending *out)
+{
+    // Drop idle peers so the rotation only visits clients with work
+    // (and an idle client cannot bank deficit).
+    for (auto it = peerQueues.begin(); it != peerQueues.end();) {
+        if (it->empty() && it->costNs == 0)
+            it = peerQueues.erase(it);
+        else
+            ++it;
+    }
+    if (peerQueues.empty() || queuedCount == 0)
+        return false;
+    const size_t n = peerQueues.size();
+
+    for (size_t i = 0; i < n; ++i) {
+        PeerQueue &pq = peerQueues[(rrInteractive + i) % n];
+        if (pq.interactive.empty())
+            continue;
+        rrInteractive = (rrInteractive + i + 1) % n;
+        *out = std::move(pq.interactive.front());
+        pq.interactive.pop_front();
+        removeQueuedLocked(*out);
+        return true;
+    }
+
+    const uint64_t quantum = kDrrQuantumNs * cfg.clientWeight;
+    for (;;) {
+        bool anyBatch = false;
+        for (size_t i = 0; i < n; ++i) {
+            PeerQueue &pq = peerQueues[rrBatch % n];
+            rrBatch = (rrBatch + 1) % n;
+            if (pq.batch.empty())
+                continue;
+            anyBatch = true;
+            if (pq.deficitNs < pq.batch.front().costNs) {
+                pq.deficitNs += quantum;
+                continue;
+            }
+            pq.deficitNs -= pq.batch.front().costNs;
+            *out = std::move(pq.batch.front());
+            pq.batch.pop_front();
+            removeQueuedLocked(*out);
+            return true;
+        }
+        if (!anyBatch)
+            return false;
+        // Every waiting client earned a quantum this pass; the next
+        // pass (or one soon after) can afford its head.
+    }
+}
+
+/**
+ * Pop the next request per the fair-share scheduler plus — when it is
+ * a Simulate with no deadline — every queued Simulate for the *same
+ * trace slice* (any client), so one replay pass serves them all.
+ * Requests with deadlines run solo: batching would couple their
+ * cancellation. Expired requests found while popping are answered
+ * DEADLINE_EXCEEDED here, before any worker time is spent on them.
  */
 std::vector<ServeServer::Pending>
 ServeServer::popBatch()
@@ -718,58 +1246,120 @@ ServeServer::popBatch()
     static obs::Histogram &queueWait =
         obs::histogram("serve.queue_wait_ns");
 
-    std::vector<Pending> batch;
-    std::unique_lock<std::mutex> lock(queueMu);
-    queueCv.wait(lock,
-                 [this] { return quitFlag.load() || !queue.empty(); });
-    if (queue.empty())
-        return batch;   // quitting
+    for (;;) {
+        std::vector<Pending> batch;
+        std::vector<Pending> expired;
+        uint64_t formStartNs = 0;
+        uint32_t retryAfterMs = 0;
+        {
+            std::unique_lock<std::mutex> lock(queueMu);
+            queueCv.wait(lock, [this] {
+                return quitFlag.load() || queuedCount > 0;
+            });
+            sweepExpiredLocked(&expired);
+            retryAfterMs = retryAfterMsLocked();
 
-    const uint64_t formStartNs = nowNs();
-    batch.push_back(std::move(queue.front()));
-    queue.pop_front();
+            formStartNs = nowNs();
+            Pending head;
+            if (popNextLocked(&head)) {
+                batch.push_back(std::move(head));
 
-    // Copied, not referenced: the batch vector reallocates as members
-    // join, which would invalidate any reference into it.
-    const ServeRequest head = batch.front().request;
-    if (head.type == MessageType::Simulate && head.deadlineMs == 0) {
-        for (auto it = queue.begin();
-             it != queue.end() && batch.size() < cfg.maxBatch;) {
-            const ServeRequest &r = it->request;
-            const bool sameSlice =
-                r.type == MessageType::Simulate &&
-                r.deadlineMs == 0 && r.workload == head.workload &&
-                r.inputIdx == head.inputIdx &&
-                r.instructions == head.instructions &&
-                r.first == head.first && r.count == head.count;
-            if (sameSlice) {
-                batch.push_back(std::move(*it));
-                it = queue.erase(it);
-            } else {
-                ++it;
+                // Copied, not referenced: the batch vector
+                // reallocates as members join, which would invalidate
+                // any reference into it.
+                const ServeRequest headReq = batch.front().request;
+                if (headReq.type == MessageType::Simulate &&
+                    headReq.deadlineMs == 0) {
+                    for (PeerQueue &pq : peerQueues) {
+                        for (auto it = pq.batch.begin();
+                             it != pq.batch.end() &&
+                             batch.size() < cfg.maxBatch;) {
+                            const ServeRequest &r = it->request;
+                            const bool sameSlice =
+                                r.type == MessageType::Simulate &&
+                                r.deadlineMs == 0 &&
+                                r.workload == headReq.workload &&
+                                r.inputIdx == headReq.inputIdx &&
+                                r.instructions ==
+                                    headReq.instructions &&
+                                r.first == headReq.first &&
+                                r.count == headReq.count;
+                            if (sameSlice) {
+                                Pending member = std::move(*it);
+                                it = pq.batch.erase(it);
+                                removeQueuedLocked(member);
+                                batch.push_back(std::move(member));
+                            } else {
+                                ++it;
+                            }
+                        }
+                        if (batch.size() >= cfg.maxBatch)
+                            break;
+                    }
+                }
+
+                inFlight += static_cast<unsigned>(batch.size());
+                for (const Pending &p : batch) {
+                    inflightCostNs += p.costNs;
+                    // Solo requests are individually cancellable; a
+                    // multi-member batch shares one replay pass, so
+                    // cancelling one member would fail the others.
+                    if (batch.size() == 1)
+                        inflightTokens[{p.conn->id, p.requestId}] =
+                            p.cancel;
+                }
+                // serve.accepted counts requests handed to a worker:
+                // queued work that is later shed, swept, or cancelled
+                // was never accepted, keeping shed + accepted <=
+                // requests additive.
+                for (size_t i = 0; i < batch.size(); ++i)
+                    serveAccepted().inc();
+            }
+            updateQueueGaugesLocked();
+            if (queuedCount == 0 && inFlight == 0)
+                idleCv.notify_all();
+            if (batch.empty() && expired.empty() && quitFlag.load())
+                return batch;
+        }
+
+        if (!expired.empty()) {
+            const uint64_t sweepEndNs = nowNs();
+            obs::emitSpan("serve.queue_sweep",
+                          expired.front().traceId, formStartNs,
+                          sweepEndNs > formStartNs
+                              ? sweepEndNs - formStartNs
+                              : 0);
+            for (const Pending &p : expired) {
+                serveRejected().inc();
+                serveExpired().inc();
+                sendError(p.conn, p.requestId,
+                          WireCode::DeadlineExceeded,
+                          "deadline expired in the admission queue "
+                          "(estimated backlog exceeds the remaining "
+                          "budget)",
+                          p.traceId, retryAfterMs);
             }
         }
-    }
+        if (batch.empty())
+            continue;   // swept everything; wait for more work
 
-    inFlight += static_cast<unsigned>(batch.size());
-    queueDepthGauge().set(static_cast<double>(queue.size()));
-    lock.unlock();
-
-    batchSize.observe(batch.size());
-    const uint64_t now = nowNs();
-    for (const Pending &p : batch) {
-        const uint64_t wait =
-            now > p.enqueuedNs ? now - p.enqueuedNs : 0;
-        queueWait.observe(wait);
-        // Retroactive span: the wait started on the io thread, ended
-        // here. Recorded explicitly since no scope lived across both.
-        obs::emitSpan("serve.queue_wait", p.traceId, p.enqueuedNs,
-                      wait);
+        batchSize.observe(batch.size());
+        const uint64_t now = nowNs();
+        for (const Pending &p : batch) {
+            const uint64_t wait =
+                now > p.enqueuedNs ? now - p.enqueuedNs : 0;
+            queueWait.observe(wait);
+            // Retroactive span: the wait started on the io thread,
+            // ended here. Recorded explicitly since no scope lived
+            // across both.
+            obs::emitSpan("serve.queue_wait", p.traceId, p.enqueuedNs,
+                          wait);
+        }
+        if (batch.size() > 1)
+            obs::emitSpan("serve.batch_form", batch.front().traceId,
+                          formStartNs, now - formStartNs);
+        return batch;
     }
-    if (batch.size() > 1)
-        obs::emitSpan("serve.batch_form", batch.front().traceId,
-                      formStartNs, now - formStartNs);
-    return batch;
 }
 
 void
@@ -790,8 +1380,8 @@ ServeServer::execute(std::vector<Pending> batch)
             25 + faultsim::payloadDraw("serve.worker.stall") % 200);
     }
 
+    const uint64_t execStartNs = nowNs();
     {
-        obs::ScopedTimer timer(execNs);
         // The batch executes under the head's trace id; spans from
         // the shared replay (chunk decode, cache lookups) attach
         // there, and each member still gets its own root
@@ -801,11 +1391,21 @@ ServeServer::execute(std::vector<Pending> batch)
         if (batch.front().request.type == MessageType::Simulate) {
             executeSimulateBatch(batch);
         } else {
-            // Non-simulate requests are popped solo.
+            // Non-simulate requests are popped solo. The request's
+            // own token (registered in inflightTokens at pop) makes
+            // it cancellable; the deadline is *absolute* from
+            // admission, so queue wait already spent the budget —
+            // the deadline-propagation contract at this hop.
             Pending &p = batch.front();
-            CancelToken token(&stopToken);
-            if (p.request.deadlineMs != 0)
-                token.setDeadlineAfterMs(p.request.deadlineMs);
+            CancelToken &token = *p.cancel;
+            if (p.deadlineNs != 0) {
+                const uint64_t now = nowNs();
+                if (now >= p.deadlineNs)
+                    token.requestCancel(CancelCause::Deadline);
+                else
+                    token.setDeadlineAfterMs(
+                        (p.deadlineNs - now + 999999ull) / 1000000ull);
+            }
             CancelScope scope(token);
             ServeReply reply;
             switch (p.request.type) {
@@ -830,6 +1430,25 @@ ServeServer::execute(std::vector<Pending> batch)
             sendReply(p.conn, p.requestId, reply);
         }
     }
+    const uint64_t execEndNs = nowNs();
+    const uint64_t execDurNs =
+        execEndNs > execStartNs ? execEndNs - execStartNs : 0;
+    execNs.observe(static_cast<double>(execDurNs));
+
+    // Refine the cost model from what actually happened. Batch
+    // members share one replay, so the whole batch's units back one
+    // observation; cold executions measured generation, not the op
+    // class, and are skipped inside.
+    {
+        uint64_t units = 0;
+        bool warm = true;
+        for (const Pending &p : batch) {
+            units += p.costUnits;
+            warm = warm && p.costWarm;
+        }
+        noteObservedCost(batch.front().request.type, units, execDurNs,
+                         warm);
+    }
 
     const uint64_t now = nowNs();
     for (const Pending &p : batch) {
@@ -847,7 +1466,12 @@ ServeServer::execute(std::vector<Pending> batch)
 
     std::lock_guard<std::mutex> lock(queueMu);
     inFlight -= static_cast<unsigned>(batch.size());
-    if (queue.empty() && inFlight == 0)
+    for (const Pending &p : batch) {
+        inflightCostNs -= std::min(inflightCostNs, p.costNs);
+        inflightTokens.erase({p.conn->id, p.requestId});
+    }
+    updateQueueGaugesLocked();
+    if (queuedCount == 0 && inFlight == 0)
         idleCv.notify_all();
 }
 
@@ -874,12 +1498,26 @@ ServeServer::executeSimulateBatch(std::vector<Pending> &batch)
         return;
 
     // One token for the batch: members were only batched because none
-    // carries a deadline, so the token exists to chain the server's
-    // hard stop. Solo (deadline) simulates arm theirs here too.
-    CancelToken token(&stopToken);
-    if (live.size() == 1 && live[0]->request.deadlineMs != 0)
-        token.setDeadlineAfterMs(live[0]->request.deadlineMs);
-    CancelScope scope(token);
+    // carries a deadline, so a multi-member token exists only to
+    // chain the server's hard stop (cancelling one member must not
+    // fail the others). A solo simulate runs under its *own* token —
+    // individually cancellable via Cancel — with its deadline armed
+    // absolute from admission, so queue wait already spent budget.
+    CancelToken batchToken(&stopToken);
+    CancelToken *token = &batchToken;
+    if (live.size() == 1) {
+        token = live[0]->cancel.get();
+        if (live[0]->deadlineNs != 0) {
+            const uint64_t now = nowNs();
+            if (now >= live[0]->deadlineNs)
+                token->requestCancel(CancelCause::Deadline);
+            else
+                token->setDeadlineAfterMs(
+                    (live[0]->deadlineNs - now + 999999ull) /
+                    1000000ull);
+        }
+    }
+    CancelScope scope(*token);
 
     const ServeRequest &head = live[0]->request;
     Status st;
@@ -1095,7 +1733,8 @@ ServeServer::sendReply(const std::shared_ptr<Conn> &conn,
 void
 ServeServer::sendError(const std::shared_ptr<Conn> &conn,
                        uint64_t request_id, WireCode code,
-                       const std::string &message, uint64_t trace_id)
+                       const std::string &message, uint64_t trace_id,
+                       uint32_t retry_after_ms)
 {
     if (!conn->open.load())
         return;
@@ -1104,6 +1743,7 @@ ServeServer::sendError(const std::shared_ptr<Conn> &conn,
     reply.code = code;
     reply.message = message;
     reply.traceId = trace_id;
+    reply.retryAfterMs = retry_after_ms;
     const std::vector<uint8_t> payload = encodeReplyPayload(reply);
     std::vector<uint8_t> frame;
     if (!encodeFrame(MessageType::Error, request_id, payload, &frame)

@@ -14,10 +14,21 @@
  *    prefix, corrupt checksum, mid-frame disconnect — produces a clean
  *    Status, a best-effort Error reply, and a closed connection; never
  *    a crash.
- *  - Admission is a bounded FIFO queue. When it is full the request is
- *    answered *immediately* with RESOURCE_EXHAUSTED (serve.rejected)
- *    instead of buffering without bound: backpressure is explicit, and
- *    the server's memory stays bounded under any offered load.
+ *  - Admission is cost-aware and fair (DESIGN.md "Overload"): each
+ *    request gets an estimated cost (work units × op-class ns/unit,
+ *    refined online from observed execute times, × a cold/warm
+ *    reader-cache multiplier) and is queued into a per-client
+ *    (SO_PEERCRED) weighted deficit queue at one of two priorities
+ *    (interactive BranchStats above batch Simulate/Materialize/H2p).
+ *    When the queue is full by count (queueDepth) or by estimated
+ *    work (maxInflightCostMs) the scheduler sheds from the heaviest
+ *    over-quota client first — newest batch work first — answering
+ *    RESOURCE_EXHAUSTED with a retry-after hint (serve.rejected,
+ *    serve.shed); backpressure stays explicit and memory bounded
+ *    under any offered load. Requests whose deadline can no longer be
+ *    met are swept out with DEADLINE_EXCEEDED before consuming worker
+ *    time (serve.expired), and a Cancel frame sheds or cancels its
+ *    target (serve.cancels) — the hedge-loser reclamation path.
  *  - A fixed pool of worker threads pops requests. A worker that pops
  *    a Simulate request batches it with queued Simulate requests for
  *    the *same trace slice* (same workload/input/instructions/[a,b),
@@ -75,6 +86,32 @@ struct ServeConfig
     size_t maxOpenReaders = 32; ///< mmap'd reader LRU cap
 
     /**
+     * Cost-aware admission bound: the maximum *estimated* queued plus
+     * in-flight work, in milliseconds of predicted execute time
+     * (0 = count-only admission via queueDepth). With it set, 64
+     * cached stats queries and 2 cold Simulates stop being "the same"
+     * queue pressure.
+     */
+    uint64_t maxInflightCostMs = 0;
+
+    /**
+     * Fair-share quantum weight: how much estimated work (multiples
+     * of a 10 ms quantum) each client's deficit counter earns per
+     * scheduling round. Larger values trade fairness granularity for
+     * fewer round-robin passes.
+     */
+    unsigned clientWeight = 1;
+
+    /**
+     * Shed victim selection when admission overflows: "heaviest"
+     * (default) sheds the newest batch work of the client holding the
+     * most estimated queued work — the abusive client absorbs the
+     * sheds; "tail" always rejects the arriving request (the pre-
+     * overload behavior).
+     */
+    std::string shedPolicy = "heaviest";
+
+    /**
      * Slow-request threshold in milliseconds (0 = off). A request
      * whose accept-to-reply wall time crosses it is counted in
      * `serve.slow_requests` and logged as a structured
@@ -125,6 +162,7 @@ class ServeServer
   private:
     struct Conn;
     struct Pending;
+    struct PeerQueue;
 
     // --- I/O side (io thread) ---
     void ioLoop();
@@ -133,6 +171,21 @@ class ServeServer
     void parseFrames(const std::shared_ptr<Conn> &conn);
     void admit(const std::shared_ptr<Conn> &conn,
                const FrameHeader &header, ServeRequest request);
+    void handleCancel(const std::shared_ptr<Conn> &conn,
+                      const FrameHeader &header,
+                      const ServeRequest &request);
+
+    // --- admission scheduler (queueMu held unless noted) ---
+    void estimateCost(Pending *pending);
+    void noteObservedCost(MessageType type, uint64_t units,
+                          uint64_t exec_ns, bool warm);
+    PeerQueue &peerQueueFor(uint64_t peer);
+    bool overCapacityLocked(uint64_t arriving_cost_ns) const;
+    uint32_t retryAfterMsLocked() const;
+    void removeQueuedLocked(const Pending &pending);
+    void sweepExpiredLocked(std::vector<Pending> *expired);
+    bool popNextLocked(Pending *out);
+    void updateQueueGaugesLocked();
 
     // --- worker side ---
     void workerLoop();
@@ -148,7 +201,8 @@ class ServeServer
                    uint64_t request_id, const ServeReply &reply);
     void sendError(const std::shared_ptr<Conn> &conn,
                    uint64_t request_id, WireCode code,
-                   const std::string &message, uint64_t trace_id = 0);
+                   const std::string &message, uint64_t trace_id = 0,
+                   uint32_t retry_after_ms = 0);
     void logSlowRequest(const Pending &pending, uint64_t wall_ns);
     void closeConn(const std::shared_ptr<Conn> &conn);
 
@@ -191,8 +245,32 @@ class ServeServer
     std::mutex queueMu;
     std::condition_variable queueCv;       ///< workers wait here
     std::condition_variable idleCv;        ///< drain() waits here
-    std::deque<Pending> queue;
+
+    // Per-client weighted deficit queues (the admission queue). All
+    // scheduler state below queueMu. Peers with no queued work are
+    // dropped from the rotation (their deficit resets), so the deque
+    // stays as small as the set of clients with work in flight.
+    std::deque<PeerQueue> peerQueues;
+    size_t queuedCount = 0;                ///< requests across peers
+    uint64_t queuedCostNs = 0;             ///< estimated queued work
+    uint64_t inflightCostNs = 0;           ///< estimated popped work
+    size_t rrInteractive = 0;              ///< round-robin cursors
+    size_t rrBatch = 0;
     unsigned inFlight = 0;                 ///< popped, not yet replied
+
+    // In-flight cancel registry: (conn id, request id) -> the
+    // request's cancel token, registered at pop for solo requests
+    // (batch members cannot be cancelled individually).
+    std::map<std::pair<uint64_t, uint64_t>,
+             std::shared_ptr<CancelToken>>
+        inflightTokens;
+
+    // Online cost model: per-op-class EWMA of observed execute ns per
+    // work unit (x16 fixed point), seeded with priors and refined
+    // from warm executions only. Atomics: estimateCost reads on the
+    // io thread while workers refine.
+    std::atomic<uint64_t> costNsPerUnitX16[4];
+    std::atomic<uint64_t> costSamples[4] = {};
 
     std::mutex readersMu;
     struct ReaderEntry

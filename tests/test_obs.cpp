@@ -873,9 +873,9 @@ TEST(ObsReport, SnapshotsSectionOnlyWhenSamplerRan)
     {
         JsonParser parser(obs::renderRunReport());
         const JsonValue doc = parser.parse();
-        EXPECT_DOUBLE_EQ(doc.at("schema_rev").number, 7.0);
+        EXPECT_DOUBLE_EQ(doc.at("schema_rev").number, 8.0);
         EXPECT_FALSE(doc.has("snapshots"));
-        // The rev-6/7 contract counters are present even untouched.
+        // The rev-6/7/8 contract counters are present even untouched.
         const JsonValue &counters = doc.at("counters");
         EXPECT_TRUE(counters.has("obs.spans_recorded"));
         EXPECT_TRUE(counters.has("obs.spans_dropped"));
@@ -883,6 +883,10 @@ TEST(ObsReport, SnapshotsSectionOnlyWhenSamplerRan)
         EXPECT_TRUE(counters.has("serve.fleet.worker_deaths"));
         EXPECT_TRUE(counters.has("serve.fleet.respawns"));
         EXPECT_TRUE(counters.has("serve.client.retries"));
+        EXPECT_TRUE(counters.has("serve.shed"));
+        EXPECT_TRUE(counters.has("serve.expired"));
+        EXPECT_TRUE(counters.has("serve.hedges"));
+        EXPECT_TRUE(counters.has("serve.hedge_wins"));
     }
 
     obs::counter("test.obs.report_snap").add(9);

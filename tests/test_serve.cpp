@@ -132,6 +132,29 @@ class ServeTest : public ::testing::Test
         ASSERT_TRUE(server->start().ok());
     }
 
+    /** Server with the cost-aware admission budget engaged. */
+    void
+    startServerOverload(uint64_t max_inflight_cost_ms,
+                        const std::string &shed_policy = "heaviest",
+                        unsigned workers = 1,
+                        size_t queue_depth = 32)
+    {
+        scratch = std::make_unique<ScratchDir>(
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()
+                ->name());
+        ServeConfig config;
+        config.socketPath = scratch->file("s.sock");
+        config.workers = workers;
+        config.queueDepth = queue_depth;
+        config.maxBatch = 8;
+        config.traceCacheDir = scratch->file("cache");
+        config.maxInflightCostMs = max_inflight_cost_ms;
+        config.shedPolicy = shed_policy;
+        server = std::make_unique<ServeServer>(std::move(config));
+        ASSERT_TRUE(server->start().ok());
+    }
+
     void
     TearDown() override
     {
@@ -1071,6 +1094,156 @@ TEST_F(ServeTest, SlowRequestThresholdCountsCrossings)
     EXPECT_GT(counterValue("serve.slow_requests"), slowBefore);
 }
 
+// --- overload: admission budget, cancel, deadline sweep --------------
+
+TEST_F(ServeTest, CancelShedsQueuedRequestBeforeExecution)
+{
+    // One stalled worker: id 1 occupies it, id 2 waits in the queue.
+    // Cancelling id 2 must answer CANCELLED from the io thread before
+    // the request ever costs a worker anything.
+    startServer(/*workers=*/1, /*queue_depth=*/8);
+    ASSERT_TRUE(faultsim::configure("serve.worker.stall").ok());
+    const uint64_t cancelsBefore = counterValue("serve.cancels");
+
+    RawConn raw(socketPath());
+    ASSERT_TRUE(raw.ok());
+    std::vector<uint8_t> frame;
+    ASSERT_TRUE(encodeFrame(MessageType::Simulate, 1,
+                            encodeRequestPayload(
+                                simulateRequest("gshare")),
+                            &frame)
+                    .ok());
+    raw.send(frame);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    // A different trace, so the queued victim can never be pulled
+    // into a shared replay batch with id 1.
+    ServeRequest queued = simulateRequest("bimodal");
+    queued.workload = "xz_like";
+    ASSERT_TRUE(encodeFrame(MessageType::Simulate, 2,
+                            encodeRequestPayload(queued), &frame)
+                    .ok());
+    raw.send(frame);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+    ServeRequest cancel;
+    cancel.type = MessageType::Cancel;
+    cancel.cancelTargetId = 2;
+    ASSERT_TRUE(encodeFrame(MessageType::Cancel, 3,
+                            encodeRequestPayload(cancel), &frame)
+                    .ok());
+    raw.send(frame);
+
+    // The victim's CANCELLED error, then the CancelReply — both while
+    // the lone worker is still stalled on id 1.
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(raw.recvFrame(&header, &payload));
+    EXPECT_EQ(header.requestId, 2u);
+    ASSERT_EQ(static_cast<MessageType>(header.type),
+              MessageType::Error);
+    ServeReply victim;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::Error, payload.data(),
+                                   payload.size(), &victim)
+                    .ok());
+    EXPECT_EQ(victim.code, WireCode::Cancelled);
+
+    ASSERT_TRUE(raw.recvFrame(&header, &payload));
+    EXPECT_EQ(header.requestId, 3u);
+    ASSERT_EQ(static_cast<MessageType>(header.type),
+              MessageType::CancelReply);
+    ServeReply ack;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::CancelReply,
+                                   payload.data(), payload.size(),
+                                   &ack)
+                    .ok());
+    EXPECT_EQ(ack.cancelFound, 1u);
+    EXPECT_GT(counterValue("serve.cancels"), cancelsBefore);
+
+    // An id that was never issued reports not-found.
+    cancel.cancelTargetId = 999;
+    ASSERT_TRUE(encodeFrame(MessageType::Cancel, 4,
+                            encodeRequestPayload(cancel), &frame)
+                    .ok());
+    raw.send(frame);
+    ASSERT_TRUE(raw.recvFrame(&header, &payload));
+    ASSERT_EQ(static_cast<MessageType>(header.type),
+              MessageType::CancelReply);
+    ServeReply notFound;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::CancelReply,
+                                   payload.data(), payload.size(),
+                                   &notFound)
+                    .ok());
+    EXPECT_EQ(notFound.cancelFound, 0u);
+}
+
+TEST_F(ServeTest, CostBudgetAdmissionShedsWithRetryAfterHint)
+{
+    // A 1 ms inflight-work budget cannot fit a cold 120k-record
+    // simulate (prior estimate ~10 ms): cost-aware admission sheds it
+    // up front with RESOURCE_EXHAUSTED and a non-zero retry hint,
+    // before any queueing or worker time.
+    startServerOverload(/*max_inflight_cost_ms=*/1);
+    const uint64_t shedBefore = counterValue("serve.shed");
+
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(socketPath()).ok());
+    RetryPolicy policy;
+    policy.maxAttempts = 1;
+    client.setRetryPolicy(policy);
+    ServeReply reply;
+    ASSERT_TRUE(client.call(simulateRequest("gshare"), &reply).ok());
+    EXPECT_EQ(reply.code, WireCode::ResourceExhausted)
+        << wireCodeName(reply.code) << ": " << reply.message;
+    EXPECT_GT(reply.retryAfterMs, 0u);
+    EXPECT_GT(counterValue("serve.shed"), shedBefore);
+}
+
+TEST_F(ServeTest, DeadlineSweepExpiresQueuedRequestBeforeWorkerTime)
+{
+    // One worker, stalled on its first pop: a queued request whose
+    // budget lapses while waiting is answered DEADLINE_EXCEEDED by
+    // the queue sweep at the next pop, never reaching a worker.
+    startServer(/*workers=*/1);
+    ASSERT_TRUE(faultsim::configure("serve.worker.stall*1").ok());
+    const uint64_t expiredBefore = counterValue("serve.expired");
+
+    RawConn raw(socketPath());
+    ASSERT_TRUE(raw.ok());
+    std::vector<uint8_t> frame;
+    ASSERT_TRUE(encodeFrame(MessageType::Simulate, 1,
+                            encodeRequestPayload(
+                                simulateRequest("gshare")),
+                            &frame)
+                    .ok());
+    raw.send(frame);
+    std::this_thread::sleep_for(std::chrono::milliseconds(15));
+    ServeRequest doomed = simulateRequest("bimodal");
+    doomed.workload = "xz_like";   // never batched with id 1
+    doomed.deadlineMs = 1;
+    ASSERT_TRUE(encodeFrame(MessageType::Simulate, 2,
+                            encodeRequestPayload(doomed), &frame)
+                    .ok());
+    raw.send(frame);
+
+    // id 1's reply lands first (stall, then the replay); the next pop
+    // sweeps id 2, by then far past its 1 ms budget.
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(raw.recvFrame(&header, &payload));
+    EXPECT_EQ(header.requestId, 1u);
+    ASSERT_TRUE(raw.recvFrame(&header, &payload));
+    EXPECT_EQ(header.requestId, 2u);
+    ASSERT_EQ(static_cast<MessageType>(header.type),
+              MessageType::Error);
+    ServeReply reply;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::Error, payload.data(),
+                                   payload.size(), &reply)
+                    .ok());
+    EXPECT_EQ(reply.code, WireCode::DeadlineExceeded)
+        << reply.message;
+    EXPECT_GT(counterValue("serve.expired"), expiredBefore);
+}
+
 // --- health probe, retry policy, EINTR hardening ---------------------
 
 TEST(ServeProtocol, HealthReplyRoundTripsShardRows)
@@ -1110,6 +1283,81 @@ TEST(ServeProtocol, HealthReplyRoundTripsShardRows)
     std::vector<uint8_t> lying = payload;
     const uint32_t bogus = 0x00FFFFFF;
     std::memcpy(lying.data(), &bogus, 4);
+    ServeReply refused;
+    EXPECT_EQ(decodeReplyPayload(MessageType::HealthReply,
+                                 lying.data(), lying.size(), &refused)
+                  .code(),
+              StatusCode::CorruptData);
+}
+
+TEST(ServeProtocol, CancelRequestAndReplyRoundTrip)
+{
+    ServeRequest request;
+    request.type = MessageType::Cancel;
+    request.cancelTargetId = 0xABCDEF0123456789ull;
+    const std::vector<uint8_t> payload = encodeRequestPayload(request);
+    ServeRequest out;
+    ASSERT_TRUE(decodeRequestPayload(MessageType::Cancel,
+                                     payload.data(), payload.size(),
+                                     &out)
+                    .ok());
+    EXPECT_EQ(out.cancelTargetId, request.cancelTargetId);
+    EXPECT_TRUE(isRequestType(MessageType::Cancel));
+    // Best-effort and addressed by target id: a duplicated Cancel is
+    // harmless, so hedging never needs to special-case it.
+    EXPECT_TRUE(isIdempotentRequest(MessageType::Cancel));
+
+    ServeReply reply;
+    reply.type = MessageType::CancelReply;
+    reply.cancelFound = 1;
+    const std::vector<uint8_t> rp = encodeReplyPayload(reply);
+    ServeReply rout;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::CancelReply,
+                                   rp.data(), rp.size(), &rout)
+                    .ok());
+    EXPECT_EQ(rout.cancelFound, 1u);
+}
+
+TEST(ServeProtocol, HealthReplyOverloadBlockRoundTripsAndIsOptional)
+{
+    ServeReply reply;
+    reply.type = MessageType::HealthReply;
+    ShardHealth row;
+    row.shard = 0;
+    row.state = ShardHealth::Ready;
+    row.pid = 99;
+    row.queueDepth = 17;
+    row.queuedCostMs = 4200;
+    reply.shards = {row};
+
+    std::vector<uint8_t> payload = encodeReplyPayload(reply);
+    ServeReply out;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::HealthReply,
+                                   payload.data(), payload.size(),
+                                   &out)
+                    .ok());
+    ASSERT_EQ(out.shards.size(), 1u);
+    EXPECT_EQ(out.shards[0].queueDepth, 17u);
+    EXPECT_EQ(out.shards[0].queuedCostMs, 4200u);
+
+    // The block rides behind the universal trailers (grow-at-end):
+    // a pre-overload server's payload simply ends after the
+    // retry-after hint, and the depths stay zero.
+    payload.resize(payload.size() - (4 + 12 * reply.shards.size()));
+    ServeReply legacy;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::HealthReply,
+                                   payload.data(), payload.size(),
+                                   &legacy)
+                    .ok());
+    ASSERT_EQ(legacy.shards.size(), 1u);
+    EXPECT_EQ(legacy.shards[0].queueDepth, 0u);
+    EXPECT_EQ(legacy.shards[0].queuedCostMs, 0u);
+
+    // A block claiming more rows than the payload holds is refused,
+    // not allocated for.
+    std::vector<uint8_t> lying = encodeReplyPayload(reply);
+    const uint32_t bogus = 0x00FFFFFF;
+    std::memcpy(lying.data() + lying.size() - 16, &bogus, 4);
     ServeReply refused;
     EXPECT_EQ(decodeReplyPayload(MessageType::HealthReply,
                                  lying.data(), lying.size(), &refused)
@@ -1334,6 +1582,146 @@ TEST(ServeClientRetry, NonRetryableCodeIsNeverRetried)
     EXPECT_EQ(client.retriesObserved(), 0u);
     EXPECT_EQ(client.gaveUpObserved(), 0u);
     EXPECT_EQ(server.served(), 1);
+}
+
+namespace {
+
+/**
+ * Hedge probe: the FIRST accepted connection swallows requests and
+ * never answers (a wedged worker); every later connection answers
+ * each request with a PingReply immediately. Records whether the
+ * silent leg eventually received a Cancel for its abandoned request.
+ */
+class HedgeProbeServer
+{
+  public:
+    explicit HedgeProbeServer(const std::string &path)
+        : socketPath(path)
+    {
+        listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        struct sockaddr_un addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ::unlink(path.c_str());
+        EXPECT_EQ(::bind(listenFd,
+                         reinterpret_cast<struct sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        EXPECT_EQ(::listen(listenFd, 4), 0);
+        acceptThread = std::thread([this] { acceptLoop(); });
+    }
+
+    ~HedgeProbeServer()
+    {
+        ::shutdown(listenFd, SHUT_RDWR);
+        ::close(listenFd);
+        acceptThread.join();
+        for (std::thread &t : handlers)
+            t.join();
+        ::unlink(socketPath.c_str());
+    }
+
+    bool cancelSeen() const { return sawCancel.load(); }
+
+  private:
+    void
+    acceptLoop()
+    {
+        for (;;) {
+            const int fd = ::accept(listenFd, nullptr, nullptr);
+            if (fd < 0)
+                return;
+            const int index = connIndex.fetch_add(1);
+            std::lock_guard<std::mutex> lock(handlersMu);
+            handlers.emplace_back(
+                [this, fd, index] { handle(fd, index); });
+        }
+    }
+
+    void
+    handle(int fd, int index)
+    {
+        for (;;) {
+            uint8_t head[kFrameHeaderBytes];
+            if (!readExactFd(fd, head, sizeof(head), 5000).ok())
+                break;
+            FrameHeader header;
+            if (!parseFrameHeader(head, sizeof(head), &header).ok())
+                break;
+            std::vector<uint8_t> payload(header.payloadLen);
+            if (header.payloadLen > 0 &&
+                !readExactFd(fd, payload.data(), payload.size(), 5000)
+                     .ok())
+                break;
+            if (static_cast<MessageType>(header.type) ==
+                MessageType::Cancel) {
+                sawCancel.store(true);
+                continue;   // the canceller closes next; no reply
+            }
+            if (index == 0)
+                continue;   // the wedged leg: swallow, never answer
+            ServeReply reply;
+            reply.type = MessageType::PingReply;
+            reply.serverInfo = "hedge-leg";
+            std::vector<uint8_t> frame;
+            ASSERT_TRUE(encodeFrame(reply.type, header.requestId,
+                                    encodeReplyPayload(reply),
+                                    &frame)
+                            .ok());
+            if (!writeAllFd(fd, frame.data(), frame.size(), 2000)
+                     .ok())
+                break;
+        }
+        ::close(fd);
+    }
+
+    std::string socketPath;
+    int listenFd = -1;
+    std::thread acceptThread;
+    std::mutex handlersMu;
+    std::vector<std::thread> handlers;
+    std::atomic<int> connIndex{0};
+    std::atomic<bool> sawCancel{false};
+};
+
+} // namespace
+
+TEST(ServeClientHedge, HedgesQuietPrimaryCancelsLoserAdoptsWinner)
+{
+    ScratchDir dir("hedge");
+    HedgeProbeServer server(dir.file("s.sock"));
+
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(dir.file("s.sock")).ok());
+    RetryPolicy policy;
+    policy.maxAttempts = 1;
+    client.setRetryPolicy(policy);
+    client.setHedgeMs(40);
+
+    // The primary leg never answers: after the 40 ms hedge window the
+    // duplicate goes out on a second connection and wins the race.
+    ServeRequest request;
+    request.type = MessageType::Ping;
+    ServeReply reply;
+    ASSERT_TRUE(client.call(request, &reply).ok());
+    EXPECT_EQ(reply.code, WireCode::Ok);
+    EXPECT_EQ(reply.serverInfo, "hedge-leg");
+    EXPECT_EQ(client.hedgesObserved(), 1u);
+    EXPECT_EQ(client.hedgeWinsObserved(), 1u);
+
+    // The losing (silent) leg got a Cancel before its socket closed.
+    for (int i = 0; i < 200 && !server.cancelSeen(); ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    EXPECT_TRUE(server.cancelSeen());
+
+    // The winning connection was adopted: the next call rides it and
+    // is answered inside the hedge window, so no new hedge fires.
+    ASSERT_TRUE(client.call(request, &reply).ok());
+    EXPECT_EQ(reply.code, WireCode::Ok);
+    EXPECT_EQ(reply.serverInfo, "hedge-leg");
+    EXPECT_EQ(client.hedgesObserved(), 1u);
 }
 
 namespace {
@@ -1641,6 +2029,211 @@ TEST_F(FleetTest, DrainWhileRespawnInFlightStopsEverything)
         EXPECT_FALSE(std::filesystem::exists(
             fleet->workerSocketPath(i)));
     fleet.reset();   // already drained; TearDown's drain is a no-op
+}
+
+// --- router hardening: bad frames, worker loss, deadlines ------------
+
+TEST_F(FleetTest, OversizedFrameToRouterIsRefusedAndConnClosed)
+{
+    startFleet(1);
+    RawConn raw(fleet->config().socketPath);
+    ASSERT_TRUE(raw.ok());
+    std::vector<uint8_t> frame;
+    ASSERT_TRUE(encodeFrame(MessageType::Ping, 5, {}, &frame).ok());
+    const uint32_t huge = kMaxFramePayload + 1;
+    std::memcpy(frame.data() + 16, &huge, sizeof(huge));
+    raw.send(frame);
+
+    // The length prefix is refused before any buffering; the stream
+    // can no longer be trusted, so the reply is an Error and a close.
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(raw.recvFrame(&header, &payload));
+    ASSERT_EQ(static_cast<MessageType>(header.type),
+              MessageType::Error);
+    ServeReply reply;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::Error, payload.data(),
+                                   payload.size(), &reply)
+                    .ok());
+    EXPECT_NE(reply.code, WireCode::Ok);
+    EXPECT_TRUE(raw.closedByPeer());
+
+    // The router survives and keeps serving new connections.
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(fleet->config().socketPath).ok());
+    std::string info;
+    EXPECT_TRUE(client.ping(&info).ok());
+}
+
+TEST_F(FleetTest, CorruptFrameToRouterGetsCorruptDataAndClose)
+{
+    startFleet(1);
+    RawConn raw(fleet->config().socketPath);
+    ASSERT_TRUE(raw.ok());
+    std::vector<uint8_t> frame;
+    ASSERT_TRUE(encodeFrame(MessageType::Simulate, 11,
+                            encodeRequestPayload(
+                                simulateRequest("gshare")),
+                            &frame)
+                    .ok());
+    frame[kFrameHeaderBytes] ^= 0x40;   // corrupt payload, stale crc
+    raw.send(frame);
+
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(raw.recvFrame(&header, &payload));
+    ASSERT_EQ(static_cast<MessageType>(header.type),
+              MessageType::Error);
+    ServeReply reply;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::Error, payload.data(),
+                                   payload.size(), &reply)
+                    .ok());
+    EXPECT_EQ(reply.code, WireCode::CorruptData);
+    EXPECT_TRUE(raw.closedByPeer());
+
+    ServeClient client;
+    ASSERT_TRUE(client.connectUnix(fleet->config().socketPath).ok());
+    std::string info;
+    EXPECT_TRUE(client.ping(&info).ok());
+}
+
+TEST_F(FleetTest, DeadlinePropagatesThroughRouterToWorker)
+{
+    // A 1 ms budget through the router onto a cold heavyweight
+    // simulate: the decremented deadline survives the re-encoded
+    // forward and the worker (sweep or mid-replay check) answers
+    // DEADLINE_EXCEEDED — proof the field rode the wire both hops.
+    startFleet(1);
+    ServeClient client;
+    ASSERT_TRUE(
+        client.connectUnix(fleet->config().socketPath).ok());
+
+    // Warm-up with retries: rides out the worker's startup window and
+    // materializes the trace, so the deadline below meters only the
+    // (still multi-ms) tage replay.
+    RetryPolicy warmup;
+    warmup.maxAttempts = 10;
+    warmup.baseBackoffMs = 50;
+    warmup.maxBackoffMs = 500;
+    client.setRetryPolicy(warmup);
+    ServeReply warm;
+    ASSERT_TRUE(client.call(simulateRequest("gshare"), &warm).ok());
+    ASSERT_EQ(warm.code, WireCode::Ok) << warm.message;
+
+    RetryPolicy policy;
+    policy.maxAttempts = 1;
+    client.setRetryPolicy(policy);
+    ServeRequest request = simulateRequest("tage-sc-l-64KB");
+    request.deadlineMs = 1;
+    ServeReply reply;
+    ASSERT_TRUE(client.call(request, &reply).ok());
+    EXPECT_EQ(reply.code, WireCode::DeadlineExceeded)
+        << wireCodeName(reply.code) << ": " << reply.message;
+}
+
+namespace {
+
+/**
+ * A fake worker whose connections vanish mid-request: each accepted
+ * connection reads one whole request frame, then closes without
+ * replying — a worker dying between accept and reply.
+ */
+class VanishingWorker
+{
+  public:
+    explicit VanishingWorker(const std::string &path)
+        : socketPath(path)
+    {
+        listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        struct sockaddr_un addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sun_family = AF_UNIX;
+        std::strncpy(addr.sun_path, path.c_str(),
+                     sizeof(addr.sun_path) - 1);
+        ::unlink(path.c_str());
+        EXPECT_EQ(::bind(listenFd,
+                         reinterpret_cast<struct sockaddr *>(&addr),
+                         sizeof(addr)),
+                  0);
+        EXPECT_EQ(::listen(listenFd, 4), 0);
+        serverThread = std::thread([this] { serve(); });
+    }
+
+    ~VanishingWorker()
+    {
+        ::shutdown(listenFd, SHUT_RDWR);
+        ::close(listenFd);
+        serverThread.join();
+        ::unlink(socketPath.c_str());
+    }
+
+  private:
+    void
+    serve()
+    {
+        for (;;) {
+            const int fd = ::accept(listenFd, nullptr, nullptr);
+            if (fd < 0)
+                return;
+            uint8_t head[kFrameHeaderBytes];
+            FrameHeader header;
+            if (readExactFd(fd, head, sizeof(head), 2000).ok() &&
+                parseFrameHeader(head, sizeof(head), &header).ok() &&
+                header.payloadLen > 0) {
+                std::vector<uint8_t> payload(header.payloadLen);
+                readExactFd(fd, payload.data(), payload.size(), 2000);
+            }
+            ::close(fd);   // vanish mid-request, no reply
+        }
+    }
+
+    std::string socketPath;
+    int listenFd = -1;
+    std::thread serverThread;
+};
+
+} // namespace
+
+TEST(FleetForwarding, WorkerDisconnectMidForwardYieldsUnavailable)
+{
+    ScratchDir dir("fleet_vanish");
+    FleetConfig config;
+    config.socketPath = dir.file("f.sock");
+    config.workers = 1;
+    // An inert stand-in process (exec: the supervised pid must BE the
+    // sleep, so the drain's kill leaves no orphan holding our pipes);
+    // the test serves the worker socket itself.
+    config.workerCommand = {"/bin/sh", "-c", "exec sleep 3600"};
+    config.heartbeatMs = 60000;   // keep the staleness watchdog quiet
+    config.backoffBaseMs = 50;
+    config.backoffCapMs = 200;
+    config.breakerDeaths = 5;
+    config.breakerCooldownMs = 60000;
+    config.drainGraceMs = 2000;
+    auto fleet = std::make_unique<FleetSupervisor>(std::move(config));
+    ASSERT_TRUE(fleet->start().ok());
+    // The spawn unlinked the worker socket; bind our own peer there.
+    VanishingWorker worker(fleet->workerSocketPath(0));
+
+    const uint64_t unavailBefore =
+        counterValue("serve.fleet.unavailable");
+    ServeClient client;
+    ASSERT_TRUE(
+        client.connectUnix(fleet->config().socketPath).ok());
+    RetryPolicy policy;
+    policy.maxAttempts = 1;
+    client.setRetryPolicy(policy);
+    ServeReply reply;
+    ASSERT_TRUE(client.call(simulateRequest("gshare"), &reply).ok());
+    EXPECT_EQ(reply.code, WireCode::Unavailable)
+        << wireCodeName(reply.code) << ": " << reply.message;
+    EXPECT_GT(reply.retryAfterMs, 0u);
+    EXPECT_GT(counterValue("serve.fleet.unavailable"), unavailBefore);
+
+    // The client's router connection survives the worker loss.
+    std::string info;
+    EXPECT_TRUE(client.ping(&info).ok());
+    fleet->drain();
 }
 
 } // namespace
