@@ -126,7 +126,17 @@ REQUIRED_COUNTERS_REV8 = (
     "serve.hedges",
     "serve.hedge_wins",
 )
-MAX_KNOWN_SCHEMA_REV = 8
+# Added in schema_rev 9: the frontend contract. Every report proves
+# what the fetch engine cost — BTB misses, RAS overflows, indirect
+# target mispredicts, and FTQ-unabsorbed stall cycles (all zero when
+# the run wired no FrontendModel).
+REQUIRED_COUNTERS_REV9 = (
+    "frontend.btb_miss",
+    "frontend.ras_over",
+    "frontend.ind_mispred",
+    "frontend.ftq_stall_cycles",
+)
+MAX_KNOWN_SCHEMA_REV = 9
 
 
 def check(path):
@@ -185,6 +195,8 @@ def check(path):
         required = required + REQUIRED_COUNTERS_REV7
     if rev >= 8:
         required = required + REQUIRED_COUNTERS_REV8
+    if rev >= 9:
+        required = required + REQUIRED_COUNTERS_REV9
     for name in required:
         if name not in counters:
             raise ValueError(f"missing counter {name}")

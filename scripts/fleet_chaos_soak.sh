@@ -136,7 +136,7 @@ import sys
 
 with open(sys.argv[1]) as f:
     report = json.load(f)
-assert report["schema_rev"] == 7, report["schema_rev"]
+assert report["schema_rev"] == 9, report["schema_rev"]
 c = report["counters"]
 assert c["serve.fleet.worker_deaths"] >= 1, "no chaos kills landed: %r" % c
 assert c["serve.fleet.respawns"] == c["serve.fleet.worker_deaths"], (

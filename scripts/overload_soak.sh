@@ -9,7 +9,7 @@
 # they cost worker time, and answer every surviving request with the
 # bit-exact result (--verify). Client-side hedging must fire under the
 # induced slowness and every hedged duplicate must verify identically.
-# The drained report must validate as schema_rev 8 (shed / expired /
+# The drained report must validate as schema_rev 9 (shed / expired /
 # hedge accounting invariants). A final pass drives the same corpus
 # through a 2-worker fleet with router-side hedging enabled and
 # validates the fleet report under the same rev-8 invariants.
@@ -157,9 +157,9 @@ print(
 )
 PY
 
-# Phase 3: drain and audit the rev-8 report: the overload counters
+# Phase 3: drain and audit the rev-9 report: the overload counters
 # must be present, additive, and non-trivial.
-echo "== phase 3: main report validation (schema_rev 8)"
+echo "== phase 3: main report validation (schema_rev 9)"
 kill -TERM "$SERVED_PID"
 SERVED_STATUS=0
 wait "$SERVED_PID" || SERVED_STATUS=$?
@@ -173,7 +173,7 @@ import sys
 
 with open(sys.argv[1]) as f:
     report = json.load(f)
-assert report["schema_rev"] == 8, report["schema_rev"]
+assert report["schema_rev"] == 9, report["schema_rev"]
 c = report["counters"]
 assert c["serve.shed"] > 0, "cost-aware admission never shed: %r" % c
 assert c["serve.shed"] + c["serve.accepted"] <= c["serve.requests"], c

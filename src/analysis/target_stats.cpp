@@ -1,0 +1,32 @@
+#include "analysis/target_stats.hpp"
+
+namespace bpnsp {
+
+const std::vector<InstrClass> &
+targetClassOrder()
+{
+    static const std::vector<InstrClass> order = {
+        InstrClass::Call,
+        InstrClass::Ret,
+        InstrClass::JumpInd,
+        InstrClass::CallInd,
+    };
+    return order;
+}
+
+std::vector<TargetClassRow>
+targetClassRows(const FrontendModel &fe)
+{
+    std::vector<TargetClassRow> rows;
+    rows.reserve(targetClassOrder().size());
+    for (InstrClass cls : targetClassOrder()) {
+        TargetClassRow row;
+        row.cls = cls;
+        row.execs = fe.perClass(cls).execs;
+        row.targetMispreds = fe.perClass(cls).targetMispreds;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+} // namespace bpnsp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-class target-misprediction statistics from a frontend replay.
+ *
+ * The direction analyses (branch_stats, h2p) answer "which conditional
+ * branches does the predictor get wrong?"; this surface answers the
+ * companion question for control-transfer *targets*: how often does
+ * the frontend steer fetch to the wrong address, broken down by the
+ * transfer class that caused it (direct calls resolved by the BTB,
+ * returns by the RAS, register-indirect jumps/calls by ITTAGE).
+ *
+ * Rows come back in a stable class order so that text reports, the
+ * serve wire format, and test expectations all agree without sorting
+ * at every call site.
+ */
+
+#ifndef BPNSP_ANALYSIS_TARGET_STATS_HPP
+#define BPNSP_ANALYSIS_TARGET_STATS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "frontend/frontend.hpp"
+#include "trace/record.hpp"
+
+namespace bpnsp {
+
+/** One class's share of the frontend's target mispredictions. */
+struct TargetClassRow
+{
+    InstrClass cls = InstrClass::Alu;
+    uint64_t execs = 0;          ///< transfers of this class executed
+    uint64_t targetMispreds = 0; ///< resolved to an unpredicted target
+
+    /** Mispredicted-target rate among this class's executions. */
+    double
+    mispredRate() const
+    {
+        if (execs == 0)
+            return 0.0;
+        return static_cast<double>(targetMispreds) /
+               static_cast<double>(execs);
+    }
+
+    /** Target MPKI contribution given the whole-trace instruction count. */
+    double
+    mpki(uint64_t instructions) const
+    {
+        if (instructions == 0)
+            return 0.0;
+        return 1000.0 * static_cast<double>(targetMispreds) /
+               static_cast<double>(instructions);
+    }
+};
+
+/**
+ * The stable row order: every class whose target the frontend
+ * predicts, in InstrClass enum order (Call, Ret, JumpInd, CallInd).
+ */
+const std::vector<InstrClass> &targetClassOrder();
+
+/**
+ * Snapshot the frontend's per-class counters as ordered rows.
+ *
+ * Always returns one row per class in targetClassOrder(), including
+ * zero rows, so consumers can index positionally.
+ */
+std::vector<TargetClassRow> targetClassRows(const FrontendModel &fe);
+
+} // namespace bpnsp
+
+#endif // BPNSP_ANALYSIS_TARGET_STATS_HPP

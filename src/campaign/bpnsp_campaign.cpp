@@ -1,7 +1,8 @@
 /**
  * @file
  * bpnsp_campaign: run a declarative experiment campaign — a sweep of
- * (workload, input, predictor) cells over a fixed instruction budget —
+ * (workload, input, predictor[, frontend]) cells over a fixed
+ * instruction budget —
  * under full supervision: journaled checkpoints, per-cell deadlines, a
  * campaign wall budget, bounded retries, and graceful SIGINT/SIGTERM
  * drain. Kill it at any point and re-run with --resume: completed
@@ -42,6 +43,10 @@ main(int argc, char **argv)
     opts.addInt("inputs", 1, "inputs per workload (first N)");
     opts.addString("predictors", "gshare",
                    "comma-separated predictor names");
+    opts.addString("frontends", "",
+                   "comma-separated frontend specs, ':' joins fields "
+                   "within one spec (e.g. 'off,default,btb=64x2:ras=4'); "
+                   "empty keeps the frontend axis out of the sweep");
     opts.addInt("instructions", 200000, "instruction budget per cell");
     opts.addString("journal", "bpnsp_campaign.journal",
                    "checkpoint journal path");
@@ -82,7 +87,8 @@ main(int argc, char **argv)
         opts.getString("workloads"),
         static_cast<unsigned>(opts.getInt("inputs")),
         opts.getString("predictors"),
-        static_cast<uint64_t>(opts.getInt("instructions")));
+        static_cast<uint64_t>(opts.getInt("instructions")),
+        opts.getString("frontends"));
     config.journalPath = opts.getString("journal");
     config.resume = opts.getFlag("resume");
     config.cellDeadlineMs =

@@ -13,6 +13,7 @@
 #include "bp/sim.hpp"
 #include "core/runner.hpp"
 #include "faultsim/faultsim.hpp"
+#include "frontend/frontend.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "synth/workload.hpp"
@@ -105,6 +106,16 @@ executeCell(const CampaignCell &cell, const CampaignConfig &config,
             "input index out of range for " + cell.workload);
     CancelToken *cancel = currentCancelToken();
 
+    // Frontend axis: a non-empty spec adds a FrontendModel beside the
+    // PredictorSim (InvalidArgument is not retryable, so a malformed
+    // spec poisons the cell instead of burning retries). "off" parses
+    // to a disabled config and runs exactly like a direction-only cell.
+    FrontendConfig feCfg = FrontendConfig::off();
+    if (!cell.frontend.empty())
+        if (Status st = parseFrontendSpec(cell.frontend, &feCfg);
+            !st.ok())
+            return st;
+
     if (config.shards > 0 && !traceCacheDir().empty()) {
         TraceCache cache(traceCacheDir());
         const TraceCacheKey key{
@@ -127,6 +138,8 @@ executeCell(const CampaignCell &cell, const CampaignConfig &config,
             }
             std::vector<std::unique_ptr<BranchPredictor>> predictors;
             std::vector<std::unique_ptr<PredictorSim>> sims;
+            std::vector<std::unique_ptr<FrontendModel>> frontends;
+            std::vector<std::unique_ptr<FanoutSink>> fanouts;
             ReplayShardsOptions shardOptions;
             shardOptions.stallTimeoutMs = config.stallTimeoutMs;
             Status replayStatus;
@@ -137,7 +150,16 @@ executeCell(const CampaignCell &cell, const CampaignConfig &config,
                         makePredictor(cell.predictor));
                     sims.push_back(std::make_unique<PredictorSim>(
                         *predictors.back(), false));
-                    return *sims.back();
+                    if (!feCfg.enabled)
+                        return *sims.back();
+                    // One frontend per shard, same merge-in-shard-order
+                    // determinism as the per-shard predictors.
+                    frontends.push_back(
+                        std::make_unique<FrontendModel>(feCfg));
+                    fanouts.push_back(std::make_unique<FanoutSink>(
+                        std::vector<TraceSink *>{
+                            sims.back().get(), frontends.back().get()}));
+                    return *fanouts.back();
                 },
                 &replayStatus, shardOptions);
             if (!replayStatus.ok())
@@ -147,6 +169,8 @@ executeCell(const CampaignCell &cell, const CampaignConfig &config,
                 out->predictions += sim->condExecs();
                 out->mispredicts += sim->condMispreds();
             }
+            for (const auto &fe : frontends)
+                out->targetMispredicts += fe->targetMispredicts();
             return Status();
         }
         // Busy generation lock or publish failure: degrade to serial.
@@ -155,8 +179,12 @@ executeCell(const CampaignCell &cell, const CampaignConfig &config,
     const std::unique_ptr<BranchPredictor> predictor =
         makePredictor(cell.predictor);
     PredictorSim sim(*predictor, false);
+    FrontendModel fe(feCfg);
+    std::vector<TraceSink *> sinks{&sim};
+    if (feCfg.enabled)
+        sinks.push_back(&fe);
     const uint64_t delivered = runWorkloadTrace(
-        workload, cell.inputIdx, {&sim}, cell.instructions);
+        workload, cell.inputIdx, sinks, cell.instructions);
     if (Status st = cancel->check(); !st.ok())
         return st;
     if (delivered < cell.instructions)
@@ -167,6 +195,7 @@ executeCell(const CampaignCell &cell, const CampaignConfig &config,
     out->instructions = delivered;
     out->predictions = sim.condExecs();
     out->mispredicts = sim.condMispreds();
+    out->targetMispredicts = fe.targetMispredicts();
     return Status();
 }
 
@@ -182,7 +211,10 @@ retryableCode(StatusCode code)
 std::string
 CampaignCell::id() const
 {
-    return workload + "/" + input + "/" + predictor;
+    std::string out = workload + "/" + input + "/" + predictor;
+    if (!frontend.empty())
+        out += "/" + frontend;
+    return out;
 }
 
 const char *
@@ -208,9 +240,15 @@ campaignSpecDigest(const CampaignConfig &config)
 {
     std::ostringstream oss;
     oss << "bpnsp-campaign-spec-v1|shards=" << config.shards << ";";
-    for (const CampaignCell &cell : config.cells)
+    for (const CampaignCell &cell : config.cells) {
         oss << cell.workload << '|' << cell.input << '|'
-            << cell.predictor << '|' << cell.instructions << ';';
+            << cell.predictor << '|' << cell.instructions;
+        // Appended only when set, so every pre-frontend journal's
+        // digest — and therefore its resumability — is preserved.
+        if (!cell.frontend.empty())
+            oss << '|' << cell.frontend;
+        oss << ';';
+    }
     const std::string canonical = oss.str();
     char buf[17];
     std::snprintf(buf, sizeof(buf), "%016llx",
@@ -441,9 +479,14 @@ renderCampaignResults(const CampaignConfig &config,
             << jsonEscape(out.cell.id()) << "\", \"workload\": \""
             << jsonEscape(out.cell.workload) << "\", \"input\": \""
             << jsonEscape(out.cell.input) << "\", \"predictor\": \""
-            << jsonEscape(out.cell.predictor) << "\", \"budget\": "
-            << out.cell.instructions << ", \"state\": \""
-            << cellStateName(out.state) << "\"";
+            << jsonEscape(out.cell.predictor) << "\"";
+        // Frontend fields appear only on frontend-axis cells so that
+        // pre-frontend campaigns keep rendering byte-identically.
+        if (!out.cell.frontend.empty())
+            oss << ", \"frontend\": \""
+                << jsonEscape(out.cell.frontend) << "\"";
+        oss << ", \"budget\": " << out.cell.instructions
+            << ", \"state\": \"" << cellStateName(out.state) << "\"";
         if (out.state == CellState::Done) {
             const double accuracy =
                 out.result.predictions == 0
@@ -455,6 +498,19 @@ renderCampaignResults(const CampaignConfig &config,
                 << ", \"predictions\": " << out.result.predictions
                 << ", \"mispredicts\": " << out.result.mispredicts
                 << ", \"accuracy\": " << jsonNumber(accuracy);
+            if (!out.cell.frontend.empty()) {
+                const double tgtMpki =
+                    out.result.instructions == 0
+                        ? 0.0
+                        : 1000.0 *
+                              static_cast<double>(
+                                  out.result.targetMispredicts) /
+                              static_cast<double>(
+                                  out.result.instructions);
+                oss << ", \"target_mispredicts\": "
+                    << out.result.targetMispredicts
+                    << ", \"target_mpki\": " << jsonNumber(tgtMpki);
+            }
         }
         oss << "}";
         first = false;
@@ -493,7 +549,8 @@ writeCampaignResults(const CampaignConfig &config,
 
 std::vector<CampaignCell>
 buildCells(const std::string &workloads, unsigned inputs,
-           const std::string &predictors, uint64_t instructions)
+           const std::string &predictors, uint64_t instructions,
+           const std::string &frontends)
 {
     std::vector<Workload> selected;
     if (workloads == "all") {
@@ -523,20 +580,40 @@ buildCells(const std::string &workloads, unsigned inputs,
     if (inputs == 0)
         fatal("campaign needs at least one input per workload");
 
+    // "" keeps the frontend axis out of the sweep entirely (cells get
+    // an empty spec and their ids/digests stay pre-frontend); any
+    // non-empty list is validated up front so a typo dies here instead
+    // of poisoning cells mid-campaign.
+    std::vector<std::string> frontendSpecs;
+    if (frontends.empty()) {
+        frontendSpecs.push_back("");
+    } else {
+        frontendSpecs = splitList(frontends);
+        if (frontendSpecs.empty())
+            fatal("campaign frontend list is empty: ", frontends);
+        for (const std::string &spec : frontendSpecs) {
+            FrontendConfig cfg;
+            if (Status st = parseFrontendSpec(spec, &cfg); !st.ok())
+                fatal("bad frontend spec in campaign: ", st.str());
+        }
+    }
+
     std::vector<CampaignCell> cells;
     for (const Workload &workload : selected) {
         const size_t count =
             std::min<size_t>(inputs, workload.inputs.size());
         for (size_t idx = 0; idx < count; ++idx)
-            for (const std::string &predictor : predictorNames) {
-                CampaignCell cell;
-                cell.workload = workload.name;
-                cell.input = workload.inputs[idx].label;
-                cell.inputIdx = idx;
-                cell.predictor = predictor;
-                cell.instructions = instructions;
-                cells.push_back(std::move(cell));
-            }
+            for (const std::string &predictor : predictorNames)
+                for (const std::string &frontend : frontendSpecs) {
+                    CampaignCell cell;
+                    cell.workload = workload.name;
+                    cell.input = workload.inputs[idx].label;
+                    cell.inputIdx = idx;
+                    cell.predictor = predictor;
+                    cell.instructions = instructions;
+                    cell.frontend = frontend;
+                    cells.push_back(std::move(cell));
+                }
     }
     if (cells.empty())
         fatal("campaign spec produced no cells");

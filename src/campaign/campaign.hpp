@@ -1,7 +1,8 @@
 /**
  * @file
  * Resumable experiment campaigns: run a declarative sweep of
- * (workload, input, predictor, budget) cells under supervision —
+ * (workload, input, predictor, budget[, frontend]) cells under
+ * supervision —
  * journaled checkpoints, per-cell deadlines, a campaign wall budget,
  * cooperative cancellation, bounded retries with exponential backoff,
  * and poisoned-cell quarantine.
@@ -53,8 +54,15 @@ struct CampaignCell
     size_t inputIdx = 0;      ///< index of that input in the workload
     std::string predictor;    ///< predictor name (bp/factory.hpp)
     uint64_t instructions = 0; ///< instruction budget
+    std::string frontend;     ///< frontend spec (frontend/frontend.hpp
+                              ///< grammar); "" = direction-only cell,
+                              ///< no frontend model is run
 
-    /** Stable human-readable id: workload/input/predictor. */
+    /**
+     * Stable human-readable id: workload/input/predictor, with
+     * "/<frontend>" appended only when the cell sweeps the frontend
+     * axis — so pre-frontend journals and results keep their ids.
+     */
     std::string id() const;
 };
 
@@ -150,14 +158,17 @@ Status writeCampaignResults(const CampaignConfig &config,
 /**
  * Expand a declarative sweep into cells: every workload named in
  * `workloads` ("all" or comma-separated) x its first `inputs` inputs x
- * every predictor in `predictors` (comma-separated), each with the
- * same instruction budget. fatal() on an unknown workload or
- * predictor name (driver-facing).
+ * every predictor in `predictors` (comma-separated) x every frontend
+ * spec in `frontends` (comma-separated; "" disables the axis and
+ * leaves every cell direction-only), each with the same instruction
+ * budget. fatal() on an unknown workload or predictor name or a
+ * malformed frontend spec (driver-facing).
  */
 std::vector<CampaignCell> buildCells(const std::string &workloads,
                                      unsigned inputs,
                                      const std::string &predictors,
-                                     uint64_t instructions);
+                                     uint64_t instructions,
+                                     const std::string &frontends = "");
 
 } // namespace bpnsp
 

@@ -57,6 +57,10 @@ applyLine(const std::string &line, std::vector<CellLedger> &ledger)
         if (!(iss >> r.instructions >> r.predictions >> r.mispredicts >>
               r.wallMs))
             return false;
+        // Pre-frontend journals end the D record at wall_ms; tolerate
+        // the absent trailing field so old campaigns stay resumable.
+        if (!(iss >> r.targetMispredicts))
+            r.targetMispredicts = 0;
         cell.state = CellLedger::State::Done;
         cell.result = r;
         return true;
@@ -223,7 +227,7 @@ CampaignJournal::appendDone(uint64_t idx, const CellResult &result)
     std::ostringstream oss;
     oss << "D " << idx << ' ' << result.instructions << ' '
         << result.predictions << ' ' << result.mispredicts << ' '
-        << result.wallMs;
+        << result.wallMs << ' ' << result.targetMispredicts;
     return appendLine(oss.str());
 }
 

@@ -16,7 +16,12 @@
  *
  *   bpnsp-campaign-journal-v1 spec=<16 hex> cells=<N>     header
  *   R <idx> <attempt> <cell-id>       attempt started
- *   D <idx> <instr> <preds> <misps> <wall_ms>   cell done (terminal)
+ *   D <idx> <instr> <preds> <misps> <wall_ms> [<tgt_misps>]
+ *                                     cell done (terminal); the
+ *                                     trailing target-mispredict count
+ *                                     is absent in pre-frontend
+ *                                     journals and defaults to 0 on
+ *                                     load
  *   F <idx> <attempt> <code> <detail...>        attempt failed
  *   C <idx>                           attempt cancelled (not terminal)
  *   P <idx>                           poisoned: retries exhausted
@@ -54,6 +59,8 @@ struct CellResult
     uint64_t predictions = 0;   ///< conditional branches predicted
     uint64_t mispredicts = 0;   ///< mispredictions
     uint64_t wallMs = 0;        ///< execution wall time (not in spec)
+    uint64_t targetMispredicts = 0; ///< frontend target mispredicts
+                                    ///< (0 for direction-only cells)
 };
 
 /** What the journal knows about one cell after load(). */

@@ -1,0 +1,101 @@
+#include "frontend/btb.hpp"
+
+#include "util/bitops.hpp"
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+namespace {
+
+bool
+isPow2(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+Btb::Btb(unsigned sets_, unsigned ways_, unsigned banks_)
+    : sets(sets_), ways(ways_), banks(banks_), setsPerBank(sets_ / banks_)
+{
+    BPNSP_ASSERT(isPow2(sets) && isPow2(banks) && banks <= sets,
+                 "BTB geometry must be power-of-two and banks <= sets");
+    BPNSP_ASSERT(ways >= 1);
+    entries.resize(static_cast<size_t>(sets) * ways);
+}
+
+Btb::Entry *
+Btb::findEntry(uint64_t ip)
+{
+    // Instructions are 4 bytes; drop the offset bits, then split the
+    // index into bank-select (low) and set-within-bank bits, hashing
+    // the upper IP in so large footprints spread over all sets.
+    const uint64_t word = ip >> 2;
+    const uint64_t bank = word & (banks - 1);
+    const uint64_t set =
+        (word / banks ^ (word >> 13)) & (setsPerBank - 1);
+    Entry *base =
+        &entries[(bank * setsPerBank + set) * ways];
+    const uint64_t tag = word / banks >> 0;
+    for (unsigned w = 0; w < ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+Btb::Entry *
+Btb::victimEntry(uint64_t ip)
+{
+    const uint64_t word = ip >> 2;
+    const uint64_t bank = word & (banks - 1);
+    const uint64_t set =
+        (word / banks ^ (word >> 13)) & (setsPerBank - 1);
+    Entry *base = &entries[(bank * setsPerBank + set) * ways];
+    Entry *victim = base;
+    for (unsigned w = 0; w < ways; ++w) {
+        if (!base[w].valid)
+            return &base[w];
+        if (base[w].lru < victim->lru)
+            victim = &base[w];
+    }
+    return victim;
+}
+
+bool
+Btb::lookup(uint64_t ip, uint64_t *target)
+{
+    Entry *e = findEntry(ip);
+    if (e == nullptr) {
+        ++missCount;
+        return false;
+    }
+    ++hitCount;
+    e->lru = ++stamp;
+    if (target != nullptr)
+        *target = e->target;
+    return true;
+}
+
+void
+Btb::insert(uint64_t ip, uint64_t target)
+{
+    Entry *e = findEntry(ip);
+    if (e == nullptr)
+        e = victimEntry(ip);
+    const uint64_t word = ip >> 2;
+    e->valid = true;
+    e->tag = word / banks;
+    e->target = target;
+    e->lru = ++stamp;
+}
+
+uint64_t
+Btb::storageBits() const
+{
+    // Tag (approx. 20b) + target (32b compressed) + valid + small LRU.
+    constexpr uint64_t kBitsPerEntry = 20 + 32 + 1 + 3;
+    return static_cast<uint64_t>(sets) * ways * kBitsPerEntry;
+}
+
+} // namespace bpnsp

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Branch target buffer: a set-associative, banked cache of taken
+ * control-transfer targets.
+ *
+ * The BTB answers the fetch-side question the direction predictor
+ * cannot: *where* does a taken branch go, within the fetch cycle? A
+ * miss means the front end cannot redirect until decode discovers the
+ * target — modeled as a fetch bubble, which the decoupled fetch queue
+ * may absorb (frontend/frontend.hpp). Large static code footprints
+ * (the paper's LCF suite) thrash this structure long before they
+ * stress the direction predictor, which is the effect the frontend
+ * bench exists to measure.
+ *
+ * Banking models the real constraint that one fetch group can only
+ * probe each bank once per cycle: entries are distributed across
+ * banks by low IP bits, and each bank is its own set-associative
+ * array with true-LRU replacement.
+ */
+
+#ifndef BPNSP_FRONTEND_BTB_HPP
+#define BPNSP_FRONTEND_BTB_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace bpnsp {
+
+/** Set-associative banked branch target buffer. */
+class Btb
+{
+  public:
+    /**
+     * @param sets total sets across all banks (power of two)
+     * @param ways associativity
+     * @param banks bank count (power of two, <= sets)
+     */
+    Btb(unsigned sets, unsigned ways, unsigned banks);
+
+    /**
+     * Probe for `ip`. A hit refreshes LRU and returns true; the entry
+     * target (the last observed destination) is written to *target
+     * when non-null. A miss leaves *target untouched.
+     */
+    bool lookup(uint64_t ip, uint64_t *target = nullptr);
+
+    /** Install (or refresh) the entry for `ip` with its target. */
+    void insert(uint64_t ip, uint64_t target);
+
+    uint64_t hits() const { return hitCount; }
+    uint64_t misses() const { return missCount; }
+
+    /** Modeled storage cost (tag + target + LRU per entry). */
+    uint64_t storageBits() const;
+
+    unsigned numSets() const { return sets; }
+    unsigned numWays() const { return ways; }
+    unsigned numBanks() const { return banks; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+        uint64_t target = 0;
+        uint64_t lru = 0;      ///< global stamp; larger = more recent
+    };
+
+    Entry *findEntry(uint64_t ip);
+    Entry *victimEntry(uint64_t ip);
+
+    unsigned sets;
+    unsigned ways;
+    unsigned banks;
+    unsigned setsPerBank;
+    uint64_t stamp = 0;
+    uint64_t hitCount = 0;
+    uint64_t missCount = 0;
+    std::vector<Entry> entries;   ///< [bank][set][way] flattened
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_FRONTEND_BTB_HPP

@@ -1,0 +1,235 @@
+#include "frontend/frontend.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+FrontendConfig
+FrontendConfig::off()
+{
+    FrontendConfig cfg;
+    cfg.enabled = false;
+    return cfg;
+}
+
+std::string
+FrontendConfig::label() const
+{
+    if (!enabled)
+        return "off";
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "btb%ux%u-ras%u-itt%u-ftq%u",
+                  btbSets, btbWays, rasDepth, ittLog2Entries, ftqDepth);
+    return buf;
+}
+
+Status
+parseFrontendSpec(const std::string &spec, FrontendConfig *out)
+{
+    FrontendConfig cfg;
+    if (spec == "off") {
+        cfg.enabled = false;
+        *out = cfg;
+        return Status();
+    }
+    if (spec.empty() || spec == "default") {
+        *out = cfg;
+        return Status();
+    }
+
+    auto bad = [&spec](const std::string &why) {
+        return Status::invalidArgument("frontend spec '" + spec +
+                                       "': " + why);
+    };
+    auto parseNum = [](const std::string &s, unsigned *v) {
+        if (s.empty())
+            return false;
+        unsigned long parsed = 0;
+        for (char c : s) {
+            if (c < '0' || c > '9')
+                return false;
+            parsed = parsed * 10 + static_cast<unsigned>(c - '0');
+            if (parsed > 1000000)
+                return false;
+        }
+        *v = static_cast<unsigned>(parsed);
+        return true;
+    };
+    auto isPow2 = [](unsigned v) { return v != 0 && (v & (v - 1)) == 0; };
+
+    // ':' is an equivalent field separator so multi-field specs can
+    // appear inside comma-separated campaign sweep lists.
+    std::string normalized = spec;
+    std::replace(normalized.begin(), normalized.end(), ':', ',');
+    std::istringstream iss(normalized);
+    std::string field;
+    while (std::getline(iss, field, ',')) {
+        const size_t eq = field.find('=');
+        if (eq == std::string::npos)
+            return bad("field '" + field + "' is not key=value");
+        const std::string key = field.substr(0, eq);
+        const std::string val = field.substr(eq + 1);
+        if (key == "btb") {
+            const size_t x = val.find('x');
+            if (x == std::string::npos ||
+                !parseNum(val.substr(0, x), &cfg.btbSets) ||
+                !parseNum(val.substr(x + 1), &cfg.btbWays))
+                return bad("btb wants <sets>x<ways>");
+            if (!isPow2(cfg.btbSets) || cfg.btbWays < 1 ||
+                cfg.btbWays > 16)
+                return bad("btb sets must be a power of two, "
+                           "ways in 1..16");
+            cfg.btbBanks = std::min(4u, cfg.btbSets);
+        } else if (key == "ras") {
+            if (!parseNum(val, &cfg.rasDepth) || cfg.rasDepth < 1 ||
+                cfg.rasDepth > 1024)
+                return bad("ras wants a depth in 1..1024");
+        } else if (key == "itt") {
+            if (!parseNum(val, &cfg.ittLog2Entries) ||
+                cfg.ittLog2Entries < 4 || cfg.ittLog2Entries > 20)
+                return bad("itt wants log2 entries in 4..20");
+        } else if (key == "ftq") {
+            if (!parseNum(val, &cfg.ftqDepth) || cfg.ftqDepth < 1 ||
+                cfg.ftqDepth > 256)
+                return bad("ftq wants a depth in 1..256");
+        } else {
+            return bad("unknown field '" + key + "'");
+        }
+    }
+    *out = cfg;
+    return Status();
+}
+
+FrontendModel::FrontendModel(const FrontendConfig &config)
+    : cfg(config),
+      btb(cfg.btbSets, cfg.btbWays, cfg.btbBanks),
+      ras(cfg.rasDepth),
+      ittage(cfg.ittLog2Entries, cfg.ittTables)
+{
+}
+
+FrontendModel::~FrontendModel()
+{
+    flushObs();
+}
+
+void
+FrontendModel::onEnd()
+{
+    flushObs();
+}
+
+void
+FrontendModel::flushObs()
+{
+    if (!cfg.enabled)
+        return;
+    static obs::Counter &btbMiss = obs::counter("frontend.btb_miss");
+    static obs::Counter &rasOver = obs::counter("frontend.ras_over");
+    static obs::Counter &indMis = obs::counter("frontend.ind_mispred");
+    static obs::Counter &ftqStalls =
+        obs::counter("frontend.ftq_stall_cycles");
+    btbMiss.add(btb.misses() - flushedBtbMisses);
+    rasOver.add(ras.overflows() - flushedRasOver);
+    indMis.add(indMispredCount - flushedIndMispred);
+    ftqStalls.add(ftqStallCount - flushedFtqStalls);
+    flushedBtbMisses = btb.misses();
+    flushedRasOver = ras.overflows();
+    flushedIndMispred = indMispredCount;
+    flushedFtqStalls = ftqStallCount;
+}
+
+void
+FrontendModel::onRecord(const TraceRecord &rec)
+{
+    lastTargetMispred = false;
+    lastStall = 0;
+    if (!cfg.enabled)
+        return;
+
+    if (!isControl(rec.cls)) {
+        // Sequential fetch runs ahead of the core: each straight-line
+        // instruction banks one cycle of FTQ credit for later bubbles.
+        if (ftqOccupancy < cfg.ftqDepth)
+            ++ftqOccupancy;
+        return;
+    }
+
+    TargetClassCounters &cc =
+        classCounters[static_cast<size_t>(rec.cls)];
+    ++cc.execs;
+
+    // Taken transfers need the BTB to redirect fetch in-cycle. A miss
+    // is a fixed fetch bubble; the FTQ absorbs what it can and only
+    // the residual reaches the core as stall cycles.
+    if (rec.taken) {
+        uint64_t btbTarget = 0;
+        if (!btb.lookup(rec.ip, &btbTarget)) {
+            const uint64_t bubble = cfg.btbMissBubble;
+            const uint64_t absorbed =
+                std::min<uint64_t>(ftqOccupancy, bubble);
+            ftqOccupancy -= static_cast<unsigned>(absorbed);
+            lastStall = bubble - absorbed;
+            ftqStallCount += lastStall;
+        }
+        btb.insert(rec.ip, rec.target);
+    }
+
+    bool mispred = false;
+    switch (rec.cls) {
+      case InstrClass::CondBranch:
+        // Direction is the bp/ predictors' job; here conditionals
+        // only steer the indirect predictor's global history.
+        ittage.pushHistory(rec.taken);
+        break;
+      case InstrClass::Call:
+        ras.push(rec.fallthrough);
+        break;
+      case InstrClass::Ret: {
+        uint64_t predicted = 0;
+        mispred = !ras.pop(&predicted) || predicted != rec.target;
+        break;
+      }
+      case InstrClass::JumpInd:
+      case InstrClass::CallInd: {
+        uint64_t predicted = 0;
+        const bool have = ittage.predict(rec.ip, &predicted);
+        mispred = !have || predicted != rec.target;
+        ittage.update(rec.ip, rec.target);
+        // Fold target bits into the history so dispatch *sequences*
+        // (interpreter loops) are separable, not just dispatch sites.
+        // Four bits per transfer lets targets dominate over the
+        // conditional-outcome noise between dispatches.
+        for (unsigned bit = 0; bit < 4; ++bit)
+            ittage.pushHistory((rec.target >> (2 + bit)) & 1);
+        if (mispred)
+            ++indMispredCount;
+        if (rec.cls == InstrClass::CallInd)
+            ras.push(rec.fallthrough);
+        break;
+      }
+      default:
+        break;   // direct Jump: target is static, BTB hit suffices
+    }
+
+    if (mispred) {
+        lastTargetMispred = true;
+        ++targetMispredCount;
+        ++cc.targetMispreds;
+        // The flush discards everything fetch ran ahead on.
+        ftqOccupancy = 0;
+    }
+}
+
+uint64_t
+FrontendModel::storageBits() const
+{
+    return btb.storageBits() + ras.storageBits() + ittage.storageBits();
+}
+
+} // namespace bpnsp

@@ -1,0 +1,41 @@
+#include "frontend/ras.hpp"
+
+#include "util/logging.hpp"
+
+namespace bpnsp {
+
+ReturnAddressStack::ReturnAddressStack(unsigned depth)
+{
+    BPNSP_ASSERT(depth >= 1, "RAS needs at least one slot");
+    slots.assign(depth, 0);
+}
+
+void
+ReturnAddressStack::push(uint64_t returnAddr)
+{
+    slots[top] = returnAddr;
+    top = (top + 1) % slots.size();
+    if (liveCount < slots.size()) {
+        ++liveCount;
+    } else {
+        // Circular overwrite: the deepest live entry is gone, and the
+        // return that needed it will mispredict against whatever now
+        // occupies its slot.
+        ++overflowCount;
+    }
+}
+
+bool
+ReturnAddressStack::pop(uint64_t *target)
+{
+    if (liveCount == 0) {
+        ++underflowCount;
+        return false;
+    }
+    top = (top + slots.size() - 1) % slots.size();
+    --liveCount;
+    *target = slots[top];
+    return true;
+}
+
+} // namespace bpnsp

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Return address stack: a fixed-depth circular predictor for `ret`
+ * targets.
+ *
+ * Calls push their fall-through address; returns pop it. The hardware
+ * analogue has no overflow protection: pushing past capacity silently
+ * overwrites the oldest entry, so a deep recursion followed by its
+ * unwind mispredicts exactly the returns whose entries were clobbered.
+ * Popping an empty stack (underflow — e.g. after a flush discarded
+ * pushes, or a longjmp-style workload) is likewise a guaranteed
+ * mispredict. Both events are counted separately so the analysis layer
+ * can attribute return mispredictions to capacity vs. corruption.
+ */
+
+#ifndef BPNSP_FRONTEND_RAS_HPP
+#define BPNSP_FRONTEND_RAS_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace bpnsp {
+
+/** Fixed-depth circular return-address stack. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth);
+
+    /** Push a return address; at capacity the oldest entry is lost. */
+    void push(uint64_t returnAddr);
+
+    /**
+     * Pop the predicted return target. An empty stack returns false
+     * (guaranteed mispredict) and leaves *target untouched.
+     */
+    bool pop(uint64_t *target);
+
+    /** Pushes that overwrote a live entry (capacity corruption). */
+    uint64_t overflows() const { return overflowCount; }
+
+    /** Pops from an empty stack. */
+    uint64_t underflows() const { return underflowCount; }
+
+    unsigned depth() const { return static_cast<unsigned>(slots.size()); }
+    unsigned size() const { return liveCount; }
+
+    /** Modeled storage cost (one compressed address per slot). */
+    uint64_t storageBits() const { return slots.size() * 32ull; }
+
+  private:
+    std::vector<uint64_t> slots;
+    unsigned top = 0;          ///< index of the next free slot
+    unsigned liveCount = 0;    ///< valid entries (<= depth)
+    uint64_t overflowCount = 0;
+    uint64_t underflowCount = 0;
+};
+
+} // namespace bpnsp
+
+#endif // BPNSP_FRONTEND_RAS_HPP

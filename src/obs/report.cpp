@@ -285,7 +285,14 @@ renderRunReport()
           // never exceeds serve.requests (a shed request is never
           // also handed to a worker).
           "serve.shed", "serve.expired", "serve.hedges",
-          "serve.hedge_wins"}) {
+          "serve.hedge_wins",
+          // Frontend counters (schema_rev 9): every report proves what
+          // the fetch engine cost — BTB misses, RAS overflows,
+          // indirect-target mispredicts, and the FTQ-unabsorbed stall
+          // cycles. All zero in runs that never wire a FrontendModel
+          // (the frontend is opt-in per simulation).
+          "frontend.btb_miss", "frontend.ras_over",
+          "frontend.ind_mispred", "frontend.ftq_stall_cycles"}) {
         reg.counter(name);
     }
 
@@ -295,13 +302,15 @@ renderRunReport()
     // synthesis contract, rev 6 the tracing/introspection contract
     // plus the optional "snapshots" time-series section and exact
     // histogram quantiles (p999), rev 7 adds the fleet-supervision /
-    // client-retry contract, rev 8 the overload contract above
-    // (shed / expired / hedges / hedge_wins) — nothing is ever
-    // renamed, so v1 consumers keep parsing and rev-aware consumers
-    // know the new keys are guaranteed present.
+    // client-retry contract, rev 8 the overload contract
+    // (shed / expired / hedges / hedge_wins), rev 9 the frontend
+    // contract above (btb_miss / ras_over / ind_mispred /
+    // ftq_stall_cycles) — nothing is ever renamed, so v1 consumers
+    // keep parsing and rev-aware consumers know the new keys are
+    // guaranteed present.
     std::ostringstream oss;
     oss << "{\n  \"schema\": \"bpnsp-run-report-v1\",\n"
-        << "  \"schema_rev\": 8,\n  \"run\": {\n";
+        << "  \"schema_rev\": 9,\n  \"run\": {\n";
     for (const auto &[key, value] : reg.runFields())
         oss << "    " << quoted(key) << ": " << quoted(value) << ",\n";
     oss << "    \"git\": " << quoted(gitDescribe()) << ",\n"

@@ -5,8 +5,10 @@
 namespace bpnsp {
 
 CoreModel::CoreModel(const CoreConfig &config,
-                     const PredictorSim &bp_outcomes)
-    : cfg(config), bp(bp_outcomes), fetchSlots(config.fetchWidth),
+                     const PredictorSim &bp_outcomes,
+                     const FrontendModel *frontend)
+    : cfg(config), bp(bp_outcomes), fe(frontend),
+      fetchSlots(config.fetchWidth),
       issueSlots(config.issueWidth), retireSlots(config.retireWidth),
       robRing(config.robSize, 0), schedRing(config.schedSize, 0),
       lqRing(config.lqSize, 0), sqRing(config.sqSize, 0)
@@ -49,8 +51,15 @@ CoreModel::onRecord(const TraceRecord &rec)
         icache_extra = lat;   // L1I hit latency is folded into depth
         lastFetchLine = line;
     }
+    // Frontend stalls (BTB-miss bubbles the FTQ could not absorb)
+    // delay fetch just like an I-cache miss does.
+    unsigned frontend_extra = 0;
+    if (fe != nullptr) {
+        frontend_extra = static_cast<unsigned>(fe->lastStallCycles());
+        stats.ftqStallCycles += frontend_extra;
+    }
     const uint64_t fetch_cycle =
-        fetchSlots.alloc(fetch_bound) + icache_extra;
+        fetchSlots.alloc(fetch_bound) + icache_extra + frontend_extra;
 
     // ---- Dispatch / schedule ----
     const uint64_t dispatch_ready = fetch_cycle + cfg.frontendDepth;
@@ -102,12 +111,22 @@ CoreModel::onRecord(const TraceRecord &rec)
         ++stats.condBranches;
         if (bp.lastMispredicted()) {
             ++stats.mispredicts;
+            stats.directionFlushCycles += cfg.redirectPenalty;
             // Wrong-path fetch is squashed when the branch resolves;
             // the front end restarts after the redirect penalty.
             fetchResume = std::max(
                 fetchResume, complete_cycle + cfg.redirectPenalty);
             lastFetchLine = ~0ull;   // refetch pays the I-cache again
         }
+    } else if (fe != nullptr && fe->lastTargetMispredict()) {
+        // A wrong RAS/ITTAGE target is discovered at execute just like
+        // a wrong direction, and flushes through the same mechanism —
+        // only the attribution differs.
+        ++stats.targetMispredicts;
+        stats.targetFlushCycles += cfg.redirectPenalty;
+        fetchResume = std::max(fetchResume,
+                               complete_cycle + cfg.redirectPenalty);
+        lastFetchLine = ~0ull;
     }
 
     ++index;

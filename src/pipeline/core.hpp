@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bp/sim.hpp"
+#include "frontend/frontend.hpp"
 #include "pipeline/cache.hpp"
 #include "pipeline/core_config.hpp"
 #include "trace/sink.hpp"
@@ -37,6 +38,13 @@ struct PerfCounters
     uint64_t cycles = 0;
     uint64_t condBranches = 0;
     uint64_t mispredicts = 0;
+
+    // Frontend-attributed events (zero when no FrontendModel is wired
+    // in: the legacy configuration assumes a perfect fetch engine).
+    uint64_t targetMispredicts = 0;   ///< wrong RAS/ITTAGE targets
+    uint64_t ftqStallCycles = 0;      ///< BTB bubbles the FTQ missed
+    uint64_t directionFlushCycles = 0;///< flush cycles: wrong direction
+    uint64_t targetFlushCycles = 0;   ///< flush cycles: wrong target
 
     /** Instructions per cycle. */
     double
@@ -56,6 +64,16 @@ struct PerfCounters
                          static_cast<double>(instructions)
                    : 0.0;
     }
+
+    /** Target mispredictions per kilo-instruction. */
+    double
+    targetMpki() const
+    {
+        return instructions
+                   ? 1000.0 * static_cast<double>(targetMispredicts) /
+                         static_cast<double>(instructions)
+                   : 0.0;
+    }
 };
 
 /**
@@ -65,11 +83,20 @@ struct PerfCounters
  * *before* this sink in the same fanout, so that by the time the core
  * sees a record the predictor has already resolved it. This lets one
  * predictor feed many core configurations in a single trace pass.
+ *
+ * A FrontendModel may optionally be wired in the same way (registered
+ * before this sink); the core then charges its per-record FTQ stall
+ * cycles against fetch and flushes on target mispredicts exactly like
+ * direction mispredicts, with the two flush causes accounted
+ * separately. With no frontend the fetch engine is target-perfect,
+ * which preserves the timing of every pre-frontend configuration
+ * bit for bit.
  */
 class CoreModel : public TraceSink
 {
   public:
-    CoreModel(const CoreConfig &config, const PredictorSim &bp_outcomes);
+    CoreModel(const CoreConfig &config, const PredictorSim &bp_outcomes,
+              const FrontendModel *frontend = nullptr);
 
     void onRecord(const TraceRecord &rec) override;
 
@@ -182,6 +209,7 @@ class CoreModel : public TraceSink
 
     CoreConfig cfg;
     const PredictorSim &bp;
+    const FrontendModel *fe;   ///< optional; nullptr = perfect fetch
     CacheHierarchy hierarchy;
     PerfCounters stats;
 

@@ -41,6 +41,7 @@
 
 #include "core/runner.hpp"
 #include "serve/client.hpp"
+#include "trace/record.hpp"
 #include "util/logging.hpp"
 #include "util/options.hpp"
 
@@ -190,6 +191,18 @@ runOne(const OptionParser &opts, const std::string &op)
                         static_cast<unsigned long long>(row.execs),
                         static_cast<unsigned long long>(row.mispreds),
                         static_cast<unsigned long long>(row.taken));
+        // Target columns: the server sends the per-class block in the
+        // analysis layer's stable class order (Call, Ret, JumpInd,
+        // CallInd); print it as received so output is byte-stable
+        // across runs. Absent from pre-frontend servers.
+        for (const TargetClassStat &row : reply.targetClasses)
+            std::printf("  target-class %s: execs=%llu "
+                        "target-mispreds=%llu\n",
+                        instrClassName(
+                            static_cast<InstrClass>(row.cls)),
+                        static_cast<unsigned long long>(row.execs),
+                        static_cast<unsigned long long>(
+                            row.targetMispreds));
         break;
       case MessageType::H2pReply:
         std::printf("h2p %s/%s: %zu H2P ip(s) over %llu slice(s), "

@@ -614,6 +614,17 @@ encodeReplyPayload(const ServeReply &reply)
             w.u64(row.queuedCostMs);
         }
     }
+    // BranchStatsReply per-class target block, behind the trailers for
+    // the same reason: pre-frontend peers decode up to retryAfterMs
+    // and ignore the rest.
+    if (reply.type == MessageType::BranchStatsReply) {
+        w.u32(static_cast<uint32_t>(reply.targetClasses.size()));
+        for (const TargetClassStat &row : reply.targetClasses) {
+            w.u8(row.cls);
+            w.u64(row.execs);
+            w.u64(row.targetMispreds);
+        }
+    }
     return w.take();
 }
 
@@ -737,6 +748,25 @@ decodeReplyPayload(MessageType type, const uint8_t *payload,
                 reply.shards[i].queueDepth = depth;
                 reply.shards[i].queuedCostMs = costMs;
             }
+        }
+    }
+    // BranchStatsReply per-class target block. A pre-frontend server's
+    // shorter payload leaves targetClasses empty; a present-but-short
+    // block is corruption, not compat.
+    if (type == MessageType::BranchStatsReply && r.ok() &&
+        r.remaining() >= 4) {
+        uint32_t n = 0;
+        r.u32(&n);
+        if (r.ok() && static_cast<uint64_t>(n) * 17 > r.remaining())
+            return Status::corruptData(
+                "branch-stats reply target-class block exceeds "
+                "payload");
+        for (uint32_t i = 0; i < n && r.ok(); ++i) {
+            TargetClassStat row;
+            r.u8(&row.cls);
+            r.u64(&row.execs);
+            r.u64(&row.targetMispreds);
+            reply.targetClasses.push_back(row);
         }
     }
     if (!r.ok())

@@ -159,6 +159,20 @@ struct BranchRow
     uint64_t taken = 0;
 };
 
+/**
+ * Per-class frontend target statistics (BranchStatsReply). These ride
+ * in a block appended *behind* the traceId/retryAfterMs trailers (the
+ * HealthReply overload-block precedent): pre-frontend peers decode up
+ * to the trailers and never see it, and a pre-frontend server's
+ * shorter payload simply leaves the vector empty.
+ */
+struct TargetClassStat
+{
+    uint8_t cls = 0;             ///< InstrClass value (trace/record.hpp)
+    uint64_t execs = 0;          ///< transfers of this class executed
+    uint64_t targetMispreds = 0; ///< resolved to an unpredicted target
+};
+
 /** Readiness of one fleet shard (HealthReply row). */
 struct ShardHealth
 {
@@ -220,6 +234,8 @@ struct ServeReply
 
     // BranchStatsReply
     std::vector<BranchRow> branches;
+    std::vector<TargetClassStat> targetClasses; ///< post-trailer block
+                                                ///< (stable class order)
 
     // H2pReply
     std::vector<uint64_t> h2pIps;        ///< sorted ascending

@@ -18,6 +18,7 @@
 
 #include "analysis/branch_stats.hpp"
 #include "analysis/h2p.hpp"
+#include "analysis/target_stats.hpp"
 #include "bp/factory.hpp"
 #include "bp/sim.hpp"
 #include "core/runner.hpp"
@@ -1601,11 +1602,20 @@ ServeServer::executeBranchStats(const ServeRequest &request)
             std::unique_ptr<BranchPredictor> predictor =
                 makePredictor(request.predictor);
             PredictorSim sim(*predictor, /*collect_per_branch=*/true);
-            st = reader->replay(sim, 0);
+            // The frontend rides the same replay pass so the target
+            // columns are computed from exactly the records the
+            // direction columns saw.
+            FrontendModel fe((FrontendConfig()));
+            FanoutSink fanout({&sim, &fe});
+            st = reader->replay(fanout, 0);
             if (st.ok()) {
                 reply.delivered = sim.instructions();
                 reply.condExecs = sim.condExecs();
                 reply.condMispreds = sim.condMispreds();
+                for (const TargetClassRow &row : targetClassRows(fe))
+                    reply.targetClasses.push_back(
+                        {static_cast<uint8_t>(row.cls), row.execs,
+                         row.targetMispreds});
                 std::vector<BranchRow> rows;
                 rows.reserve(sim.perBranch().size());
                 for (const auto &[ip, c] : sim.perBranch())

@@ -26,6 +26,10 @@ instrClassName(InstrClass cls)
         return "ret";
       case InstrClass::Halt:
         return "halt";
+      case InstrClass::JumpInd:
+        return "jump_ind";
+      case InstrClass::CallInd:
+        return "call_ind";
     }
     return "unknown";
 }

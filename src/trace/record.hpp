@@ -27,8 +27,14 @@ enum class InstrClass : uint8_t {
     Jump,         ///< unconditional direct jump
     Call,         ///< direct call
     Ret,          ///< return
-    Halt          ///< program end marker
+    Halt,         ///< program end marker
+    JumpInd,      ///< register-indirect jump (computed goto)
+    CallInd       ///< register-indirect call (virtual dispatch)
 };
+
+/** Highest InstrClass value (the codec's class-nibble ceiling). */
+inline constexpr auto kMaxInstrClass =
+    static_cast<uint8_t>(InstrClass::CallInd);
 
 /** Printable name of an instruction class. */
 const char *instrClassName(InstrClass cls);
@@ -42,6 +48,8 @@ isControl(InstrClass cls)
       case InstrClass::Jump:
       case InstrClass::Call:
       case InstrClass::Ret:
+      case InstrClass::JumpInd:
+      case InstrClass::CallInd:
         return true;
       default:
         return false;
@@ -76,6 +84,14 @@ struct TraceRecord
         return fallthrough;
     }
 };
+
+// The chunk codec, the replay digest, and the serve wire format all
+// serialize a canonical image of this struct field by field; a size
+// change here means a field was added (or the layout shifted) and
+// every one of those sites must be revisited deliberately.
+static_assert(sizeof(TraceRecord) == 48,
+              "TraceRecord layout changed: audit tracestore/format, "
+              "DigestSink, and the serve protocol before resizing");
 
 } // namespace bpnsp
 

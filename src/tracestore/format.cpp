@@ -83,12 +83,13 @@ encodeChunk(const TraceRecord *records, size_t count,
 
 Status
 decodeChunk(const uint8_t *data, size_t len, size_t count,
-            std::vector<TraceRecord> &out)
+            std::vector<TraceRecord> &out, uint32_t version)
 {
     auto fail = [](const char *what) {
         return Status::corruptData(what);
     };
 
+    const uint8_t maxCls = maxClassForVersion(version);
     size_t pos = 0;
     uint64_t prevIp = 0;
     uint64_t prevMem = 0;
@@ -98,7 +99,7 @@ decodeChunk(const uint8_t *data, size_t len, size_t count,
             return fail("chunk payload truncated in record prefix");
         const uint8_t flags = data[pos++];
         const uint8_t cls = flags & kClsMask;
-        if (cls > static_cast<uint8_t>(InstrClass::Halt))
+        if (cls > maxCls)
             return fail("invalid instruction class in chunk payload");
 
         TraceRecord rec;

@@ -47,8 +47,26 @@ inline constexpr char kTrailerMagic[8] = {'B', 'P', 'T', 'S',
  * Format version. Bump on any incompatible layout or encoding change;
  * it participates in the cache key, so a bump invalidates every cached
  * trace rather than risking a misdecode.
+ *
+ * Version history:
+ *  - v1: original codec; instruction classes up to Halt.
+ *  - v2: adds the indirect-control classes (JumpInd, CallInd). The
+ *    byte layout is unchanged — the bump only widens the class range
+ *    a decoder accepts, so v1 files decode under a v2 reader while a
+ *    v1 reader still rejects classes it never defined.
  */
-inline constexpr uint32_t kStoreVersion = 1;
+inline constexpr uint32_t kStoreVersion = 2;
+
+/** Oldest version a reader still accepts. */
+inline constexpr uint32_t kStoreMinVersion = 1;
+
+/** Highest InstrClass value legal in a file of `version`. */
+inline constexpr uint8_t
+maxClassForVersion(uint32_t version)
+{
+    return version >= 2 ? kMaxInstrClass
+                        : static_cast<uint8_t>(InstrClass::Halt);
+}
 
 /** Default records per chunk (the unit of seek and shard parallelism). */
 inline constexpr uint32_t kDefaultRecordsPerChunk = 1u << 16;
@@ -145,10 +163,13 @@ void encodeChunk(const TraceRecord *records, size_t count,
  * Decode `count` records from a chunk payload into `out` (appended).
  * On malformed input (truncated varint, invalid instruction class,
  * trailing bytes) returns CorruptData with a diagnostic; never
- * crashes.
+ * crashes. `version` is the containing file's format version and
+ * gates the instruction-class range: a v1 chunk claiming a class that
+ * v1 never defined is corruption, not forward compatibility.
  */
 Status decodeChunk(const uint8_t *data, size_t len, size_t count,
-                   std::vector<TraceRecord> &out);
+                   std::vector<TraceRecord> &out,
+                   uint32_t version = kStoreVersion);
 
 /**
  * Order-sensitive digest over every field of every observed record.

@@ -249,11 +249,13 @@ TraceStoreReader::open(const std::string &path, Status *status)
     std::memcpy(&hdr, reader->base, sizeof(hdr));
     if (std::memcmp(hdr.magic, kStoreMagic, sizeof(kStoreMagic)) != 0)
         return corrupt("bad trace store magic in: " + path);
-    if (hdr.version != kStoreVersion) {
+    if (hdr.version < kStoreMinVersion || hdr.version > kStoreVersion) {
         return corrupt("unsupported trace store version " +
-                       std::to_string(hdr.version) + " (want " +
+                       std::to_string(hdr.version) + " (support " +
+                       std::to_string(kStoreMinVersion) + ".." +
                        std::to_string(kStoreVersion) + ") in: " + path);
     }
+    reader->fileVersion = hdr.version;
 
     StoreTrailer trailer{};
     std::memcpy(&trailer, reader->base + size - sizeof(trailer),
@@ -263,7 +265,7 @@ TraceStoreReader::open(const std::string &path, Status *status)
         return corrupt("missing trace store trailer (file truncated or "
                        "not finalized): " + path);
     }
-    if (trailer.version != kStoreVersion)
+    if (trailer.version != hdr.version)
         return corrupt("trailer/header version mismatch in: " + path);
 
     const uint64_t footerBytes =
@@ -440,8 +442,8 @@ TraceStoreReader::decodeChunkAt(uint64_t index,
         base + info.offset + sizeof(hdr), hdr.payloadBytes, scratch);
     if (fnv1a(payload, hdr.payloadBytes) != hdr.checksum)
         return fail("payload checksum mismatch (corrupted frame)");
-    const Status decoded =
-        decodeChunk(payload, hdr.payloadBytes, hdr.recordCount, out);
+    const Status decoded = decodeChunk(payload, hdr.payloadBytes,
+                                       hdr.recordCount, out, fileVersion);
     if (!decoded.ok())
         return fail(decoded.message());
     return Status();

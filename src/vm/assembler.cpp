@@ -129,6 +129,29 @@ void Assembler::call(Label target)
 void Assembler::ret() { emit(Opcode::Ret, 0, 0, 0, 0); }
 void Assembler::halt() { emit(Opcode::Halt, 0, 0, 0, 0); }
 
+void Assembler::jmpr(unsigned ra)
+{ emit(Opcode::JumpInd, 0, ra, 0, 0); }
+void Assembler::callr(unsigned ra)
+{ emit(Opcode::CallInd, 0, ra, 0, 0); }
+
+void
+Assembler::lea(unsigned rd, Label target)
+{
+    BPNSP_ASSERT(target.valid(), "lea of invalid label in ", name);
+    fixups.emplace_back(codeOut.size(), target.id);
+    emit(Opcode::LoadImm, rd, 0, 0, 0);
+}
+
+uint64_t
+Assembler::labelTarget(Label label) const
+{
+    BPNSP_ASSERT(label.valid(), "labelTarget of invalid label in ", name);
+    const int64_t target = labelTargets.at(label.id);
+    if (target < 0)
+        fatal("labelTarget of unbound label ", label.id, " in ", name);
+    return static_cast<uint64_t>(target);
+}
+
 void
 Assembler::data(uint64_t addr, uint64_t value)
 {

@@ -83,6 +83,27 @@ class Assembler
     void ret();
     void halt();
 
+    // ---- register-indirect control flow ----
+    /** Jump to the instruction index held in ra. */
+    void jmpr(unsigned ra);
+    /** Call the instruction index held in ra (pushes the call stack). */
+    void callr(unsigned ra);
+
+    /**
+     * rd = the instruction index of `target` (a LoadImm resolved at
+     * finish() through the fixup table). The loaded value is what
+     * jmpr/callr consume; tables of such indices are how workloads
+     * build dispatch tables and vtables.
+     */
+    void lea(unsigned rd, Label target);
+
+    /**
+     * The bound instruction index of a label. fatal() if unbound —
+     * only usable after bind(); lets builders seed data tables with
+     * function entry indices for indirect dispatch.
+     */
+    uint64_t labelTarget(Label label) const;
+
     /** Seed a 64-bit word of initial data memory. */
     void data(uint64_t addr, uint64_t value);
 

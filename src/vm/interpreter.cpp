@@ -196,6 +196,29 @@ Interpreter::run(TraceSink &sink, uint64_t max_instrs)
             callStack.pop_back();
             rec.target = prog.ipOf(next_pc);
             break;
+          case Opcode::JumpInd:
+            rec.cls = InstrClass::JumpInd;
+            rec.taken = true;
+            srcA();
+            next_pc = a;
+            BPNSP_ASSERT(next_pc < prog.code.size(),
+                         "indirect jump escaped the code segment in ",
+                         prog.name);
+            rec.target = prog.ipOf(next_pc);
+            break;
+          case Opcode::CallInd:
+            rec.cls = InstrClass::CallInd;
+            rec.taken = true;
+            srcA();
+            BPNSP_ASSERT(callStack.size() < kMaxCallDepth,
+                         "call stack overflow in ", prog.name);
+            callStack.push_back(pcIndex + 1);
+            next_pc = a;
+            BPNSP_ASSERT(next_pc < prog.code.size(),
+                         "indirect call escaped the code segment in ",
+                         prog.name);
+            rec.target = prog.ipOf(next_pc);
+            break;
           case Opcode::Halt:
             rec.cls = InstrClass::Halt;
             ++haltCount;

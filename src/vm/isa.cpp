@@ -33,6 +33,8 @@ opcodeName(Opcode op)
       case Opcode::Call: return "call";
       case Opcode::Ret: return "ret";
       case Opcode::Halt: return "halt";
+      case Opcode::JumpInd: return "jmpr";
+      case Opcode::CallInd: return "callr";
     }
     return "unknown";
 }

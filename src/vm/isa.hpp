@@ -54,6 +54,9 @@ enum class Opcode : uint8_t {
     Ret,
     // stop execution
     Halt,
+    // register-indirect control flow, target = instruction index in ra
+    // (appended after Halt so existing encodings are unchanged)
+    JumpInd, CallInd,
 };
 
 /** Printable mnemonic. */
@@ -74,12 +77,19 @@ isCondBranch(Opcode op)
     }
 }
 
+/** True for JumpInd/CallInd (target read from a register). */
+inline bool
+isIndirectOp(Opcode op)
+{
+    return op == Opcode::JumpInd || op == Opcode::CallInd;
+}
+
 /** True for any opcode that may redirect the instruction stream. */
 inline bool
 isControlOp(Opcode op)
 {
     return isCondBranch(op) || op == Opcode::Jump || op == Opcode::Call ||
-           op == Opcode::Ret;
+           op == Opcode::Ret || isIndirectOp(op);
 }
 
 /** One decoded instruction. */

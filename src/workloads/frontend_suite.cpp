@@ -1,0 +1,171 @@
+#include "workloads/frontend_suite.hpp"
+
+#include "util/rng.hpp"
+#include "workloads/builder.hpp"
+#include "workloads/lcf_suite.hpp"
+
+namespace bpnsp {
+
+namespace {
+
+using B = ProgramBuilder;
+
+/** vcall: rdbms-class library dispatched through a vtable. */
+LcfAppParams
+vcallParams()
+{
+    LcfAppParams p;
+    p.name = "vcall";
+    p.numFuncs = 896;
+    p.minBranches = 3;
+    p.maxBranches = 10;
+    p.zipfExponent = 0.85;
+    p.biasChoices = {3, 5, 10, 50, 90, 95, 97};
+    p.hotH2pPcts = {50, 45};
+    p.hotGateLog2 = 3;
+    p.minCallRun = 2;
+    p.maxCallRun = 6;
+    p.indirectDispatch = true;
+    // Depth 24 against the default 16-deep RAS: every unwind past the
+    // wrap point mispredicts, which is the structural (not capacity-
+    // tunable-away) component of its target MPKI.
+    p.recursionDepth = 24;
+    p.recursionGateLog2 = 5;
+    p.structSeed = 0x7ca1;
+    return p;
+}
+
+/**
+ * interp_like: a threaded-code interpreter loop. The instruction mix
+ * (and thus cond-branch/load fractions) lives in the handlers; the
+ * dispatch `jmpr` is the single hottest indirect site, exactly the
+ * shape CBP-style traces show for perl/python-class workloads.
+ */
+Program
+buildInterpLike(uint64_t seed)
+{
+    constexpr unsigned kNumHandlers = 48;
+    constexpr unsigned kLog2Handlers = 6;    // table rounded up
+    constexpr unsigned kLog2Bytecode = 14;
+    constexpr unsigned kLog2HandlerData = 6;
+
+    ProgramBuilder b("interp_like", seed);
+    Assembler &a = b.text();
+    Rng structure(0x17e9b);   // input-invariant code shape
+
+    // Handlers first (the entry stub jumps over them); each ends by
+    // jumping back to the shared dispatch head.
+    const Label dispatch = a.newLabel();
+    std::vector<Label> handlers;
+    handlers.reserve(kNumHandlers);
+    for (unsigned h = 0; h < kNumHandlers; ++h) {
+        const uint64_t data_base = b.table(
+            kLog2HandlerData,
+            [](Rng &r, uint64_t) { return r.below(100); });
+        handlers.push_back(a.newLabel());
+        a.bind(handlers.back());
+
+        // A few data-dependent branches and some ALU/load work, like
+        // a real opcode body (stack manipulation, tag checks). The
+        // branches are strongly biased — tag checks mostly pass — so
+        // they add little entropy to the indirect predictor's history
+        // and the dispatch phrases stay learnable.
+        const unsigned branches =
+            2 + static_cast<unsigned>(structure.below(2));
+        a.addi(9, B::Iter, static_cast<int64_t>(h * 7));
+        for (unsigned br = 0; br < branches; ++br) {
+            const unsigned threshold =
+                structure.below(2) != 0
+                    ? 5 + static_cast<unsigned>(structure.below(10))
+                    : 85 + static_cast<unsigned>(structure.below(10));
+            const Label skip = a.newLabel();
+            b.loadTableEntry(10, data_base, kLog2HandlerData, 9);
+            a.li(11, static_cast<int64_t>(threshold));
+            a.bge(10, 11, skip);
+            a.add(12, 12, 10);
+            a.xori(9, 9, 0x11);
+            a.bind(skip);
+            a.addi(9, 9, 1);
+        }
+        a.jmp(dispatch);
+    }
+
+    // Handler vtable: entry indices of the bound handler labels.
+    const uint64_t handler_tbl =
+        b.table(kLog2Handlers, [&](Rng &, uint64_t i) {
+            return a.labelTarget(
+                handlers[static_cast<size_t>(i) % kNumHandlers]);
+        });
+
+    // Bytecode stream: phrase-structured opcode sequence. A small set
+    // of fixed phrases repeats (learnable given history); phrase
+    // choice and glue opcodes are input-specific noise.
+    std::vector<std::vector<unsigned>> phrases;
+    {
+        Rng phraseRng(0x5eed ^ 0x9e37);   // shared across inputs
+        for (unsigned p = 0; p < 8; ++p) {
+            std::vector<unsigned> phrase(
+                3 + static_cast<size_t>(phraseRng.below(4)));
+            for (auto &op : phrase)
+                op = static_cast<unsigned>(phraseRng.below(kNumHandlers));
+            phrases.push_back(std::move(phrase));
+        }
+    }
+    std::vector<unsigned> pending;
+    const uint64_t bytecode_tbl =
+        b.table(kLog2Bytecode, [&](Rng &r, uint64_t) {
+            if (pending.empty()) {
+                if (r.chance(0.8)) {
+                    const auto &ph = phrases[r.below(phrases.size())];
+                    pending.assign(ph.rbegin(), ph.rend());
+                } else {
+                    pending.push_back(static_cast<unsigned>(
+                        r.below(kNumHandlers)));
+                }
+            }
+            const unsigned op = pending.back();
+            pending.pop_back();
+            return op;
+        });
+
+    a.bind(b.entryLabel());
+    b.prologue();
+    a.bind(dispatch);
+    b.loadTableEntry(7, bytecode_tbl, kLog2Bytecode, B::Iter);
+    b.loadTableEntry(8, handler_tbl, kLog2Handlers, 7);
+    a.addi(B::Iter, B::Iter, 1);
+    a.jmpr(8);
+    return b.finish();
+}
+
+} // namespace
+
+std::vector<Workload>
+frontendSuite()
+{
+    std::vector<Workload> suite;
+
+    {
+        const LcfAppParams params = vcallParams();
+        Workload w;
+        w.name = params.name;
+        w.lcf = true;
+        w.inputs = makeInputs(params.name, 1);
+        w.builder = [params](uint64_t seed) {
+            return buildLcfApp(params, seed);
+        };
+        suite.push_back(std::move(w));
+    }
+
+    {
+        Workload w;
+        w.name = "interp_like";
+        w.inputs = makeInputs("interp_like", 3);
+        w.builder = buildInterpLike;
+        suite.push_back(std::move(w));
+    }
+
+    return suite;
+}
+
+} // namespace bpnsp

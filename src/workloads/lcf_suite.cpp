@@ -26,6 +26,37 @@ buildLcfApp(const LcfAppParams &params, uint64_t seed)
         b, params.log2CallSeq, params.numFuncs, params.zipfExponent,
         params.minCallRun, params.maxCallRun);
 
+    // Indirect dispatch: a vtable of function entry indices. The
+    // labels are all bound by emitFuncLibrary, so the table contents
+    // (code addresses) are input-invariant even though b.table() runs
+    // the data RNG plumbing.
+    uint64_t func_tbl = 0;
+    unsigned log2_funcs = 0;
+    if (params.indirectDispatch) {
+        while ((1u << log2_funcs) < params.numFuncs)
+            ++log2_funcs;
+        func_tbl = b.table(log2_funcs, [&](Rng &, uint64_t i) {
+            const size_t f = i < params.numFuncs
+                                 ? static_cast<size_t>(i)
+                                 : params.numFuncs - 1;
+            return a.labelTarget(funcs[f]);
+        });
+    }
+
+    // Optional RAS-stress helper: recurse to a fixed depth and unwind.
+    Label recurse;
+    if (params.recursionDepth > 0) {
+        recurse = a.newLabel();
+        a.bind(recurse);
+        a.addi(13, 13, -1);
+        const Label base_case = a.newLabel();
+        a.li(B::T1, 1);
+        a.blt(13, B::T1, base_case);
+        a.call(recurse);
+        a.bind(base_case);
+        a.ret();
+    }
+
     // Main dispatcher loop.
     a.bind(b.entryLabel());
     b.prologue();
@@ -34,8 +65,21 @@ buildLcfApp(const LcfAppParams &params, uint64_t seed)
     // idx = callSeq[iter & mask]
     b.loadTableEntry(7, call_seq, params.log2CallSeq, B::Iter);
     const Label done = a.newLabel();
-    emitDispatchTree(a, 7, funcs, done);
+    if (params.indirectDispatch) {
+        b.loadTableEntry(8, func_tbl, log2_funcs, 7);
+        a.callr(8);
+    } else {
+        emitDispatchTree(a, 7, funcs, done);
+    }
     a.bind(done);
+
+    if (params.recursionDepth > 0) {
+        const Label rec_skip = a.newLabel();
+        b.periodicGate(B::Iter, params.recursionGateLog2, rec_skip);
+        a.li(13, static_cast<int64_t>(params.recursionDepth));
+        a.call(recurse);
+        a.bind(rec_skip);
+    }
 
     // Hot H2P sites: rate-limited by a predictable periodic gate so
     // they meet the H2P screening criteria without dominating overall

@@ -42,6 +42,20 @@ struct LcfAppParams
      *  of [minCallRun, maxCallRun] consecutive calls. */
     unsigned minCallRun = 2;
     unsigned maxCallRun = 8;
+    /**
+     * Dispatch through a function-pointer table (`callr`) instead of
+     * the direct branch tree — the virtual-call idiom the frontend's
+     * ITTAGE predictor exists for. Off by default so the six Table II
+     * presets keep their exact historical instruction streams.
+     */
+    bool indirectDispatch = false;
+    /**
+     * When nonzero, a self-recursive helper is called to this depth
+     * once per 2^recursionGateLog2 dispatcher iterations; depths past
+     * the RAS capacity make the unwind mispredict structurally.
+     */
+    unsigned recursionDepth = 0;
+    unsigned recursionGateLog2 = 6;
     uint64_t structSeed = 0x1cf;    ///< code-shape seed (per app)
 };
 

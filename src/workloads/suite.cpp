@@ -12,6 +12,12 @@ allWorkloads()
     std::vector<Workload> lcf = lcfSuite();
     all.insert(all.end(), std::make_move_iterator(lcf.begin()),
                std::make_move_iterator(lcf.end()));
+    // Frontend-stress workloads ride last: the fig_* benches and the
+    // synth-validation corpus iterate specSuite()/lcfSuite() directly
+    // and are unperturbed by these.
+    std::vector<Workload> fe = frontendSuite();
+    all.insert(all.end(), std::make_move_iterator(fe.begin()),
+               std::make_move_iterator(fe.end()));
     return all;
 }
 

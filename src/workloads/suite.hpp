@@ -10,13 +10,14 @@
 #include <string>
 #include <vector>
 
+#include "workloads/frontend_suite.hpp"
 #include "workloads/lcf_suite.hpp"
 #include "workloads/spec_suite.hpp"
 #include "workloads/workload.hpp"
 
 namespace bpnsp {
 
-/** All fifteen workloads (SPEC-like then LCF). */
+/** All seventeen workloads (SPEC-like, LCF, then frontend-stress). */
 std::vector<Workload> allWorkloads();
 
 /** Find a workload by name; fatal() if unknown. */

@@ -480,6 +480,100 @@ TEST(Campaign, ShardedCellsMatchAcrossRuns)
 }
 
 // ---------------------------------------------------------------------
+// Frontend axis.
+
+TEST(CampaignJournal, DoneLineCarriesAndDefaultsTargetMispredicts)
+{
+    ScratchDir dir("journal_fe");
+    const std::string path = dir.file("camp.journal");
+    const std::string spec = "0123456789abcdef";
+
+    CampaignJournal journal;
+    ASSERT_TRUE(CampaignJournal::create(path, spec, 2, &journal).ok());
+    CellResult done;
+    done.instructions = 1000;
+    done.predictions = 150;
+    done.mispredicts = 12;
+    done.wallMs = 7;
+    done.targetMispredicts = 5;
+    ASSERT_TRUE(journal.appendDone(0, done).ok());
+    journal.close();
+
+    // A pre-frontend journal ends its D records at wall_ms; the
+    // missing trailing field must default to zero, not drop the line.
+    {
+        std::ofstream old(path, std::ios::app);
+        old << "D 1 2000 300 24 9\n";
+    }
+
+    std::vector<CellLedger> ledger;
+    ASSERT_TRUE(CampaignJournal::load(path, spec, 2, &ledger).ok());
+    ASSERT_EQ(ledger.size(), 2u);
+    EXPECT_EQ(ledger[0].state, CellLedger::State::Done);
+    EXPECT_EQ(ledger[0].result.targetMispredicts, 5u);
+    EXPECT_EQ(ledger[1].state, CellLedger::State::Done);
+    EXPECT_EQ(ledger[1].result.instructions, 2000u);
+    EXPECT_EQ(ledger[1].result.mispredicts, 24u);
+    EXPECT_EQ(ledger[1].result.targetMispredicts, 0u);
+}
+
+TEST(Campaign, FrontendAxisIsOptInForIdsAndDigests)
+{
+    // Direction-only sweeps must keep their pre-frontend ids and spec
+    // digest, or every existing journal stops resuming.
+    CampaignConfig plain;
+    plain.cells = buildCells("mcf_like", 1, "gshare", 30000);
+    ASSERT_EQ(plain.cells.size(), 1u);
+    EXPECT_TRUE(plain.cells[0].frontend.empty());
+    EXPECT_EQ(plain.cells[0].id(), "mcf_like/" +
+                                       plain.cells[0].input +
+                                       "/gshare");
+
+    CampaignConfig swept;
+    swept.cells =
+        buildCells("mcf_like", 1, "gshare", 30000, "off,default");
+    ASSERT_EQ(swept.cells.size(), 2u);
+    EXPECT_EQ(swept.cells[0].frontend, "off");
+    EXPECT_EQ(swept.cells[1].frontend, "default");
+    EXPECT_EQ(swept.cells[0].id(), plain.cells[0].id() + "/off");
+    EXPECT_NE(campaignSpecDigest(plain), campaignSpecDigest(swept));
+}
+
+TEST(Campaign, FrontendCellsCountTargetsAndResumeBitIdentically)
+{
+    ScratchDir dir("frontend");
+    CampaignConfig config;
+    config.cells =
+        buildCells("vcall", 1, "gshare", 30000, "off,default");
+    config.journalPath = dir.file("camp.journal");
+    config.backoffMs = 1;
+
+    const CampaignResult first = runCampaign(config);
+    ASSERT_TRUE(first.status.ok()) << first.status.str();
+    ASSERT_EQ(first.done, 2u);
+    // vcall's 896-way virtual dispatch plus its over-depth recursion
+    // must produce target mispredicts under the default frontend; the
+    // "off" cell runs no frontend model at all.
+    EXPECT_EQ(first.outcomes[0].result.targetMispredicts, 0u);
+    EXPECT_GT(first.outcomes[1].result.targetMispredicts, 0u);
+    // Direction counters must not depend on the frontend axis.
+    EXPECT_EQ(first.outcomes[0].result.mispredicts,
+              first.outcomes[1].result.mispredicts);
+
+    config.resume = true;
+    const CampaignResult second = runCampaign(config);
+    ASSERT_TRUE(second.status.ok());
+    EXPECT_EQ(second.skipped, 2u);
+    EXPECT_EQ(second.outcomes[1].result.targetMispredicts,
+              first.outcomes[1].result.targetMispredicts);
+
+    const std::string doc = renderCampaignResults(config, first);
+    EXPECT_EQ(doc, renderCampaignResults(config, second));
+    EXPECT_NE(doc.find("\"frontend\": \"default\""), std::string::npos);
+    EXPECT_NE(doc.find("\"target_mispredicts\": "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
 // Lock heartbeat TTL takeover.
 
 TEST(TraceCacheLock, TakesOverWedgedHolderPastTtl)

@@ -873,7 +873,7 @@ TEST(ObsReport, SnapshotsSectionOnlyWhenSamplerRan)
     {
         JsonParser parser(obs::renderRunReport());
         const JsonValue doc = parser.parse();
-        EXPECT_DOUBLE_EQ(doc.at("schema_rev").number, 8.0);
+        EXPECT_DOUBLE_EQ(doc.at("schema_rev").number, 9.0);
         EXPECT_FALSE(doc.has("snapshots"));
         // The rev-6/7/8 contract counters are present even untouched.
         const JsonValue &counters = doc.at("counters");

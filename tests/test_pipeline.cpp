@@ -190,6 +190,107 @@ TEST(CoreModel, MispredictsCounted)
     EXPECT_EQ(c.mispredicts, 50u);
 }
 
+// ------------------------------------------- flush-cycle accounting
+
+TEST(CoreModel, FlushAccountingWithoutFrontend)
+{
+    // Regression contract: with no frontend wired in, every flush is
+    // a direction flush and the books balance exactly —
+    // directionFlushCycles == mispredicts * redirectPenalty, with the
+    // target-side ledger identically zero.
+    auto trace = branchyTrace(500, 4, [](uint64_t i) { return i % 3; });
+    StaticPredictor bp(true);
+    const CoreConfig cfg = CoreConfig::skylake();
+    const PerfCounters c = simulate(trace, bp, cfg);
+    EXPECT_GT(c.mispredicts, 0u);
+    EXPECT_EQ(c.directionFlushCycles, c.mispredicts * cfg.redirectPenalty);
+    EXPECT_EQ(c.targetMispredicts, 0u);
+    EXPECT_EQ(c.targetFlushCycles, 0u);
+    EXPECT_EQ(c.ftqStallCycles, 0u);
+}
+
+TEST(CoreModel, FlushAccountingSplitsDirectionAndTarget)
+{
+    // A trace mixing conditional branches with returns that have no
+    // matching calls: the frontend attributes those to the RAS, the
+    // core splits the flush ledger by cause, and the two causes sum
+    // exactly (no double counting: a record is either a CondBranch or
+    // a Ret, never both).
+    std::vector<TraceRecord> trace =
+        branchyTrace(200, 4, [](uint64_t i) { return i % 2; });
+    uint64_t ip = 0x600000;
+    for (int i = 0; i < 50; ++i) {
+        TraceRecord ret;
+        ret.ip = ip;
+        ret.fallthrough = ip + 4;
+        ret.target = 0x700000;
+        ret.cls = InstrClass::Ret;
+        ret.taken = true;
+        trace.push_back(ret);
+        ip += 64;
+    }
+
+    StaticPredictor bp(true);
+    PredictorSim sim(bp, false);
+    FrontendConfig fcfg;
+    FrontendModel fe(fcfg);
+    const CoreConfig cfg = CoreConfig::skylake();
+    CoreModel core(cfg, sim, &fe);
+    for (const auto &r : trace) {
+        sim.onRecord(r);
+        fe.onRecord(r);
+        core.onRecord(r);
+    }
+    const PerfCounters &c = core.counters();
+
+    EXPECT_EQ(c.mispredicts, 100u);          // half of 200 conditionals
+    EXPECT_EQ(c.targetMispredicts, 50u);     // every orphan return
+    EXPECT_EQ(c.directionFlushCycles,
+              c.mispredicts * cfg.redirectPenalty);
+    EXPECT_EQ(c.targetFlushCycles,
+              c.targetMispredicts * cfg.redirectPenalty);
+    EXPECT_GT(c.targetMpki(), 0.0);
+}
+
+TEST(CoreModel, FrontendStallsReduceIpc)
+{
+    // Thousands of distinct taken-branch IPs thrash a tiny BTB; with
+    // an empty FTQ the bubbles must show up as lost IPC vs. the same
+    // trace timed without a frontend.
+    std::vector<TraceRecord> trace;
+    uint64_t ip = 0x400000;
+    for (uint64_t i = 0; i < 3000; ++i) {
+        TraceRecord j;
+        j.ip = ip;
+        j.fallthrough = ip + 4;
+        j.target = ip + 4096 + (i % 977) * 64;
+        j.cls = InstrClass::Jump;
+        j.taken = true;
+        trace.push_back(j);
+        ip = j.target;
+    }
+
+    StaticPredictor bp(true);
+    PredictorSim sim(bp, false);
+    FrontendConfig fcfg;
+    fcfg.btbSets = 16;
+    fcfg.btbWays = 1;
+    fcfg.btbBanks = 1;
+    fcfg.ftqDepth = 2;
+    FrontendModel fe(fcfg);
+    CoreModel withFe(CoreConfig::skylake(), sim, &fe);
+    CoreModel withoutFe(CoreConfig::skylake(), sim);
+    for (const auto &r : trace) {
+        sim.onRecord(r);
+        fe.onRecord(r);
+        withFe.onRecord(r);
+        withoutFe.onRecord(r);
+    }
+    EXPECT_GT(fe.btbMisses(), 1000u);
+    EXPECT_GT(withFe.counters().ftqStallCycles, 0u);
+    EXPECT_LT(withFe.counters().ipc(), withoutFe.counters().ipc());
+}
+
 TEST(CoreModel, ScalingMonotoneForPerfect)
 {
     auto trace = branchyTrace(3000, 10, [](uint64_t) { return true; });

@@ -412,13 +412,14 @@ TEST(ServeProtocol, MalformedPayloadNeverCrashesDecoder)
     }
     // A reply whose row count claims more than the payload holds is
     // refused without allocating for the claimed count. The row count
-    // sits before the trailing trace id + retry-after hint (u32 count,
-    // then u64 + u32 of trailer, from the end).
+    // sits before the trailing trace id + retry-after hint + (empty)
+    // target-class block (u32 count, then u64 + u32 + u32 from the
+    // end).
     ServeReply reply;
     reply.type = MessageType::BranchStatsReply;
     std::vector<uint8_t> payload = encodeReplyPayload(reply);
     const uint32_t lying = 0x00FFFFFF;
-    std::memcpy(payload.data() + payload.size() - 16, &lying, 4);
+    std::memcpy(payload.data() + payload.size() - 20, &lying, 4);
     ServeReply out;
     const Status st =
         decodeReplyPayload(MessageType::BranchStatsReply,
@@ -653,6 +654,22 @@ TEST_F(ServeTest, BranchStatsAndH2pReplies)
     for (size_t i = 1; i < reply.branches.size(); ++i)
         EXPECT_GE(reply.branches[i - 1].mispreds,
                   reply.branches[i].mispreds);
+    // The per-class target block arrives in the analysis layer's
+    // stable order: Call, Ret, JumpInd, CallInd. mcf_like is a
+    // call-heavy workload, so the Call/Ret rows must have executions.
+    ASSERT_EQ(reply.targetClasses.size(), 4u);
+    EXPECT_EQ(static_cast<InstrClass>(reply.targetClasses[0].cls),
+              InstrClass::Call);
+    EXPECT_EQ(static_cast<InstrClass>(reply.targetClasses[1].cls),
+              InstrClass::Ret);
+    EXPECT_EQ(static_cast<InstrClass>(reply.targetClasses[2].cls),
+              InstrClass::JumpInd);
+    EXPECT_EQ(static_cast<InstrClass>(reply.targetClasses[3].cls),
+              InstrClass::CallInd);
+    EXPECT_GT(reply.targetClasses[0].execs, 0u);
+    EXPECT_GT(reply.targetClasses[1].execs, 0u);
+    for (const TargetClassStat &row : reply.targetClasses)
+        EXPECT_LE(row.targetMispreds, row.execs);
 
     request.type = MessageType::H2p;
     request.predictor = "tage-sc-l-8KB";
@@ -1360,6 +1377,63 @@ TEST(ServeProtocol, HealthReplyOverloadBlockRoundTripsAndIsOptional)
     std::memcpy(lying.data() + lying.size() - 16, &bogus, 4);
     ServeReply refused;
     EXPECT_EQ(decodeReplyPayload(MessageType::HealthReply,
+                                 lying.data(), lying.size(), &refused)
+                  .code(),
+              StatusCode::CorruptData);
+}
+
+TEST(ServeProtocol, BranchStatsTargetBlockRoundTripsAndIsOptional)
+{
+    ServeReply reply;
+    reply.type = MessageType::BranchStatsReply;
+    reply.delivered = 1000;
+    reply.condExecs = 200;
+    reply.condMispreds = 20;
+    reply.branches = {{0x40, 10, 2, 5}};
+    reply.targetClasses = {
+        {static_cast<uint8_t>(InstrClass::Call), 50, 0},
+        {static_cast<uint8_t>(InstrClass::Ret), 50, 3},
+        {static_cast<uint8_t>(InstrClass::JumpInd), 7, 4},
+        {static_cast<uint8_t>(InstrClass::CallInd), 0, 0},
+    };
+
+    std::vector<uint8_t> payload = encodeReplyPayload(reply);
+    ServeReply out;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::BranchStatsReply,
+                                   payload.data(), payload.size(),
+                                   &out)
+                    .ok());
+    ASSERT_EQ(out.targetClasses.size(), 4u);
+    EXPECT_EQ(static_cast<InstrClass>(out.targetClasses[1].cls),
+              InstrClass::Ret);
+    EXPECT_EQ(out.targetClasses[1].execs, 50u);
+    EXPECT_EQ(out.targetClasses[1].targetMispreds, 3u);
+    EXPECT_EQ(out.targetClasses[2].targetMispreds, 4u);
+    // The direction fields in front of the trailers are untouched.
+    EXPECT_EQ(out.condMispreds, 20u);
+    ASSERT_EQ(out.branches.size(), 1u);
+    EXPECT_EQ(out.branches[0].execs, 10u);
+
+    // A pre-frontend server's payload ends after the retry-after
+    // trailer (grow-at-end): the vector stays empty, nothing fails.
+    payload.resize(payload.size() -
+                   (4 + 17 * reply.targetClasses.size()));
+    ServeReply legacy;
+    ASSERT_TRUE(decodeReplyPayload(MessageType::BranchStatsReply,
+                                   payload.data(), payload.size(),
+                                   &legacy)
+                    .ok());
+    EXPECT_TRUE(legacy.targetClasses.empty());
+    EXPECT_EQ(legacy.condMispreds, 20u);
+
+    // A count claiming more rows than the payload holds is refused.
+    std::vector<uint8_t> lying = encodeReplyPayload(reply);
+    const uint32_t bogus = 0x00FFFFFF;
+    std::memcpy(lying.data() + lying.size() -
+                    (4 + 17 * reply.targetClasses.size()),
+                &bogus, 4);
+    ServeReply refused;
+    EXPECT_EQ(decodeReplyPayload(MessageType::BranchStatsReply,
                                  lying.data(), lying.size(), &refused)
                   .code(),
               StatusCode::CorruptData);

@@ -63,14 +63,19 @@ TEST(Record, IsControl)
     EXPECT_TRUE(isControl(InstrClass::Jump));
     EXPECT_TRUE(isControl(InstrClass::Call));
     EXPECT_TRUE(isControl(InstrClass::Ret));
+    EXPECT_TRUE(isControl(InstrClass::JumpInd));
+    EXPECT_TRUE(isControl(InstrClass::CallInd));
     EXPECT_FALSE(isControl(InstrClass::Alu));
     EXPECT_FALSE(isControl(InstrClass::Load));
+    EXPECT_FALSE(isControl(InstrClass::Halt));
 }
 
 TEST(Record, ClassNames)
 {
     EXPECT_STREQ(instrClassName(InstrClass::Alu), "alu");
     EXPECT_STREQ(instrClassName(InstrClass::CondBranch), "cond_branch");
+    EXPECT_STREQ(instrClassName(InstrClass::JumpInd), "jump_ind");
+    EXPECT_STREQ(instrClassName(InstrClass::CallInd), "call_ind");
 }
 
 TEST(Sinks, FanoutDeliversInOrder)
@@ -177,7 +182,8 @@ TEST(TraceFile, PropertyRandomRecordsSurviveRoundTrip)
             r.target = rng.next();
             r.fallthrough = r.ip + 4;
             r.writtenValue = static_cast<uint32_t>(rng.next());
-            r.cls = static_cast<InstrClass>(rng.below(10));
+            r.cls = static_cast<InstrClass>(
+                rng.below(static_cast<uint64_t>(kMaxInstrClass) + 1));
             r.numSrc = static_cast<uint8_t>(rng.below(4));
             for (int s = 0; s < r.numSrc; ++s)
                 r.src[s] = static_cast<uint8_t>(rng.below(18));

@@ -96,6 +96,33 @@ truncateTo(const std::string &path, uint64_t size)
     std::filesystem::resize_file(path, size);
 }
 
+/** Write an exact byte value at a file offset. */
+void
+pokeByte(const std::string &path, uint64_t offset, uint8_t value)
+{
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekp(static_cast<std::streamoff>(offset));
+    const char byte = static_cast<char>(value);
+    file.write(&byte, 1);
+}
+
+/**
+ * Rewrite a freshly written (v2) store as a v1 file: the byte layout
+ * of the two versions is identical, only the version stamps differ.
+ */
+void
+downgradeToV1(const std::string &path)
+{
+    const uint64_t size = std::filesystem::file_size(path);
+    pokeByte(path, offsetof(StoreFileHeader, version), 1);
+    pokeByte(path,
+             size - sizeof(StoreTrailer) + offsetof(StoreTrailer,
+                                                    version),
+             1);
+}
+
 std::vector<TraceRecord>
 sequentialRecords(size_t count)
 {
@@ -198,9 +225,9 @@ TEST(TraceStore, RoundTripFieldExtremes)
     low.fallthrough = 0;
     records.push_back(low);
 
-    // Every instruction class, with distinct values per slot.
-    for (uint8_t c = 0; c <= static_cast<uint8_t>(InstrClass::Halt);
-         ++c) {
+    // Every instruction class (incl. v2's indirect classes), with
+    // distinct values per slot.
+    for (uint8_t c = 0; c <= kMaxInstrClass; ++c) {
         TraceRecord r;
         r.cls = static_cast<InstrClass>(c);
         r.ip = 0x400000 + c;
@@ -237,8 +264,8 @@ TEST(TraceStore, RoundTripRandomAcrossChunks)
         r.target = rng.next();
         r.fallthrough = rng.next();
         r.writtenValue = static_cast<uint32_t>(rng.next());
-        r.cls = static_cast<InstrClass>(rng.below(
-            static_cast<uint64_t>(InstrClass::Halt) + 1));
+        r.cls = static_cast<InstrClass>(
+            rng.below(static_cast<uint64_t>(kMaxInstrClass) + 1));
         r.numSrc = static_cast<uint8_t>(rng.below(4));
         r.src[0] = static_cast<uint8_t>(rng.next());
         r.src[1] = static_cast<uint8_t>(rng.next());
@@ -376,6 +403,86 @@ TEST(TraceStore, VersionAndMagicMismatchRejected)
     EXPECT_EQ(TraceStoreReader::open(path, &st), nullptr);
     EXPECT_NE(st.message().find("magic"), std::string::npos)
         << st.str();
+    std::remove(path.c_str());
+}
+
+// ------------------------------------------ version 1 compatibility
+
+TEST(TraceStore, V1FilesDecodeUnderCurrentReader)
+{
+    // v1 and v2 share the byte layout; only the accepted class range
+    // differs. A v1 file holding v1-legal classes must decode exactly.
+    const auto records = sequentialRecords(500);
+    const std::string path = writeStore("v1ok", records, 67);
+    downgradeToV1(path);
+
+    const std::vector<TraceRecord> decoded = readAll(path);
+    ASSERT_EQ(decoded.size(), records.size());
+    for (size_t i = 0; i < records.size(); ++i)
+        expectRecordsEqual(records[i], decoded[i], i);
+    std::remove(path.c_str());
+}
+
+TEST(TraceStore, V1FileWithIndirectClassesIsCorrupt)
+{
+    // A chunk claiming JumpInd/CallInd inside a file stamped v1 is
+    // corruption: v1 never defined those classes, so accepting them
+    // would silently misread genuinely damaged old files.
+    auto records = sequentialRecords(10);
+    records[4].cls = InstrClass::JumpInd;
+    records[7].cls = InstrClass::CallInd;
+    const std::string path = writeStore("v1bad", records);
+    downgradeToV1(path);
+
+    Status st;
+    auto reader = TraceStoreReader::open(path, &st);
+    ASSERT_NE(reader, nullptr) << st.str();   // header is fine
+    VectorSink sink;
+    const Status replaySt = reader->replay(sink, 0);
+    EXPECT_EQ(replaySt.code(), StatusCode::CorruptData);
+    EXPECT_NE(replaySt.message().find("class"), std::string::npos)
+        << replaySt.str();
+    std::remove(path.c_str());
+}
+
+TEST(TraceStore, DecodeChunkVersionGatesClassRange)
+{
+    TraceRecord ind;
+    ind.cls = InstrClass::CallInd;
+    ind.ip = 0x4000;
+    ind.fallthrough = 0x4004;
+    ind.target = 0x8000;
+    ind.taken = true;
+
+    std::vector<uint8_t> payload;
+    encodeChunk(&ind, 1, payload);
+
+    std::vector<TraceRecord> out;
+    EXPECT_TRUE(decodeChunk(payload.data(), payload.size(), 1, out,
+                            kStoreVersion)
+                    .ok());
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].cls, InstrClass::CallInd);
+
+    out.clear();
+    const Status v1 =
+        decodeChunk(payload.data(), payload.size(), 1, out, 1);
+    EXPECT_EQ(v1.code(), StatusCode::CorruptData);
+}
+
+TEST(TraceStore, UnknownFutureVersionRejected)
+{
+    const std::string path = writeStore("future", sequentialRecords(5));
+    pokeByte(path, offsetof(StoreFileHeader, version),
+             static_cast<uint8_t>(kStoreVersion + 1));
+    const uint64_t size = std::filesystem::file_size(path);
+    pokeByte(path,
+             size - sizeof(StoreTrailer) + offsetof(StoreTrailer,
+                                                    version),
+             static_cast<uint8_t>(kStoreVersion + 1));
+    Status st;
+    EXPECT_EQ(TraceStoreReader::open(path, &st), nullptr);
+    EXPECT_EQ(st.code(), StatusCode::CorruptData);
     std::remove(path.c_str());
 }
 

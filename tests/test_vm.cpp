@@ -240,6 +240,79 @@ TEST(Interpreter, CallRet)
     EXPECT_EQ(interp.reg(5), 2u);
 }
 
+TEST(Interpreter, IndirectJumpThroughRegister)
+{
+    Assembler a("t");
+    Label entry = a.newLabel();
+    Label dest = a.newLabel();
+    a.jmp(entry);
+    a.bind(dest);
+    a.addi(5, 5, 7);
+    a.halt();
+    a.bind(entry);
+    a.lea(6, dest);
+    a.jmpr(6);
+    a.addi(5, 5, 100);   // skipped
+    const Program p = a.finish();
+    Interpreter interp(p);
+    VectorSink sink;
+    interp.run(sink, 100);
+    EXPECT_EQ(interp.reg(5), 7u);
+
+    // The trace record carries the resolved target.
+    bool sawInd = false;
+    for (const TraceRecord &r : sink.get()) {
+        if (r.cls == InstrClass::JumpInd) {
+            sawInd = true;
+            EXPECT_TRUE(r.taken);
+            EXPECT_EQ(r.target, p.ipOf(a.labelTarget(dest)));
+        }
+    }
+    EXPECT_TRUE(sawInd);
+}
+
+TEST(Interpreter, IndirectCallReturns)
+{
+    Assembler a("t");
+    Label entry = a.newLabel();
+    Label func = a.newLabel();
+    a.jmp(entry);
+    a.bind(func);
+    a.addi(5, 5, 1);
+    a.ret();
+    a.bind(entry);
+    a.lea(6, func);
+    a.callr(6);
+    a.callr(6);
+    a.halt();
+    Interpreter interp(a.finish());
+    VectorSink sink;
+    interp.run(sink, 100);
+    EXPECT_EQ(interp.reg(5), 2u);
+
+    size_t indCalls = 0;
+    for (const TraceRecord &r : sink.get())
+        indCalls += r.cls == InstrClass::CallInd;
+    EXPECT_EQ(indCalls, 2u);
+}
+
+TEST(Interpreter, LeaMatchesLabelTarget)
+{
+    Assembler a("t");
+    Label entry = a.newLabel();
+    Label spot = a.newLabel();
+    a.jmp(entry);
+    a.bind(spot);
+    a.halt();
+    a.bind(entry);
+    a.lea(7, spot);
+    a.jmpr(7);
+    Interpreter interp(a.finish());
+    VectorSink sink;
+    interp.run(sink, 100);
+    EXPECT_EQ(interp.reg(7), a.labelTarget(spot));
+}
+
 TEST(Interpreter, TraceRecordsBranch)
 {
     Assembler a("t");

@@ -158,20 +158,27 @@ TEST(Dispatch, FuncLibraryStructureInputInvariant)
 
 // -------------------------------------------------------------- suite
 
-TEST(Suite, FifteenWorkloads)
+TEST(Suite, SeventeenWorkloads)
 {
     const auto all = allWorkloads();
-    EXPECT_EQ(all.size(), 15u);
+    EXPECT_EQ(all.size(), 17u);
     size_t lcf = 0;
     for (const auto &w : all)
         lcf += w.lcf;
-    EXPECT_EQ(lcf, 6u);
+    EXPECT_EQ(lcf, 7u);   // six Table II apps + vcall
+    // The historical populations are frozen: fig_* benches and the
+    // synth-validation corpus iterate these two suites directly.
+    EXPECT_EQ(specSuite().size(), 9u);
+    EXPECT_EQ(lcfSuite().size(), 6u);
+    EXPECT_EQ(frontendSuite().size(), 2u);
 }
 
 TEST(Suite, FindByName)
 {
     EXPECT_EQ(findWorkload("mcf_like").name, "mcf_like");
     EXPECT_TRUE(findWorkload("game").lcf);
+    EXPECT_TRUE(findWorkload("vcall").lcf);
+    EXPECT_FALSE(findWorkload("interp_like").lcf);
 }
 
 TEST(Suite, InputCountsMatchTableOne)
@@ -234,7 +241,7 @@ INSTANTIATE_TEST_SUITE_P(
                       "xalancbmk_like", "x264_like", "deepsjeng_like",
                       "leela_like", "exchange2_like", "xz_like",
                       "gcc_like", "game", "rdbms", "nosql", "analytics",
-                      "streaming"));
+                      "streaming", "vcall", "interp_like"));
 
 // ------------------------------------------- population characteristics
 
